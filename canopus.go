@@ -1,0 +1,217 @@
+// Package canopus is a Go implementation of Canopus, the scalable,
+// topology-aware, massively parallel consensus protocol of Rizvi, Wong
+// and Keshav (CoNEXT 2017), together with every substrate it depends on:
+// a Leaf-Only Tree overlay, Raft-based reliable broadcast inside
+// super-leaves, a discrete-event datacenter/WAN network simulator, the
+// EPaxos and Zab/ZooKeeper baselines the paper evaluates against, and a
+// ZooKeeper-like coordination layer ("ZKCanopus").
+//
+// The root package is a thin facade: protocol types are aliases of the
+// internal implementations, plus convenience constructors for simulated
+// clusters (deterministic, virtual time) and live TCP clusters.
+//
+//	cluster := canopus.NewSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+//	cluster.At(time.Millisecond, func() {
+//	    cluster.Submit(0, canopus.Write(1, 1, 42, []byte("hello")))
+//	})
+//	cluster.RunUntil(time.Second)
+package canopus
+
+import (
+	"time"
+
+	"canopus/internal/core"
+	"canopus/internal/kvstore"
+	"canopus/internal/lot"
+	"canopus/internal/netsim"
+	"canopus/internal/wire"
+)
+
+// Protocol identifiers and request types.
+type (
+	// NodeID identifies one Canopus participant.
+	NodeID = wire.NodeID
+	// Request is one client key-value operation.
+	Request = wire.Request
+	// Op is a request kind (OpRead / OpWrite).
+	Op = wire.Op
+	// Batch is an ordered request set (the protocol's unit of ordering).
+	Batch = wire.Batch
+)
+
+// Re-exported constants.
+const (
+	// OpRead marks a key read.
+	OpRead = wire.OpRead
+	// OpWrite marks a key write.
+	OpWrite = wire.OpWrite
+	// NoNode is the "no node" sentinel.
+	NoNode = wire.NoNode
+)
+
+// Core protocol types.
+type (
+	// Config parameterizes a Canopus node; see internal/core.Config for
+	// field documentation.
+	Config = core.Config
+	// Node is one Canopus protocol participant.
+	Node = core.Node
+	// Callbacks observe node progress.
+	Callbacks = core.Callbacks
+	// StateMachine is the replicated application state interface.
+	StateMachine = core.StateMachine
+	// Tree is the Leaf-Only Tree overlay.
+	Tree = lot.Tree
+	// TreeConfig shapes a LOT.
+	TreeConfig = lot.Config
+	// Store is the standard key-value state machine.
+	Store = kvstore.Store
+)
+
+// NewTree builds a Leaf-Only Tree from super-leaf memberships.
+func NewTree(cfg TreeConfig) (*Tree, error) { return lot.New(cfg) }
+
+// NewNode builds a Canopus node (see core.NewNode).
+func NewNode(cfg Config, sm StateMachine, cbs Callbacks) *Node {
+	return core.NewNode(cfg, sm, cbs)
+}
+
+// NewJoiner builds a node that re-enters a running deployment through
+// the join protocol.
+func NewJoiner(cfg Config, sm StateMachine, cbs Callbacks) *Node {
+	return core.NewJoiner(cfg, sm, cbs)
+}
+
+// NewStore creates an empty key-value state machine.
+func NewStore() *Store { return kvstore.New() }
+
+// Write builds a write request.
+func Write(client, seq, key uint64, val []byte) Request {
+	return Request{Client: client, Seq: seq, Op: OpWrite, Key: key, Val: val}
+}
+
+// Read builds a read request.
+func Read(client, seq, key uint64) Request {
+	return Request{Client: client, Seq: seq, Op: OpRead, Key: key}
+}
+
+// SimOptions shapes a simulated deployment.
+type SimOptions struct {
+	// Racks and NodesPerRack lay out a single datacenter; each rack is
+	// one super-leaf.
+	Racks        int
+	NodesPerRack int
+	// WANRTT, when non-nil, turns each "rack" into a datacenter with the
+	// given round-trip matrix (one row/column per rack).
+	WANRTT [][]time.Duration
+	// Node overrides fields of every node's Config (Tree/Self are set by
+	// the cluster).
+	Node Config
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+}
+
+// SimCluster is an in-process simulated Canopus deployment running on
+// virtual time: deterministic, instantaneous, no sockets. It is the
+// quickest way to experiment with the protocol and what the examples and
+// tests build on.
+type SimCluster struct {
+	Sim    *netsim.Sim
+	Runner *netsim.Runner
+	Tree   *Tree
+	nodes  []*Node
+	stores []*Store
+}
+
+// NewSimCluster builds and registers a full simulated deployment with a
+// logged KV store per node.
+func NewSimCluster(opts SimOptions) *SimCluster {
+	if opts.Racks == 0 {
+		opts.Racks = 2
+	}
+	if opts.NodesPerRack == 0 {
+		opts.NodesPerRack = 3
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	sim := netsim.NewSim()
+	var topo *netsim.Topology
+	if opts.WANRTT != nil {
+		oneway := make([][]time.Duration, opts.Racks)
+		for i := range oneway {
+			oneway[i] = make([]time.Duration, opts.Racks)
+			for j := range oneway[i] {
+				if i != j {
+					oneway[i][j] = opts.WANRTT[i][j] / 2
+				}
+			}
+		}
+		topo = netsim.MultiDC(opts.Racks, opts.NodesPerRack, netsim.Params{WANDelay: oneway})
+	} else {
+		topo = netsim.SingleDC(opts.Racks, opts.NodesPerRack, netsim.Params{})
+	}
+	runner := netsim.NewRunner(sim, topo, netsim.DefaultCosts(), opts.Seed)
+
+	sls := make([][]NodeID, opts.Racks)
+	for r := 0; r < opts.Racks; r++ {
+		sls[r] = topo.RackMembers(r)
+	}
+	tree, err := lot.New(lot.Config{SuperLeaves: sls})
+	if err != nil {
+		panic(err) // impossible for the shapes NewSimCluster builds
+	}
+
+	c := &SimCluster{Sim: sim, Runner: runner, Tree: tree}
+	for i := 0; i < topo.NumNodes(); i++ {
+		cfg := opts.Node
+		cfg.Tree = tree
+		cfg.Self = NodeID(i)
+		st := kvstore.New()
+		n := core.NewNode(cfg, st, Callbacks{})
+		c.nodes = append(c.nodes, n)
+		c.stores = append(c.stores, st)
+		runner.Register(NodeID(i), n)
+	}
+	return c
+}
+
+// Node returns the protocol node with the given ID.
+func (c *SimCluster) Node(id NodeID) *Node { return c.nodes[id] }
+
+// StoreOf returns node id's local replica state.
+func (c *SimCluster) StoreOf(id NodeID) *Store { return c.stores[id] }
+
+// NumNodes returns the deployment size.
+func (c *SimCluster) NumNodes() int { return len(c.nodes) }
+
+// OnReply installs a completion callback on node id. Must be called
+// before the simulation runs past the node's first request.
+func (c *SimCluster) OnReply(id NodeID, fn func(req *Request, val []byte)) {
+	c.nodes[id].SetOnReply(fn)
+}
+
+// At schedules fn at an absolute virtual time; use it to inject client
+// requests from the simulation's event loop.
+func (c *SimCluster) At(t time.Duration, fn func()) { c.Sim.At(t, fn) }
+
+// Submit delivers one client request to node id (call from inside At).
+func (c *SimCluster) Submit(id NodeID, req Request) { c.nodes[id].Submit(req) }
+
+// RunUntil advances virtual time.
+func (c *SimCluster) RunUntil(t time.Duration) { c.Sim.RunUntil(t) }
+
+// Crash fails node id crash-stop.
+func (c *SimCluster) Crash(id NodeID) { c.Runner.Crash(id) }
+
+// RestartAsJoiner restarts a crashed node with fresh state; it re-enters
+// through the join protocol.
+func (c *SimCluster) RestartAsJoiner(id NodeID) *Node {
+	cfg := Config{Tree: c.Tree, Self: id}
+	st := kvstore.New()
+	n := core.NewJoiner(cfg, st, Callbacks{})
+	c.nodes[id] = n
+	c.stores[id] = st
+	c.Runner.Restart(id, n)
+	return n
+}

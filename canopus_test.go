@@ -1,0 +1,82 @@
+package canopus_test
+
+import (
+	"testing"
+	"time"
+
+	"canopus"
+)
+
+func TestSimClusterPublicAPI(t *testing.T) {
+	c := canopus.NewSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	var readVal []byte
+	c.OnReply(0, func(req *canopus.Request, val []byte) {
+		if req.Op == canopus.OpRead {
+			readVal = val
+		}
+	})
+	c.At(time.Millisecond, func() {
+		c.Submit(0, canopus.Write(1, 1, 5, []byte("v")))
+		c.Submit(3, canopus.Write(2, 1, 6, []byte("w")))
+	})
+	c.At(200*time.Millisecond, func() { c.Submit(0, canopus.Read(1, 2, 6)) })
+	c.RunUntil(time.Second)
+	if string(readVal) != "w" {
+		t.Fatalf("read = %q", readVal)
+	}
+	for id := canopus.NodeID(0); int(id) < c.NumNodes(); id++ {
+		if string(c.StoreOf(id).Read(5)) != "v" {
+			t.Fatalf("node %v missing key 5", id)
+		}
+	}
+}
+
+func TestSimClusterWAN(t *testing.T) {
+	rtt := [][]time.Duration{
+		{0, 100 * time.Millisecond},
+		{100 * time.Millisecond, 0},
+	}
+	c := canopus.NewSimCluster(canopus.SimOptions{
+		Racks: 2, NodesPerRack: 3, WANRTT: rtt,
+		Node: canopus.Config{CycleInterval: 5 * time.Millisecond, MaxInFlight: 64},
+	})
+	c.At(time.Millisecond, func() { c.Submit(0, canopus.Write(1, 1, 1, []byte("x"))) })
+	c.RunUntil(2 * time.Second)
+	if string(c.StoreOf(5).Read(1)) != "x" {
+		t.Fatal("WAN replication failed")
+	}
+}
+
+func TestCrashAndRejoinPublicAPI(t *testing.T) {
+	c := canopus.NewSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	c.At(time.Millisecond, func() { c.Submit(0, canopus.Write(1, 1, 1, []byte("a"))) })
+	c.At(300*time.Millisecond, func() { c.Crash(5) })
+	c.At(800*time.Millisecond, func() { c.Submit(0, canopus.Write(1, 2, 2, []byte("b"))) })
+	c.At(1500*time.Millisecond, func() { c.RestartAsJoiner(5) })
+	c.At(3*time.Second, func() { c.Submit(0, canopus.Write(1, 3, 3, []byte("c"))) })
+	c.RunUntil(6 * time.Second)
+	st := c.StoreOf(5)
+	for k, want := range map[uint64]string{1: "a", 2: "b", 3: "c"} {
+		if got := string(st.Read(k)); got != want {
+			t.Fatalf("rejoined node key %d = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestCoordClusterPublicAPI(t *testing.T) {
+	c := canopus.NewCoordCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	var got string
+	c.At(time.Millisecond, func() {
+		c.Server(0).Set("/cfg", []byte("on"), func(n *canopus.ZNode) {
+			c.Server(3).Get("/cfg", func(n *canopus.ZNode) {
+				if n != nil {
+					got = string(n.Data)
+				}
+			})
+		})
+	})
+	c.RunUntil(time.Second)
+	if got != "on" {
+		t.Fatalf("linearizable get = %q", got)
+	}
+}

@@ -1,0 +1,37 @@
+// Command canopus-client is an interactive client for canopus-server's
+// line protocol: type "PUT 7 hello" or "GET 7".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8000", "canopus-server client address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatal("canopus-client: ", err)
+	}
+	defer conn.Close()
+	fmt.Printf("connected to %s; commands: PUT <key> <value> | GET <key> | QUIT\n", *addr)
+
+	go func() {
+		if _, err := io.Copy(os.Stdout, conn); err == nil {
+			os.Exit(0)
+		}
+	}()
+	sc := bufio.NewScanner(os.Stdin)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		fmt.Fprintln(w, sc.Text())
+		w.Flush()
+	}
+}

@@ -1,0 +1,165 @@
+// Command canopus-server runs one live Canopus node over TCP: the same
+// protocol engine the simulator drives, behind real sockets, plus a
+// line-oriented client port (GET <key> / PUT <key> <value> / QUIT).
+//
+// A three-node super-leaf on localhost:
+//
+//	canopus-server -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -superleaves 0,1,2 -client 127.0.0.1:8000 &
+//	canopus-server -id 1 -peers ...same... -client 127.0.0.1:8001 &
+//	canopus-server -id 2 -peers ...same... -client 127.0.0.1:8002 &
+//	canopus-client -addr 127.0.0.1:8000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"canopus/internal/core"
+	"canopus/internal/kvstore"
+	"canopus/internal/lot"
+	"canopus/internal/transport"
+	"canopus/internal/wire"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this node's ID (index into -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated peer addresses, index = node ID")
+	slFlag := flag.String("superleaves", "", "semicolon-separated super-leaves of comma-separated node IDs (default: all in one)")
+	clientAddr := flag.String("client", "", "client-facing listen address (default: none)")
+	flag.Parse()
+
+	addrs := strings.Split(*peersFlag, ",")
+	if len(addrs) < 1 || addrs[0] == "" {
+		log.Fatal("canopus-server: -peers is required")
+	}
+	peers := make(map[wire.NodeID]string, len(addrs))
+	for i, a := range addrs {
+		peers[wire.NodeID(i)] = strings.TrimSpace(a)
+	}
+
+	var sls [][]wire.NodeID
+	if *slFlag == "" {
+		var all []wire.NodeID
+		for i := range addrs {
+			all = append(all, wire.NodeID(i))
+		}
+		sls = [][]wire.NodeID{all}
+	} else {
+		for _, group := range strings.Split(*slFlag, ";") {
+			var members []wire.NodeID
+			for _, tok := range strings.Split(group, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil {
+					log.Fatalf("canopus-server: bad -superleaves entry %q", tok)
+				}
+				members = append(members, wire.NodeID(v))
+			}
+			sls = append(sls, members)
+		}
+	}
+	tree, err := lot.New(lot.Config{SuperLeaves: sls})
+	if err != nil {
+		log.Fatal("canopus-server: ", err)
+	}
+
+	self := wire.NodeID(*id)
+	runner, err := transport.NewRunner(self, peers[self], peers, 42)
+	if err != nil {
+		log.Fatal("canopus-server: ", err)
+	}
+	store := kvstore.New()
+
+	type pending struct{ ch chan []byte }
+	waiting := make(map[uint64]*pending)
+	node := core.NewNode(core.Config{Tree: tree, Self: self}, store, core.Callbacks{
+		OnReply: func(req *wire.Request, val []byte) {
+			if p, ok := waiting[req.Seq]; ok {
+				delete(waiting, req.Seq)
+				p.ch <- val
+			}
+		},
+	})
+
+	if *clientAddr != "" {
+		ln, err := net.Listen("tcp", *clientAddr)
+		if err != nil {
+			log.Fatal("canopus-server: client listen: ", err)
+		}
+		log.Printf("node %v: client API on %s", self, ln.Addr())
+		var seq uint64
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func(conn net.Conn) {
+					defer conn.Close()
+					sc := bufio.NewScanner(conn)
+					for sc.Scan() {
+						fields := strings.Fields(sc.Text())
+						if len(fields) == 0 {
+							continue
+						}
+						var req wire.Request
+						switch strings.ToUpper(fields[0]) {
+						case "PUT":
+							if len(fields) < 3 {
+								fmt.Fprintln(conn, "ERR usage: PUT <key> <value>")
+								continue
+							}
+							k, err := strconv.ParseUint(fields[1], 10, 64)
+							if err != nil {
+								fmt.Fprintln(conn, "ERR bad key")
+								continue
+							}
+							req = wire.Request{Client: uint64(self) + 1, Op: wire.OpWrite, Key: k, Val: []byte(strings.Join(fields[2:], " "))}
+						case "GET":
+							if len(fields) != 2 {
+								fmt.Fprintln(conn, "ERR usage: GET <key>")
+								continue
+							}
+							k, err := strconv.ParseUint(fields[1], 10, 64)
+							if err != nil {
+								fmt.Fprintln(conn, "ERR bad key")
+								continue
+							}
+							req = wire.Request{Client: uint64(self) + 1, Op: wire.OpRead, Key: k}
+						case "QUIT":
+							return
+						default:
+							fmt.Fprintln(conn, "ERR unknown command")
+							continue
+						}
+						done := &pending{ch: make(chan []byte, 1)}
+						runner.Invoke(func() {
+							seq++
+							req.Seq = seq
+							waiting[req.Seq] = done
+							node.Submit(req)
+						})
+						val := <-done.ch
+						if req.Op == wire.OpRead {
+							if val == nil {
+								fmt.Fprintln(conn, "NIL")
+							} else {
+								fmt.Fprintf(conn, "VALUE %s\n", val)
+							}
+						} else {
+							fmt.Fprintln(conn, "OK")
+						}
+					}
+				}(conn)
+			}
+		}()
+	}
+
+	log.Printf("node %v: consensus on %s (super-leaf %d of %d, LOT height %d)",
+		self, peers[self], tree.SuperLeafOf(self), tree.NumSuperLeaves(), tree.Height)
+	runner.Serve(node)
+}

@@ -1,0 +1,40 @@
+// Command lotviz prints a Leaf-Only Tree, reproducing Figure 1 of the
+// paper (27 pnodes in 9 super-leaves of 3... or any shape you ask for).
+//
+//	lotviz -superleaves 9 -size 3 -fanout 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"canopus/internal/lot"
+	"canopus/internal/wire"
+)
+
+func main() {
+	sls := flag.Int("superleaves", 9, "number of super-leaves (racks)")
+	size := flag.Int("size", 3, "pnodes per super-leaf")
+	fanout := flag.Int("fanout", 3, "vnode fanout (0 = flat: all under the root)")
+	flag.Parse()
+
+	cfg := lot.Config{Fanout: *fanout}
+	id := wire.NodeID(0)
+	for s := 0; s < *sls; s++ {
+		var members []wire.NodeID
+		for n := 0; n < *size; n++ {
+			members = append(members, id)
+			id++
+		}
+		cfg.SuperLeaves = append(cfg.SuperLeaves, members)
+	}
+	tree, err := lot.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotviz:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("LOT: %d pnodes, %d super-leaves, height %d (consensus cycle = %d rounds)\n\n",
+		*sls**size, *sls, tree.Height, tree.Height)
+	fmt.Print(tree.String())
+}

@@ -1,0 +1,111 @@
+package broadcast
+
+import (
+	"testing"
+	"time"
+
+	"canopus/internal/engine"
+	"canopus/internal/netsim"
+	"canopus/internal/wire"
+)
+
+// bcastHost adapts a Broadcaster to engine.Machine for the simulator.
+type bcastHost struct {
+	mk        func(env engine.Env) Broadcaster
+	b         Broadcaster
+	env       engine.Env
+	delivered []wire.Message
+	origins   []wire.NodeID
+	failed    []wire.NodeID
+	tick      time.Duration
+}
+
+func (h *bcastHost) Init(env engine.Env) {
+	h.env = env
+	h.b = h.mk(env)
+	env.After(h.tick, engine.Tag(1, 0))
+}
+func (h *bcastHost) Recv(from wire.NodeID, m wire.Message) { h.b.Handle(from, m) }
+func (h *bcastHost) Timer(engine.TimerTag) {
+	h.b.Tick()
+	h.env.After(h.tick, engine.Tag(1, 0))
+}
+
+func runBroadcastTest(t *testing.T, useSwitch bool) {
+	sim := netsim.NewSim()
+	topo := netsim.SingleDC(1, 3, netsim.Params{})
+	runner := netsim.NewRunner(sim, topo, netsim.DefaultCosts(), 8)
+	members := []wire.NodeID{0, 1, 2}
+	hosts := make([]*bcastHost, 3)
+	for i := 0; i < 3; i++ {
+		h := &bcastHost{tick: 5 * time.Millisecond}
+		h.mk = func(env engine.Env) Broadcaster {
+			cfg := Config{Members: members, TickInterval: 5 * time.Millisecond}
+			cbs := Callbacks{
+				Deliver: func(origin wire.NodeID, payload wire.Message) {
+					h.delivered = append(h.delivered, payload)
+					h.origins = append(h.origins, origin)
+				},
+				PeerFailed: func(p wire.NodeID) { h.failed = append(h.failed, p) },
+			}
+			if useSwitch {
+				return NewSwitch(env, cfg, cbs)
+			}
+			return NewRaft(env, cfg, cbs)
+		}
+		hosts[i] = h
+		runner.Register(wire.NodeID(i), h)
+	}
+	// Node 0 broadcasts three messages; all members deliver them in order.
+	sim.At(10*time.Millisecond, func() {
+		hosts[0].b.Broadcast(&wire.Ping{From: 0, Seq: 1})
+		hosts[0].b.Broadcast(&wire.Ping{From: 0, Seq: 2})
+	})
+	sim.At(20*time.Millisecond, func() { hosts[1].b.Broadcast(&wire.Ping{From: 1, Seq: 3}) })
+	sim.RunUntil(300 * time.Millisecond)
+	for i, h := range hosts {
+		if len(h.delivered) != 3 {
+			t.Fatalf("host %d delivered %d, want 3", i, len(h.delivered))
+		}
+		// Per-origin FIFO: seq 1 from node 0 precedes seq 2.
+		var s1, s2 = -1, -1
+		for idx, m := range h.delivered {
+			p := m.(*wire.Ping)
+			if p.Seq == 1 {
+				s1 = idx
+			}
+			if p.Seq == 2 {
+				s2 = idx
+			}
+		}
+		if s1 > s2 {
+			t.Fatalf("host %d: per-origin order violated", i)
+		}
+	}
+
+	// Crash node 2: survivors report the failure exactly once.
+	runner.Crash(2)
+	sim.RunUntil(2 * time.Second)
+	for i := 0; i < 2; i++ {
+		if len(hosts[i].failed) != 1 || hosts[i].failed[0] != 2 {
+			t.Fatalf("host %d failure reports = %v", i, hosts[i].failed)
+		}
+	}
+	// Broadcast still works with 2 of 3.
+	before := len(hosts[1].delivered)
+	sim.At(sim.Now(), func() { hosts[0].b.Broadcast(&wire.Ping{From: 0, Seq: 9}) })
+	sim.RunUntil(sim.Now() + 300*time.Millisecond)
+	if len(hosts[1].delivered) != before+1 {
+		t.Fatal("post-failure broadcast not delivered")
+	}
+}
+
+func TestRaftBroadcast(t *testing.T)   { runBroadcastTest(t, false) }
+func TestSwitchBroadcast(t *testing.T) { runBroadcastTest(t, true) }
+
+func TestGroupIDPacking(t *testing.T) {
+	g := groupID(7, 3)
+	if groupOrigin(g) != 7 || groupIncarnation(g) != 3 {
+		t.Fatalf("packing broken: %x -> %v/%d", g, groupOrigin(g), groupIncarnation(g))
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sort"
+
+	"canopus/internal/wire"
+)
+
+// tryCommit commits completed cycles strictly in cycle order (§7.1:
+// "nodes always commit the requests from consensus cycles in sequence").
+func (n *Node) tryCommit() {
+	for {
+		c, ok := n.cycles[n.committed+1]
+		if !ok || !c.complete {
+			return
+		}
+		n.commit(c)
+	}
+}
+
+// commit makes cycle c's total order durable: apply writes, run this
+// node's reads at their recorded positions, fold membership updates into
+// the view and the broadcast layer, activate leases, and release the
+// cycle's memory.
+func (n *Node) commit(c *cycle) {
+	root := c.states[n.tree.Height]
+	n.committed = c.id
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "commit", c.id, "")
+	}
+
+	n.applyOrder(c.id, root.Batches)
+	n.applyMembership(c.id, root.Updates)
+	n.applyLeases(c.id, root.Leases)
+	n.runDeferredReads(c.id)
+
+	if n.cbs.OnCommit != nil {
+		n.cbs.OnCommit(c.id, root.Batches)
+	}
+
+	delete(n.cycles, c.id)
+	delete(n.proposed, c.id)
+	n.recent[c.id] = c.states
+	if old := c.id - n.retention(); old > 0 && old <= c.id {
+		delete(n.recent, old)
+	}
+	if n.stallAfter != 0 && n.committed >= n.stallAfter {
+		n.stallAfter = 0
+	}
+
+	// Self-clocking (§4.2): a node starts the next cycle if it received
+	// one or more client requests during the prior cycle. With
+	// pipelining the next cycles are usually already running; pacing
+	// keeps saturated self-clocked deployments at the cycle interval.
+	if n.pendingCount() > 0 && n.started == n.committed && n.paceAllows() {
+		n.tryStartCycles(n.started + 1)
+	}
+}
+
+// applyOrder walks the cycle's total order. Remote batches contribute
+// their writes; this node's own batch is replayed from the locally
+// retained full request set so reads execute at their arrival positions
+// among the node's own writes (§5).
+func (n *Node) applyOrder(cyc uint64, order []*wire.Batch) {
+	set := n.proposed[cyc]
+	for _, b := range order {
+		if b.Origin == n.cfg.Self && set != nil {
+			n.applyOwnSet(set)
+			set = nil
+			continue
+		}
+		if n.sm != nil && b.Reqs != nil {
+			for i := range b.Reqs {
+				n.sm.ApplyWrite(&b.Reqs[i])
+			}
+		}
+	}
+	// A read-only set whose batch was empty (and therefore absent from
+	// the order) linearizes at the end of the cycle: its reads are
+	// concurrent with every write ordered by this cycle, and its client
+	// issued no interleaved writes, so this placement is consistent
+	// with both real time and per-client order.
+	if set != nil {
+		n.applyOwnSet(set)
+	}
+}
+
+func (n *Node) applyOwnSet(set *ownSet) {
+	for i := range set.reqs {
+		req := &set.reqs[i]
+		switch req.Op {
+		case wire.OpWrite:
+			if n.sm != nil {
+				n.sm.ApplyWrite(req)
+			}
+			n.reply(req, nil)
+		case wire.OpRead:
+			var val []byte
+			if n.sm != nil {
+				val = n.sm.Read(req.Key)
+			}
+			n.reply(req, val)
+		}
+	}
+}
+
+func (n *Node) reply(req *wire.Request, val []byte) {
+	if n.cbs.OnReply != nil {
+		n.cbs.OnReply(req, val)
+	}
+}
+
+// applyMembership folds the cycle's committed membership updates into
+// the emulation table and, for this super-leaf, the broadcast layer.
+// Every live node applies the same updates at the same cycle boundary,
+// which is the invariant keeping emulation tables identical (§4.6).
+// Leaves apply before joins so a crash/rejoin pair in one cycle nets out
+// to a fresh incarnation.
+func (n *Node) applyMembership(cyc uint64, updates []wire.MemberUpdate) {
+	if len(updates) == 0 {
+		return
+	}
+	ordered := append([]wire.MemberUpdate(nil), updates...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Leave != ordered[j].Leave {
+			return ordered[i].Leave
+		}
+		return ordered[i].Node < ordered[j].Node
+	})
+	for _, u := range ordered {
+		inOwnSL := n.tree.SuperLeafOf(u.Node) == n.sl
+		if u.Leave {
+			n.view.Apply([]wire.MemberUpdate{u})
+			if inOwnSL && u.Node != n.cfg.Self {
+				n.bc.RemovePeer(u.Node)
+			}
+			continue
+		}
+		n.view.Apply([]wire.MemberUpdate{u})
+		if inOwnSL && u.Node != n.cfg.Self {
+			n.bc.AddPeer(u.Node)
+			delete(n.closedPeers, u.Node)
+		}
+		if k, ok := n.sponsoring[u.Node]; ok && k == cyc {
+			delete(n.sponsoring, u.Node)
+			n.sendJoinReply(u.Node, cyc)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package core implements the Canopus consensus protocol (Rizvi, Wong,
+// Keshav — CoNEXT 2017).
+//
+// A Node is an event-driven engine.Machine. Execution is divided into
+// consensus cycles of h rounds (h = LOT height). In round 1 a node
+// reliably broadcasts its pending request batch inside its super-leaf; in
+// round i it obtains the states of its height-i ancestor's children —
+// fetched once per super-leaf by representatives and re-broadcast to
+// peers — and merges them by proposal number into the height-i state.
+// After round h every live node holds the same total order (Theorem 1).
+//
+// Reads are never disseminated: a node buffers each read at its arrival
+// position inside its own request set and answers it when the cycle that
+// orders that set commits (§5), or immediately under the optional
+// write-lease optimization (§7.2). Pipelining (§7.1) lets many cycles be
+// in flight with commits strictly in cycle order.
+package core
+
+import (
+	"time"
+
+	"canopus/internal/lot"
+	"canopus/internal/wire"
+)
+
+// BroadcastKind selects the intra-super-leaf reliable broadcast.
+type BroadcastKind uint8
+
+const (
+	// BroadcastRaft is the software path: per-origin Raft groups (§4.3).
+	BroadcastRaft BroadcastKind = iota
+	// BroadcastSwitch uses hardware-assisted atomic broadcast.
+	BroadcastSwitch
+)
+
+// Config parameterizes a Canopus node.
+type Config struct {
+	Tree *lot.Tree
+	Self wire.NodeID
+
+	// NumReps is the number of super-leaf representatives (§4.5).
+	// Default 2: one failure does not delay remote fetches.
+	NumReps int
+
+	// Broadcast selects the reliable-broadcast implementation.
+	Broadcast BroadcastKind
+
+	// MaxBatch starts the next cycle early once this many client
+	// requests are pending (§7.1, third trigger). Default 1000 (the
+	// paper's multi-DC configuration).
+	MaxBatch int
+
+	// CycleInterval, when non-zero, starts a new cycle at least this
+	// often while work is outstanding (§7.1, second trigger; the paper
+	// uses 5ms across datacenters). Zero disables the timer: cycles are
+	// purely self-clocked.
+	CycleInterval time.Duration
+
+	// MaxInFlight bounds concurrently executing cycles (§7.1). Default
+	// 4; wide-area pipelines want RTT/CycleInterval or more. 1 disables
+	// pipelining.
+	MaxInFlight int
+
+	// FetchTimeout is how long a representative waits for a vnode state
+	// before retrying another emulator. Default 50ms; wide-area
+	// deployments should exceed the largest one-way delay.
+	FetchTimeout time.Duration
+
+	// TickInterval drives heartbeats, elections and fetch-retry checks.
+	// Default 5ms.
+	TickInterval time.Duration
+
+	// WriteLeases enables the §7.2 read optimization. Requires clients
+	// to keep at most one outstanding request (the Paxos Quorum Leases
+	// model the paper adopts).
+	WriteLeases bool
+	// LeaseTTL is the lease lifetime in cycles after activation.
+	// Default 8.
+	LeaseTTL int
+
+	// RedundantFetch makes every representative fetch every missing
+	// vnode state (the Figure 2 example behaviour) instead of splitting
+	// vnodes across representatives by the §4.5 modulo rule.
+	RedundantFetch bool
+}
+
+func (c *Config) fill() {
+	if c.NumReps <= 0 {
+		c.NumReps = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1000
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 50 * time.Millisecond
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 5 * time.Millisecond
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 8
+	}
+}
+
+// retention is how many committed cycles' states a node keeps to serve
+// late fetches (see Node.recent).
+func (c *Config) retention() uint64 { return uint64(c.MaxInFlight) + 16 }
+
+// StateMachine is the replicated application state Canopus drives. The
+// kvstore package provides the standard implementation; ZKCanopus plugs
+// in the znode tree.
+type StateMachine interface {
+	// ApplyWrite applies one committed write.
+	ApplyWrite(req *wire.Request)
+	// Read returns the current value for key (nil if absent). Called
+	// only at linearization points chosen by the protocol.
+	Read(key uint64) []byte
+	// Snapshot returns requests that rebuild the state (for the join
+	// protocol's state transfer).
+	Snapshot() []wire.Request
+}
+
+// Callbacks are optional observation hooks.
+type Callbacks struct {
+	// OnCommit fires when a cycle commits, with the cycle's total order.
+	// Batches must be treated as read-only.
+	OnCommit func(cycle uint64, order []*wire.Batch)
+	// OnReply fires when a client request completes at its serving node
+	// (write committed, or read executed), with the read result when
+	// applicable.
+	OnReply func(req *wire.Request, val []byte)
+	// OnStall fires once when the node detects its super-leaf has failed
+	// (too few live members) and the consensus process halts (§6).
+	OnStall func()
+}

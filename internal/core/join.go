@@ -1,0 +1,164 @@
+package core
+
+import (
+	"time"
+
+	"canopus/internal/engine"
+	"canopus/internal/lot"
+	"canopus/internal/wire"
+)
+
+// Join protocol (§3 assumption 6: "nodes fail by crashing and require a
+// failed node to rejoin the system using a join protocol", modeled on
+// Raft's approach as the paper suggests).
+//
+// Joiner J:  send JoinRequest to each configured super-leaf peer in turn
+//            until a JoinReply arrives, then install the sponsor's state
+//            and participate from the reply's StartCycle + 1.
+//
+// Sponsor S: queue a membership update (a Leave, if J's previous
+//            incarnation is still in the view, then a Join); the update
+//            rides S's next round-1 proposal (cycle X). Every member
+//            applies it when X commits — simultaneously arming a
+//            pipeline barrier so no member evaluates cycle X+1's round-1
+//            completion with a stale membership. At commit S sends
+//            JoinReply{StartCycle: X} with a state snapshot.
+
+const joinRetryInterval = 200 * time.Millisecond
+
+// sendJoinRequest tries the next configured super-leaf peer.
+func (n *Node) sendJoinRequest() {
+	peers := n.tree.SuperLeaf(n.sl).Members
+	// Rotate deterministically through peers other than self.
+	var targets []wire.NodeID
+	for _, p := range peers {
+		if p != n.cfg.Self {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return // single-node super-leaf: nothing to rejoin
+	}
+	target := targets[n.joinSeq%len(targets)]
+	n.joinSeq++
+	n.env.Send(target, &wire.JoinRequest{From: n.cfg.Self})
+	n.env.After(joinRetryInterval, engine.Tag(tagJoinRetry, 0))
+}
+
+// onJoinRequest is the sponsor side.
+func (n *Node) onJoinRequest(from wire.NodeID, m *wire.JoinRequest) {
+	if n.rejoin || n.stalled {
+		return // cannot sponsor while not participating
+	}
+	if m.From == n.cfg.Self || n.tree.SuperLeafOf(m.From) != n.sl {
+		return // only super-leaf peers sponsor a joiner
+	}
+	if _, already := n.sponsoring[m.From]; already {
+		return // join in flight; the joiner's retry changes nothing
+	}
+	n.sponsoring[m.From] = 0 // carrying cycle assigned at proposal time
+	if n.view.Alive(m.From) && !n.closedPeers[m.From] {
+		// The previous incarnation never got a failure cut (e.g. the
+		// node restarted faster than detection): retire it first.
+		n.pendingUpdates = append(n.pendingUpdates, wire.MemberUpdate{Node: m.From, Leave: true})
+		n.onPeerFailedLocal(m.From)
+	}
+	n.pendingUpdates = append(n.pendingUpdates, wire.MemberUpdate{Node: m.From})
+	// Make sure a cycle carries the update promptly.
+	if n.started == n.committed {
+		n.tryStartCycles(n.started + 1)
+	}
+}
+
+// onPeerFailedLocal marks a peer closed without queueing another Leave
+// update (the caller already has).
+func (n *Node) onPeerFailedLocal(peer wire.NodeID) {
+	n.closedPeers[peer] = true
+	for k := n.committed + 1; k <= n.started; k++ {
+		if c, ok := n.cycles[k]; ok && c.started && !c.complete {
+			n.advance(c)
+		}
+	}
+}
+
+// sendJoinReply transfers state to the joiner once its join update has
+// committed in cycle cyc.
+func (n *Node) sendJoinReply(joiner wire.NodeID, cyc uint64) {
+	reply := &wire.JoinReply{
+		From:       n.cfg.Self,
+		StartCycle: cyc,
+	}
+	for _, id := range n.tree.AllNodes() {
+		if n.view.Alive(id) {
+			reply.Alive = append(reply.Alive, id)
+			reply.Incarnations = append(reply.Incarnations, n.incarnationOf(id))
+		}
+	}
+	if n.sm != nil {
+		reply.Snapshot = n.sm.Snapshot()
+	}
+	n.env.Send(joiner, reply)
+}
+
+// incarnationOf reports the broadcast-layer incarnation for own-SL
+// members (others are irrelevant to the joiner).
+func (n *Node) incarnationOf(id wire.NodeID) uint32 {
+	type incarnations interface {
+		Incarnation(wire.NodeID) uint32
+	}
+	if b, ok := n.bc.(incarnations); ok && n.tree.SuperLeafOf(id) == n.sl {
+		return b.Incarnation(id)
+	}
+	return 0
+}
+
+// onJoinReply installs the sponsor's state and resumes participation.
+func (n *Node) onJoinReply(m *wire.JoinReply) {
+	if !n.rejoin {
+		return // duplicate reply from a second sponsor attempt
+	}
+	n.rejoin = false
+	n.started = m.StartCycle
+	n.committed = m.StartCycle
+
+	// Rebuild the membership view: start from the static tree and fail
+	// everyone absent from the sponsor's alive set.
+	n.view = lot.NewView(n.tree)
+	alive := make(map[wire.NodeID]bool, len(m.Alive))
+	for _, id := range m.Alive {
+		alive[id] = true
+	}
+	var dead []wire.MemberUpdate
+	for _, id := range n.tree.AllNodes() {
+		if !alive[id] {
+			dead = append(dead, wire.MemberUpdate{Node: id, Leave: true})
+		}
+	}
+	n.view.Apply(dead)
+
+	// Install the state machine snapshot.
+	if n.sm != nil {
+		for i := range m.Snapshot {
+			n.sm.ApplyWrite(&m.Snapshot[i])
+		}
+	}
+
+	// Build the broadcast layer with the sponsor's incarnation numbers.
+	var members []wire.NodeID
+	incs := make(map[wire.NodeID]uint32)
+	for i, id := range m.Alive {
+		if n.tree.SuperLeafOf(id) == n.sl {
+			members = append(members, id)
+			if i < len(m.Incarnations) {
+				incs[id] = m.Incarnations[i]
+			}
+		}
+	}
+	n.initBroadcast(members, incs)
+
+	n.env.After(n.cfg.TickInterval, engine.Tag(tagTick, 0))
+	if n.cfg.CycleInterval > 0 {
+		n.nextCycleAt = n.env.Now() + n.cfg.CycleInterval
+		n.env.After(n.cfg.CycleInterval, engine.Tag(tagCycleTimer, 0))
+	}
+}

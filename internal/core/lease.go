@@ -1,0 +1,124 @@
+package core
+
+import "canopus/internal/wire"
+
+// Write leases (§7.2). Per key, during any cycle, either the lease is
+// inactive — no writes permitted, reads served locally and immediately —
+// or active — writes permitted (ordered by consensus as usual), reads
+// deferred to the end of the next consensus cycle. Lease requests ride
+// proposal messages; a lease committed by cycle C activates at cycle C+1
+// on every node simultaneously and lasts LeaseTTL cycles.
+
+// leaseActive reports whether key carries a write lease for any cycle
+// that is still ongoing or upcoming (i.e. not expired as of the next
+// cycle to commit).
+func (n *Node) leaseActive(key uint64) bool {
+	until, ok := n.leases[key]
+	return ok && until > n.committed
+}
+
+// submitLeased routes a request under the write-lease policy.
+func (n *Node) submitLeased(req wire.Request) {
+	if req.Op == wire.OpRead {
+		if !n.leaseActive(req.Key) && !n.leaseRequested[req.Key] {
+			// No write lease anywhere in flight: linearizable local read
+			// against committed state, no delay (§7.2 "reads without
+			// delay").
+			var val []byte
+			if n.sm != nil {
+				val = n.sm.Read(req.Key)
+			}
+			n.reply(&req, val)
+			return
+		}
+		// Lease active (or being acquired): defer to the end of the
+		// next consensus cycle.
+		after := n.started + 1
+		n.deferredReads[after] = append(n.deferredReads[after], deferredRead{req: req, arrived: n.env.Now()})
+		n.afterSubmit()
+		return
+	}
+
+	// Write path: a write may only be ordered while its key's lease is
+	// active. Acquire (or renew) the lease and hold the write until the
+	// activation cycle commits into the lease table.
+	if n.leaseActive(req.Key) {
+		remaining := n.leases[req.Key] - n.committed
+		if remaining <= 2 && !n.leaseRequested[req.Key] {
+			n.requestLease(req.Key)
+		}
+		n.enqueue(req)
+		n.afterSubmit()
+		return
+	}
+	if !n.leaseRequested[req.Key] {
+		n.requestLease(req.Key)
+	}
+	n.heldWrites[req.Key] = append(n.heldWrites[req.Key], heldWrite{req: req, arrived: n.env.Now()})
+	n.afterSubmit()
+}
+
+func (n *Node) requestLease(key uint64) {
+	n.leaseRequested[key] = true
+	n.pendingLeases = append(n.pendingLeases, wire.LeaseRequest{Key: key, Node: n.cfg.Self})
+	// A lease request must ride a proposal; make sure a cycle is coming.
+	if n.started == n.committed {
+		n.tryStartCycles(n.started + 1)
+	}
+}
+
+// applyLeases activates the cycle's committed lease requests: every node
+// applies the same set at the same boundary, so the lease table is
+// replicated state.
+func (n *Node) applyLeases(cyc uint64, reqs []wire.LeaseRequest) {
+	if !n.cfg.WriteLeases {
+		return
+	}
+	for _, l := range reqs {
+		if l.Release {
+			if until, ok := n.leases[l.Key]; ok && until > cyc {
+				n.leases[l.Key] = cyc
+			}
+			continue
+		}
+		until := cyc + uint64(n.cfg.LeaseTTL)
+		if cur, ok := n.leases[l.Key]; !ok || until > cur {
+			n.leases[l.Key] = until
+		}
+		if l.Node == n.cfg.Self {
+			delete(n.leaseRequested, l.Key)
+			// Release writes held for this key into the next batch.
+			if held := n.heldWrites[l.Key]; len(held) > 0 {
+				delete(n.heldWrites, l.Key)
+				for _, h := range held {
+					n.accum.reqs = append(n.accum.reqs, h.req)
+					n.accum.arrivals = append(n.accum.arrivals, h.arrived)
+					n.accum.writes++
+				}
+				n.afterSubmit()
+			}
+		}
+	}
+	// Expire stale entries lazily to keep the table small.
+	for key, until := range n.leases {
+		if until <= n.committed {
+			delete(n.leases, key)
+		}
+	}
+}
+
+// runDeferredReads executes reads parked behind cycle cyc's commit.
+func (n *Node) runDeferredReads(cyc uint64) {
+	reads, ok := n.deferredReads[cyc]
+	if !ok {
+		return
+	}
+	delete(n.deferredReads, cyc)
+	for i := range reads {
+		var val []byte
+		if n.sm != nil {
+			val = n.sm.Read(reads[i].req.Key)
+		}
+		n.reply(&reads[i].req, val)
+	}
+}

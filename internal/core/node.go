@@ -1,0 +1,535 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"canopus/internal/broadcast"
+	"canopus/internal/engine"
+	"canopus/internal/lot"
+	"canopus/internal/wire"
+)
+
+// Timer tag kinds.
+const (
+	tagTick uint8 = iota + 1
+	tagCycleTimer
+	tagJoinRetry
+)
+
+// ownSet is a node's full request set for one cycle: reads and writes in
+// client arrival order. Only the writes travel in proposals; the set is
+// kept locally so reads can be linearized at their arrival positions when
+// the ordering cycle commits (§5).
+type ownSet struct {
+	reqs     []wire.Request
+	arrivals []time.Duration
+	writes   int
+}
+
+// cycle is the per-cycle protocol state at one node.
+type cycle struct {
+	id        uint64
+	started   bool
+	round     int // 1..h while running; h+1 once the root state is known
+	startedAt time.Duration
+
+	// r1 collects round-1 proposals per super-leaf origin.
+	r1 map[wire.NodeID]*wire.Proposal
+	// states[h] is the height-h vnode state, computed at the end of
+	// round h; index 0 is unused.
+	states []*wire.Proposal
+	// child holds fetched or peer-rebroadcast vnode states by vnode ID.
+	child map[string]*wire.Proposal
+	// fetchAttempt counts emulator retries per vnode.
+	fetchAttempt map[string]int
+	// fetchDeadline is the per-vnode retry deadline for fetches this
+	// node issued.
+	fetchDeadline map[string]time.Duration
+	// rebroadcast marks vnode states this node has already re-broadcast
+	// to its peers, so duplicate fetch responses are not re-proposed.
+	rebroadcast map[string]bool
+	// waiting buffers proposal-requests that arrived before the
+	// requested state was computed (§4.2: "it buffers the request
+	// message and replies ... only after computing the state").
+	waiting []pendingReq
+
+	complete bool
+}
+
+type pendingReq struct {
+	from  wire.NodeID
+	vnode string
+}
+
+// Node is one Canopus participant (a pnode).
+type Node struct {
+	cfg  Config
+	env  engine.Env
+	tree *lot.Tree
+	view *lot.View
+	sl   int
+	bc   broadcast.Broadcaster
+	sm   StateMachine
+	cbs  Callbacks
+
+	closedPeers map[wire.NodeID]bool
+
+	// Request accumulation for the next cycle to start.
+	accum ownSet
+	// Fluid-mode accumulation (aggregate counts instead of requests).
+	fluidRead, fluidWrite, fluidBytes uint32
+	fluidSamples                      []wire.ArrivalSample
+
+	// proposed maps a cycle to the request set it ordered.
+	proposed map[uint64]*ownSet
+
+	cycles    map[uint64]*cycle
+	started   uint64
+	committed uint64
+	// recent retains committed cycles' vnode states so late fetches from
+	// lagging super-leaves can still be answered (a super-leaf can trail
+	// the fastest one by up to the pipelining bound).
+	recent map[uint64][]*wire.Proposal
+
+	pendingUpdates []wire.MemberUpdate
+	// stallAfter, when non-zero, blocks starting cycles beyond it until
+	// it commits: a join rode cycle stallAfter, and membership must be
+	// applied before anyone evaluates later round-1 completion sets.
+	stallAfter uint64
+	// sponsoring maps a joining node to the cycle carrying its join
+	// update (0 until the update is proposed).
+	sponsoring map[wire.NodeID]uint64
+
+	// Lease state (§7.2).
+	pendingLeases  []wire.LeaseRequest
+	leaseRequested map[uint64]bool
+	leases         map[uint64]uint64 // key -> last cycle the lease is active for
+	heldWrites     map[uint64][]heldWrite
+	deferredReads  map[uint64][]deferredRead
+
+	stalled        bool
+	rejoin         bool
+	joinSeq        int
+	lastTick       time.Duration
+	lastCycleStart time.Duration
+	nextCycleAt    time.Duration // phase-anchored cycle timer target
+}
+
+type heldWrite struct {
+	req     wire.Request
+	arrived time.Duration
+}
+
+type deferredRead struct {
+	req     wire.Request
+	arrived time.Duration
+}
+
+var _ engine.Machine = (*Node)(nil)
+
+// NewNode builds a Canopus node. sm may be nil when running fluid
+// workloads (no materialized requests).
+func NewNode(cfg Config, sm StateMachine, cbs Callbacks) *Node {
+	cfg.fill()
+	if cfg.Tree == nil {
+		panic("core: Config.Tree is required")
+	}
+	sl := cfg.Tree.SuperLeafOf(cfg.Self)
+	if sl < 0 {
+		panic(fmt.Sprintf("core: node %v not in tree", cfg.Self))
+	}
+	return &Node{
+		cfg:            cfg,
+		tree:           cfg.Tree,
+		sl:             sl,
+		sm:             sm,
+		cbs:            cbs,
+		closedPeers:    make(map[wire.NodeID]bool),
+		proposed:       make(map[uint64]*ownSet),
+		cycles:         make(map[uint64]*cycle),
+		recent:         make(map[uint64][]*wire.Proposal),
+		sponsoring:     make(map[wire.NodeID]uint64),
+		leaseRequested: make(map[uint64]bool),
+		leases:         make(map[uint64]uint64),
+		heldWrites:     make(map[uint64][]heldWrite),
+		deferredReads:  make(map[uint64][]deferredRead),
+	}
+}
+
+// NewJoiner builds a node that re-enters an existing deployment through
+// the join protocol instead of assuming the initial configuration.
+func NewJoiner(cfg Config, sm StateMachine, cbs Callbacks) *Node {
+	n := NewNode(cfg, sm, cbs)
+	n.rejoin = true
+	return n
+}
+
+// Init implements engine.Machine.
+func (n *Node) Init(env engine.Env) {
+	n.env = env
+	if n.rejoin {
+		// Defer all protocol state to the JoinReply.
+		n.sendJoinRequest()
+		return
+	}
+	n.view = lot.NewView(n.tree)
+	n.initBroadcast(n.tree.SuperLeaf(n.sl).Members, nil)
+	env.After(n.cfg.TickInterval, engine.Tag(tagTick, 0))
+	if n.cfg.CycleInterval > 0 {
+		n.nextCycleAt = n.env.Now() + n.cfg.CycleInterval
+		env.After(n.cfg.CycleInterval, engine.Tag(tagCycleTimer, 0))
+	}
+}
+
+func (n *Node) initBroadcast(members []wire.NodeID, incarnations map[wire.NodeID]uint32) {
+	bcfg := broadcast.Config{
+		Members:      members,
+		Incarnations: incarnations,
+		TickInterval: n.cfg.TickInterval,
+	}
+	cbs := broadcast.Callbacks{
+		Deliver:    n.onDeliver,
+		PeerFailed: n.onPeerFailed,
+	}
+	switch n.cfg.Broadcast {
+	case BroadcastSwitch:
+		n.bc = broadcast.NewSwitch(n.env, bcfg, cbs)
+	default:
+		n.bc = broadcast.NewRaft(n.env, bcfg, cbs)
+	}
+}
+
+// Recv implements engine.Machine.
+func (n *Node) Recv(from wire.NodeID, m wire.Message) {
+	switch v := m.(type) {
+	case *wire.JoinRequest:
+		n.onJoinRequest(from, v)
+		return
+	case *wire.JoinReply:
+		n.onJoinReply(v)
+		return
+	}
+	if n.rejoin || n.stalled {
+		return // not participating; peers retry what matters
+	}
+	if n.bc != nil && n.bc.Handle(from, m) {
+		return
+	}
+	switch v := m.(type) {
+	case *wire.Proposal:
+		n.onFetchResponse(v)
+	case *wire.ProposalRequest:
+		n.onProposalRequest(from, v)
+	}
+}
+
+// Timer implements engine.Machine.
+func (n *Node) Timer(tag engine.TimerTag) {
+	switch engine.TagKind(tag) {
+	case tagTick:
+		n.tick()
+		n.env.After(n.cfg.TickInterval, engine.Tag(tagTick, 0))
+	case tagCycleTimer:
+		n.onCycleTimer()
+		// Phase-anchored rearm: scheduling relative to the target time
+		// (not the handler's actual run time) keeps every node's cycle
+		// clock in step; otherwise CPU-queueing lag accumulates into
+		// unbounded phase drift between super-leaves, and cross-leaf
+		// fetches stall on the laggard (§4.4's self-synchronization
+		// assumes roughly aligned cycle starts).
+		n.nextCycleAt += n.cfg.CycleInterval
+		if now := n.env.Now(); n.nextCycleAt < now {
+			n.nextCycleAt = now + n.cfg.CycleInterval
+		}
+		n.env.After(n.nextCycleAt-n.env.Now(), engine.Tag(tagCycleTimer, 0))
+	case tagJoinRetry:
+		if n.rejoin {
+			n.sendJoinRequest()
+		}
+	}
+}
+
+// tick drives the broadcast substrate and retries stuck fetches.
+func (n *Node) tick() {
+	if n.rejoin || n.stalled {
+		return
+	}
+	n.lastTick = n.env.Now()
+	n.bc.Tick()
+	n.retryFetches()
+}
+
+// onCycleTimer is the §7.1 pipelining trigger: an upper bound on the
+// offset between consecutive cycle starts while work is outstanding.
+func (n *Node) onCycleTimer() {
+	if n.rejoin || n.stalled {
+		return
+	}
+	if n.pendingCount() > 0 || n.started > n.committed {
+		n.tryStartCycles(n.started + 1)
+	}
+}
+
+// pendingCount is the number of accumulated-but-unproposed requests.
+func (n *Node) pendingCount() int {
+	return len(n.accum.reqs) + int(n.fluidRead) + int(n.fluidWrite)
+}
+
+// Submit hands the node one client request (explicit mode). It must be
+// invoked from the node's own event context (the drivers arrange this).
+func (n *Node) Submit(req wire.Request) {
+	if n.stalled || n.rejoin {
+		// The paper's stall semantics: requests are neither served nor
+		// lost; clients time out and retry elsewhere. We drop.
+		return
+	}
+	if n.cfg.WriteLeases {
+		n.submitLeased(req)
+		return
+	}
+	n.enqueue(req)
+	n.afterSubmit()
+}
+
+// enqueue appends a request to the accumulating set.
+func (n *Node) enqueue(req wire.Request) {
+	n.accum.reqs = append(n.accum.reqs, req)
+	n.accum.arrivals = append(n.accum.arrivals, n.env.Now())
+	if req.Op == wire.OpWrite {
+		n.accum.writes++
+	}
+}
+
+// afterSubmit applies the self-synchronization (§4.4) and batch-overflow
+// (§7.1) cycle-start triggers. Self-clocked starts are paced to the
+// cycle interval so saturation does not degenerate into a storm of tiny
+// cycles; batch overflow overrides the pacing (§7.1's third trigger).
+func (n *Node) afterSubmit() {
+	if n.pendingCount() >= n.cfg.MaxBatch {
+		n.tryStartCycles(n.started + 1)
+		return
+	}
+	if n.started == n.committed && n.paceAllows() {
+		// Idle: a client request prompts a new consensus cycle.
+		n.tryStartCycles(n.started + 1)
+	}
+}
+
+// paceAllows reports whether enough time has passed since the last cycle
+// start for another self-clocked one.
+func (n *Node) paceAllows() bool {
+	if n.cfg.CycleInterval <= 0 {
+		return true
+	}
+	return n.env.Now()-n.lastCycleStart >= n.cfg.CycleInterval
+}
+
+// SubmitFluid accumulates an aggregate of client requests (fluid mode):
+// reads/writes counts, the modeled payload bytes of the writes, and a few
+// arrival samples used for latency accounting at commit time.
+func (n *Node) SubmitFluid(reads, writes, bytes uint32, samples []wire.ArrivalSample) {
+	if n.stalled || n.rejoin {
+		return
+	}
+	n.fluidRead += reads
+	n.fluidWrite += writes
+	n.fluidBytes += bytes
+	n.fluidSamples = append(n.fluidSamples, samples...)
+	n.afterSubmit()
+}
+
+// tryStartCycles starts cycles in sequence up to target, subject to the
+// pipelining bound, the join barrier and super-leaf health.
+func (n *Node) tryStartCycles(target uint64) {
+	for n.canStart(n.started+1) && n.started+1 <= target {
+		n.startCycle(n.started + 1)
+	}
+}
+
+func (n *Node) canStart(k uint64) bool {
+	if n.stalled || n.rejoin {
+		return false
+	}
+	if k != n.started+1 {
+		return false // never skip a cycle (§7.1)
+	}
+	if int(n.started-n.committed) >= n.cfg.MaxInFlight {
+		return false
+	}
+	if n.stallAfter != 0 && k > n.stallAfter && n.committed < n.stallAfter {
+		return false // membership change in flight: wait for it to land
+	}
+	return true
+}
+
+// startCycle begins cycle k: snapshot the accumulated request set, build
+// and reliably broadcast the round-1 proposal, and issue all remote
+// fetches this node is responsible for (emulators buffer requests for
+// states they have not yet computed, so fetches for every round go out
+// immediately — the Figure 2 pattern).
+func (n *Node) startCycle(k uint64) {
+	c := n.ensureCycle(k)
+	n.started = k
+	c.started = true
+	c.round = 1
+	c.startedAt = n.env.Now()
+	n.lastCycleStart = c.startedAt
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "start", k, "")
+	}
+
+	batch, set := n.takeAccum()
+	n.proposed[k] = set
+
+	p := &wire.Proposal{
+		Cycle:  k,
+		Round:  1,
+		Origin: n.cfg.Self,
+		Num:    n.env.Rand().Uint64(),
+	}
+	if batch != nil {
+		p.Batches = []*wire.Batch{batch}
+	}
+	if len(n.pendingUpdates) > 0 {
+		p.Updates = n.pendingUpdates
+		n.pendingUpdates = nil
+		n.noteUpdates(k, p.Updates)
+	}
+	if len(n.pendingLeases) > 0 {
+		p.Leases = n.pendingLeases
+		n.pendingLeases = nil
+	}
+	n.bc.Broadcast(p)
+	n.issueFetches(c)
+}
+
+// takeAccum converts the accumulated requests into the proposal batch
+// (writes only on the wire; reads stay local) and the locally retained
+// full set.
+func (n *Node) takeAccum() (*wire.Batch, *ownSet) {
+	set := &ownSet{}
+	var batch *wire.Batch
+	switch {
+	case len(n.accum.reqs) > 0:
+		*set = n.accum
+		n.accum = ownSet{}
+		writes := make([]wire.Request, 0, set.writes)
+		var nr, nw uint32
+		for i := range set.reqs {
+			if set.reqs[i].Op == wire.OpWrite {
+				writes = append(writes, set.reqs[i])
+				nw++
+			} else {
+				nr++
+			}
+		}
+		batch = &wire.Batch{
+			Origin:   n.cfg.Self,
+			Reqs:     writes,
+			NumRead:  nr,
+			NumWrite: nw,
+		}
+	case n.fluidRead > 0 || n.fluidWrite > 0:
+		batch = &wire.Batch{
+			Origin:   n.cfg.Self,
+			NumRead:  n.fluidRead,
+			NumWrite: n.fluidWrite,
+			ByteSize: n.fluidBytes,
+			Samples:  n.fluidSamples,
+		}
+		n.fluidRead, n.fluidWrite, n.fluidBytes = 0, 0, 0
+		n.fluidSamples = nil
+	}
+	return batch, set
+}
+
+// noteUpdates records join barriers for updates this node just proposed
+// (or saw proposed) in cycle k.
+func (n *Node) noteUpdates(k uint64, updates []wire.MemberUpdate) {
+	for _, u := range updates {
+		if !u.Leave && n.tree.SuperLeafOf(u.Node) == n.sl {
+			if n.stallAfter == 0 || k > n.stallAfter {
+				n.stallAfter = k
+			}
+			if cyc, ok := n.sponsoring[u.Node]; ok && cyc == 0 {
+				n.sponsoring[u.Node] = k
+			}
+		}
+	}
+}
+
+func (n *Node) ensureCycle(k uint64) *cycle {
+	if c, ok := n.cycles[k]; ok {
+		return c
+	}
+	c := &cycle{
+		id:            k,
+		round:         0,
+		r1:            make(map[wire.NodeID]*wire.Proposal),
+		states:        make([]*wire.Proposal, n.tree.Height+1),
+		child:         make(map[string]*wire.Proposal),
+		fetchAttempt:  make(map[string]int),
+		fetchDeadline: make(map[string]time.Duration),
+	}
+	n.cycles[k] = c
+	return c
+}
+
+func (n *Node) retention() uint64 { return n.cfg.retention() }
+
+// Committed returns the highest committed cycle.
+func (n *Node) Committed() uint64 { return n.committed }
+
+// Started returns the highest started cycle.
+func (n *Node) Started() uint64 { return n.started }
+
+// Stalled reports whether the node has halted (§6 stall semantics).
+func (n *Node) Stalled() bool { return n.stalled }
+
+// ID returns the node's identity.
+func (n *Node) ID() wire.NodeID { return n.cfg.Self }
+
+// View exposes the node's membership view (for tests and tooling).
+func (n *Node) View() *lot.View { return n.view }
+
+// DebugCycle renders the internal state of one in-flight cycle; tests
+// and tooling use it to diagnose stalls.
+func (n *Node) DebugCycle(k uint64) string {
+	c, ok := n.cycles[k]
+	if !ok {
+		return fmt.Sprintf("cycle %d: absent", k)
+	}
+	miss := ""
+	if c.started && c.round == 1 {
+		for _, m := range n.bc.Members() {
+			if n.closedPeers[m] {
+				continue
+			}
+			if _, ok := c.r1[m]; !ok {
+				miss += fmt.Sprintf(" r1:%v", m)
+			}
+		}
+	}
+	if c.started && c.round >= 2 && c.round <= n.tree.Height {
+		target := n.tree.Ancestor(n.sl, c.round)
+		own := n.tree.Ancestor(n.sl, c.round-1)
+		for _, u := range n.tree.Children(target) {
+			if u != own && c.child[u] == nil {
+				miss += " child:" + u
+			}
+		}
+	}
+	fd := ""
+	for u, d := range c.fetchDeadline {
+		fd += fmt.Sprintf(" %s@%v(a%d)", u, d, c.fetchAttempt[u])
+	}
+	return fmt.Sprintf("cycle %d: started=%v round=%d complete=%v r1=%d children=%d waiting=%d missing=[%s] fetches=[%s]",
+		k, c.started, c.round, c.complete, len(c.r1), len(c.child), len(c.waiting), miss, fd)
+}
+
+// SetOnReply installs or replaces the per-request completion callback.
+func (n *Node) SetOnReply(fn func(req *wire.Request, val []byte)) { n.cbs.OnReply = fn }
+
+// SetOnCommit installs or replaces the cycle-commit callback.
+func (n *Node) SetOnCommit(fn func(cycle uint64, order []*wire.Batch)) { n.cbs.OnCommit = fn }

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"sort"
+
+	"canopus/internal/wire"
+)
+
+// DebugHook, when set, observes protocol events (test diagnostics only).
+var DebugHook func(self wire.NodeID, event string, cycle uint64, detail string)
+
+// onDeliver handles a reliable-broadcast delivery within the super-leaf:
+// either a peer's round-1 proposal, or a representative's rebroadcast of
+// a fetched vnode state.
+func (n *Node) onDeliver(origin wire.NodeID, payload wire.Message) {
+	p, ok := payload.(*wire.Proposal)
+	if !ok {
+		return
+	}
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "deliver-from-"+origin.String(), p.Cycle, p.VNode)
+	}
+	if p.Cycle <= n.committed {
+		return // stale delivery for an already-committed cycle
+	}
+	// Any message from a cycle beyond the newest started one prompts
+	// starting cycles, in sequence, up to it (§4.4, §7.1).
+	if p.Cycle > n.started {
+		n.tryStartCycles(p.Cycle)
+	}
+	c := n.ensureCycle(p.Cycle)
+	if p.VNode == "" {
+		// A peer's round-1 origin proposal (vnode states always name
+		// their vnode).
+		if _, dup := c.r1[origin]; dup {
+			return
+		}
+		c.r1[origin] = p
+		// A join update observed in a peer's proposal arms the same
+		// barrier as proposing one ourselves.
+		n.noteUpdates(p.Cycle, p.Updates)
+		n.advance(c)
+		return
+	}
+	// Rebroadcast vnode state.
+	if _, dup := c.child[p.VNode]; dup {
+		return
+	}
+	c.child[p.VNode] = p
+	n.advance(c)
+}
+
+// onPeerFailed handles the failure cut for a super-leaf peer: no further
+// broadcast deliveries from it will arrive, so any cycle waiting on its
+// round-1 proposal stops waiting, and the membership change is queued to
+// ride the next proposal (§4.6).
+func (n *Node) onPeerFailed(peer wire.NodeID) {
+	if peer == n.cfg.Self {
+		// The super-leaf deposed this node's broadcast group: the rest
+		// of the rack considers us dead. Crash-stop semantics forbid
+		// continuing; halt until restarted through the join protocol.
+		n.stalled = true
+		if n.cbs.OnStall != nil {
+			n.cbs.OnStall()
+		}
+		return
+	}
+	if n.closedPeers[peer] {
+		return
+	}
+	n.closedPeers[peer] = true
+	n.pendingUpdates = append(n.pendingUpdates, wire.MemberUpdate{Node: peer, Leave: true})
+	delete(n.sponsoring, peer)
+
+	// Super-leaf health: reliable broadcast needs a majority of the
+	// current membership (§4.3). Count configured members minus closed.
+	live := 0
+	for _, m := range n.bc.Members() {
+		if !n.closedPeers[m] {
+			live++
+		}
+	}
+	if live < len(n.tree.SuperLeaf(n.sl).Members)/2+1 {
+		n.stalled = true
+		if n.cbs.OnStall != nil {
+			n.cbs.OnStall()
+		}
+		return
+	}
+	// Re-evaluate all in-flight cycles stuck in round 1.
+	for k := n.committed + 1; k <= n.started; k++ {
+		if c, ok := n.cycles[k]; ok && c.started && !c.complete {
+			n.advance(c)
+		}
+	}
+}
+
+// advance drives cycle c through as many rounds as its inputs allow,
+// then commits if it is the next cycle in order.
+func (n *Node) advance(c *cycle) {
+	if !c.started || c.complete {
+		return
+	}
+	progressed := false
+	for {
+		switch {
+		case c.round <= 1:
+			if !n.round1Complete(c) {
+				goto out
+			}
+			n.finishRound1(c)
+			progressed = true
+		case c.round <= n.tree.Height:
+			if !n.mergeRound(c) {
+				goto out
+			}
+			progressed = true
+		default:
+			c.complete = true
+			n.tryCommit()
+			return
+		}
+	}
+out:
+	if progressed {
+		n.tryCommit()
+	}
+}
+
+// round1Complete reports whether proposals from every live super-leaf
+// member (including self) have been delivered. Proposals already
+// delivered from since-failed peers still count: the failure cut
+// guarantees every survivor saw the same ones.
+func (n *Node) round1Complete(c *cycle) bool {
+	for _, m := range n.bc.Members() {
+		if n.closedPeers[m] {
+			continue
+		}
+		if _, ok := c.r1[m]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// finishRound1 merges the round-1 proposals into the height-1 vnode
+// state: order proposals by (proposal number, origin) and concatenate
+// their request sets (§4.2).
+func (n *Node) finishRound1(c *cycle) {
+	props := make([]*wire.Proposal, 0, len(c.r1))
+	for _, p := range c.r1 {
+		props = append(props, p)
+	}
+	sort.Slice(props, func(i, j int) bool {
+		if props[i].Num != props[j].Num {
+			return props[i].Num < props[j].Num
+		}
+		return props[i].Origin < props[j].Origin
+	})
+	c.states[1] = n.mergeProposals(c.id, 1, n.tree.Ancestor(n.sl, 1), props)
+	c.round = 2
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "r1-done", c.id, "")
+	}
+	n.serveWaiting(c)
+}
+
+// mergeRound attempts to finish round c.round (≥2): the state of the
+// height-r ancestor is the merge of its children's states, one of which
+// (this node's own branch) was computed locally last round and the rest
+// of which arrive by fetch + rebroadcast.
+func (n *Node) mergeRound(c *cycle) bool {
+	r := c.round
+	target := n.tree.Ancestor(n.sl, r)
+	ownBranch := n.tree.Ancestor(n.sl, r-1)
+	children := n.tree.Children(target)
+	props := make([]*wire.Proposal, 0, len(children))
+	for _, u := range children {
+		var p *wire.Proposal
+		if u == ownBranch {
+			p = c.states[r-1]
+		} else {
+			p = c.child[u]
+		}
+		if p == nil {
+			return false
+		}
+		props = append(props, p)
+	}
+	sort.Slice(props, func(i, j int) bool {
+		if props[i].Num != props[j].Num {
+			return props[i].Num < props[j].Num
+		}
+		return props[i].VNode < props[j].VNode
+	})
+	c.states[r] = n.mergeProposals(c.id, uint8(r), target, props)
+	c.round = r + 1
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "round-done", c.id, target)
+	}
+	n.serveWaiting(c)
+	return true
+}
+
+// mergeProposals builds the state of vnode target from its ordered
+// children: concatenated batches, the largest proposal number, and the
+// union of membership updates and lease requests. The result is a pure
+// function of the inputs, so every emulator of target computes an
+// identical message.
+func (n *Node) mergeProposals(cyc uint64, round uint8, target string, ordered []*wire.Proposal) *wire.Proposal {
+	out := &wire.Proposal{
+		Cycle:  cyc,
+		Round:  round,
+		VNode:  target,
+		Origin: wire.NoNode,
+	}
+	seenUpd := make(map[wire.MemberUpdate]bool)
+	seenLease := make(map[wire.LeaseRequest]bool)
+	for _, p := range ordered {
+		if p.Num > out.Num {
+			out.Num = p.Num
+		}
+		out.Batches = append(out.Batches, p.Batches...)
+		for _, u := range p.Updates {
+			if !seenUpd[u] {
+				seenUpd[u] = true
+				out.Updates = append(out.Updates, u)
+			}
+		}
+		for _, l := range p.Leases {
+			if !seenLease[l] {
+				seenLease[l] = true
+				out.Leases = append(out.Leases, l)
+			}
+		}
+	}
+	return out
+}
+
+// serveWaiting answers buffered proposal-requests that the just-computed
+// states can now satisfy.
+func (n *Node) serveWaiting(c *cycle) {
+	if len(c.waiting) == 0 {
+		return
+	}
+	rest := c.waiting[:0]
+	for _, w := range c.waiting {
+		if p := n.stateFor(c, w.vnode); p != nil {
+			n.env.Send(w.from, p)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiting = rest
+}
+
+// stateFor returns cycle c's computed state for vnode v, or nil.
+func (n *Node) stateFor(c *cycle, v string) *wire.Proposal {
+	vn := n.tree.VNode(v)
+	if vn == nil || vn.Height >= len(c.states) {
+		return nil
+	}
+	return c.states[vn.Height]
+}
+
+// issueFetches sends proposal-requests for every remote vnode state this
+// node is responsible for fetching, across all rounds of cycle c.
+// Responsibility follows the §4.5 modulo rule unless RedundantFetch is
+// set; `force` (used by the retry path's escalation) overrides it.
+func (n *Node) issueFetches(c *cycle) { n.issueFetchesWith(c, false) }
+
+func (n *Node) issueFetchesWith(c *cycle, force bool) {
+	for r := 2; r <= n.tree.Height; r++ {
+		target := n.tree.Ancestor(n.sl, r)
+		ownBranch := n.tree.Ancestor(n.sl, r-1)
+		for _, u := range n.tree.Children(target) {
+			if u == ownBranch || c.child[u] != nil {
+				continue
+			}
+			if !force && !n.cfg.RedundantFetch {
+				rep := n.view.RepresentativeFor(n.sl, u, n.cfg.NumReps)
+				if rep != n.cfg.Self {
+					continue
+				}
+			} else {
+				// Redundant mode: every representative fetches.
+				if !n.isRepresentative() {
+					continue
+				}
+			}
+			n.sendFetch(c, u)
+		}
+	}
+}
+
+func (n *Node) isRepresentative() bool {
+	for _, r := range n.view.Representatives(n.sl, n.cfg.NumReps) {
+		if r == n.cfg.Self {
+			return true
+		}
+	}
+	return false
+}
+
+// sendFetch asks one emulator of vnode u for its state in cycle c,
+// rotating through the emulation table on retries (§4.6: "if the chosen
+// emulator does not respond before a timeout ... picks another live
+// emulator from the table").
+func (n *Node) sendFetch(c *cycle, u string) {
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "fetch", c.id, u)
+	}
+	ems := n.view.Emulators(u)
+	if len(ems) == 0 {
+		return // all descendants dead: the consensus process stalls (§6)
+	}
+	attempt := c.fetchAttempt[u]
+	c.fetchAttempt[u] = attempt + 1
+	// Spread first attempts across emulators so a popular vnode's load
+	// is balanced, deterministically per (cycle, vnode, node).
+	idx := (attempt + int(c.id) + int(n.cfg.Self)) % len(ems)
+	target := ems[idx]
+	vn := n.tree.VNode(u)
+	n.env.Send(target, &wire.ProposalRequest{
+		Cycle: c.id,
+		Round: uint8(vn.Height + 1),
+		VNode: u,
+		From:  n.cfg.Self,
+	})
+	c.fetchDeadline[u] = n.env.Now() + n.cfg.FetchTimeout
+}
+
+// onProposalRequest answers (or buffers) another super-leaf's request
+// for a vnode state. Requests for already-committed cycles — a lagging
+// super-leaf catching up — are served from the retained state window.
+func (n *Node) onProposalRequest(from wire.NodeID, m *wire.ProposalRequest) {
+	if m.Cycle <= n.committed {
+		if states := n.recent[m.Cycle]; states != nil {
+			if vn := n.tree.VNode(m.VNode); vn != nil && vn.Height < len(states) && states[vn.Height] != nil {
+				n.env.Send(from, states[vn.Height])
+			}
+		}
+		// Beyond the retention window the requester's retries rotate to
+		// another emulator; backpressure (MaxInFlight) bounds how far any
+		// super-leaf can trail, so retention covers all reachable lags.
+		return
+	}
+	if m.Cycle > n.started {
+		n.tryStartCycles(m.Cycle)
+	}
+	c := n.ensureCycle(m.Cycle)
+	if p := n.stateFor(c, m.VNode); p != nil {
+		n.env.Send(from, p)
+		return
+	}
+	c.waiting = append(c.waiting, pendingReq{from: from, vnode: m.VNode})
+}
+
+// onFetchResponse handles a directly addressed vnode state this node
+// requested: record it and rebroadcast to super-leaf peers. The state is
+// consumed on broadcast delivery so that every member — including this
+// one — incorporates it at an agreed point.
+func (n *Node) onFetchResponse(p *wire.Proposal) {
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "fetch-resp", p.Cycle, p.VNode)
+	}
+	if p.VNode == "" || p.Cycle <= n.committed {
+		return
+	}
+	if p.Cycle > n.started {
+		n.tryStartCycles(p.Cycle)
+	}
+	c := n.ensureCycle(p.Cycle)
+	if c.child[p.VNode] != nil || c.rebroadcast[p.VNode] {
+		return // a redundant fetch (or an earlier response) beat us to it
+	}
+	if c.rebroadcast == nil {
+		c.rebroadcast = make(map[string]bool)
+	}
+	c.rebroadcast[p.VNode] = true
+	delete(c.fetchDeadline, p.VNode)
+	n.bc.Broadcast(p)
+}
+
+// retryFetches re-issues overdue fetches. If a cycle has been stuck far
+// beyond the fetch timeout, every representative escalates to fetching
+// all missing states regardless of the modulo assignment, covering the
+// case where membership churn made representatives briefly disagree
+// about responsibilities.
+func (n *Node) retryFetches() {
+	now := n.env.Now()
+	for k := n.committed + 1; k <= n.started; k++ {
+		c, ok := n.cycles[k]
+		if !ok || !c.started || c.complete || c.round < 2 {
+			continue
+		}
+		// Sorted iteration keeps retry order (and thus the whole
+		// simulation) deterministic.
+		var due []string
+		for u, deadline := range c.fetchDeadline {
+			if now >= deadline && c.child[u] == nil {
+				due = append(due, u)
+			}
+		}
+		sort.Strings(due)
+		for _, u := range due {
+			n.sendFetch(c, u)
+		}
+		if n.isRepresentative() && now-c.startedAt > 4*n.cfg.FetchTimeout {
+			n.issueFetchesWith(c, true)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package engine defines the execution contract shared by every protocol
+// implementation in this repository.
+//
+// Protocol engines (Canopus, Raft, EPaxos, Zab) are deterministic
+// event-driven state machines: they react to messages and timers and emit
+// messages and timers through an Env. The same machine code runs under
+// two drivers:
+//
+//   - internal/netsim.Runner: virtual time, single goroutine, fully
+//     deterministic — used by tests and the benchmark harness.
+//   - internal/transport.Runner: wall-clock time, one goroutine per node,
+//     real TCP — used by cmd/canopus-server and the live examples.
+//
+// A Machine must never block, sleep, or consult the wall clock directly;
+// all time flows through Env.
+package engine
+
+import (
+	"math/rand"
+	"time"
+
+	"canopus/internal/wire"
+)
+
+// NodeID aliases wire.NodeID so protocol packages can use a short name.
+type NodeID = wire.NodeID
+
+// TimerTag identifies a pending timer. Machines pack whatever routing
+// information they need into the tag; tags are opaque to drivers.
+type TimerTag uint64
+
+// Env is the world a protocol machine runs in. All methods must be called
+// only from within the machine's event handlers (drivers serialize all
+// handler invocations per node).
+type Env interface {
+	// ID returns the node this environment belongs to.
+	ID() NodeID
+	// Now returns the current time. Under the simulator this is virtual
+	// time since simulation start; under the live runner it is wall time
+	// since process start. Only differences are meaningful.
+	Now() time.Duration
+	// Send delivers m to node to. Delivery is asynchronous, unordered
+	// across destinations, FIFO per (src,dst) pair, and reliable while
+	// both endpoints are alive (paper assumption A2: messages are
+	// eventually delivered to a live receiver, and nodes fail by
+	// crashing).
+	Send(to NodeID, m wire.Message)
+	// Multicast delivers m to every node in to. Under the simulator this
+	// models switch-assisted replication: the sender serializes the
+	// message once and the fabric fans it out (used by the
+	// hardware-assisted broadcast variant of §4.3).
+	Multicast(to []NodeID, m wire.Message)
+	// After schedules a timer that fires tag on this machine after d.
+	// Timers are one-shot and cannot be canceled; machines discard stale
+	// tags themselves.
+	After(d time.Duration, tag TimerTag)
+	// Rand returns the node's deterministic random source (seeded by the
+	// driver). Canopus draws proposal numbers from it.
+	Rand() *rand.Rand
+}
+
+// Machine is an event-driven protocol participant.
+type Machine interface {
+	// Init is called exactly once before any other method, with the
+	// environment the machine will run in.
+	Init(env Env)
+	// Recv handles one message from another node.
+	Recv(from NodeID, m wire.Message)
+	// Timer handles a timer previously scheduled with Env.After.
+	Timer(tag TimerTag)
+}
+
+// Tag packs a timer kind and a payload value into a TimerTag. Kinds are
+// per-machine namespaces; payloads are typically cycle numbers or retry
+// counters.
+func Tag(kind uint8, payload uint64) TimerTag {
+	return TimerTag(uint64(kind)<<56 | payload&((1<<56)-1))
+}
+
+// TagKind extracts the kind from a timer tag.
+func TagKind(t TimerTag) uint8 { return uint8(uint64(t) >> 56) }
+
+// TagPayload extracts the payload from a timer tag.
+func TagPayload(t TimerTag) uint64 { return uint64(t) & ((1 << 56) - 1) }

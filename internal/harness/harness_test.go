@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func quickSpec(sys System) Spec {
+	return Spec{
+		System: sys, Groups: 3, PerGroup: 3, WriteRatio: 0.2,
+		Seed: 3, Warmup: 200 * time.Millisecond, Measure: 500 * time.Millisecond,
+	}
+}
+
+func TestCanopusFluidRun(t *testing.T) {
+	r := Run(quickSpec(Canopus), 100_000)
+	if r.Throughput < 80_000 {
+		t.Fatalf("throughput %.0f < 80k at offered 100k", r.Throughput)
+	}
+	if r.Median <= 0 || r.Median > 10*time.Millisecond {
+		t.Fatalf("median %v out of range", r.Median)
+	}
+	t.Logf("canopus: tput=%.0f median=%v p99=%v events=%d", r.Throughput, r.Median, r.P99, r.Events)
+}
+
+func TestEPaxosFluidRun(t *testing.T) {
+	r := Run(quickSpec(EPaxos), 100_000)
+	if r.Throughput < 80_000 {
+		t.Fatalf("throughput %.0f < 80k at offered 100k", r.Throughput)
+	}
+	t.Logf("epaxos: tput=%.0f median=%v p99=%v events=%d", r.Throughput, r.Median, r.P99, r.Events)
+}
+
+func TestZabFluidRun(t *testing.T) {
+	r := Run(quickSpec(Zab), 100_000)
+	if r.Throughput < 80_000 {
+		t.Fatalf("throughput %.0f < 80k at offered 100k", r.Throughput)
+	}
+	t.Logf("zab: tput=%.0f median=%v p99=%v events=%d", r.Throughput, r.Median, r.P99, r.Events)
+}
+
+func TestMultiDCCanopusRun(t *testing.T) {
+	spec := Spec{
+		System: Canopus, MultiDC: true, Groups: 3, PerGroup: 3, WriteRatio: 0.2,
+		Seed: 3, Warmup: 1200 * time.Millisecond, Measure: time.Second,
+	}
+	r := Run(spec, 200_000)
+	if r.Throughput < 150_000 {
+		t.Fatalf("throughput %.0f < 150k at offered 200k", r.Throughput)
+	}
+	// WAN completion is bounded below by cross-DC round trips (~hundreds
+	// of ms with pipelining at 3 DCs the worst RTT is 133ms).
+	if r.Median < 50*time.Millisecond || r.Median > time.Second {
+		t.Fatalf("median %v implausible for 3-DC WAN", r.Median)
+	}
+	t.Logf("canopus WAN: tput=%.0f median=%v events=%d", r.Throughput, r.Median, r.Events)
+}

@@ -1,0 +1,102 @@
+package harness
+
+import "time"
+
+// The paper's throughput methodology (§8.1): raise the offered rate
+// until median completion time crosses a threshold (10 ms in the single
+// datacenter; 1.5× the unloaded latency across datacenters), then report
+// the highest sustainable rate — and, for completion-time figures, the
+// median at 70% of that maximum.
+
+// SingleDCThreshold is the paper's 10ms saturation criterion.
+const SingleDCThreshold = 10 * time.Millisecond
+
+// acceptable reports whether a run kept up with its offered load.
+func acceptable(r Result, threshold time.Duration) bool {
+	if r.Median <= 0 || r.Median > threshold {
+		return false
+	}
+	// Falling visibly behind the offered rate also means saturation,
+	// whatever the median says.
+	return r.Throughput >= 0.8*r.Offered
+}
+
+// MaxThroughput searches for the saturation point of a deployment:
+// geometric ramp from start, then bisection. It returns the last
+// sustainable result. bisections=4 gives ~6% resolution.
+func MaxThroughput(spec Spec, threshold time.Duration, start float64, bisections int) Result {
+	if start <= 0 {
+		start = 25_000
+	}
+	lo := Result{}
+	rate := start
+	var hi float64
+	for i := 0; i < 24; i++ {
+		r := Run(spec, rate)
+		if acceptable(r, threshold) {
+			lo = r
+			rate *= 2
+			continue
+		}
+		hi = rate
+		break
+	}
+	if hi == 0 || lo.Offered == 0 {
+		return lo
+	}
+	for i := 0; i < bisections; i++ {
+		mid := (lo.Offered + hi) / 2
+		r := Run(spec, mid)
+		if acceptable(r, threshold) {
+			lo = r
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CompletionAt70 reruns the deployment at 70% of the given maximum and
+// returns that run (the paper's representative operating point for
+// completion-time reporting).
+func CompletionAt70(spec Spec, max Result) Result {
+	return Run(spec, 0.7*max.Offered)
+}
+
+// CurvePoint is one (throughput, latency) sample of a latency curve.
+type CurvePoint struct {
+	Offered    float64
+	Throughput float64
+	Median     time.Duration
+}
+
+// LatencyCurve sweeps offered rates geometrically from start, recording
+// (throughput, median completion) points until median exceeds stop or
+// the system falls behind, mirroring the paper's Figures 5–7.
+func LatencyCurve(spec Spec, start, factor float64, stop time.Duration, maxPoints int) []CurvePoint {
+	var out []CurvePoint
+	rate := start
+	for i := 0; i < maxPoints; i++ {
+		r := Run(spec, rate)
+		out = append(out, CurvePoint{Offered: rate, Throughput: r.Throughput, Median: r.Median})
+		if r.Median > stop || r.Median == 0 || r.Throughput < 0.8*rate {
+			break
+		}
+		rate *= factor
+	}
+	return out
+}
+
+// Knee returns the point where median first exceeded limit (the paper's
+// vertical 1.5×-base-latency lines in Figure 6), or the last point.
+func Knee(curve []CurvePoint, limit time.Duration) CurvePoint {
+	for _, p := range curve {
+		if p.Median > limit {
+			return p
+		}
+	}
+	if len(curve) == 0 {
+		return CurvePoint{}
+	}
+	return curve[len(curve)-1]
+}

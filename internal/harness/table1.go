@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table 1 of the paper: measured latencies (ms, round-trip) between the
+// seven EC2 regions used in the multi-datacenter evaluation — Ireland,
+// California, Virginia, Tokyo, Oregon, Sydney, Frankfurt. The diagonal
+// is the intra-datacenter latency.
+var (
+	// Table1Regions names the datacenters in matrix order.
+	Table1Regions = []string{"IR", "CA", "VA", "TK", "OR", "SY", "FF"}
+
+	table1ms = [7][7]float64{
+		{0.2, 133, 66, 243, 154, 295, 22},
+		{133, 0.2, 60, 113, 20, 168, 145},
+		{66, 60, 0.25, 145, 80, 226, 89},
+		{243, 113, 145, 0.13, 100, 103, 226},
+		{154, 20, 80, 100, 0.26, 161, 156},
+		{295, 168, 226, 103, 161, 0.2, 322},
+		{22, 145, 89, 226, 156, 322, 0.23},
+	}
+)
+
+// Table1RTT returns the round-trip matrix for the first n datacenters.
+// The paper's 3-, 5- and 7-DC experiments use prefixes of the region
+// list.
+func Table1RTT(n int) [][]time.Duration {
+	if n > len(Table1Regions) {
+		panic(fmt.Sprintf("harness: at most %d datacenters in Table 1", len(Table1Regions)))
+	}
+	out := make([][]time.Duration, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]time.Duration, n)
+		for j := 0; j < n; j++ {
+			out[i][j] = time.Duration(table1ms[i][j] * float64(time.Millisecond))
+		}
+	}
+	return out
+}
+
+// FormatTable1 renders the latency matrix the way the paper prints it.
+func FormatTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: inter-datacenter round-trip latencies (ms)\n\n    ")
+	for _, r := range Table1Regions {
+		fmt.Fprintf(&b, "%6s", r)
+	}
+	b.WriteByte('\n')
+	for i, r := range Table1Regions {
+		fmt.Fprintf(&b, "%-4s", r)
+		for j := 0; j <= i; j++ {
+			fmt.Fprintf(&b, "%6.4g", table1ms[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxRTT returns the largest round trip among the first n datacenters
+// (the paper's completion-time floor across datacenters).
+func MaxRTT(n int) time.Duration {
+	var max time.Duration
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d := time.Duration(table1ms[i][j] * float64(time.Millisecond)); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,87 @@
+package kvstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"canopus/internal/wire"
+)
+
+func w(key uint64, val string) *wire.Request {
+	return &wire.Request{Op: wire.OpWrite, Key: key, Val: []byte(val)}
+}
+
+func TestApplyAndRead(t *testing.T) {
+	s := New()
+	s.ApplyWrite(w(1, "a"))
+	s.ApplyWrite(w(1, "b"))
+	if got := string(s.Read(1)); got != "b" {
+		t.Fatalf("Read = %q", got)
+	}
+	if s.Read(2) != nil {
+		t.Fatal("missing key returned a value")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestValuesAreCopied(t *testing.T) {
+	s := New()
+	val := []byte("abc")
+	s.ApplyWrite(&wire.Request{Op: wire.OpWrite, Key: 1, Val: val})
+	val[0] = 'X'
+	if got := string(s.Read(1)); got != "abc" {
+		t.Fatalf("store aliased caller memory: %q", got)
+	}
+}
+
+func TestLogDigestOrderSensitive(t *testing.T) {
+	a, b := NewLogged(), NewLogged()
+	a.ApplyWrite(w(1, "x"))
+	a.ApplyWrite(w(2, "y"))
+	b.ApplyWrite(w(2, "y"))
+	b.ApplyWrite(w(1, "x"))
+	if a.LogDigest() == b.LogDigest() {
+		t.Fatal("log digest must be order-sensitive")
+	}
+	if a.LogLen() != 2 || b.LogLen() != 2 {
+		t.Fatal("log length wrong")
+	}
+}
+
+func TestStateDigestOrderInsensitive(t *testing.T) {
+	a, b := New(), New()
+	a.ApplyWrite(w(1, "x"))
+	a.ApplyWrite(w(2, "y"))
+	b.ApplyWrite(w(2, "y"))
+	b.ApplyWrite(w(1, "x"))
+	if a.StateDigest() != b.StateDigest() {
+		t.Fatal("state digest must depend only on contents")
+	}
+}
+
+// Property: Snapshot rebuilds a state-digest-identical store for any
+// write sequence.
+func TestQuickSnapshotRebuild(t *testing.T) {
+	f := func(keys []uint64, vals []uint16) bool {
+		s := New()
+		for i, k := range keys {
+			v := "v"
+			if i < len(vals) {
+				v = string(rune('a'+vals[i]%26)) + "x"
+			}
+			s.ApplyWrite(w(k%32, v))
+		}
+		r := New()
+		for _, req := range s.Snapshot() {
+			req := req
+			r.ApplyWrite(&req)
+		}
+		return r.StateDigest() == s.StateDigest() && r.Len() == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

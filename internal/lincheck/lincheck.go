@@ -1,0 +1,103 @@
+// Package lincheck is a small linearizability checker for register
+// histories (Wing & Gong's exhaustive search with memoization), used by
+// the test suite to validate the §5 claim that Canopus totally orders
+// reads and writes without disseminating reads.
+package lincheck
+
+import "sort"
+
+// OpKind is read or write.
+type OpKind uint8
+
+const (
+	// OpWrite writes Value to Key.
+	OpWrite OpKind = iota
+	// OpRead observes Value at Key (0 = key absent).
+	OpRead
+)
+
+// Op is one completed operation with its real-time interval.
+type Op struct {
+	Kind   OpKind
+	Key    uint64
+	Value  uint64 // written value, or observed value for reads
+	Invoke int64  // invocation time
+	Return int64  // response time
+}
+
+// CheckKey decides whether the operations on a single key form a
+// linearizable register history. Histories beyond ~15 concurrent ops per
+// key become expensive; the tests keep contention windows small.
+func CheckKey(ops []Op) bool {
+	if len(ops) == 0 {
+		return true
+	}
+	sorted := append([]Op(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Invoke < sorted[j].Invoke })
+	n := len(sorted)
+	if n > 62 {
+		// The bitmask search tops out; split histories in tests instead.
+		panic("lincheck: history too large")
+	}
+	type state struct {
+		done  uint64
+		value uint64
+	}
+	seen := make(map[state]bool)
+	var search func(done uint64, value uint64) bool
+	search = func(done uint64, value uint64) bool {
+		if done == uint64(1)<<n-1 {
+			return true
+		}
+		st := state{done, value}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+		// The earliest return among pending ops bounds which ops may
+		// linearize next: an op can go next only if no pending op
+		// returned before this op's invocation.
+		minReturn := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && sorted[i].Return < minReturn {
+				minReturn = sorted[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			if sorted[i].Invoke > minReturn {
+				break // sorted by invoke: nothing later can precede minReturn
+			}
+			op := sorted[i]
+			switch op.Kind {
+			case OpWrite:
+				if search(done|1<<i, op.Value) {
+					return true
+				}
+			case OpRead:
+				if op.Value == value && search(done|1<<i, value) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return search(0, 0)
+}
+
+// Check partitions a mixed-key history by key and checks each
+// independently (register semantics are per-key).
+func Check(ops []Op) bool {
+	byKey := make(map[uint64][]Op)
+	for _, op := range ops {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	for _, kops := range byKey {
+		if !CheckKey(kops) {
+			return false
+		}
+	}
+	return true
+}

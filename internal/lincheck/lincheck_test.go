@@ -1,0 +1,63 @@
+package lincheck
+
+import "testing"
+
+func TestSequentialHistory(t *testing.T) {
+	ops := []Op{
+		{Kind: OpWrite, Key: 1, Value: 5, Invoke: 0, Return: 1},
+		{Kind: OpRead, Key: 1, Value: 5, Invoke: 2, Return: 3},
+		{Kind: OpWrite, Key: 1, Value: 7, Invoke: 4, Return: 5},
+		{Kind: OpRead, Key: 1, Value: 7, Invoke: 6, Return: 7},
+	}
+	if !Check(ops) {
+		t.Fatal("valid sequential history rejected")
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	ops := []Op{
+		{Kind: OpWrite, Key: 1, Value: 5, Invoke: 0, Return: 1},
+		{Kind: OpWrite, Key: 1, Value: 7, Invoke: 2, Return: 3},
+		{Kind: OpRead, Key: 1, Value: 5, Invoke: 4, Return: 5}, // stale!
+	}
+	if Check(ops) {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentEitherOrder(t *testing.T) {
+	// A read concurrent with a write may see either value.
+	base := []Op{{Kind: OpWrite, Key: 1, Value: 5, Invoke: 0, Return: 10}}
+	for _, v := range []uint64{0, 5} {
+		ops := append(append([]Op(nil), base...), Op{Kind: OpRead, Key: 1, Value: v, Invoke: 1, Return: 9})
+		if !Check(ops) {
+			t.Fatalf("concurrent read of %d rejected", v)
+		}
+	}
+	// But it cannot see a never-written value.
+	ops := append(append([]Op(nil), base...), Op{Kind: OpRead, Key: 1, Value: 9, Invoke: 1, Return: 9})
+	if Check(ops) {
+		t.Fatal("phantom read accepted")
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// Write returns before the read invokes: the read MUST see it.
+	ops := []Op{
+		{Kind: OpWrite, Key: 1, Value: 5, Invoke: 0, Return: 1},
+		{Kind: OpRead, Key: 1, Value: 0, Invoke: 5, Return: 6},
+	}
+	if Check(ops) {
+		t.Fatal("read ignoring a completed write accepted")
+	}
+}
+
+func TestKeysIndependent(t *testing.T) {
+	ops := []Op{
+		{Kind: OpWrite, Key: 1, Value: 5, Invoke: 0, Return: 1},
+		{Kind: OpRead, Key: 2, Value: 0, Invoke: 2, Return: 3},
+	}
+	if !Check(ops) {
+		t.Fatal("independent keys rejected")
+	}
+}

@@ -1,0 +1,229 @@
+// Package metrics provides the small set of measurement tools the
+// benchmark harness needs: log-bucketed latency histograms and windowed
+// throughput counters. Everything is allocation-light so measurement does
+// not perturb simulations.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// histogram resolution: buckets per power of two ("sub-buckets"), giving
+// a worst-case quantile error of about 1/subBuckets.
+const subBuckets = 32
+
+// numBuckets covers 1ns .. ~9s of latency.
+const numBuckets = 64 * subBuckets
+
+// Histogram is a log-bucketed latency histogram. The zero value is ready
+// to use.
+type Histogram struct {
+	buckets [numBuckets]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+func bucketOf(d time.Duration) int {
+	if d < 1 {
+		d = 1
+	}
+	v := uint64(d)
+	exp := 63 - leadingZeros(v)
+	var sub uint64
+	if exp >= 5 {
+		sub = (v >> (uint(exp) - 5)) & (subBuckets - 1)
+	} else {
+		sub = (v << (5 - uint(exp))) & (subBuckets - 1)
+	}
+	i := exp*subBuckets + int(sub)
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+func bucketLow(i int) time.Duration {
+	exp := i / subBuckets
+	sub := i % subBuckets
+	base := uint64(1) << uint(exp)
+	var lo uint64
+	if exp >= 5 {
+		lo = base + uint64(sub)<<(uint(exp)-5)
+	} else {
+		lo = base + uint64(sub)>>(5-uint(exp))
+	}
+	return time.Duration(lo)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	if v == 0 {
+		return 64
+	}
+	for v&(1<<63) == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+// Add records count observations of latency d.
+func (h *Histogram) Add(d time.Duration, count uint64) {
+	if count == 0 {
+		return
+	}
+	h.buckets[bucketOf(d)] += count
+	h.count += count
+	h.sum += d * time.Duration(count)
+	if h.min == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Observe records a single observation.
+func (h *Histogram) Observe(d time.Duration) { h.Add(d, 1) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean latency, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return observed extremes.
+func (h *Histogram) Min() time.Duration { return h.min }
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the latency at quantile q in [0,1] (bucket lower
+// bound), or 0 with no observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// Median returns the 50th-percentile latency.
+func (h *Histogram) Median() time.Duration { return h.Quantile(0.5) }
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if h.min == 0 || (other.min != 0 && other.min < h.min) {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram: empty"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.count, h.Mean().Round(time.Microsecond),
+		h.Median().Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.max.Round(time.Microsecond))
+}
+
+// Throughput converts a request count over a window into requests/second.
+func Throughput(count uint64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(count) / window.Seconds()
+}
+
+// FormatRate renders a requests/second figure the way the paper's plots
+// label their axes (millions of requests per second).
+func FormatRate(rps float64) string {
+	switch {
+	case rps >= 1e6:
+		return fmt.Sprintf("%.2fM", rps/1e6)
+	case rps >= 1e3:
+		return fmt.Sprintf("%.0fk", rps/1e3)
+	default:
+		return fmt.Sprintf("%.0f", rps)
+	}
+}
+
+// Table renders an aligned text table; the harness uses it to print the
+// same rows the paper's figures plot.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, hdr := range t.Header {
+		widths[i] = len(hdr)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	med := h.Median()
+	if med < 450*time.Millisecond || med > 550*time.Millisecond {
+		t.Fatalf("median = %v", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900*time.Millisecond || p99 > 1100*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != time.Second {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(time.Millisecond, 10)
+	b.Add(time.Second, 10)
+	a.Merge(&b)
+	if a.Count() != 20 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if med := a.Median(); med > 2*time.Millisecond {
+		t.Fatalf("median = %v", med)
+	}
+}
+
+// Property: the quantile estimate is within one log-bucket (~3%) of a
+// true order statistic for arbitrary positive samples.
+func TestQuickQuantileAccuracy(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		max := time.Duration(0)
+		for _, v := range raw {
+			d := time.Duration(v%1e9) + 1
+			h.Observe(d)
+			if d > max {
+				max = d
+			}
+		}
+		q := h.Quantile(1.0)
+		// Upper quantile must be within one bucket of the true max.
+		return q <= max && q >= max-max/16-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{{2_650_000, "2.65M"}, {450_000, "450k"}, {12, "12"}} {
+		if got := FormatRate(tc.in); got != tc.want {
+			t.Errorf("FormatRate(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "long-header"}}
+	tbl.Add("x", "1")
+	out := tbl.String()
+	if len(out) == 0 || out[0] != 'a' {
+		t.Fatalf("table output %q", out)
+	}
+}

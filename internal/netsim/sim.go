@@ -1,0 +1,109 @@
+// Package netsim is a deterministic discrete-event network simulator.
+//
+// It provides three layers:
+//
+//   - Sim: a virtual clock and event queue.
+//   - Topology: racks, datacenters and the links between them, with
+//     per-link bandwidth (FIFO serialization) and propagation delay.
+//   - Runner: hosts engine.Machine instances on topology nodes, models
+//     per-node CPU service time, and implements engine.Env.
+//
+// The simulator reproduces the two effects the Canopus paper's evaluation
+// hinges on: contention on oversubscribed aggregation/WAN links, and
+// per-node CPU saturation (the coordinator bottleneck in centralized
+// protocols). Given the same seed and inputs, a simulation is bit-for-bit
+// reproducible.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker: FIFO among equal-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a virtual clock plus event queue. It is not safe for concurrent
+// use; all protocol code runs on the single simulation goroutine.
+type Sim struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	nSteps uint64
+}
+
+// NewSim returns an empty simulation at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() uint64 { return s.nSteps }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past runs the event at the current time (never before already-queued
+// same-time events, preserving FIFO).
+func (s *Sim) At(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next event, returning false if the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	s.nSteps++
+	e.fn()
+	return true
+}
+
+// RunUntil executes events until virtual time end (inclusive) or until
+// the queue drains. The clock lands exactly on end.
+func (s *Sim) RunUntil(end time.Duration) {
+	for len(s.events) > 0 && s.events[0].at <= end {
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// RunUntilIdle executes events until none remain. Protocols with periodic
+// timers never go idle; use RunUntil for those.
+func (s *Sim) RunUntilIdle() {
+	for s.Step() {
+	}
+}

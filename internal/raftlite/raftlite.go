@@ -1,0 +1,564 @@
+// Package raftlite implements the Raft replication and election protocol
+// used as the reliable-broadcast substrate inside a Canopus super-leaf
+// (paper §4.3): every node leads its own Raft group, with its super-leaf
+// peers as followers; broadcasting a message means appending it to the
+// group's log; delivery happens on commit, so either all live members
+// deliver a message or none do. Leader failure triggers an election whose
+// winner completes any in-flight replication — and doubles as the
+// super-leaf's perfect failure detector (paper Appendix A, definition 7).
+//
+// The implementation is a plain state machine: the owner (one
+// engine.Machine per node, multiplexing many groups) feeds it messages
+// and periodic ticks and receives sends, deliveries and leadership
+// changes through callbacks. It performs log compaction below the commit
+// index so long simulations run in bounded memory.
+package raftlite
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"canopus/internal/wire"
+)
+
+// Role is a Raft role.
+type Role uint8
+
+const (
+	// Follower replicates the leader's log.
+	Follower Role = iota
+	// Candidate is running an election.
+	Candidate
+	// Leader owns the log and replicates it.
+	Leader
+)
+
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// ErrNotLeader is returned by Propose on a non-leader.
+var ErrNotLeader = errors.New("raftlite: not leader")
+
+// compactionMargin is how many committed entries are retained below the
+// commit index so a new leader's consistency probe never reaches
+// truncated territory.
+const compactionMargin = 64
+
+// maxAppendEntries bounds entries per AppendEntries message; a leader
+// with a longer backlog sends several messages back to back.
+const maxAppendEntries = 64
+
+// Config parameterizes one Raft group member.
+type Config struct {
+	Group uint64        // group identity carried in every message
+	Self  wire.NodeID   // this member
+	Peers []wire.NodeID // all members including Self
+
+	// InitialLeader skips the initial election: all members start at term
+	// 1 believing InitialLeader leads. NoNode means "elect normally".
+	// Canopus broadcast groups always start with the origin as leader.
+	InitialLeader wire.NodeID
+
+	HeartbeatInterval  time.Duration // leader keep-alive (default 20ms)
+	ElectionTimeoutMin time.Duration // follower patience lower bound (default 100ms)
+	ElectionTimeoutMax time.Duration // upper bound (default 200ms)
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if c.ElectionTimeoutMin == 0 {
+		c.ElectionTimeoutMin = 100 * time.Millisecond
+	}
+	if c.ElectionTimeoutMax == 0 {
+		c.ElectionTimeoutMax = 2 * c.ElectionTimeoutMin
+	}
+}
+
+// IO is how a Raft instance touches the world. All callbacks are invoked
+// synchronously from Handle/Tick/Propose.
+type IO struct {
+	// Send transmits a message to a peer.
+	Send func(to wire.NodeID, m wire.Message)
+	// Deliver hands a committed entry (1-based index) to the owner, in
+	// strictly increasing index order. Nil payloads (leader no-op
+	// barriers) are not delivered.
+	Deliver func(index uint64, payload wire.Message)
+	// LeaderChanged reports this member's view of leadership whenever it
+	// changes; leader may be NoNode while an election is in progress.
+	LeaderChanged func(term uint64, leader wire.NodeID)
+	// Now returns the current (virtual or wall) time.
+	Now func() time.Duration
+	// Rand randomizes election timeouts.
+	Rand *rand.Rand
+}
+
+// Raft is one member of one Raft group.
+type Raft struct {
+	cfg Config
+	io  IO
+
+	role     Role
+	term     uint64
+	votedFor wire.NodeID
+	leader   wire.NodeID
+	votes    map[wire.NodeID]bool
+
+	// Log storage: log[0] holds global index offset+1. Entries below
+	// offset are compacted away; lastOffTerm is the term of entry at
+	// index offset.
+	log         []wire.RaftEntry
+	offset      uint64
+	lastOffTerm uint64
+	commit      uint64
+	applied     uint64
+
+	nextIndex  map[wire.NodeID]uint64
+	matchIndex map[wire.NodeID]uint64
+
+	electionDeadline time.Duration
+	nextHeartbeat    time.Duration
+}
+
+// New creates a group member. The caller must then drive it with Handle
+// and Tick.
+func New(cfg Config, io IO) *Raft {
+	cfg.fill()
+	r := &Raft{
+		cfg:        cfg,
+		io:         io,
+		votedFor:   wire.NoNode,
+		leader:     wire.NoNode,
+		nextIndex:  make(map[wire.NodeID]uint64),
+		matchIndex: make(map[wire.NodeID]uint64),
+	}
+	if cfg.InitialLeader != wire.NoNode {
+		r.term = 1
+		r.leader = cfg.InitialLeader
+		if cfg.Self == cfg.InitialLeader {
+			r.becomeLeader()
+		} else {
+			r.role = Follower
+		}
+	}
+	r.resetElectionTimer()
+	return r
+}
+
+// Accessors.
+
+// Role returns the member's current role.
+func (r *Raft) Role() Role { return r.role }
+
+// Term returns the current term.
+func (r *Raft) Term() uint64 { return r.term }
+
+// Leader returns this member's view of the group leader (NoNode during
+// elections).
+func (r *Raft) Leader() wire.NodeID { return r.leader }
+
+// Group returns the group ID.
+func (r *Raft) Group() uint64 { return r.cfg.Group }
+
+// LastIndex returns the index of the last log entry.
+func (r *Raft) LastIndex() uint64 { return r.offset + uint64(len(r.log)) }
+
+// CommitIndex returns the highest committed index.
+func (r *Raft) CommitIndex() uint64 { return r.commit }
+
+func (r *Raft) termAt(index uint64) uint64 {
+	if index == 0 {
+		return 0
+	}
+	if index == r.offset {
+		return r.lastOffTerm
+	}
+	return r.log[index-r.offset-1].Term
+}
+
+func (r *Raft) entryAt(index uint64) *wire.RaftEntry {
+	return &r.log[index-r.offset-1]
+}
+
+func (r *Raft) majority() int { return len(r.cfg.Peers)/2 + 1 }
+
+func (r *Raft) resetElectionTimer() {
+	span := r.cfg.ElectionTimeoutMax - r.cfg.ElectionTimeoutMin
+	jitter := time.Duration(0)
+	if span > 0 && r.io.Rand != nil {
+		jitter = time.Duration(r.io.Rand.Int63n(int64(span)))
+	}
+	r.electionDeadline = r.io.Now() + r.cfg.ElectionTimeoutMin + jitter
+}
+
+// Propose appends payload to the group log. Only the leader accepts
+// proposals; followers return ErrNotLeader and the owner forwards or
+// fails as appropriate.
+func (r *Raft) Propose(payload wire.Message) error {
+	if r.role != Leader {
+		return ErrNotLeader
+	}
+	r.log = append(r.log, wire.RaftEntry{Term: r.term, Payload: payload})
+	if len(r.cfg.Peers) == 1 {
+		r.advanceCommit()
+		return nil
+	}
+	r.replicateAll()
+	return nil
+}
+
+// Tick drives timeouts; the owner calls it periodically (every few
+// milliseconds is plenty).
+func (r *Raft) Tick() {
+	now := r.io.Now()
+	switch r.role {
+	case Leader:
+		if now >= r.nextHeartbeat {
+			r.replicateAll()
+		}
+	default:
+		if now >= r.electionDeadline {
+			r.startElection()
+		}
+	}
+}
+
+func (r *Raft) startElection() {
+	r.role = Candidate
+	r.term++
+	r.votedFor = r.cfg.Self
+	r.setLeader(wire.NoNode)
+	r.votes = map[wire.NodeID]bool{r.cfg.Self: true}
+	r.resetElectionTimer()
+	if len(r.cfg.Peers) == 1 {
+		r.becomeLeader()
+		return
+	}
+	msg := &wire.RaftVote{
+		Group:     r.cfg.Group,
+		Term:      r.term,
+		Candidate: r.cfg.Self,
+		LastIndex: r.LastIndex(),
+		LastTerm:  r.termAt(r.LastIndex()),
+	}
+	for _, p := range r.cfg.Peers {
+		if p != r.cfg.Self {
+			r.io.Send(p, msg)
+		}
+	}
+}
+
+func (r *Raft) becomeLeader() {
+	r.role = Leader
+	r.setLeader(r.cfg.Self)
+	for _, p := range r.cfg.Peers {
+		r.nextIndex[p] = r.LastIndex() + 1
+		r.matchIndex[p] = 0
+	}
+	r.matchIndex[r.cfg.Self] = r.LastIndex()
+	// Commit a barrier no-op so entries from prior terms become
+	// committable in this term (Raft §5.4.2).
+	r.log = append(r.log, wire.RaftEntry{Term: r.term})
+	if len(r.cfg.Peers) == 1 {
+		r.advanceCommit()
+		return
+	}
+	r.replicateAll()
+}
+
+func (r *Raft) setLeader(l wire.NodeID) {
+	if r.leader == l {
+		return
+	}
+	r.leader = l
+	if r.io.LeaderChanged != nil {
+		r.io.LeaderChanged(r.term, l)
+	}
+}
+
+func (r *Raft) stepDown(term uint64, leader wire.NodeID) {
+	if term > r.term {
+		r.term = term
+		r.votedFor = wire.NoNode
+	}
+	r.role = Follower
+	r.votes = nil
+	r.setLeader(leader)
+	r.resetElectionTimer()
+}
+
+// replicateAll sends AppendEntries to every peer and schedules the next
+// heartbeat.
+func (r *Raft) replicateAll() {
+	r.nextHeartbeat = r.io.Now() + r.cfg.HeartbeatInterval
+	for _, p := range r.cfg.Peers {
+		if p != r.cfg.Self {
+			r.sendAppend(p)
+		}
+	}
+	r.matchIndex[r.cfg.Self] = r.LastIndex()
+}
+
+func (r *Raft) sendAppend(to wire.NodeID) {
+	next := r.nextIndex[to]
+	if next == 0 {
+		next = 1
+	}
+	if next <= r.offset {
+		// Peer is behind the compaction horizon. By construction the
+		// leader only compacts entries replicated on every peer, so this
+		// can only happen transiently after leadership change; resend
+		// from the horizon.
+		next = r.offset + 1
+	}
+	prev := next - 1
+	m := &wire.RaftAppend{
+		Group:     r.cfg.Group,
+		Term:      r.term,
+		Leader:    r.cfg.Self,
+		PrevIndex: prev,
+		PrevTerm:  r.termAt(prev),
+		Commit:    r.commit,
+	}
+	if last := r.LastIndex(); next <= last {
+		end := next + maxAppendEntries
+		if end > last+1 {
+			end = last + 1
+		}
+		m.Entries = append(m.Entries, r.log[next-r.offset-1:end-r.offset-1]...)
+		// Optimistic pipelining: assume delivery and advance nextIndex
+		// immediately so subsequent proposals send only new entries
+		// instead of the whole unacknowledged suffix. A rejection resets
+		// nextIndex from the follower's hint.
+		r.nextIndex[to] = end
+	}
+	r.io.Send(to, m)
+}
+
+// Handle processes one incoming message for this group.
+func (r *Raft) Handle(from wire.NodeID, m wire.Message) {
+	switch v := m.(type) {
+	case *wire.RaftAppend:
+		r.onAppend(v)
+	case *wire.RaftAppendReply:
+		r.onAppendReply(v)
+	case *wire.RaftVote:
+		r.onVote(v)
+	case *wire.RaftVoteReply:
+		r.onVoteReply(v)
+	}
+}
+
+func (r *Raft) onAppend(m *wire.RaftAppend) {
+	if m.Term < r.term {
+		r.io.Send(m.Leader, &wire.RaftAppendReply{
+			Group: r.cfg.Group, Term: r.term, From: r.cfg.Self, Success: false, Match: r.LastIndex(),
+		})
+		return
+	}
+	r.stepDown(m.Term, m.Leader)
+
+	if m.PrevIndex > r.LastIndex() {
+		r.io.Send(m.Leader, &wire.RaftAppendReply{
+			Group: r.cfg.Group, Term: r.term, From: r.cfg.Self, Success: false, Match: r.LastIndex(),
+		})
+		return
+	}
+	if m.PrevIndex >= r.offset && r.termAt(m.PrevIndex) != m.PrevTerm {
+		// Conflict: ask the leader to back up to our commit point, which
+		// is guaranteed consistent.
+		r.io.Send(m.Leader, &wire.RaftAppendReply{
+			Group: r.cfg.Group, Term: r.term, From: r.cfg.Self, Success: false, Match: r.commit,
+		})
+		return
+	}
+	// Append entries, truncating any conflicting suffix.
+	idx := m.PrevIndex
+	for i := range m.Entries {
+		idx++
+		if idx <= r.offset {
+			continue // already compacted, necessarily identical
+		}
+		if idx <= r.LastIndex() {
+			if r.termAt(idx) == m.Entries[i].Term {
+				continue
+			}
+			r.log = r.log[:idx-r.offset-1]
+		}
+		r.log = append(r.log, m.Entries[i])
+	}
+	if m.Commit > r.commit {
+		last := r.LastIndex()
+		r.commit = m.Commit
+		if r.commit > last {
+			r.commit = last
+		}
+		r.apply()
+	}
+	r.io.Send(m.Leader, &wire.RaftAppendReply{
+		Group: r.cfg.Group, Term: r.term, From: r.cfg.Self, Success: true, Match: r.LastIndex(),
+	})
+}
+
+func (r *Raft) onAppendReply(m *wire.RaftAppendReply) {
+	if m.Term > r.term {
+		r.stepDown(m.Term, wire.NoNode)
+		return
+	}
+	if r.role != Leader || m.Term < r.term {
+		return
+	}
+	if m.Success {
+		if m.Match > r.matchIndex[m.From] {
+			r.matchIndex[m.From] = m.Match
+		}
+		if next := m.Match + 1; next > r.nextIndex[m.From] {
+			r.nextIndex[m.From] = next
+		}
+		r.advanceCommit()
+		if r.nextIndex[m.From] <= r.LastIndex() {
+			r.sendAppend(m.From)
+		}
+		return
+	}
+	// Rejected: back up using the follower's hint and retry.
+	next := m.Match + 1
+	if next < 1 {
+		next = 1
+	}
+	if next < r.nextIndex[m.From] {
+		r.nextIndex[m.From] = next
+	} else if r.nextIndex[m.From] > 1 {
+		r.nextIndex[m.From]--
+	}
+	r.sendAppend(m.From)
+}
+
+func (r *Raft) advanceCommit() {
+	for idx := r.LastIndex(); idx > r.commit; idx-- {
+		if r.termAt(idx) != r.term {
+			break // only entries from the current term commit by counting
+		}
+		n := 0
+		for _, p := range r.cfg.Peers {
+			if r.matchIndex[p] >= idx {
+				n++
+			}
+		}
+		if n >= r.majority() {
+			r.commit = idx
+			r.apply()
+			// Followers learn the new commit index immediately rather
+			// than waiting a heartbeat, keeping broadcast latency at one
+			// round trip plus one one-way hop.
+			for _, p := range r.cfg.Peers {
+				if p != r.cfg.Self {
+					r.io.Send(p, &wire.RaftAppend{
+						Group: r.cfg.Group, Term: r.term, Leader: r.cfg.Self,
+						PrevIndex: r.matchIndex[p], PrevTerm: r.termAt(r.matchIndex[p]),
+						Commit: r.commit,
+					})
+				}
+			}
+			break
+		}
+	}
+}
+
+func (r *Raft) apply() {
+	for r.applied < r.commit {
+		r.applied++
+		e := r.entryAt(r.applied)
+		if e.Payload != nil && r.io.Deliver != nil {
+			r.io.Deliver(r.applied, e.Payload)
+		}
+	}
+	r.maybeCompact()
+}
+
+// maybeCompact discards applied entries, keeping a safety margin below
+// the commit index (and never discarding entries some peer still needs,
+// when this member is the leader).
+func (r *Raft) maybeCompact() {
+	if r.applied < compactionMargin {
+		return
+	}
+	horizon := r.applied - compactionMargin
+	if r.role == Leader {
+		for _, p := range r.cfg.Peers {
+			if m := r.matchIndex[p]; m < horizon {
+				horizon = m
+			}
+		}
+	}
+	if horizon <= r.offset {
+		return
+	}
+	drop := horizon - r.offset
+	r.lastOffTerm = r.termAt(horizon)
+	r.log = append([]wire.RaftEntry(nil), r.log[drop:]...)
+	r.offset = horizon
+}
+
+func (r *Raft) onVote(m *wire.RaftVote) {
+	if m.Term > r.term {
+		r.stepDown(m.Term, wire.NoNode)
+	}
+	grant := false
+	if m.Term >= r.term && (r.votedFor == wire.NoNode || r.votedFor == m.Candidate) {
+		// Standard up-to-date check (Raft §5.4.1).
+		lastTerm := r.termAt(r.LastIndex())
+		if m.LastTerm > lastTerm || (m.LastTerm == lastTerm && m.LastIndex >= r.LastIndex()) {
+			grant = true
+			r.votedFor = m.Candidate
+			r.resetElectionTimer()
+		}
+	}
+	r.io.Send(m.Candidate, &wire.RaftVoteReply{
+		Group: r.cfg.Group, Term: r.term, From: r.cfg.Self, Granted: grant,
+	})
+}
+
+func (r *Raft) onVoteReply(m *wire.RaftVoteReply) {
+	if m.Term > r.term {
+		r.stepDown(m.Term, wire.NoNode)
+		return
+	}
+	if r.role != Candidate || m.Term < r.term || !m.Granted {
+		return
+	}
+	r.votes[m.From] = true
+	if len(r.votes) >= r.majority() {
+		r.becomeLeader()
+	}
+}
+
+// SetPeers reconfigures the group membership. Canopus applies membership
+// changes at consensus-cycle boundaries, identically on every member, so
+// a single-step reconfiguration (rather than joint consensus) is safe
+// here: all members switch quorum definitions at the same logical point.
+func (r *Raft) SetPeers(peers []wire.NodeID) {
+	r.cfg.Peers = append([]wire.NodeID(nil), peers...)
+	if r.role == Leader {
+		for _, p := range r.cfg.Peers {
+			if _, ok := r.nextIndex[p]; !ok {
+				r.nextIndex[p] = r.LastIndex() + 1
+				r.matchIndex[p] = 0
+			}
+		}
+		r.advanceCommit()
+	}
+}

@@ -1,0 +1,191 @@
+package raftlite
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"canopus/internal/wire"
+)
+
+// net is a tiny synchronous harness: messages queue and are delivered by
+// pump(); time advances manually.
+type net struct {
+	now     time.Duration
+	members map[wire.NodeID]*Raft
+	queue   []envelope
+	deliver map[wire.NodeID][]wire.Message
+	dead    map[wire.NodeID]bool
+}
+
+type envelope struct {
+	from, to wire.NodeID
+	msg      wire.Message
+}
+
+func newNet(n int, initialLeader wire.NodeID) *net {
+	w := &net{
+		members: make(map[wire.NodeID]*Raft),
+		deliver: make(map[wire.NodeID][]wire.Message),
+		dead:    make(map[wire.NodeID]bool),
+	}
+	var peers []wire.NodeID
+	for i := 0; i < n; i++ {
+		peers = append(peers, wire.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		id := wire.NodeID(i)
+		w.members[id] = New(Config{
+			Group: 1, Self: id, Peers: peers, InitialLeader: initialLeader,
+			HeartbeatInterval:  10 * time.Millisecond,
+			ElectionTimeoutMin: 50 * time.Millisecond,
+			ElectionTimeoutMax: 100 * time.Millisecond,
+		}, IO{
+			Send: func(to wire.NodeID, m wire.Message) {
+				w.queue = append(w.queue, envelope{from: id, to: to, msg: m})
+			},
+			Deliver: func(_ uint64, payload wire.Message) {
+				w.deliver[id] = append(w.deliver[id], payload)
+			},
+			Now:  func() time.Duration { return w.now },
+			Rand: rand.New(rand.NewSource(int64(i) + 3)),
+		})
+	}
+	return w
+}
+
+// pump delivers queued messages until quiescent.
+func (w *net) pump() {
+	for len(w.queue) > 0 {
+		e := w.queue[0]
+		w.queue = w.queue[1:]
+		if w.dead[e.to] || w.dead[e.from] {
+			continue
+		}
+		w.members[e.to].Handle(e.from, e.msg)
+	}
+}
+
+// tickAll advances time and ticks everyone.
+func (w *net) tickAll(d time.Duration) {
+	w.now += d
+	for id, r := range w.members {
+		if !w.dead[id] {
+			r.Tick()
+		}
+	}
+	w.pump()
+}
+
+func TestReplicationDeliversEverywhere(t *testing.T) {
+	w := newNet(3, 0)
+	w.pump()
+	if err := w.members[0].Propose(&wire.Ping{From: 0, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.pump()
+	for id, got := range w.deliver {
+		if len(got) != 1 {
+			t.Fatalf("node %v delivered %d, want 1", id, len(got))
+		}
+	}
+}
+
+func TestFollowerRejectsPropose(t *testing.T) {
+	w := newNet(3, 0)
+	w.pump()
+	if err := w.members[1].Propose(&wire.Ping{}); err != ErrNotLeader {
+		t.Fatalf("err = %v, want ErrNotLeader", err)
+	}
+}
+
+func TestElectionAfterLeaderDeath(t *testing.T) {
+	w := newNet(3, 0)
+	w.pump()
+	w.members[0].Propose(&wire.Ping{From: 0, Seq: 1})
+	w.pump()
+	w.dead[0] = true
+	// Run past the election timeout.
+	for i := 0; i < 30; i++ {
+		w.tickAll(10 * time.Millisecond)
+	}
+	var leader wire.NodeID = wire.NoNode
+	for id, r := range w.members {
+		if !w.dead[id] && r.Role() == Leader {
+			leader = id
+		}
+	}
+	if leader == wire.NoNode {
+		t.Fatal("no leader elected after leader death")
+	}
+	// The new leader can commit entries.
+	if err := w.members[leader].Propose(&wire.Ping{From: leader, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	w.pump()
+	for id, got := range w.deliver {
+		if w.dead[id] {
+			continue
+		}
+		if len(got) != 2 {
+			t.Fatalf("node %v delivered %d, want 2", id, len(got))
+		}
+	}
+}
+
+func TestDeliveryOrderIsIdentical(t *testing.T) {
+	w := newNet(5, 0)
+	w.pump()
+	for s := uint64(1); s <= 20; s++ {
+		w.members[0].Propose(&wire.Ping{From: 0, Seq: s})
+		if s%3 == 0 {
+			w.pump()
+		}
+	}
+	w.pump()
+	ref := w.deliver[0]
+	if len(ref) != 20 {
+		t.Fatalf("delivered %d, want 20", len(ref))
+	}
+	for id, got := range w.deliver {
+		if len(got) != 20 {
+			t.Fatalf("node %v delivered %d", id, len(got))
+		}
+		for i := range got {
+			if got[i].(*wire.Ping).Seq != ref[i].(*wire.Ping).Seq {
+				t.Fatalf("node %v order differs at %d", id, i)
+			}
+		}
+	}
+}
+
+func TestLogCompactionBoundsMemory(t *testing.T) {
+	w := newNet(3, 0)
+	w.pump()
+	for s := uint64(1); s <= 1000; s++ {
+		w.members[0].Propose(&wire.Ping{From: 0, Seq: s})
+		w.pump()
+	}
+	r := w.members[0]
+	if live := r.LastIndex() - r.offset; live > 4*compactionMargin {
+		t.Fatalf("leader retains %d entries; compaction broken", live)
+	}
+	if len(w.deliver[2]) != 1000 {
+		t.Fatalf("follower delivered %d, want 1000", len(w.deliver[2]))
+	}
+}
+
+func TestSetPeersQuorumChange(t *testing.T) {
+	w := newNet(3, 0)
+	w.pump()
+	// Shrink to 2 members; quorum becomes 2 of 2.
+	w.dead[2] = true
+	for _, id := range []wire.NodeID{0, 1} {
+		w.members[id].SetPeers([]wire.NodeID{0, 1})
+	}
+	w.members[0].Propose(&wire.Ping{From: 0, Seq: 9})
+	w.pump()
+	if len(w.deliver[1]) != 1 {
+		t.Fatal("post-reconfiguration commit failed")
+	}
+}

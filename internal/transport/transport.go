@@ -1,0 +1,259 @@
+// Package transport runs protocol machines over real TCP connections:
+// the same engine.Machine code that runs on the simulator serves live
+// traffic here. Frames are length-prefixed ([u32 length][i32 sender]
+// [encoded message]); connections are dialed lazily, redialed with
+// backoff, and all machine callbacks are serialized by a per-node mutex
+// so protocol code stays lock-free.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"canopus/internal/engine"
+	"canopus/internal/wire"
+)
+
+// maxFrame bounds incoming frame sizes (defense against corrupt peers).
+const maxFrame = 64 << 20
+
+// Runner hosts one protocol machine on a TCP endpoint.
+type Runner struct {
+	id    wire.NodeID
+	peers map[wire.NodeID]string // peer -> address
+
+	mu      sync.Mutex // serializes all machine callbacks
+	machine engine.Machine
+	start   time.Time
+	rng     *rand.Rand
+
+	connMu sync.Mutex
+	conns  map[wire.NodeID]*peerConn
+
+	listener net.Listener
+	done     chan struct{}
+	closed   bool
+
+	// Logf logs transport-level events; defaults to log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewRunner creates a runner for node id listening on listen, with the
+// full peer address map (including, optionally, its own entry).
+func NewRunner(id wire.NodeID, listen string, peers map[wire.NodeID]string, seed int64) (*Runner, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
+	}
+	r := &Runner{
+		id:       id,
+		peers:    peers,
+		start:    time.Now(),
+		rng:      rand.New(rand.NewSource(seed ^ int64(id))),
+		conns:    make(map[wire.NodeID]*peerConn),
+		listener: ln,
+		done:     make(chan struct{}),
+		Logf:     log.Printf,
+	}
+	return r, nil
+}
+
+// Addr returns the bound listen address.
+func (r *Runner) Addr() net.Addr { return r.listener.Addr() }
+
+// Attach installs and initializes the machine. It must be called before
+// Serve and before any Invoke.
+func (r *Runner) Attach(m engine.Machine) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.machine = m
+	m.Init(r)
+}
+
+// Serve accepts connections until Close, attaching m first when non-nil
+// (a convenience for callers that do not need Attach separately). It
+// returns after the listener shuts down.
+func (r *Runner) Serve(m engine.Machine) {
+	if m != nil {
+		r.Attach(m)
+	}
+	for {
+		conn, err := r.listener.Accept()
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+			}
+			r.Logf("transport: accept: %v", err)
+			continue
+		}
+		go r.readLoop(conn)
+	}
+}
+
+// Close shuts the runner down.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	r.listener.Close()
+	r.connMu.Lock()
+	for _, pc := range r.conns {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			pc.conn.Close()
+		}
+		pc.mu.Unlock()
+	}
+	r.connMu.Unlock()
+}
+
+// Invoke runs fn inside the machine's serialization lock; servers use it
+// to feed client requests into the node safely.
+func (r *Runner) Invoke(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn()
+}
+
+// --- engine.Env ---
+
+// ID implements engine.Env.
+func (r *Runner) ID() wire.NodeID { return r.id }
+
+// Now implements engine.Env: wall time since runner start.
+func (r *Runner) Now() time.Duration { return time.Since(r.start) }
+
+// Rand implements engine.Env.
+func (r *Runner) Rand() *rand.Rand { return r.rng }
+
+// After implements engine.Env using wall-clock timers.
+func (r *Runner) After(d time.Duration, tag engine.TimerTag) {
+	time.AfterFunc(d, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed || r.machine == nil {
+			return
+		}
+		r.machine.Timer(tag)
+	})
+}
+
+// Send implements engine.Env. Delivery is asynchronous; failures drop
+// the message (protocol retries recover, exactly as on a lossy-at-crash
+// network).
+func (r *Runner) Send(to wire.NodeID, m wire.Message) {
+	frame := encodeFrame(r.id, m)
+	go r.write(to, frame)
+}
+
+// Multicast implements engine.Env (no switch assist on plain TCP: it is
+// a send loop).
+func (r *Runner) Multicast(to []wire.NodeID, m wire.Message) {
+	frame := encodeFrame(r.id, m)
+	for _, dst := range to {
+		go r.write(dst, frame)
+	}
+}
+
+func encodeFrame(from wire.NodeID, m wire.Message) []byte {
+	body := m.AppendTo(nil)
+	frame := make([]byte, 8, 8+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(int32(from)))
+	return append(frame, body...)
+}
+
+func (r *Runner) write(to wire.NodeID, frame []byte) {
+	pc := r.peer(to)
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		addr, ok := r.peers[to]
+		if !ok {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return // dropped; protocol-level retries re-send what matters
+		}
+		pc.conn = conn
+	}
+	pc.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := pc.conn.Write(frame); err != nil {
+		pc.conn.Close()
+		pc.conn = nil
+	}
+}
+
+func (r *Runner) peer(to wire.NodeID) *peerConn {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	if r.closed {
+		return nil
+	}
+	pc, ok := r.conns[to]
+	if !ok {
+		pc = &peerConn{}
+		r.conns[to] = pc
+	}
+	return pc
+}
+
+func (r *Runner) readLoop(conn net.Conn) {
+	defer conn.Close()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			if !errors.Is(err, io.EOF) {
+				select {
+				case <-r.done:
+				default:
+					r.Logf("transport: read header: %v", err)
+				}
+			}
+			return
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		from := wire.NodeID(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+		if size > maxFrame {
+			r.Logf("transport: oversized frame (%d bytes) from %v", size, from)
+			return
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		msg, _, err := wire.Decode(body)
+		if err != nil {
+			r.Logf("transport: decode from %v: %v", from, err)
+			return
+		}
+		r.mu.Lock()
+		if !r.closed && r.machine != nil {
+			r.machine.Recv(from, msg)
+		}
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"canopus/internal/engine"
+	"canopus/internal/wire"
+)
+
+type countMachine struct {
+	mu   sync.Mutex
+	env  engine.Env
+	got  []wire.Message
+	echo bool
+}
+
+func (m *countMachine) Init(env engine.Env)   { m.env = env }
+func (m *countMachine) Timer(engine.TimerTag) {}
+func (m *countMachine) Recv(from wire.NodeID, msg wire.Message) {
+	m.got = append(m.got, msg)
+	if m.echo {
+		m.env.Send(from, &wire.Ping{From: m.env.ID(), Seq: 99})
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	peers := map[wire.NodeID]string{}
+	var runners []*Runner
+	for i := 0; i < 2; i++ {
+		r, err := NewRunner(wire.NodeID(i), "127.0.0.1:0", peers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Logf = func(string, ...interface{}) {}
+		peers[wire.NodeID(i)] = r.Addr().String()
+		runners = append(runners, r)
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Close()
+		}
+	}()
+	a, b := &countMachine{}, &countMachine{echo: true}
+	runners[0].Attach(a)
+	runners[1].Attach(b)
+	go runners[0].Serve(nil)
+	go runners[1].Serve(nil)
+
+	runners[0].Invoke(func() {
+		a.env.Send(1, &wire.Ping{From: 0, Seq: 42})
+	})
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		var done bool
+		runners[0].Invoke(func() { done = len(a.got) == 1 })
+		if done {
+			p := a.got[0].(*wire.Ping)
+			if p.Seq != 99 {
+				t.Fatalf("echo seq = %d", p.Seq)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("echo never arrived")
+}
+
+func TestFrameEncoding(t *testing.T) {
+	f := encodeFrame(3, &wire.Ping{From: 3, Seq: 7})
+	if len(f) != 8+(&wire.Ping{From: 3, Seq: 7}).WireSize() {
+		t.Fatalf("frame length %d", len(f))
+	}
+}
+
+func TestSendToUnknownPeerDrops(t *testing.T) {
+	r, err := NewRunner(0, "127.0.0.1:0", map[wire.NodeID]string{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Logf = func(string, ...interface{}) {}
+	m := &countMachine{}
+	r.Attach(m)
+	// Must not panic or block.
+	r.Invoke(func() { m.env.Send(9, &wire.Ping{From: 0}) })
+	time.Sleep(50 * time.Millisecond)
+}
+
+func TestManyConcurrentFrames(t *testing.T) {
+	peers := map[wire.NodeID]string{}
+	var runners []*Runner
+	for i := 0; i < 2; i++ {
+		r, err := NewRunner(wire.NodeID(i), "127.0.0.1:0", peers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Logf = func(string, ...interface{}) {}
+		peers[wire.NodeID(i)] = r.Addr().String()
+		runners = append(runners, r)
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Close()
+		}
+	}()
+	a, b := &countMachine{}, &countMachine{}
+	runners[0].Attach(a)
+	runners[1].Attach(b)
+	go runners[0].Serve(nil)
+	go runners[1].Serve(nil)
+	const n = 200
+	for i := 0; i < n; i++ {
+		seq := uint64(i)
+		runners[0].Invoke(func() { a.env.Send(1, &wire.Ping{From: 0, Seq: seq}) })
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var done bool
+		runners[1].Invoke(func() { done = len(b.got) == n })
+		if done {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var got int
+	runners[1].Invoke(func() { got = len(b.got) })
+	t.Fatalf("received %d of %d frames", got, n)
+}
+
+var _ = fmt.Sprintf // keep fmt for future debugging

@@ -1,0 +1,901 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary layout: little-endian fixed-width integers, length-prefixed
+// slices (u32 counts, u16 string lengths). Every message starts with one
+// Kind byte so a frame can be decoded without out-of-band type info.
+//
+// For explicit messages WireSize equals len(AppendTo(nil)) exactly; fluid
+// batches (Reqs == nil) additionally count their modeled ByteSize so the
+// simulator charges links for the bytes the batch stands for.
+
+// ErrTruncated is returned when a buffer ends before a full message.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrUnknownKind is returned for an unrecognized kind byte.
+var ErrUnknownKind = errors.New("wire: unknown message kind")
+
+func putU8(b []byte, v uint8) []byte   { return append(b, v) }
+func putU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func putU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func putU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func putBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func putNode(b []byte, n NodeID) []byte { return putU32(b, uint32(int32(n))) }
+
+func putString(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	b = putU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func putBytes(b, v []byte) []byte {
+	b = putU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// reader is a cursor over an encoded buffer. All accessors are
+// error-latching: after the first failure every further read returns the
+// zero value, so decode functions can read unconditionally and check err
+// once (the bufio error-latching idiom).
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+func (r *reader) node() NodeID { return NodeID(int32(r.u32())) }
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	if r.err != nil || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.b[r.off:])
+	r.off += n
+	return v
+}
+
+// count reads a u32 element count and bounds it by the remaining bytes so
+// a corrupt length cannot trigger a huge allocation.
+func (r *reader) count(minElemSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if minElemSize > 0 && n > (len(r.b)-r.off)/minElemSize+1 {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+// --- Request / Batch ---
+
+const requestFixedSize = 8 + 8 + 1 + 8 + 4 // client, seq, op, key, val-len
+
+func requestSize(q *Request) int { return requestFixedSize + len(q.Val) }
+
+func appendRequest(b []byte, q *Request) []byte {
+	b = putU64(b, q.Client)
+	b = putU64(b, q.Seq)
+	b = putU8(b, uint8(q.Op))
+	b = putU64(b, q.Key)
+	return putBytes(b, q.Val)
+}
+
+func readRequest(r *reader, q *Request) {
+	q.Client = r.u64()
+	q.Seq = r.u64()
+	q.Op = Op(r.u8())
+	q.Key = r.u64()
+	q.Val = r.bytes()
+}
+
+const sampleSize = 8 + 4 + 1
+
+func batchSize(bt *Batch) int {
+	n := 4 + 1 + 4 + 4 + 4 + 4 + len(bt.Samples)*sampleSize
+	if bt.Reqs != nil {
+		n += 4
+		for i := range bt.Reqs {
+			n += requestSize(&bt.Reqs[i])
+		}
+	} else {
+		// Fluid batch: the modeled payload is charged to the wire even
+		// though there is nothing to encode.
+		n += int(bt.ByteSize)
+	}
+	return n
+}
+
+func appendBatch(b []byte, bt *Batch) []byte {
+	b = putNode(b, bt.Origin)
+	b = putBool(b, bt.Reqs != nil)
+	if bt.Reqs != nil {
+		b = putU32(b, uint32(len(bt.Reqs)))
+		for i := range bt.Reqs {
+			b = appendRequest(b, &bt.Reqs[i])
+		}
+	}
+	b = putU32(b, bt.NumRead)
+	b = putU32(b, bt.NumWrite)
+	b = putU32(b, bt.ByteSize)
+	b = putU32(b, uint32(len(bt.Samples)))
+	for _, s := range bt.Samples {
+		b = putU64(b, uint64(s.At))
+		b = putU32(b, s.Count)
+		b = putBool(b, s.Read)
+	}
+	return b
+}
+
+func readBatch(r *reader) *Batch {
+	bt := &Batch{}
+	bt.Origin = r.node()
+	explicit := r.boolean()
+	if explicit {
+		n := r.count(requestFixedSize)
+		bt.Reqs = make([]Request, n)
+		for i := 0; i < n; i++ {
+			readRequest(r, &bt.Reqs[i])
+		}
+	}
+	bt.NumRead = r.u32()
+	bt.NumWrite = r.u32()
+	bt.ByteSize = r.u32()
+	ns := r.count(sampleSize)
+	if ns > 0 {
+		bt.Samples = make([]ArrivalSample, ns)
+		for i := 0; i < ns; i++ {
+			bt.Samples[i].At = int64(r.u64())
+			bt.Samples[i].Count = r.u32()
+			bt.Samples[i].Read = r.boolean()
+		}
+	}
+	return bt
+}
+
+// --- Proposal ---
+
+func (p *Proposal) WireSize() int {
+	n := 1 + 8 + 1 + 2 + len(p.VNode) + 4 + 8
+	n += 4 // batch count
+	for _, bt := range p.Batches {
+		n += batchSize(bt)
+	}
+	n += 4 + 5*len(p.Updates)
+	n += 4 + 13*len(p.Leases)
+	return n
+}
+
+func (p *Proposal) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindProposal))
+	b = putU64(b, p.Cycle)
+	b = putU8(b, p.Round)
+	b = putString(b, p.VNode)
+	b = putNode(b, p.Origin)
+	b = putU64(b, p.Num)
+	b = putU32(b, uint32(len(p.Batches)))
+	for _, bt := range p.Batches {
+		b = appendBatch(b, bt)
+	}
+	b = putU32(b, uint32(len(p.Updates)))
+	for _, u := range p.Updates {
+		b = putNode(b, u.Node)
+		b = putBool(b, u.Leave)
+	}
+	b = putU32(b, uint32(len(p.Leases)))
+	for _, l := range p.Leases {
+		b = putU64(b, l.Key)
+		b = putNode(b, l.Node)
+		b = putBool(b, l.Release)
+	}
+	return b
+}
+
+func readProposal(r *reader) *Proposal {
+	p := &Proposal{}
+	p.Cycle = r.u64()
+	p.Round = r.u8()
+	p.VNode = r.str()
+	p.Origin = r.node()
+	p.Num = r.u64()
+	nb := r.count(18)
+	p.Batches = make([]*Batch, 0, nb)
+	for i := 0; i < nb; i++ {
+		p.Batches = append(p.Batches, readBatch(r))
+	}
+	nu := r.count(5)
+	if nu > 0 {
+		p.Updates = make([]MemberUpdate, nu)
+		for i := 0; i < nu; i++ {
+			p.Updates[i].Node = r.node()
+			p.Updates[i].Leave = r.boolean()
+		}
+	}
+	nl := r.count(13)
+	if nl > 0 {
+		p.Leases = make([]LeaseRequest, nl)
+		for i := 0; i < nl; i++ {
+			p.Leases[i].Key = r.u64()
+			p.Leases[i].Node = r.node()
+			p.Leases[i].Release = r.boolean()
+		}
+	}
+	return p
+}
+
+// --- ProposalRequest ---
+
+func (p *ProposalRequest) WireSize() int { return 1 + 8 + 1 + 2 + len(p.VNode) + 4 }
+
+func (p *ProposalRequest) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindProposalRequest))
+	b = putU64(b, p.Cycle)
+	b = putU8(b, p.Round)
+	b = putString(b, p.VNode)
+	return putNode(b, p.From)
+}
+
+func readProposalRequest(r *reader) *ProposalRequest {
+	p := &ProposalRequest{}
+	p.Cycle = r.u64()
+	p.Round = r.u8()
+	p.VNode = r.str()
+	p.From = r.node()
+	return p
+}
+
+// --- Raft ---
+
+func entrySize(e *RaftEntry) int {
+	n := 8 + 1
+	if e.Payload != nil {
+		n += e.Payload.WireSize()
+	}
+	return n
+}
+
+func appendEntry(b []byte, e *RaftEntry) []byte {
+	b = putU64(b, e.Term)
+	if e.Payload == nil {
+		return putBool(b, false)
+	}
+	b = putBool(b, true)
+	return e.Payload.AppendTo(b)
+}
+
+func readEntry(r *reader) RaftEntry {
+	var e RaftEntry
+	e.Term = r.u64()
+	if r.boolean() {
+		if r.err != nil {
+			return e
+		}
+		m, n, err := Decode(r.b[r.off:])
+		if err != nil {
+			r.err = err
+			return e
+		}
+		r.off += n
+		e.Payload = m
+	}
+	return e
+}
+
+func (m *RaftAppend) WireSize() int {
+	n := 1 + 8 + 8 + 4 + 8 + 8 + 8 + 4
+	for i := range m.Entries {
+		n += entrySize(&m.Entries[i])
+	}
+	return n
+}
+
+func (m *RaftAppend) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindRaftAppend))
+	b = putU64(b, m.Group)
+	b = putU64(b, m.Term)
+	b = putNode(b, m.Leader)
+	b = putU64(b, m.PrevIndex)
+	b = putU64(b, m.PrevTerm)
+	b = putU64(b, m.Commit)
+	b = putU32(b, uint32(len(m.Entries)))
+	for i := range m.Entries {
+		b = appendEntry(b, &m.Entries[i])
+	}
+	return b
+}
+
+func readRaftAppend(r *reader) *RaftAppend {
+	m := &RaftAppend{}
+	m.Group = r.u64()
+	m.Term = r.u64()
+	m.Leader = r.node()
+	m.PrevIndex = r.u64()
+	m.PrevTerm = r.u64()
+	m.Commit = r.u64()
+	n := r.count(9)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Entries = append(m.Entries, readEntry(r))
+	}
+	return m
+}
+
+func (m *RaftAppendReply) WireSize() int { return 1 + 8 + 8 + 4 + 1 + 8 }
+
+func (m *RaftAppendReply) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindRaftAppendReply))
+	b = putU64(b, m.Group)
+	b = putU64(b, m.Term)
+	b = putNode(b, m.From)
+	b = putBool(b, m.Success)
+	return putU64(b, m.Match)
+}
+
+func readRaftAppendReply(r *reader) *RaftAppendReply {
+	m := &RaftAppendReply{}
+	m.Group = r.u64()
+	m.Term = r.u64()
+	m.From = r.node()
+	m.Success = r.boolean()
+	m.Match = r.u64()
+	return m
+}
+
+func (m *RaftVote) WireSize() int { return 1 + 8 + 8 + 4 + 8 + 8 }
+
+func (m *RaftVote) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindRaftVote))
+	b = putU64(b, m.Group)
+	b = putU64(b, m.Term)
+	b = putNode(b, m.Candidate)
+	b = putU64(b, m.LastIndex)
+	return putU64(b, m.LastTerm)
+}
+
+func readRaftVote(r *reader) *RaftVote {
+	m := &RaftVote{}
+	m.Group = r.u64()
+	m.Term = r.u64()
+	m.Candidate = r.node()
+	m.LastIndex = r.u64()
+	m.LastTerm = r.u64()
+	return m
+}
+
+func (m *RaftVoteReply) WireSize() int { return 1 + 8 + 8 + 4 + 1 }
+
+func (m *RaftVoteReply) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindRaftVoteReply))
+	b = putU64(b, m.Group)
+	b = putU64(b, m.Term)
+	b = putNode(b, m.From)
+	return putBool(b, m.Granted)
+}
+
+func readRaftVoteReply(r *reader) *RaftVoteReply {
+	m := &RaftVoteReply{}
+	m.Group = r.u64()
+	m.Term = r.u64()
+	m.From = r.node()
+	m.Granted = r.boolean()
+	return m
+}
+
+// --- EPaxos ---
+
+func depsSize(d []InstanceRef) int { return 4 + 12*len(d) }
+
+func appendDeps(b []byte, d []InstanceRef) []byte {
+	b = putU32(b, uint32(len(d)))
+	for _, ref := range d {
+		b = putNode(b, ref.Replica)
+		b = putU64(b, ref.Instance)
+	}
+	return b
+}
+
+func readDeps(r *reader) []InstanceRef {
+	n := r.count(12)
+	if n == 0 {
+		return nil
+	}
+	d := make([]InstanceRef, n)
+	for i := 0; i < n; i++ {
+		d[i].Replica = r.node()
+		d[i].Instance = r.u64()
+	}
+	return d
+}
+
+func optBatchSize(bt *Batch) int {
+	if bt == nil {
+		return 1
+	}
+	return 1 + batchSize(bt)
+}
+
+func appendOptBatch(b []byte, bt *Batch) []byte {
+	if bt == nil {
+		return putBool(b, false)
+	}
+	b = putBool(b, true)
+	return appendBatch(b, bt)
+}
+
+func readOptBatch(r *reader) *Batch {
+	if !r.boolean() {
+		return nil
+	}
+	return readBatch(r)
+}
+
+func (m *PreAccept) WireSize() int {
+	return 1 + 4 + 8 + 8 + optBatchSize(m.Batch) + 8 + depsSize(m.Deps)
+}
+
+func (m *PreAccept) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindPreAccept))
+	b = putNode(b, m.Replica)
+	b = putU64(b, m.Instance)
+	b = putU64(b, m.Ballot)
+	b = appendOptBatch(b, m.Batch)
+	b = putU64(b, m.Seq)
+	return appendDeps(b, m.Deps)
+}
+
+func readPreAccept(r *reader) *PreAccept {
+	m := &PreAccept{}
+	m.Replica = r.node()
+	m.Instance = r.u64()
+	m.Ballot = r.u64()
+	m.Batch = readOptBatch(r)
+	m.Seq = r.u64()
+	m.Deps = readDeps(r)
+	return m
+}
+
+func (m *PreAcceptReply) WireSize() int {
+	return 1 + 4 + 8 + 8 + 4 + 1 + 8 + depsSize(m.Deps)
+}
+
+func (m *PreAcceptReply) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindPreAcceptReply))
+	b = putNode(b, m.Replica)
+	b = putU64(b, m.Instance)
+	b = putU64(b, m.Ballot)
+	b = putNode(b, m.From)
+	b = putBool(b, m.OK)
+	b = putU64(b, m.Seq)
+	return appendDeps(b, m.Deps)
+}
+
+func readPreAcceptReply(r *reader) *PreAcceptReply {
+	m := &PreAcceptReply{}
+	m.Replica = r.node()
+	m.Instance = r.u64()
+	m.Ballot = r.u64()
+	m.From = r.node()
+	m.OK = r.boolean()
+	m.Seq = r.u64()
+	m.Deps = readDeps(r)
+	return m
+}
+
+func (m *Accept) WireSize() int { return 1 + 4 + 8 + 8 + 8 + depsSize(m.Deps) }
+
+func (m *Accept) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindAccept))
+	b = putNode(b, m.Replica)
+	b = putU64(b, m.Instance)
+	b = putU64(b, m.Ballot)
+	b = putU64(b, m.Seq)
+	return appendDeps(b, m.Deps)
+}
+
+func readAccept(r *reader) *Accept {
+	m := &Accept{}
+	m.Replica = r.node()
+	m.Instance = r.u64()
+	m.Ballot = r.u64()
+	m.Seq = r.u64()
+	m.Deps = readDeps(r)
+	return m
+}
+
+func (m *AcceptReply) WireSize() int { return 1 + 4 + 8 + 8 + 4 + 1 }
+
+func (m *AcceptReply) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindAcceptReply))
+	b = putNode(b, m.Replica)
+	b = putU64(b, m.Instance)
+	b = putU64(b, m.Ballot)
+	b = putNode(b, m.From)
+	return putBool(b, m.OK)
+}
+
+func readAcceptReply(r *reader) *AcceptReply {
+	m := &AcceptReply{}
+	m.Replica = r.node()
+	m.Instance = r.u64()
+	m.Ballot = r.u64()
+	m.From = r.node()
+	m.OK = r.boolean()
+	return m
+}
+
+func (m *Commit) WireSize() int {
+	return 1 + 4 + 8 + optBatchSize(m.Batch) + 8 + depsSize(m.Deps)
+}
+
+func (m *Commit) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindCommit))
+	b = putNode(b, m.Replica)
+	b = putU64(b, m.Instance)
+	b = appendOptBatch(b, m.Batch)
+	b = putU64(b, m.Seq)
+	return appendDeps(b, m.Deps)
+}
+
+func readCommit(r *reader) *Commit {
+	m := &Commit{}
+	m.Replica = r.node()
+	m.Instance = r.u64()
+	m.Batch = readOptBatch(r)
+	m.Seq = r.u64()
+	m.Deps = readDeps(r)
+	return m
+}
+
+// --- Zab ---
+
+func (m *ZabForward) WireSize() int { return 1 + 4 + optBatchSize(m.Batch) }
+
+func (m *ZabForward) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindZabForward))
+	b = putNode(b, m.From)
+	return appendOptBatch(b, m.Batch)
+}
+
+func readZabForward(r *reader) *ZabForward {
+	m := &ZabForward{}
+	m.From = r.node()
+	m.Batch = readOptBatch(r)
+	return m
+}
+
+func (m *ZabPropose) WireSize() int { return 1 + 8 + 8 + optBatchSize(m.Batch) }
+
+func (m *ZabPropose) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindZabPropose))
+	b = putU64(b, m.Epoch)
+	b = putU64(b, m.Zxid)
+	return appendOptBatch(b, m.Batch)
+}
+
+func readZabPropose(r *reader) *ZabPropose {
+	m := &ZabPropose{}
+	m.Epoch = r.u64()
+	m.Zxid = r.u64()
+	m.Batch = readOptBatch(r)
+	return m
+}
+
+func (m *ZabAck) WireSize() int { return 1 + 8 + 8 + 4 }
+
+func (m *ZabAck) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindZabAck))
+	b = putU64(b, m.Epoch)
+	b = putU64(b, m.Zxid)
+	return putNode(b, m.From)
+}
+
+func readZabAck(r *reader) *ZabAck {
+	m := &ZabAck{}
+	m.Epoch = r.u64()
+	m.Zxid = r.u64()
+	m.From = r.node()
+	return m
+}
+
+func (m *ZabCommit) WireSize() int { return 1 + 8 + 8 }
+
+func (m *ZabCommit) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindZabCommit))
+	b = putU64(b, m.Epoch)
+	return putU64(b, m.Zxid)
+}
+
+func readZabCommit(r *reader) *ZabCommit {
+	m := &ZabCommit{}
+	m.Epoch = r.u64()
+	m.Zxid = r.u64()
+	return m
+}
+
+func (m *ZabInform) WireSize() int { return 1 + 8 + 8 + optBatchSize(m.Batch) }
+
+func (m *ZabInform) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindZabInform))
+	b = putU64(b, m.Epoch)
+	b = putU64(b, m.Zxid)
+	return appendOptBatch(b, m.Batch)
+}
+
+func readZabInform(r *reader) *ZabInform {
+	m := &ZabInform{}
+	m.Epoch = r.u64()
+	m.Zxid = r.u64()
+	m.Batch = readOptBatch(r)
+	return m
+}
+
+// --- Liveness and membership ---
+
+func (m *Ping) WireSize() int { return 1 + 4 + 8 }
+
+func (m *Ping) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindPing))
+	b = putNode(b, m.From)
+	return putU64(b, m.Seq)
+}
+
+func readPing(r *reader) *Ping {
+	m := &Ping{}
+	m.From = r.node()
+	m.Seq = r.u64()
+	return m
+}
+
+func (m *GroupClosed) WireSize() int { return 1 + 4 }
+
+func (m *GroupClosed) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindGroupClosed))
+	return putNode(b, m.Origin)
+}
+
+func readGroupClosed(r *reader) *GroupClosed {
+	return &GroupClosed{Origin: r.node()}
+}
+
+func (m *JoinRequest) WireSize() int { return 1 + 4 }
+
+func (m *JoinRequest) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindJoinRequest))
+	return putNode(b, m.From)
+}
+
+func readJoinRequest(r *reader) *JoinRequest {
+	return &JoinRequest{From: r.node()}
+}
+
+func (m *JoinReply) WireSize() int {
+	n := 1 + 4 + 8 + 4 + 4*len(m.Alive) + 4 + 4*len(m.Incarnations) + 4 + 4
+	for i := range m.Snapshot {
+		n += requestSize(&m.Snapshot[i])
+	}
+	if m.Snapshot == nil {
+		n += int(m.StateBytes)
+	}
+	return n
+}
+
+func (m *JoinReply) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindJoinReply))
+	b = putNode(b, m.From)
+	b = putU64(b, m.StartCycle)
+	b = putU32(b, uint32(len(m.Alive)))
+	for _, id := range m.Alive {
+		b = putNode(b, id)
+	}
+	b = putU32(b, uint32(len(m.Incarnations)))
+	for _, inc := range m.Incarnations {
+		b = putU32(b, inc)
+	}
+	b = putU32(b, uint32(len(m.Snapshot)))
+	for i := range m.Snapshot {
+		b = appendRequest(b, &m.Snapshot[i])
+	}
+	return putU32(b, m.StateBytes)
+}
+
+func readJoinReply(r *reader) *JoinReply {
+	m := &JoinReply{}
+	m.From = r.node()
+	m.StartCycle = r.u64()
+	na := r.count(4)
+	if na > 0 {
+		m.Alive = make([]NodeID, na)
+		for i := 0; i < na; i++ {
+			m.Alive[i] = r.node()
+		}
+	}
+	ni := r.count(4)
+	if ni > 0 {
+		m.Incarnations = make([]uint32, ni)
+		for i := 0; i < ni; i++ {
+			m.Incarnations[i] = r.u32()
+		}
+	}
+	ns := r.count(requestFixedSize)
+	if ns > 0 {
+		m.Snapshot = make([]Request, ns)
+		for i := 0; i < ns; i++ {
+			readRequest(r, &m.Snapshot[i])
+		}
+	}
+	m.StateBytes = r.u32()
+	return m
+}
+
+func (m *Envelope) WireSize() int {
+	n := 1 + 4 + 1
+	if m.Payload != nil {
+		n += m.Payload.WireSize()
+	}
+	return n
+}
+
+func (m *Envelope) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindBroadcast))
+	b = putNode(b, m.Origin)
+	if m.Payload == nil {
+		return putBool(b, false)
+	}
+	b = putBool(b, true)
+	return m.Payload.AppendTo(b)
+}
+
+func readEnvelope(r *reader) *Envelope {
+	m := &Envelope{}
+	m.Origin = r.node()
+	if r.boolean() && r.err == nil {
+		p, n, err := Decode(r.b[r.off:])
+		if err != nil {
+			r.err = err
+			return m
+		}
+		r.off += n
+		m.Payload = p
+	}
+	return m
+}
+
+// Decode decodes one message from the front of b, returning the message
+// and the number of bytes consumed.
+func Decode(b []byte) (Message, int, error) {
+	if len(b) == 0 {
+		return nil, 0, ErrTruncated
+	}
+	r := &reader{b: b, off: 1}
+	var m Message
+	switch Kind(b[0]) {
+	case KindProposal:
+		m = readProposal(r)
+	case KindProposalRequest:
+		m = readProposalRequest(r)
+	case KindRaftAppend:
+		m = readRaftAppend(r)
+	case KindRaftAppendReply:
+		m = readRaftAppendReply(r)
+	case KindRaftVote:
+		m = readRaftVote(r)
+	case KindRaftVoteReply:
+		m = readRaftVoteReply(r)
+	case KindPreAccept:
+		m = readPreAccept(r)
+	case KindPreAcceptReply:
+		m = readPreAcceptReply(r)
+	case KindAccept:
+		m = readAccept(r)
+	case KindAcceptReply:
+		m = readAcceptReply(r)
+	case KindCommit:
+		m = readCommit(r)
+	case KindZabForward:
+		m = readZabForward(r)
+	case KindZabPropose:
+		m = readZabPropose(r)
+	case KindZabAck:
+		m = readZabAck(r)
+	case KindZabCommit:
+		m = readZabCommit(r)
+	case KindZabInform:
+		m = readZabInform(r)
+	case KindPing:
+		m = readPing(r)
+	case KindGroupClosed:
+		m = readGroupClosed(r)
+	case KindJoinRequest:
+		m = readJoinRequest(r)
+	case KindJoinReply:
+		m = readJoinReply(r)
+	case KindBroadcast:
+		m = readEnvelope(r)
+	default:
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownKind, b[0])
+	}
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	return m, r.off, nil
+}

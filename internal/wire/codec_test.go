@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// messages returns one exemplar of every message type with explicit
+// (encodable) content.
+func exemplars() []Message {
+	b := &Batch{
+		Origin: 3,
+		Reqs: []Request{
+			{Client: 1, Seq: 2, Op: OpWrite, Key: 9, Val: []byte("hi")},
+			{Client: 1, Seq: 3, Op: OpRead, Key: 9},
+		},
+		NumRead: 1, NumWrite: 1,
+		Samples: []ArrivalSample{{At: 123, Count: 2, Read: true}},
+	}
+	return []Message{
+		&Proposal{Cycle: 7, Round: 2, VNode: "1.2", Origin: 4, Num: 99,
+			Batches: []*Batch{b},
+			Updates: []MemberUpdate{{Node: 5, Leave: true}},
+			Leases:  []LeaseRequest{{Key: 11, Node: 2}}},
+		&ProposalRequest{Cycle: 7, Round: 2, VNode: "1.3", From: 1},
+		&RaftAppend{Group: 9, Term: 3, Leader: 0, PrevIndex: 4, PrevTerm: 2, Commit: 4,
+			Entries: []RaftEntry{{Term: 3, Payload: &ProposalRequest{Cycle: 1, VNode: "1"}}, {Term: 3}}},
+		&RaftAppendReply{Group: 9, Term: 3, From: 2, Success: true, Match: 6},
+		&RaftVote{Group: 9, Term: 4, Candidate: 1, LastIndex: 6, LastTerm: 3},
+		&RaftVoteReply{Group: 9, Term: 4, From: 2, Granted: true},
+		&PreAccept{Replica: 1, Instance: 5, Ballot: 0, Batch: b, Seq: 2,
+			Deps: []InstanceRef{{Replica: 0, Instance: 4}}},
+		&PreAcceptReply{Replica: 1, Instance: 5, From: 2, OK: true, Seq: 3,
+			Deps: []InstanceRef{{Replica: 2, Instance: 1}}},
+		&Accept{Replica: 1, Instance: 5, Ballot: 1, Seq: 3},
+		&AcceptReply{Replica: 1, Instance: 5, Ballot: 1, From: 0, OK: true},
+		&Commit{Replica: 1, Instance: 5, Batch: b, Seq: 3},
+		&ZabForward{From: 6, Batch: b},
+		&ZabPropose{Epoch: 1, Zxid: 44, Batch: b},
+		&ZabAck{Epoch: 1, Zxid: 44, From: 3},
+		&ZabCommit{Epoch: 1, Zxid: 44},
+		&ZabInform{Epoch: 1, Zxid: 44, Batch: b},
+		&Ping{From: 2, Seq: 77},
+		&GroupClosed{Origin: 5},
+		&JoinRequest{From: 4},
+		&JoinReply{From: 2, StartCycle: 12, Alive: []NodeID{0, 1, 2},
+			Incarnations: []uint32{0, 1, 0},
+			Snapshot:     []Request{{Op: OpWrite, Key: 3, Val: []byte("v")}}},
+		&Envelope{Origin: 1, Payload: &Ping{From: 1, Seq: 2}},
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, m := range exemplars() {
+		buf := m.AppendTo(nil)
+		if got, want := len(buf), m.WireSize(); got != want {
+			t.Errorf("%v: encoded %d bytes, WireSize says %d", m.Kind(), got, want)
+		}
+		dec, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Kind(), err)
+		}
+		if n != len(buf) {
+			t.Errorf("%v: consumed %d of %d bytes", m.Kind(), n, len(buf))
+		}
+		if !reflect.DeepEqual(m, dec) {
+			t.Errorf("%v: round trip mismatch:\n in: %#v\nout: %#v", m.Kind(), m, dec)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	for _, m := range exemplars() {
+		buf := m.AppendTo(nil)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, _, err := Decode(buf[:cut]); err == nil {
+				// Truncation may still decode if the cut removed only
+				// trailing slice payloads whose counts shrank... it must
+				// not: counts are length-prefixed, so any cut must fail.
+				t.Fatalf("%v: decoding %d/%d bytes succeeded", m.Kind(), cut, len(buf))
+			}
+		}
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	if _, _, err := Decode([]byte{0xEE, 1, 2, 3}); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty buffer decoded")
+	}
+}
+
+// TestQuickProposalRoundTrip is the property-based version: random
+// proposals survive encode/decode bit-exactly.
+func TestQuickProposalRoundTrip(t *testing.T) {
+	f := func(cycle uint64, round uint8, vnode string, origin int32, num uint64,
+		keys []uint64, vals [][]byte, updates []int32) bool {
+		if len(vnode) > 1000 {
+			vnode = vnode[:1000]
+		}
+		p := &Proposal{Cycle: cycle, Round: round, VNode: vnode, Origin: NodeID(origin), Num: num}
+		b := &Batch{Origin: NodeID(origin)}
+		b.Reqs = []Request{}
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) && len(vals[i]) > 0 {
+				v = vals[i]
+			}
+			b.Reqs = append(b.Reqs, Request{Client: k % 7, Seq: uint64(i), Op: OpWrite, Key: k, Val: v})
+			b.NumWrite++
+		}
+		p.Batches = []*Batch{b}
+		for _, u := range updates {
+			p.Updates = append(p.Updates, MemberUpdate{Node: NodeID(u), Leave: u%2 == 0})
+		}
+		buf := p.AppendTo(nil)
+		if len(buf) != p.WireSize() {
+			return false
+		}
+		dec, n, err := Decode(buf)
+		return err == nil && n == len(buf) && reflect.DeepEqual(p, dec)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFluidBatchWireSizeCountsModeledBytes(t *testing.T) {
+	fluid := &Batch{Origin: 1, NumRead: 10, NumWrite: 5, ByteSize: 500}
+	explicit := &Batch{Origin: 1, Reqs: []Request{}, NumRead: 10}
+	if fluid.WireSize() <= explicit.WireSize() {
+		t.Fatalf("fluid batch must charge its modeled bytes: %d vs %d",
+			fluid.WireSize(), explicit.WireSize())
+	}
+	if got := fluid.PayloadBytes(); got != 500 {
+		t.Fatalf("fluid payload = %d, want 500", got)
+	}
+}
