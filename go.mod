@@ -1,0 +1,3 @@
+module canopus
+
+go 1.24

@@ -32,6 +32,7 @@ func (n *Node) commit(c *cycle) {
 	n.applyOrder(c.id, root.Batches)
 	n.applyMembership(c.id, root.Updates)
 	n.applyLeases(c.id, root.Leases)
+	n.revokeLeases(c.id, root.Updates)
 	n.runDeferredReads(c.id)
 
 	if n.cbs.OnCommit != nil {

@@ -1,6 +1,10 @@
 package core
 
-import "canopus/internal/wire"
+import (
+	"sort"
+
+	"canopus/internal/wire"
+)
 
 // Write leases (§7.2). Per key, during any cycle, either the lease is
 // inactive — no writes permitted, reads served locally and immediately —
@@ -79,11 +83,21 @@ func (n *Node) applyLeases(cyc uint64, reqs []wire.LeaseRequest) {
 			if until, ok := n.leases[l.Key]; ok && until > cyc {
 				n.leases[l.Key] = cyc
 			}
+			delete(n.leaseHolder, l.Key)
+			continue
+		}
+		if !n.view.Alive(l.Node) {
+			// The requester died before its request committed (pipelined
+			// cycles: the proposal's content was fixed before the Leave
+			// landed). Granting would park the lease on a corpse for the
+			// whole TTL with no Leave left to revoke it. The view is
+			// replicated state, so every node skips the same grants.
 			continue
 		}
 		until := cyc + uint64(n.cfg.LeaseTTL)
 		if cur, ok := n.leases[l.Key]; !ok || until > cur {
 			n.leases[l.Key] = until
+			n.leaseHolder[l.Key] = l.Node
 		}
 		if l.Node == n.cfg.Self {
 			delete(n.leaseRequested, l.Key)
@@ -103,7 +117,44 @@ func (n *Node) applyLeases(cyc uint64, reqs []wire.LeaseRequest) {
 	for key, until := range n.leases {
 		if until <= n.committed {
 			delete(n.leases, key)
+			delete(n.leaseHolder, key)
 		}
+	}
+}
+
+// revokeLeases expires every lease whose holder left the membership in
+// cycle cyc. A crashed holder can never use its lease again, but until
+// the TTL ran out every other node would keep deferring reads on the
+// key to cycle boundaries; revoking at the committed Leave restores the
+// §7.2 local-read fast path. The lease is cut to cyc+2 rather than cyc:
+// surviving nodes may hold writes enqueued while the lease was still
+// active that commit a cycle or two later, and reads must stay deferred
+// until those drain (the same two-cycle guard window the acquire path
+// keeps by renewing at remaining <= 2). All nodes apply identical
+// updates at identical boundaries, so the lease table stays replicated
+// state.
+func (n *Node) revokeLeases(cyc uint64, updates []wire.MemberUpdate) {
+	if !n.cfg.WriteLeases || len(updates) == 0 {
+		return
+	}
+	var revoke []uint64
+	for _, u := range updates {
+		if !u.Leave {
+			continue
+		}
+		for key, holder := range n.leaseHolder {
+			if holder == u.Node {
+				revoke = append(revoke, key)
+			}
+		}
+	}
+	// Sorted application keeps per-run traces replayable bit-identically.
+	sort.Slice(revoke, func(i, j int) bool { return revoke[i] < revoke[j] })
+	for _, key := range revoke {
+		if until, ok := n.leases[key]; ok && until > cyc+2 {
+			n.leases[key] = cyc + 2
+		}
+		delete(n.leaseHolder, key)
 	}
 }
 

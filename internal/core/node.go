@@ -104,7 +104,8 @@ type Node struct {
 	// Lease state (§7.2).
 	pendingLeases  []wire.LeaseRequest
 	leaseRequested map[uint64]bool
-	leases         map[uint64]uint64 // key -> last cycle the lease is active for
+	leases         map[uint64]uint64      // key -> last cycle the lease is active for
+	leaseHolder    map[uint64]wire.NodeID // key -> node that last acquired/renewed the lease
 	heldWrites     map[uint64][]heldWrite
 	deferredReads  map[uint64][]deferredRead
 
@@ -152,6 +153,7 @@ func NewNode(cfg Config, sm StateMachine, cbs Callbacks) *Node {
 		sponsoring:     make(map[wire.NodeID]uint64),
 		leaseRequested: make(map[uint64]bool),
 		leases:         make(map[uint64]uint64),
+		leaseHolder:    make(map[uint64]wire.NodeID),
 		heldWrites:     make(map[uint64][]heldWrite),
 		deferredReads:  make(map[uint64][]deferredRead),
 	}

@@ -93,6 +93,28 @@ func (n *Node) onPeerFailed(peer wire.NodeID) {
 			n.advance(c)
 		}
 	}
+	// Representative takeover (RCanopus §3, restricted to crash-stop):
+	// fetches the modulo rule assigned to the dead peer would otherwise
+	// wait for the slow escalation path, because no survivor set a retry
+	// deadline for them. Every surviving representative immediately
+	// re-drives the in-flight cycles by issuing all their missing
+	// fetches; the duplication is one round of redundant requests, the
+	// cut guarantees every survivor eventually does the same.
+	n.reassignFetches()
+}
+
+// reassignFetches force-issues every missing fetch of every in-flight
+// cycle, provided this node is a representative of the effective (post
+// failure-cut) membership.
+func (n *Node) reassignFetches() {
+	if !n.liveRepresentative() {
+		return
+	}
+	for k := n.committed + 1; k <= n.started; k++ {
+		if c, ok := n.cycles[k]; ok && c.started && !c.complete {
+			n.issueFetchesWith(c, true)
+		}
+	}
 }
 
 // advance drives cycle c through as many rounds as its inputs allow,
@@ -270,6 +292,15 @@ func (n *Node) stateFor(c *cycle, v string) *wire.Proposal {
 func (n *Node) issueFetches(c *cycle) { n.issueFetchesWith(c, false) }
 
 func (n *Node) issueFetchesWith(c *cycle, force bool) {
+	// One membership scan per call, not per vnode: this runs for every
+	// started cycle, and simulations run millions of them.
+	reps := n.effectiveReps()
+	isRep := false
+	for _, r := range reps {
+		if r == n.cfg.Self {
+			isRep = true
+		}
+	}
 	for r := 2; r <= n.tree.Height; r++ {
 		target := n.tree.Ancestor(n.sl, r)
 		ownBranch := n.tree.Ancestor(n.sl, r-1)
@@ -278,13 +309,12 @@ func (n *Node) issueFetchesWith(c *cycle, force bool) {
 				continue
 			}
 			if !force && !n.cfg.RedundantFetch {
-				rep := n.view.RepresentativeFor(n.sl, u, n.cfg.NumReps)
-				if rep != n.cfg.Self {
+				if n.repFor(reps, u) != n.cfg.Self {
 					continue
 				}
 			} else {
-				// Redundant mode: every representative fetches.
-				if !n.isRepresentative() {
+				// Redundant mode: every live representative fetches.
+				if !isRep {
 					continue
 				}
 			}
@@ -293,8 +323,41 @@ func (n *Node) issueFetchesWith(c *cycle, force bool) {
 	}
 }
 
-func (n *Node) isRepresentative() bool {
-	for _, r := range n.view.Representatives(n.sl, n.cfg.NumReps) {
+// effectiveReps returns the super-leaf's representative set computed
+// over the effective membership: the committed view minus peers beyond
+// the failure cut. The view still lists a freshly failed peer until its
+// Leave update commits — which may never happen if the cycle carrying it
+// is itself stuck behind the dead representative's fetches — so both
+// fetch assignment and failure recovery must exclude cut peers, or new
+// cycles keep assigning fetches to a corpse.
+func (n *Node) effectiveReps() []wire.NodeID {
+	reps := make([]wire.NodeID, 0, n.cfg.NumReps)
+	for _, m := range n.view.Members(n.sl) {
+		if n.closedPeers[m] {
+			continue
+		}
+		reps = append(reps, m)
+		if len(reps) == n.cfg.NumReps {
+			break
+		}
+	}
+	return reps
+}
+
+// repFor returns the representative responsible for fetching vnode u's
+// state, via the §4.5 modulo rule over the given effective
+// representative set (callers hoist effectiveReps out of their loops).
+func (n *Node) repFor(reps []wire.NodeID, u string) wire.NodeID {
+	if len(reps) == 0 {
+		return wire.NoNode
+	}
+	return reps[n.tree.Ordinal(u)%len(reps)]
+}
+
+// liveRepresentative reports whether this node is an effective
+// representative.
+func (n *Node) liveRepresentative() bool {
+	for _, r := range n.effectiveReps() {
 		if r == n.cfg.Self {
 			return true
 		}
@@ -389,6 +452,7 @@ func (n *Node) onFetchResponse(p *wire.Proposal) {
 // about responsibilities.
 func (n *Node) retryFetches() {
 	now := n.env.Now()
+	liveRep := n.liveRepresentative() // once per pass, not per cycle
 	for k := n.committed + 1; k <= n.started; k++ {
 		c, ok := n.cycles[k]
 		if !ok || !c.started || c.complete || c.round < 2 {
@@ -406,7 +470,7 @@ func (n *Node) retryFetches() {
 		for _, u := range due {
 			n.sendFetch(c, u)
 		}
-		if n.isRepresentative() && now-c.startedAt > 4*n.cfg.FetchTimeout {
+		if liveRep && now-c.startedAt > 4*n.cfg.FetchTimeout {
 			n.issueFetchesWith(c, true)
 		}
 	}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"canopus/internal/netsim"
+	"canopus/internal/wire"
+)
+
+// TestScenarioCatalog runs every cataloged chaos scenario and checks the
+// three invariants all of them share: the system keeps (or resumes)
+// committing, the completed-operation history is linearizable, and the
+// run is reproducible. Under -short only the two cheapest scenarios run.
+func TestScenarioCatalog(t *testing.T) {
+	scenarios := Scenarios(11)
+	if testing.Short() {
+		scenarios = []Scenario{ScenarioMinorityCrash(11), ScenarioRepresentativeCrashMidCycle(11)}
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			r := RunChaos(sc.Spec)
+			t.Logf("%s: %s events=%d", sc.Name, r, r.Events)
+			if !r.Linearizable {
+				t.Fatalf("history of %d ops is not linearizable", len(r.History))
+			}
+			if r.Commits == 0 || r.OpsDone == 0 {
+				t.Fatalf("no progress: commits=%d ops=%d", r.Commits, r.OpsDone)
+			}
+			if sc.Spec.FaultAt > 0 && !r.Recovered {
+				t.Fatalf("no commit after the fault at %v (longest stall %v)", sc.Spec.FaultAt, r.LongestStall)
+			}
+		})
+	}
+}
+
+// TestRepresentativeCrashMidCycleCommitsAfterRecovery is the acceptance
+// scenario: a representative dies mid-cycle, the cluster commits the
+// in-flight cycle after recovery with a linearizable history, and
+// replaying the same seed + FaultPlan yields an identical commit log.
+func TestRepresentativeCrashMidCycleCommitsAfterRecovery(t *testing.T) {
+	sc := ScenarioRepresentativeCrashMidCycle(7)
+	r1 := RunChaos(sc.Spec)
+	t.Logf("run: %s", r1)
+	if !r1.Linearizable {
+		t.Fatal("history not linearizable")
+	}
+	if !r1.Recovered {
+		t.Fatalf("cluster never committed after the representative crash (stall %v)", r1.LongestStall)
+	}
+	// Commits strictly after the fault: the availability timeline must
+	// contain post-fault events beyond the pre-fault count.
+	if r1.Recovery > 2*time.Second {
+		t.Fatalf("recovery took %v; failure cut + fetch takeover should land well under 2s", r1.Recovery)
+	}
+
+	r2 := RunChaos(sc.Spec)
+	if r1.CommitDigest != r2.CommitDigest || r1.StateDigest != r2.StateDigest ||
+		r1.Commits != r2.Commits || r1.Events != r2.Events {
+		t.Fatalf("replay diverged: commits %d/%d digest %x/%x state %x/%x events %d/%d",
+			r1.Commits, r2.Commits, r1.CommitDigest, r2.CommitDigest,
+			r1.StateDigest, r2.StateDigest, r1.Events, r2.Events)
+	}
+	if len(r1.History) != len(r2.History) {
+		t.Fatalf("replay produced different histories: %d vs %d ops", len(r1.History), len(r2.History))
+	}
+}
+
+// TestWANPartitionAvailabilityDip checks the availability metrics see
+// the partition: commits stall for roughly the cut's length and resume
+// promptly after the heal.
+func TestWANPartitionAvailabilityDip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN scenario is covered by the catalog test in full mode")
+	}
+	sc := ScenarioWANPartitionHeal(3)
+	r := RunChaos(sc.Spec)
+	t.Logf("wan: %s", r)
+	if !r.Linearizable {
+		t.Fatal("history not linearizable")
+	}
+	// The cut lasts 1s; the longest commit-free span must reflect it.
+	if r.LongestStall < 900*time.Millisecond {
+		t.Fatalf("longest stall %v; expected ≈1s partition outage", r.LongestStall)
+	}
+	if !r.Recovered || r.Recovery > time.Second {
+		t.Fatalf("commits did not resume promptly after heal: recovered=%v in %v", r.Recovered, r.Recovery)
+	}
+	if r.Availability < 0.4 || r.Availability > 0.95 {
+		t.Fatalf("availability %.2f implausible for a 1s outage in a 6s run", r.Availability)
+	}
+}
+
+// TestRollingRestartsConverge checks state-loss restarts: after both
+// nodes rejoin via the join protocol, every replica holds the same
+// state.
+func TestRollingRestartsConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the catalog test in full mode")
+	}
+	sc := ScenarioRollingRestarts(5)
+	r := RunChaos(sc.Spec)
+	t.Logf("rolling: %s", r)
+	if !r.Linearizable {
+		t.Fatal("history not linearizable")
+	}
+	// The crashes must actually interrupt service: each kill stalls
+	// commits for at least the broadcast failure-detection window
+	// (25×4×Tick = 100ms) before the cut re-drives the cycles.
+	if r.LongestStall < 100*time.Millisecond {
+		t.Fatalf("longest stall %v; the crash plan did not bite", r.LongestStall)
+	}
+}
+
+// TestFluidRunSurvivesFaults exercises the Spec.Faults plumbing on the
+// fluid (figure-generating) path: a crash plus restart mid-measurement
+// must not wedge the run, and throughput must stay positive.
+func TestFluidRunSurvivesFaults(t *testing.T) {
+	spec := quickSpec(Canopus)
+	spec.Faults = netsim.FaultPlan{
+		Crashes: []netsim.CrashFault{{
+			At: 300 * time.Millisecond, Node: 5, RestartAt: 450 * time.Millisecond,
+		}},
+	}
+	r := Run(spec, 50_000)
+	if r.Throughput <= 0 {
+		t.Fatalf("throughput %.0f with a crash-restart plan", r.Throughput)
+	}
+	t.Logf("fluid with faults: tput=%.0f median=%v", r.Throughput, r.Median)
+}
+
+// TestChaosReferencePicksUncrashedNode pins the digest anchor rule.
+func TestChaosReferencePicksUncrashedNode(t *testing.T) {
+	plan := netsim.FaultPlan{Crashes: []netsim.CrashFault{
+		{At: time.Second, Node: 0}, {At: time.Second, Node: 1, RestartAt: 2 * time.Second},
+	}}
+	if got := referenceNode(6, plan); got != wire.NodeID(2) {
+		t.Fatalf("reference = %v, want 2", got)
+	}
+}

@@ -5,10 +5,21 @@ import (
 	"time"
 )
 
+// windows returns (warmup, measure) scaled down under -short so the
+// fluid-run tests fit a CI budget; local full runs keep the seed's
+// original windows.
+func windows(warm, meas time.Duration) (time.Duration, time.Duration) {
+	if testing.Short() {
+		return warm / 2, meas / 2
+	}
+	return warm, meas
+}
+
 func quickSpec(sys System) Spec {
+	warm, meas := windows(200*time.Millisecond, 500*time.Millisecond)
 	return Spec{
 		System: sys, Groups: 3, PerGroup: 3, WriteRatio: 0.2,
-		Seed: 3, Warmup: 200 * time.Millisecond, Measure: 500 * time.Millisecond,
+		Seed: 3, Warmup: warm, Measure: meas,
 	}
 }
 
@@ -40,9 +51,15 @@ func TestZabFluidRun(t *testing.T) {
 }
 
 func TestMultiDCCanopusRun(t *testing.T) {
+	// WAN pipelines need most of the warmup to fill; shrink only the
+	// measure window under -short.
+	meas := time.Second
+	if testing.Short() {
+		meas = 500 * time.Millisecond
+	}
 	spec := Spec{
 		System: Canopus, MultiDC: true, Groups: 3, PerGroup: 3, WriteRatio: 0.2,
-		Seed: 3, Warmup: 1200 * time.Millisecond, Measure: time.Second,
+		Seed: 3, Warmup: 1200 * time.Millisecond, Measure: meas,
 	}
 	r := Run(spec, 200_000)
 	if r.Throughput < 150_000 {

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"time"
+
+	"canopus/internal/core"
+	"canopus/internal/netsim"
+	"canopus/internal/wire"
+)
+
+// Scenario catalog: the named chaos experiments the repo regression-
+// tests. The paper evaluates only failure-free executions and itself
+// concedes Canopus stalls when a whole super-leaf fails (§6); these
+// scenarios pin down exactly what the implementation does under the
+// failures RCanopus (arXiv:1810.09300) was written to address, within
+// this repo's crash-stop model:
+//
+//   - minority-crash: a super-leaf loses one of three members and keeps
+//     committing after the failure cut.
+//   - representative-crash-mid-cycle: the fetch-responsible
+//     representative dies with a cycle in flight; survivors take over
+//     its fetch assignment and drive the cycle to commit.
+//   - wan-partition-heal: a datacenter is cut off; commits stall
+//     globally (stall semantics, §6) and resume after the heal.
+//   - flapping-link: the inter-rack path degrades repeatedly (latency
+//     spikes + 30% loss); fetch retries ride it out with no stall longer
+//     than the flap period.
+//   - rolling-restarts: nodes crash with total state loss and rejoin
+//     through the §4.6 join protocol, one after another.
+//
+// Every scenario's history must check out linearizable, and replaying
+// the same seed + plan must reproduce the commit log bit-identically.
+
+// Scenario is one named chaos experiment.
+type Scenario struct {
+	Name string
+	Spec ChaosSpec
+}
+
+// ids is a convenience for fault-plan node sets.
+func ids(ns ...int) []wire.NodeID {
+	out := make([]wire.NodeID, len(ns))
+	for i, n := range ns {
+		out[i] = wire.NodeID(n)
+	}
+	return out
+}
+
+// ScenarioMinorityCrash crashes one member of super-leaf 1 (of three
+// racks) with no restart. The failure cut must commit its Leave and
+// service must continue on the survivors.
+func ScenarioMinorityCrash(seed int64) Scenario {
+	return Scenario{
+		Name: "minority-crash",
+		Spec: ChaosSpec{
+			Groups: 3, PerGroup: 3, Seed: seed,
+			Duration: 5 * time.Second,
+			FaultAt:  1500 * time.Millisecond,
+			Faults: netsim.FaultPlan{
+				Crashes: []netsim.CrashFault{{At: 1500 * time.Millisecond, Node: 4}},
+			},
+		},
+	}
+}
+
+// ScenarioRepresentativeCrashMidCycle kills node 0 — as the lowest ID
+// it is always a representative of super-leaf 0 — under continuous load,
+// so cycles are guaranteed to be in flight at the crash. A latency fault
+// straddling the crash keeps the victim's remote fetch unresolved when
+// it dies, forcing the surviving representatives' takeover path.
+func ScenarioRepresentativeCrashMidCycle(seed int64) Scenario {
+	rack0, rack1 := ids(0, 1, 2), ids(3, 4, 5)
+	return Scenario{
+		Name: "representative-crash-mid-cycle",
+		Spec: ChaosSpec{
+			Groups: 2, PerGroup: 3, Seed: seed,
+			Duration: 5 * time.Second,
+			FaultAt:  1200 * time.Millisecond,
+			Node:     core.Config{FetchTimeout: 100 * time.Millisecond},
+			Faults: netsim.FaultPlan{
+				Latencies: []netsim.LatencyFault{
+					{At: 1100 * time.Millisecond, Until: 1600 * time.Millisecond,
+						From: rack0, To: rack1, Extra: 150 * time.Millisecond},
+					{At: 1100 * time.Millisecond, Until: 1600 * time.Millisecond,
+						From: rack1, To: rack0, Extra: 150 * time.Millisecond},
+				},
+				Crashes: []netsim.CrashFault{{At: 1200 * time.Millisecond, Node: 0}},
+			},
+		},
+	}
+}
+
+// ScenarioWANPartitionHeal cuts datacenter 0 off from the other two for
+// one second. No super-leaf loses quorum, so nothing stalls permanently;
+// commits pause during the cut (remote branch states are unreachable)
+// and resume after the heal.
+func ScenarioWANPartitionHeal(seed int64) Scenario {
+	dc0, rest := ids(0, 1, 2), ids(3, 4, 5, 6, 7, 8)
+	return Scenario{
+		Name: "wan-partition-heal",
+		Spec: ChaosSpec{
+			MultiDC: true, Groups: 3, PerGroup: 3, Seed: seed,
+			Duration:  6 * time.Second,
+			FaultAt:   2500 * time.Millisecond, // the heal: recovery is measured from here
+			OpTimeout: 2 * time.Second,
+			Node: core.Config{
+				CycleInterval: 5 * time.Millisecond,
+				FetchTimeout:  300 * time.Millisecond,
+			},
+			Faults: netsim.FaultPlan{
+				Partitions: []netsim.PartitionFault{{
+					At: 1500 * time.Millisecond, Heal: 2500 * time.Millisecond,
+					A: dc0, B: rest,
+				}},
+			},
+		},
+	}
+}
+
+// ScenarioFlappingLink repeatedly degrades the rack0↔rack1 path: five
+// 250ms windows of +20ms latency and 30% packet loss, 500ms apart.
+// Intra-super-leaf traffic is untouched, so failure detectors stay
+// quiet; cross-leaf fetch retries absorb the loss.
+func ScenarioFlappingLink(seed int64) Scenario {
+	rack0, rack1 := ids(0, 1, 2), ids(3, 4, 5)
+	plan := netsim.FaultPlan{}
+	for k := 0; k < 5; k++ {
+		at := time.Duration(1000+500*k) * time.Millisecond
+		until := at + 250*time.Millisecond
+		plan.Latencies = append(plan.Latencies,
+			netsim.LatencyFault{At: at, Until: until, From: rack0, To: rack1, Extra: 20 * time.Millisecond},
+			netsim.LatencyFault{At: at, Until: until, From: rack1, To: rack0, Extra: 20 * time.Millisecond},
+		)
+		plan.Drops = append(plan.Drops,
+			netsim.DropFault{At: at, Until: until, From: rack0, To: rack1, Prob: 0.3},
+			netsim.DropFault{At: at, Until: until, From: rack1, To: rack0, Prob: 0.3},
+		)
+	}
+	return Scenario{
+		Name: "flapping-link",
+		Spec: ChaosSpec{
+			Groups: 2, PerGroup: 3, Seed: seed,
+			Duration: 5 * time.Second,
+			Node:     core.Config{FetchTimeout: 50 * time.Millisecond},
+			Faults:   plan,
+		},
+	}
+}
+
+// ScenarioRollingRestarts crashes two nodes in different super-leaves,
+// each with total state loss, and restarts them through the join
+// protocol before the next one goes down.
+func ScenarioRollingRestarts(seed int64) Scenario {
+	return Scenario{
+		Name: "rolling-restarts",
+		Spec: ChaosSpec{
+			Groups: 2, PerGroup: 3, Seed: seed,
+			Duration: 8 * time.Second,
+			FaultAt:  time.Second,
+			Faults: netsim.FaultPlan{
+				Crashes: []netsim.CrashFault{
+					{At: time.Second, Node: 1, RestartAt: 3 * time.Second},
+					{At: 4 * time.Second, Node: 4, RestartAt: 6 * time.Second},
+				},
+			},
+		},
+	}
+}
+
+// Scenarios returns the full catalog at one seed.
+func Scenarios(seed int64) []Scenario {
+	return []Scenario{
+		ScenarioMinorityCrash(seed),
+		ScenarioRepresentativeCrashMidCycle(seed),
+		ScenarioWANPartitionHeal(seed),
+		ScenarioFlappingLink(seed),
+		ScenarioRollingRestarts(seed),
+	}
+}

@@ -7,21 +7,32 @@ import (
 
 // TestShapeFig4a spot-checks the headline claim at reduced windows: at 27
 // nodes with a read-heavy mix, Canopus sustains a multiple of EPaxos.
+// Under -short the windows and search resolution shrink further and only
+// the essential 27-node comparison runs, with a correspondingly coarser
+// bound.
 func TestShapeFig4a(t *testing.T) {
+	warm, meas := windows(300*time.Millisecond, 700*time.Millisecond)
+	bisections := 2
 	if testing.Short() {
-		t.Skip("calibration check")
+		bisections = 1
 	}
-	warm, meas := 300*time.Millisecond, 700*time.Millisecond
 	run := func(sys System, perRack int, ratio float64, batch time.Duration) Result {
 		return MaxThroughput(Spec{
 			System: sys, Groups: 3, PerGroup: perRack, WriteRatio: ratio,
 			EPaxosBatch: batch, Seed: 5, Warmup: warm, Measure: meas,
-		}, SingleDCThreshold, 100_000, 2)
+		}, SingleDCThreshold, 100_000, bisections)
+	}
+	c27 := run(Canopus, 9, 0.2, 0)
+	e27 := run(EPaxos, 9, 0.2, 5*time.Millisecond)
+	if testing.Short() {
+		t.Logf("short: Canopus 27n=%.0f EPaxos5ms 27n=%.0f", c27.Throughput, e27.Throughput)
+		if c27.Throughput < 2*e27.Throughput {
+			t.Errorf("Canopus at 27 nodes should be >=2x EPaxos-5ms: %.0f vs %.0f", c27.Throughput, e27.Throughput)
+		}
+		return
 	}
 	c9 := run(Canopus, 3, 0.2, 0)
-	c27 := run(Canopus, 9, 0.2, 0)
 	e9 := run(EPaxos, 3, 0.2, 5*time.Millisecond)
-	e27 := run(EPaxos, 9, 0.2, 5*time.Millisecond)
 	e27b2 := run(EPaxos, 9, 0.2, 2*time.Millisecond)
 	cw27 := run(Canopus, 9, 1.0, 0)
 	t.Logf("Canopus 20%%w: 9n=%.0f 27n=%.0f | EPaxos5ms: 9n=%.0f 27n=%.0f | EPaxos2ms 27n=%.0f | Canopus100%%w 27n=%.0f",

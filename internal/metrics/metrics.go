@@ -160,6 +160,92 @@ func (h *Histogram) String() string {
 		h.max.Round(time.Microsecond))
 }
 
+// Availability tracks service liveness over a run from discrete
+// progress events (typically cycle commits at a reference replica). The
+// chaos harness uses it to report how long fault injection actually
+// interrupted service and how quickly the system recovered.
+//
+// Events must be recorded in non-decreasing time order (simulations
+// observe commits on a monotone virtual clock).
+type Availability struct {
+	// Window is the bucketing granularity for Fraction (default 100ms).
+	Window time.Duration
+	events []time.Duration
+}
+
+func (a *Availability) window() time.Duration {
+	if a.Window <= 0 {
+		return 100 * time.Millisecond
+	}
+	return a.Window
+}
+
+// Record notes one progress event at time t.
+func (a *Availability) Record(t time.Duration) { a.events = append(a.events, t) }
+
+// Events returns the number of recorded events.
+func (a *Availability) Events() int { return len(a.events) }
+
+// Fraction returns the fraction of whole windows in [start, end) that
+// contain at least one event — the run's availability. It returns 0 when
+// the interval spans no full window.
+func (a *Availability) Fraction(start, end time.Duration) float64 {
+	w := a.window()
+	n := int((end - start) / w)
+	if n <= 0 {
+		return 0
+	}
+	seen := make([]bool, n)
+	for _, t := range a.events {
+		if t < start || t >= start+time.Duration(n)*w {
+			continue
+		}
+		seen[int((t-start)/w)] = true
+	}
+	up := 0
+	for _, s := range seen {
+		if s {
+			up++
+		}
+	}
+	return float64(up) / float64(n)
+}
+
+// LongestGap returns the longest event-free span inside [start, end],
+// counting the lead-in before the first event and the tail after the
+// last one. With no events it returns end-start.
+func (a *Availability) LongestGap(start, end time.Duration) time.Duration {
+	longest := time.Duration(0)
+	prev := start
+	for _, t := range a.events {
+		if t < start {
+			continue
+		}
+		if t > end {
+			break
+		}
+		if gap := t - prev; gap > longest {
+			longest = gap
+		}
+		prev = t
+	}
+	if gap := end - prev; gap > longest {
+		longest = gap
+	}
+	return longest
+}
+
+// RecoveryAfter returns how long after the fault at t the first
+// subsequent event occurred, and whether one occurred at all.
+func (a *Availability) RecoveryAfter(t time.Duration) (time.Duration, bool) {
+	for _, e := range a.events {
+		if e >= t {
+			return e - t, true
+		}
+	}
+	return 0, false
+}
+
 // Throughput converts a request count over a window into requests/second.
 func Throughput(count uint64, window time.Duration) float64 {
 	if window <= 0 {

@@ -66,6 +66,55 @@ func TestQuickQuantileAccuracy(t *testing.T) {
 	}
 }
 
+func TestAvailabilityFraction(t *testing.T) {
+	a := Availability{Window: 100 * time.Millisecond}
+	// Events in 4 of 10 windows of [0s, 1s).
+	for _, ms := range []int{10, 50, 150, 420, 430, 910} {
+		a.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if got := a.Fraction(0, time.Second); got != 0.4 {
+		t.Fatalf("fraction = %v, want 0.4", got)
+	}
+	// Restricting the interval re-buckets: [400ms, 1s) has 6 windows,
+	// events in 2 of them.
+	if got := a.Fraction(400*time.Millisecond, time.Second); got < 0.33 || got > 0.34 {
+		t.Fatalf("windowed fraction = %v", got)
+	}
+	if got := (&Availability{}).Fraction(0, time.Second); got != 0 {
+		t.Fatalf("empty fraction = %v", got)
+	}
+	if got := a.Fraction(0, 50*time.Millisecond); got != 0 {
+		t.Fatalf("sub-window fraction = %v", got)
+	}
+}
+
+func TestAvailabilityGapsAndRecovery(t *testing.T) {
+	var a Availability
+	a.Record(100 * time.Millisecond)
+	a.Record(200 * time.Millisecond)
+	a.Record(900 * time.Millisecond)
+	if got := a.LongestGap(0, time.Second); got != 700*time.Millisecond {
+		t.Fatalf("longest gap = %v, want 700ms", got)
+	}
+	// Tail gap dominates when no event follows.
+	if got := a.LongestGap(0, 3*time.Second); got != 2100*time.Millisecond {
+		t.Fatalf("tail gap = %v, want 2.1s", got)
+	}
+	if got := (&Availability{}).LongestGap(0, time.Second); got != time.Second {
+		t.Fatalf("empty gap = %v", got)
+	}
+	rec, ok := a.RecoveryAfter(250 * time.Millisecond)
+	if !ok || rec != 650*time.Millisecond {
+		t.Fatalf("recovery = %v/%v, want 650ms", rec, ok)
+	}
+	if _, ok := a.RecoveryAfter(time.Second); ok {
+		t.Fatal("recovery reported after the last event")
+	}
+	if a.Events() != 3 {
+		t.Fatalf("events = %d", a.Events())
+	}
+}
+
 func TestFormatRate(t *testing.T) {
 	for _, tc := range []struct {
 		in   float64

@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"canopus/internal/engine"
+	"canopus/internal/wire"
+)
+
+// Deterministic fault injection.
+//
+// A FaultPlan is a declarative schedule of network and node faults,
+// executed on the simulation's virtual clock. Because every fault fires
+// at a fixed virtual time and every probabilistic decision draws from a
+// dedicated seeded source in deterministic event order, a run with the
+// same seed and the same plan replays bit-identically — the property the
+// chaos harness relies on to diff commit logs across replays.
+//
+// Network faults act at send time: a message crossing a cut or lossy
+// pair is dropped before it is scheduled for delivery, and a message
+// crossing a slowed pair has the extra delay added to its arrival time.
+// Messages already in flight when a partition starts are delivered (they
+// left the sender before the cut), matching how a real partition severs
+// a path rather than erasing packets retroactively.
+
+// PartitionFault cuts every link between node sets A and B, in both
+// directions, from At until Heal (Heal == 0 means the partition never
+// heals).
+type PartitionFault struct {
+	At   time.Duration
+	Heal time.Duration
+	A, B []wire.NodeID
+}
+
+// CrashFault crash-stops Node at At with total state loss. If RestartAt
+// is non-zero and a restart factory was installed, the node comes back
+// at RestartAt with a fresh machine (typically a protocol-level joiner).
+type CrashFault struct {
+	At        time.Duration
+	Node      wire.NodeID
+	RestartAt time.Duration
+}
+
+// LatencyFault adds Extra one-way delay to every message from a node in
+// From to a node in To (directed), from At until Until. Nil From or To
+// means "all nodes".
+type LatencyFault struct {
+	At, Until time.Duration
+	From, To  []wire.NodeID
+	Extra     time.Duration
+}
+
+// DropFault drops each message from a node in From to a node in To
+// (directed) with probability Prob, from At until Until. Nil From or To
+// means "all nodes". Overlapping drop windows on the same pair combine
+// additively, capped at 1.
+type DropFault struct {
+	At, Until time.Duration
+	From, To  []wire.NodeID
+	Prob      float64
+}
+
+// FaultPlan is a full fault schedule for one run.
+type FaultPlan struct {
+	Partitions []PartitionFault
+	Crashes    []CrashFault
+	Latencies  []LatencyFault
+	Drops      []DropFault
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *FaultPlan) Empty() bool {
+	return len(p.Partitions) == 0 && len(p.Crashes) == 0 &&
+		len(p.Latencies) == 0 && len(p.Drops) == 0
+}
+
+// pairFault is the live fault state of one directed (src,dst) pair.
+type pairFault struct {
+	cut   int // number of active partitions covering the pair
+	extra time.Duration
+	drop  float64
+}
+
+// faultState holds the runner's active network faults.
+type faultState struct {
+	pairs map[uint64]*pairFault
+	rng   *rand.Rand // dedicated source: drops don't perturb node RNGs
+}
+
+func pairKey(from, to wire.NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+func (f *faultState) pair(from, to wire.NodeID) *pairFault {
+	k := pairKey(from, to)
+	p := f.pairs[k]
+	if p == nil {
+		p = &pairFault{}
+		f.pairs[k] = p
+	}
+	return p
+}
+
+// admit decides whether a message from->to passes the current faults and
+// returns the extra delay to apply. Called once per message at send time.
+func (f *faultState) admit(from, to wire.NodeID) (ok bool, extra time.Duration) {
+	p := f.pairs[pairKey(from, to)]
+	if p == nil {
+		return true, 0
+	}
+	if p.cut > 0 {
+		return false, 0
+	}
+	if p.drop > 0 {
+		prob := p.drop
+		if prob > 1 {
+			prob = 1
+		}
+		if f.rng.Float64() < prob {
+			return false, 0
+		}
+	}
+	return true, p.extra
+}
+
+// InstallFaults schedules plan on the runner's simulator. restart, when
+// non-nil, builds the replacement machine for a crashed node whose
+// CrashFault sets RestartAt; with a nil factory such nodes stay down.
+// Call once, before running the simulation.
+func (r *Runner) InstallFaults(plan FaultPlan, restart func(wire.NodeID) engine.Machine) {
+	if r.faults == nil {
+		r.faults = &faultState{
+			pairs: make(map[uint64]*pairFault),
+			// Offset keeps the drop stream independent of the node RNG
+			// streams derived from the same seed.
+			rng: rand.New(rand.NewSource(r.seed ^ 0x5eed_fa17)),
+		}
+	}
+	f := r.faults
+	for _, pf := range plan.Partitions {
+		pf := pf
+		r.Sim.At(pf.At, func() { f.setPartition(pf.A, pf.B, +1) })
+		if pf.Heal > 0 {
+			r.Sim.At(pf.Heal, func() { f.setPartition(pf.A, pf.B, -1) })
+		}
+	}
+	for _, cf := range plan.Crashes {
+		cf := cf
+		r.Sim.At(cf.At, func() { r.Crash(cf.Node) })
+		if cf.RestartAt > 0 && restart != nil {
+			r.Sim.At(cf.RestartAt, func() { r.Restart(cf.Node, restart(cf.Node)) })
+		}
+	}
+	for _, lf := range plan.Latencies {
+		lf := lf
+		r.Sim.At(lf.At, func() { f.forEachPair(r, lf.From, lf.To, func(p *pairFault) { p.extra += lf.Extra }) })
+		if lf.Until > 0 {
+			r.Sim.At(lf.Until, func() { f.forEachPair(r, lf.From, lf.To, func(p *pairFault) { p.extra -= lf.Extra }) })
+		}
+	}
+	for _, df := range plan.Drops {
+		df := df
+		r.Sim.At(df.At, func() { f.forEachPair(r, df.From, df.To, func(p *pairFault) { p.drop += df.Prob }) })
+		if df.Until > 0 {
+			r.Sim.At(df.Until, func() { f.forEachPair(r, df.From, df.To, func(p *pairFault) { p.drop -= df.Prob }) })
+		}
+	}
+}
+
+// setPartition raises (delta=+1) or lowers (delta=-1) the cut count on
+// every directed pair between A and B.
+func (f *faultState) setPartition(a, b []wire.NodeID, delta int) {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				continue
+			}
+			f.pair(x, y).cut += delta
+			f.pair(y, x).cut += delta
+		}
+	}
+}
+
+// forEachPair applies fn to every directed (from,to) pair in from×to,
+// defaulting nil sets to all nodes, skipping self-pairs.
+func (f *faultState) forEachPair(r *Runner, from, to []wire.NodeID, fn func(*pairFault)) {
+	if from == nil {
+		from = r.allNodeIDs()
+	}
+	if to == nil {
+		to = r.allNodeIDs()
+	}
+	for _, x := range from {
+		for _, y := range to {
+			if x == y {
+				continue
+			}
+			fn(f.pair(x, y))
+		}
+	}
+}
+
+func (r *Runner) allNodeIDs() []wire.NodeID {
+	out := make([]wire.NodeID, len(r.nodes))
+	for i := range r.nodes {
+		out[i] = wire.NodeID(i)
+	}
+	return out
+}
+
+// Partitioned reports whether messages from a to b are currently cut
+// (exposed for tests and diagnostics).
+func (r *Runner) Partitioned(a, b wire.NodeID) bool {
+	if r.faults == nil {
+		return false
+	}
+	p := r.faults.pairs[pairKey(a, b)]
+	return p != nil && p.cut > 0
+}

@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"canopus/internal/engine"
+	"canopus/internal/wire"
+)
+
+// pingAt schedules a unicast Ping from a's env at virtual time at.
+func pingAt(sim *Sim, m *echoMachine, at time.Duration, to wire.NodeID) {
+	sim.At(at, func() { m.env.Send(to, &wire.Ping{From: m.env.ID()}) })
+}
+
+func faultPair(t *testing.T) (*Sim, *Runner, *echoMachine, *echoMachine) {
+	t.Helper()
+	sim := NewSim()
+	topo := SingleDC(2, 1, Params{}) // two racks, so the pair crosses the aggregation layer
+	r := NewRunner(sim, topo, DefaultCosts(), 1)
+	a, b := &echoMachine{}, &echoMachine{}
+	r.Register(0, a)
+	r.Register(1, b)
+	return sim, r, a, b
+}
+
+func TestPartitionCutsAndHeals(t *testing.T) {
+	sim, r, a, b := faultPair(t)
+	r.InstallFaults(FaultPlan{Partitions: []PartitionFault{{
+		At: 10 * time.Millisecond, Heal: 30 * time.Millisecond,
+		A: []wire.NodeID{0}, B: []wire.NodeID{1},
+	}}}, nil)
+
+	pingAt(sim, a, 5*time.Millisecond, 1)  // before the cut: delivered
+	pingAt(sim, a, 15*time.Millisecond, 1) // during: dropped
+	pingAt(sim, b, 20*time.Millisecond, 0) // both directions are cut
+	pingAt(sim, a, 35*time.Millisecond, 1) // after heal: delivered
+
+	sim.RunUntil(12 * time.Millisecond)
+	if !r.Partitioned(0, 1) || !r.Partitioned(1, 0) {
+		t.Fatal("partition not active at t=12ms")
+	}
+	sim.RunUntil(50 * time.Millisecond)
+	if r.Partitioned(0, 1) {
+		t.Fatal("partition did not heal")
+	}
+	if b.got != 2 {
+		t.Fatalf("node 1 received %d messages, want 2 (pre-cut and post-heal)", b.got)
+	}
+	if a.got != 0 {
+		t.Fatalf("node 0 received %d messages, want 0", a.got)
+	}
+}
+
+func TestLatencySpikeDelaysDelivery(t *testing.T) {
+	const extra = 40 * time.Millisecond
+	sim, r, a, b := faultPair(t)
+	r.InstallFaults(FaultPlan{Latencies: []LatencyFault{{
+		At: 0, Until: 100 * time.Millisecond,
+		From: []wire.NodeID{0}, To: []wire.NodeID{1}, Extra: extra,
+	}}}, nil)
+	pingAt(sim, a, time.Millisecond, 1)
+	sim.RunUntil(extra - time.Millisecond)
+	if b.got != 0 {
+		t.Fatal("message arrived before the spike delay elapsed")
+	}
+	sim.RunUntil(extra + 10*time.Millisecond)
+	if b.got != 1 {
+		t.Fatalf("message never arrived: got=%d", b.got)
+	}
+	// Expired window: back to base latency.
+	pingAt(sim, a, 110*time.Millisecond, 1)
+	sim.RunUntil(115 * time.Millisecond)
+	if b.got != 2 {
+		t.Fatal("post-window message still delayed")
+	}
+}
+
+func TestDropFaultIsProbabilisticAndDeterministic(t *testing.T) {
+	run := func() int {
+		sim := NewSim()
+		topo := SingleDC(2, 1, Params{})
+		r := NewRunner(sim, topo, DefaultCosts(), 7)
+		a, b := &echoMachine{}, &echoMachine{}
+		r.Register(0, a)
+		r.Register(1, b)
+		r.InstallFaults(FaultPlan{Drops: []DropFault{{
+			At: 0, Until: 10 * time.Second,
+			From: []wire.NodeID{0}, To: []wire.NodeID{1}, Prob: 0.5,
+		}}}, nil)
+		for i := 0; i < 200; i++ {
+			pingAt(sim, a, time.Duration(i+1)*time.Millisecond, 1)
+		}
+		sim.RunUntil(time.Second)
+		return b.got
+	}
+	got := run()
+	if got < 50 || got > 150 {
+		t.Fatalf("delivered %d of 200 at 50%% loss", got)
+	}
+	if again := run(); again != got {
+		t.Fatalf("drop pattern not deterministic: %d vs %d", got, again)
+	}
+}
+
+func TestCrashAndRestartViaPlan(t *testing.T) {
+	sim, r, a, b := faultPair(t)
+	var b2 *echoMachine
+	r.InstallFaults(FaultPlan{Crashes: []CrashFault{{
+		At: 10 * time.Millisecond, Node: 1, RestartAt: 30 * time.Millisecond,
+	}}}, func(id wire.NodeID) engine.Machine {
+		b2 = &echoMachine{}
+		return b2
+	})
+	pingAt(sim, a, 15*time.Millisecond, 1) // while down: dropped
+	pingAt(sim, a, 40*time.Millisecond, 1) // after restart: fresh machine receives
+	sim.RunUntil(100 * time.Millisecond)
+	if b.got != 0 {
+		t.Fatalf("crashed machine received %d messages", b.got)
+	}
+	if b2 == nil || b2.got != 1 {
+		t.Fatalf("restarted machine state: %+v", b2)
+	}
+	if !r.Alive(1) {
+		t.Fatal("node 1 should be alive after restart")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	p := FaultPlan{Crashes: []CrashFault{{At: time.Second, Node: 2}}}
+	if p.Empty() || !(&FaultPlan{}).Empty() {
+		t.Fatal("Empty misclassifies")
+	}
+}

@@ -100,16 +100,18 @@ type simNode struct {
 // simulated network and CPU delays. All machines run on the simulation
 // goroutine; no locking is needed anywhere in protocol code.
 type Runner struct {
-	Sim   *Sim
-	Topo  *Topology
-	Costs CostParams
-	nodes []*simNode
+	Sim    *Sim
+	Topo   *Topology
+	Costs  CostParams
+	nodes  []*simNode
+	seed   int64
+	faults *faultState // nil until InstallFaults
 }
 
 // NewRunner creates a runner. Each node gets an independent random source
 // derived from seed, so runs are reproducible.
 func NewRunner(sim *Sim, topo *Topology, costs CostParams, seed int64) *Runner {
-	r := &Runner{Sim: sim, Topo: topo, Costs: costs}
+	r := &Runner{Sim: sim, Topo: topo, Costs: costs, seed: seed}
 	r.nodes = make([]*simNode, topo.NumNodes())
 	for i := range r.nodes {
 		id := wire.NodeID(i)
@@ -221,6 +223,13 @@ func (r *Runner) multicast(n *simNode, to []wire.NodeID, m wire.Message) {
 }
 
 func (r *Runner) deliverAt(arrival time.Duration, from, to wire.NodeID, m wire.Message, size int) {
+	if r.faults != nil {
+		ok, extra := r.faults.admit(from, to)
+		if !ok {
+			return // partitioned or dropped
+		}
+		arrival += extra
+	}
 	dst := r.nodes[to]
 	gen := dst.gen
 	r.Sim.At(arrival, func() {

@@ -332,6 +332,7 @@ func (r *Raft) sendAppend(to wire.NodeID) {
 		PrevIndex: prev,
 		PrevTerm:  r.termAt(prev),
 		Commit:    r.commit,
+		Base:      r.offset,
 	}
 	if last := r.LastIndex(); next <= last {
 		end := next + maxAppendEntries
@@ -370,6 +371,30 @@ func (r *Raft) onAppend(m *wire.RaftAppend) {
 		return
 	}
 	r.stepDown(m.Term, m.Leader)
+
+	// Fast-forward install: a member seated in a long-running group
+	// after a rejoin starts with an empty log, while the leader has
+	// compacted everything below its horizon and so can never send a
+	// prefix starting at index 1. The leader only compacts entries
+	// applied by every member of the group at compaction time, and the
+	// join protocol's state transfer subsumes their effects, so a
+	// completely fresh member may adopt the leader's compaction base as
+	// its own log start. Two gates keep this from skipping live data:
+	// PrevIndex == Base restricts the install to the horizon probe a
+	// backed-off leader sends when it genuinely cannot replay earlier
+	// entries (a first-contact probe carries PrevIndex = LastIndex, and
+	// an uncompacted leader carries Base = 0 — both are rejected so the
+	// leader replays from index 1); PrevIndex <= Commit guards against
+	// adopting in-flight uncommitted entries as applied.
+	if m.PrevIndex > 0 && m.PrevIndex == m.Base && m.PrevIndex <= m.Commit &&
+		r.offset == 0 && len(r.log) == 0 && r.applied == 0 {
+		r.offset = m.PrevIndex
+		r.lastOffTerm = m.PrevTerm
+		r.applied = m.PrevIndex
+		if r.commit < m.PrevIndex {
+			r.commit = m.PrevIndex
+		}
+	}
 
 	if m.PrevIndex > r.LastIndex() {
 		r.io.Send(m.Leader, &wire.RaftAppendReply{
@@ -466,10 +491,17 @@ func (r *Raft) advanceCommit() {
 			// round trip plus one one-way hop.
 			for _, p := range r.cfg.Peers {
 				if p != r.cfg.Self {
+					// A freshly (re-)added peer's matchIndex can trail the
+					// compaction horizon; clamp so the probe stays inside
+					// the retained log (the peer's reply hint resyncs it).
+					prev := r.matchIndex[p]
+					if prev < r.offset {
+						prev = r.offset
+					}
 					r.io.Send(p, &wire.RaftAppend{
 						Group: r.cfg.Group, Term: r.term, Leader: r.cfg.Self,
-						PrevIndex: r.matchIndex[p], PrevTerm: r.termAt(r.matchIndex[p]),
-						Commit: r.commit,
+						PrevIndex: prev, PrevTerm: r.termAt(prev),
+						Commit: r.commit, Base: r.offset,
 					})
 				}
 			}
@@ -552,6 +584,20 @@ func (r *Raft) onVoteReply(m *wire.RaftVoteReply) {
 // here: all members switch quorum definitions at the same logical point.
 func (r *Raft) SetPeers(peers []wire.NodeID) {
 	r.cfg.Peers = append([]wire.NodeID(nil), peers...)
+	// Drop replication state for departed peers. Without this, a peer
+	// removed after a crash and later re-added (a rejoin into the same
+	// still-open group) would resume from a stale matchIndex that may
+	// sit below the compaction horizon reached while it was gone.
+	current := make(map[wire.NodeID]bool, len(peers))
+	for _, p := range peers {
+		current[p] = true
+	}
+	for p := range r.nextIndex {
+		if !current[p] {
+			delete(r.nextIndex, p)
+			delete(r.matchIndex, p)
+		}
+	}
 	if r.role == Leader {
 		for _, p := range r.cfg.Peers {
 			if _, ok := r.nextIndex[p]; !ok {

@@ -175,6 +175,104 @@ func TestLogCompactionBoundsMemory(t *testing.T) {
 	}
 }
 
+// TestRejoinAfterCompaction regression-tests the chaos-suite livelock: a
+// member removed from a long-running group and later re-seated (a
+// crash-stop rejoin) starts with an empty log while the leader has
+// compacted far past index 1. The fresh member must fast-forward to the
+// leader's horizon and replicate from there; before the fix the leader
+// resent the same unacceptable probe on every heartbeat forever, and its
+// stale matchIndex for the rejoined peer could index below the
+// compaction horizon and panic.
+func TestRejoinAfterCompaction(t *testing.T) {
+	w := newNet(3, 0)
+	w.pump()
+	// Drive the log well past the compaction margin.
+	for s := uint64(1); s <= 500; s++ {
+		w.members[0].Propose(&wire.Ping{From: 0, Seq: s})
+		w.pump()
+	}
+	if w.members[0].offset == 0 {
+		t.Fatal("leader never compacted; test premise broken")
+	}
+	// Member 2 crashes and is removed.
+	w.dead[2] = true
+	for _, id := range []wire.NodeID{0, 1} {
+		w.members[id].SetPeers([]wire.NodeID{0, 1})
+	}
+	for s := uint64(501); s <= 600; s++ {
+		w.members[0].Propose(&wire.Ping{From: 0, Seq: s})
+		w.pump()
+	}
+	// Member 2 rejoins with total state loss: a fresh Raft in the same
+	// group, re-seated everywhere.
+	old := w.members[2]
+	w.members[2] = New(Config{
+		Group: 1, Self: 2, Peers: []wire.NodeID{0, 1, 2}, InitialLeader: 0,
+		HeartbeatInterval:  10 * time.Millisecond,
+		ElectionTimeoutMin: 50 * time.Millisecond,
+		ElectionTimeoutMax: 100 * time.Millisecond,
+	}, IO{
+		Send: func(to wire.NodeID, m wire.Message) {
+			w.queue = append(w.queue, envelope{from: 2, to: to, msg: m})
+		},
+		Deliver: func(_ uint64, payload wire.Message) {
+			w.deliver[2] = append(w.deliver[2], payload)
+		},
+		Now:  func() time.Duration { return w.now },
+		Rand: rand.New(rand.NewSource(23)),
+	})
+	w.deliver[2] = nil
+	w.dead[2] = false
+	for _, id := range []wire.NodeID{0, 1, 2} {
+		w.members[id].SetPeers([]wire.NodeID{0, 1, 2})
+	}
+	_ = old
+	// A few heartbeats must be enough to resync the fresh member.
+	for i := 0; i < 10; i++ {
+		w.tickAll(10 * time.Millisecond)
+	}
+	w.members[0].Propose(&wire.Ping{From: 0, Seq: 601})
+	w.pump()
+	got := w.deliver[2]
+	if len(got) == 0 {
+		t.Fatal("rejoined member never delivered anything (resync livelock)")
+	}
+	if got[len(got)-1].(*wire.Ping).Seq != 601 {
+		t.Fatalf("rejoined member's last delivery is Seq=%d, want 601", got[len(got)-1].(*wire.Ping).Seq)
+	}
+	// The rejoined member must not have replayed the pre-rejoin prefix
+	// below the leader's compaction horizon.
+	if len(got) > 200 {
+		t.Fatalf("rejoined member replayed %d entries; fast-forward install did not engage", len(got))
+	}
+}
+
+// TestEmptyFollowerUncompactedLeaderReplaysAll pins the boundary of the
+// fast-forward install: when the leader still retains its full log
+// (offset 0), an empty follower must get the complete replay from index
+// 1, not a fast-forward that skips the committed prefix.
+func TestEmptyFollowerUncompactedLeaderReplaysAll(t *testing.T) {
+	w := newNet(3, 0)
+	w.pump()
+	// Member 2 misses everything, but the log stays below the
+	// compaction margin so the leader retains it all.
+	w.dead[2] = true
+	for s := uint64(1); s <= 50; s++ {
+		w.members[0].Propose(&wire.Ping{From: 0, Seq: s})
+		w.pump()
+	}
+	if w.members[0].offset != 0 {
+		t.Fatal("leader compacted below the margin; test premise broken")
+	}
+	w.dead[2] = false
+	for i := 0; i < 5; i++ {
+		w.tickAll(10 * time.Millisecond)
+	}
+	if got := len(w.deliver[2]); got != 50 {
+		t.Fatalf("recovered follower delivered %d entries, want the full 50-entry replay", got)
+	}
+}
+
 func TestSetPeersQuorumChange(t *testing.T) {
 	w := newNet(3, 0)
 	w.pump()

@@ -123,6 +123,9 @@ func (r *Runner) Close() {
 		}
 		pc.mu.Unlock()
 	}
+	// Nil the map as the connMu-guarded shutdown signal: peer() must not
+	// consult r.closed, which is guarded by the unrelated machine mutex.
+	r.conns = nil
 	r.connMu.Unlock()
 }
 
@@ -210,8 +213,8 @@ func (r *Runner) write(to wire.NodeID, frame []byte) {
 func (r *Runner) peer(to wire.NodeID) *peerConn {
 	r.connMu.Lock()
 	defer r.connMu.Unlock()
-	if r.closed {
-		return nil
+	if r.conns == nil {
+		return nil // closed
 	}
 	pc, ok := r.conns[to]
 	if !ok {

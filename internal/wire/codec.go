@@ -363,7 +363,7 @@ func readEntry(r *reader) RaftEntry {
 }
 
 func (m *RaftAppend) WireSize() int {
-	n := 1 + 8 + 8 + 4 + 8 + 8 + 8 + 4
+	n := 1 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 4
 	for i := range m.Entries {
 		n += entrySize(&m.Entries[i])
 	}
@@ -378,6 +378,7 @@ func (m *RaftAppend) AppendTo(b []byte) []byte {
 	b = putU64(b, m.PrevIndex)
 	b = putU64(b, m.PrevTerm)
 	b = putU64(b, m.Commit)
+	b = putU64(b, m.Base)
 	b = putU32(b, uint32(len(m.Entries)))
 	for i := range m.Entries {
 		b = appendEntry(b, &m.Entries[i])
@@ -393,6 +394,7 @@ func readRaftAppend(r *reader) *RaftAppend {
 	m.PrevIndex = r.u64()
 	m.PrevTerm = r.u64()
 	m.Commit = r.u64()
+	m.Base = r.u64()
 	n := r.count(9)
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Entries = append(m.Entries, readEntry(r))

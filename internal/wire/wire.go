@@ -269,7 +269,13 @@ type RaftAppend struct {
 	PrevIndex uint64
 	PrevTerm  uint64
 	Commit    uint64
-	Entries   []RaftEntry
+	// Base is the leader's log compaction offset: entries at or below it
+	// have been discarded after being applied group-wide. A fresh
+	// (rejoined) follower may adopt the leader's base as its own log
+	// start, but must replay from index 1 when the leader still retains
+	// the full log.
+	Base    uint64
+	Entries []RaftEntry
 }
 
 func (m *RaftAppend) Kind() Kind { return KindRaftAppend }

@@ -187,6 +187,14 @@ func (g *Generator) window(node int) {
 	if now > g.end {
 		return
 	}
+	if !g.runner.Alive(wire.NodeID(node)) {
+		// A crashed node serves nothing — not even local reads — and its
+		// offered load is lost, so it must not be recorded as completed.
+		// Keep the window clock running so generation resumes the moment
+		// a fault plan restarts the node.
+		g.sim.After(g.cfg.Window, func() { g.window(node) })
+		return
+	}
 	rng := g.rngs[node]
 	perNode := g.cfg.Rate / float64(len(g.targets))
 	w := g.cfg.Window.Seconds()
