@@ -8,8 +8,13 @@
 //
 //	canopus-bench -exp fig4a            # Figure 4(a)
 //	canopus-bench -exp all -quick       # everything, fast
+//	canopus-bench -exp live -quick      # real-socket loopback cluster
 //
-// Experiments: table1, fig4a, fig4b, fig5, fig6, fig7, all.
+// Experiments: table1, fig4a, fig4b, fig5, fig6, fig7, all (the
+// virtual-time set), plus live: a real loopback-TCP cluster driven
+// through the binary client protocol ("all" excludes it so figure
+// regeneration stays deterministic). With -json, live also writes its
+// metrics to the given path (used to regenerate BENCH_live.json).
 package main
 
 import (
@@ -22,12 +27,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig4a|fig4b|fig5|fig6|fig7|all")
+	exp := flag.String("exp", "all", "experiment id: table1|fig4a|fig4b|fig5|fig6|fig7|all|live")
 	quick := flag.Bool("quick", false, "short windows and coarse search (CI mode)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	jsonOut := flag.String("json", "", "also write metrics as JSON to this path (live only)")
 	flag.Parse()
 
-	o := &harness.Options{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	o := &harness.Options{Quick: *quick, Seed: *seed, Out: os.Stdout, JSONOut: *jsonOut}
 	runs := map[string]func(*harness.Options){
 		"table1": harness.Table1,
 		"fig4a":  harness.Fig4a,
@@ -35,6 +41,7 @@ func main() {
 		"fig5":   harness.Fig5,
 		"fig6":   harness.Fig6,
 		"fig7":   harness.Fig7,
+		"live":   harness.Live,
 	}
 	order := []string{"table1", "fig4a", "fig4b", "fig5", "fig6", "fig7"}
 
@@ -49,7 +56,7 @@ func main() {
 	default:
 		run, ok := runs[*exp]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4a|fig4b|fig5|fig6|fig7|all)\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4a|fig4b|fig5|fig6|fig7|all|live)\n", *exp)
 			os.Exit(2)
 		}
 		run(o)

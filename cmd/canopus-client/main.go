@@ -1,5 +1,12 @@
-// Command canopus-client is an interactive client for canopus-server's
-// line protocol: type "PUT 7 hello" or "GET 7".
+// Command canopus-client talks to canopus-server's client port.
+//
+// Interactive (text protocol): run with no arguments and type
+// "PUT 7 hello" or "GET 7".
+//
+// One-shot (binary protocol): pass a command —
+//
+//	canopus-client -addr 127.0.0.1:8000 put 7 hello
+//	canopus-client -addr 127.0.0.1:8000 get 7
 package main
 
 import (
@@ -10,11 +17,21 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"canopus/internal/livecluster"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8000", "canopus-server client address")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		oneShot(*addr, flag.Args())
+		return
+	}
 
 	conn, err := net.Dial("tcp", *addr)
 	if err != nil {
@@ -23,10 +40,14 @@ func main() {
 	defer conn.Close()
 	fmt.Printf("connected to %s; commands: PUT <key> <value> | GET <key> | QUIT\n", *addr)
 
+	// The reader goroutine ends the process once the server closes the
+	// connection (e.g. after QUIT), with all replies printed. A broken
+	// connection is an error exit: replies may have been lost.
 	go func() {
-		if _, err := io.Copy(os.Stdout, conn); err == nil {
-			os.Exit(0)
+		if _, err := io.Copy(os.Stdout, conn); err != nil {
+			log.Fatal("canopus-client: connection error: ", err)
 		}
+		os.Exit(0)
 	}()
 	sc := bufio.NewScanner(os.Stdin)
 	w := bufio.NewWriter(conn)
@@ -34,4 +55,57 @@ func main() {
 		fmt.Fprintln(w, sc.Text())
 		w.Flush()
 	}
+	// Stdin ended (piped input): half-close so the server drains our
+	// in-flight requests and closes; the reader goroutine then exits the
+	// process after printing the remaining replies.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	time.Sleep(30 * time.Second) // reader goroutine exits first
+	log.Fatal("canopus-client: server never closed the connection")
+}
+
+// oneShot executes a single command over the binary protocol.
+func oneShot(addr string, args []string) {
+	cl, err := livecluster.Dial(addr)
+	if err != nil {
+		log.Fatal("canopus-client: ", err)
+	}
+	defer cl.Close()
+
+	cmd := strings.ToLower(args[0])
+	switch cmd {
+	case "put":
+		if len(args) < 3 {
+			log.Fatal("canopus-client: usage: put <key> <value>")
+		}
+		key := parseKey(args[1])
+		if err := cl.Put(key, []byte(strings.Join(args[2:], " "))); err != nil {
+			log.Fatal("canopus-client: ", err)
+		}
+		fmt.Println("OK")
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("canopus-client: usage: get <key>")
+		}
+		val, ok, err := cl.Get(parseKey(args[1]))
+		if err != nil {
+			log.Fatal("canopus-client: ", err)
+		}
+		if !ok {
+			fmt.Println("NIL")
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", val)
+	default:
+		log.Fatalf("canopus-client: unknown command %q (want put|get)", cmd)
+	}
+}
+
+func parseKey(s string) uint64 {
+	k, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		log.Fatalf("canopus-client: bad key %q", s)
+	}
+	return k
 }

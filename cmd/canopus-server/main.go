@@ -1,6 +1,8 @@
 // Command canopus-server runs one live Canopus node over TCP: the same
 // protocol engine the simulator drives, behind real sockets, plus a
-// line-oriented client port (GET <key> / PUT <key> <value> / QUIT).
+// client port speaking both the interactive text protocol
+// (GET <key> / PUT <key> <value> / QUIT) and the pipelined binary
+// protocol (see internal/wire's client codec and the README).
 //
 // A three-node super-leaf on localhost:
 //
@@ -8,19 +10,26 @@
 //	canopus-server -id 1 -peers ...same... -client 127.0.0.1:8001 &
 //	canopus-server -id 2 -peers ...same... -client 127.0.0.1:8002 &
 //	canopus-client -addr 127.0.0.1:8000
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops
+// accepting client requests, waits for in-flight requests to be
+// answered (bounded by -drain), flushes its peers' transport queues and
+// only then closes the sockets — clients never see torn frames.
 package main
 
 import (
-	"bufio"
 	"flag"
-	"fmt"
 	"log"
-	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"canopus/internal/core"
 	"canopus/internal/kvstore"
+	"canopus/internal/livecluster"
 	"canopus/internal/lot"
 	"canopus/internal/transport"
 	"canopus/internal/wire"
@@ -31,6 +40,7 @@ func main() {
 	peersFlag := flag.String("peers", "", "comma-separated peer addresses, index = node ID")
 	slFlag := flag.String("superleaves", "", "semicolon-separated super-leaves of comma-separated node IDs (default: all in one)")
 	clientAddr := flag.String("client", "", "client-facing listen address (default: none)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound for in-flight client requests")
 	flag.Parse()
 
 	addrs := strings.Split(*peersFlag, ",")
@@ -72,94 +82,37 @@ func main() {
 	if err != nil {
 		log.Fatal("canopus-server: ", err)
 	}
-	store := kvstore.New()
+	node := core.NewNode(core.Config{Tree: tree, Self: self}, kvstore.New(), core.Callbacks{})
 
-	type pending struct{ ch chan []byte }
-	waiting := make(map[uint64]*pending)
-	node := core.NewNode(core.Config{Tree: tree, Self: self}, store, core.Callbacks{
-		OnReply: func(req *wire.Request, val []byte) {
-			if p, ok := waiting[req.Seq]; ok {
-				delete(waiting, req.Seq)
-				p.ch <- val
-			}
-		},
-	})
-
+	var port *livecluster.ClientPort
 	if *clientAddr != "" {
-		ln, err := net.Listen("tcp", *clientAddr)
+		port, err = livecluster.NewClientPort(runner, node, *clientAddr)
 		if err != nil {
-			log.Fatal("canopus-server: client listen: ", err)
+			log.Fatal("canopus-server: ", err)
 		}
-		log.Printf("node %v: client API on %s", self, ln.Addr())
-		var seq uint64
-		go func() {
-			for {
-				conn, err := ln.Accept()
-				if err != nil {
-					return
-				}
-				go func(conn net.Conn) {
-					defer conn.Close()
-					sc := bufio.NewScanner(conn)
-					for sc.Scan() {
-						fields := strings.Fields(sc.Text())
-						if len(fields) == 0 {
-							continue
-						}
-						var req wire.Request
-						switch strings.ToUpper(fields[0]) {
-						case "PUT":
-							if len(fields) < 3 {
-								fmt.Fprintln(conn, "ERR usage: PUT <key> <value>")
-								continue
-							}
-							k, err := strconv.ParseUint(fields[1], 10, 64)
-							if err != nil {
-								fmt.Fprintln(conn, "ERR bad key")
-								continue
-							}
-							req = wire.Request{Client: uint64(self) + 1, Op: wire.OpWrite, Key: k, Val: []byte(strings.Join(fields[2:], " "))}
-						case "GET":
-							if len(fields) != 2 {
-								fmt.Fprintln(conn, "ERR usage: GET <key>")
-								continue
-							}
-							k, err := strconv.ParseUint(fields[1], 10, 64)
-							if err != nil {
-								fmt.Fprintln(conn, "ERR bad key")
-								continue
-							}
-							req = wire.Request{Client: uint64(self) + 1, Op: wire.OpRead, Key: k}
-						case "QUIT":
-							return
-						default:
-							fmt.Fprintln(conn, "ERR unknown command")
-							continue
-						}
-						done := &pending{ch: make(chan []byte, 1)}
-						runner.Invoke(func() {
-							seq++
-							req.Seq = seq
-							waiting[req.Seq] = done
-							node.Submit(req)
-						})
-						val := <-done.ch
-						if req.Op == wire.OpRead {
-							if val == nil {
-								fmt.Fprintln(conn, "NIL")
-							} else {
-								fmt.Fprintf(conn, "VALUE %s\n", val)
-							}
-						} else {
-							fmt.Fprintln(conn, "OK")
-						}
-					}
-				}(conn)
-			}
-		}()
+		log.Printf("node %v: client API on %s (text + binary)", self, port.Addr())
 	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("node %v: %v: draining...", self, sig)
+		if port != nil {
+			if port.Stop(*drain) {
+				log.Printf("node %v: client port drained", self)
+			} else {
+				log.Printf("node %v: drain timed out after %v; %d requests unanswered",
+					self, *drain, port.Outstanding())
+			}
+		}
+		runner.Drain(2 * time.Second)
+		runner.Close()
+		// Serve returns once the listener closes; nothing more to do here.
+	}()
 
 	log.Printf("node %v: consensus on %s (super-leaf %d of %d, LOT height %d)",
 		self, peers[self], tree.SuperLeafOf(self), tree.NumSuperLeaves(), tree.Height)
 	runner.Serve(node)
+	log.Printf("node %v: shut down", self)
 }

@@ -87,27 +87,52 @@ func (n *Node) applyOrder(cyc uint64, order []*wire.Batch) {
 }
 
 func (n *Node) applyOwnSet(set *ownSet) {
+	batch := n.cbs.OnReplyBatch != nil
+	if batch {
+		n.replyReqs, n.replyVals = n.replyReqs[:0], n.replyVals[:0]
+	}
 	for i := range set.reqs {
 		req := &set.reqs[i]
+		var val []byte
 		switch req.Op {
 		case wire.OpWrite:
 			if n.sm != nil {
 				n.sm.ApplyWrite(req)
 			}
-			n.reply(req, nil)
 		case wire.OpRead:
-			var val []byte
 			if n.sm != nil {
 				val = n.sm.Read(req.Key)
 			}
+		}
+		if batch {
+			n.replyReqs = append(n.replyReqs, *req)
+			n.replyVals = append(n.replyVals, val)
+		} else {
 			n.reply(req, val)
 		}
 	}
+	n.flushReplies()
 }
 
+// reply completes a single request outside the own-set apply path (lease
+// fast-path reads, deferred reads).
 func (n *Node) reply(req *wire.Request, val []byte) {
+	if n.cbs.OnReplyBatch != nil {
+		n.replyReqs = append(n.replyReqs[:0], *req)
+		n.replyVals = append(n.replyVals[:0], val)
+		n.cbs.OnReplyBatch(n.replyReqs, n.replyVals)
+		return
+	}
 	if n.cbs.OnReply != nil {
 		n.cbs.OnReply(req, val)
+	}
+}
+
+// flushReplies delivers the accumulated completion batch, if any.
+func (n *Node) flushReplies() {
+	if n.cbs.OnReplyBatch != nil && len(n.replyReqs) > 0 {
+		n.cbs.OnReplyBatch(n.replyReqs, n.replyVals)
+		n.replyReqs, n.replyVals = n.replyReqs[:0], n.replyVals[:0]
 	}
 }
 

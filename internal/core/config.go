@@ -132,6 +132,14 @@ type Callbacks struct {
 	// (write committed, or read executed), with the read result when
 	// applicable.
 	OnReply func(req *wire.Request, val []byte)
+	// OnReplyBatch, when set, replaces OnReply: it fires once per group
+	// of completions (typically an entire cycle's own request set) with
+	// the completed requests in order and their read results (nil entries
+	// for writes and read misses). Live servers use it to fan a cycle's
+	// replies out to client connections without per-request callback
+	// overhead. Both slices are only valid during the call and must not
+	// be retained.
+	OnReplyBatch func(reqs []wire.Request, vals [][]byte)
 	// OnStall fires once when the node detects its super-leaf has failed
 	// (too few live members) and the consensus process halts (§6).
 	OnStall func()

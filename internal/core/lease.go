@@ -165,11 +165,21 @@ func (n *Node) runDeferredReads(cyc uint64) {
 		return
 	}
 	delete(n.deferredReads, cyc)
+	batch := n.cbs.OnReplyBatch != nil
+	if batch {
+		n.replyReqs, n.replyVals = n.replyReqs[:0], n.replyVals[:0]
+	}
 	for i := range reads {
 		var val []byte
 		if n.sm != nil {
 			val = n.sm.Read(reads[i].req.Key)
 		}
-		n.reply(&reads[i].req, val)
+		if batch {
+			n.replyReqs = append(n.replyReqs, reads[i].req)
+			n.replyVals = append(n.replyVals, val)
+		} else {
+			n.reply(&reads[i].req, val)
+		}
 	}
+	n.flushReplies()
 }

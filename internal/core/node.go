@@ -115,6 +115,11 @@ type Node struct {
 	lastTick       time.Duration
 	lastCycleStart time.Duration
 	nextCycleAt    time.Duration // phase-anchored cycle timer target
+
+	// replyReqs/replyVals are the reusable completion-batch scratch for
+	// Callbacks.OnReplyBatch (valid only during the callback).
+	replyReqs []wire.Request
+	replyVals [][]byte
 }
 
 type heldWrite struct {
@@ -532,6 +537,12 @@ func (n *Node) DebugCycle(k uint64) string {
 
 // SetOnReply installs or replaces the per-request completion callback.
 func (n *Node) SetOnReply(fn func(req *wire.Request, val []byte)) { n.cbs.OnReply = fn }
+
+// SetOnReplyBatch installs or replaces the batched completion callback
+// (see Callbacks.OnReplyBatch); it takes precedence over OnReply.
+func (n *Node) SetOnReplyBatch(fn func(reqs []wire.Request, vals [][]byte)) {
+	n.cbs.OnReplyBatch = fn
+}
 
 // SetOnCommit installs or replaces the cycle-commit callback.
 func (n *Node) SetOnCommit(fn func(cycle uint64, order []*wire.Batch)) { n.cbs.OnCommit = fn }

@@ -15,6 +15,9 @@ type Options struct {
 	Quick bool
 	Seed  int64
 	Out   io.Writer
+	// JSONOut, when non-empty, makes experiments that support it (Live)
+	// also write their metrics as JSON to this path.
+	JSONOut string
 }
 
 func (o *Options) windows() (warm, measure time.Duration) {

@@ -1,0 +1,210 @@
+package livecluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"canopus/internal/wire"
+)
+
+// Client speaks the binary client protocol to one canopus-server client
+// port. It is fully pipelined: any number of requests may be in flight,
+// correlated by ID. Writes from concurrent goroutines are coalesced into
+// single syscalls by a flusher goroutine, mirroring the server side.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]func(wire.ClientResponse, error)
+	err     error
+
+	outMu sync.Mutex
+	out   []byte
+	wake  chan struct{}
+
+	done chan struct{}
+}
+
+// Dial connects to a client port in binary mode.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("livecluster: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if _, err := conn.Write(wire.ClientMagic[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("livecluster: preamble: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]func(wire.ClientResponse, error)),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	go c.writeLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight requests fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(io.ErrClosedPipe)
+	return err
+}
+
+// Do issues one operation asynchronously; done is invoked from the
+// client's reader goroutine when the response (or a connection error)
+// arrives, so it must not block.
+func (c *Client) Do(op wire.Op, key uint64, val []byte, done func(resp wire.ClientResponse, err error)) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		done(wire.ClientResponse{}, err)
+		return
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = done
+	c.mu.Unlock()
+
+	q := wire.ClientRequest{ID: id, Op: op, Key: key, Val: val}
+	c.outMu.Lock()
+	if c.out == nil {
+		c.out = wire.EncodePool.Get(64 + len(val))
+	}
+	c.out = wire.AppendClientRequest(c.out, &q)
+	c.outMu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// call is the synchronous completion rendezvous for Get/Put.
+type call struct {
+	resp wire.ClientResponse
+	err  error
+	ch   chan struct{}
+}
+
+func (c *Client) roundTrip(op wire.Op, key uint64, val []byte) (wire.ClientResponse, error) {
+	cl := &call{ch: make(chan struct{})}
+	c.Do(op, key, val, func(resp wire.ClientResponse, err error) {
+		cl.resp, cl.err = resp, err
+		close(cl.ch)
+	})
+	<-cl.ch
+	if cl.err != nil {
+		return wire.ClientResponse{}, cl.err
+	}
+	if cl.resp.Status == wire.ClientStatusErr {
+		return cl.resp, fmt.Errorf("livecluster: server rejected request: %s", cl.resp.Val)
+	}
+	return cl.resp, nil
+}
+
+// Put writes key = val and waits for the committed acknowledgement.
+func (c *Client) Put(key uint64, val []byte) error {
+	_, err := c.roundTrip(wire.OpWrite, key, val)
+	return err
+}
+
+// Get reads key, reporting whether it was present.
+func (c *Client) Get(key uint64) ([]byte, bool, error) {
+	resp, err := c.roundTrip(wire.OpRead, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Val, resp.Status == wire.ClientStatusOK, nil
+}
+
+func (c *Client) writeLoop() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.wake:
+		}
+		for {
+			c.outMu.Lock()
+			buf := c.out
+			c.out = nil
+			c.outMu.Unlock()
+			if len(buf) == 0 {
+				break
+			}
+			c.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			_, err := c.conn.Write(buf)
+			wire.EncodePool.Put(buf)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	var hdr [4]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
+			c.fail(err)
+			return
+		}
+		n, err := wire.ClientFrameLen(hdr)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(c.conn, payload); err != nil {
+			c.fail(err)
+			return
+		}
+		resp, err := wire.ParseClientResponse(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		done, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			done(resp, nil)
+		}
+	}
+}
+
+// fail poisons the client and completes every pending request with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	close(c.done)
+	c.conn.Close()
+	for _, done := range pending {
+		done(wire.ClientResponse{}, err)
+	}
+}

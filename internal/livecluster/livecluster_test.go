@@ -1,0 +1,250 @@
+package livecluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"canopus/internal/core"
+	"canopus/internal/wire"
+	"canopus/internal/workload"
+)
+
+func startCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	c, err := Start(Config{
+		Nodes: nodes,
+		Node:  core.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond},
+		Seed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBinaryPutGet(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+
+	cl, err := Dial(c.ClientAddr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Put(7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	val, ok, err := cl.Get(7)
+	if err != nil || !ok || string(val) != "hello" {
+		t.Fatalf("Get(7) = %q, %v, %v", val, ok, err)
+	}
+	if _, ok, err := cl.Get(99); err != nil || ok {
+		t.Fatalf("Get(99) = present=%v err=%v, want miss", ok, err)
+	}
+
+	// A write through node 0 is readable through node 2 once committed
+	// (both reads linearize after the write's cycle).
+	cl2, err := Dial(c.ClientAddr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		val, ok, err := cl2.Get(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && string(val) == "hello" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write never became visible at node 2")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPipelinedRequests(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+
+	cl, err := Dial(c.ClientAddr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Issue many writes without waiting, then verify every reply arrives.
+	const n = 500
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		key, val := uint64(i), []byte(fmt.Sprintf("v%d", i))
+		cl.Do(wire.OpWrite, key, val, func(resp wire.ClientResponse, err error) {
+			defer wg.Done()
+			if err != nil {
+				errs <- err
+			} else if resp.Status != wire.ClientStatusOK {
+				errs <- fmt.Errorf("key %d: status %d", key, resp.Status)
+			}
+		})
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	val, ok, err := cl.Get(n - 1)
+	if err != nil || !ok || string(val) != fmt.Sprintf("v%d", n-1) {
+		t.Fatalf("Get(%d) = %q, %v, %v", n-1, val, ok, err)
+	}
+}
+
+func TestTextProtocol(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+
+	conn, err := net.Dial("tcp", c.ClientAddr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	say := func(line string) string {
+		t.Helper()
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+	if got := say("PUT 3 abc def"); got != "OK\n" {
+		t.Fatalf("PUT reply %q", got)
+	}
+	if got := say("GET 3"); got != "VALUE abc def\n" {
+		t.Fatalf("GET reply %q", got)
+	}
+	if got := say("GET 4"); got != "NIL\n" {
+		t.Fatalf("GET miss reply %q", got)
+	}
+	if got := say("FROB"); got != "ERR unknown command\n" {
+		t.Fatalf("bad command reply %q", got)
+	}
+}
+
+func TestGracefulStopDrainsInFlight(t *testing.T) {
+	c := startCluster(t, 3)
+	cl, err := Dial(c.ClientAddr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Pipeline a burst and immediately stop the cluster: every accepted
+	// request must still be answered (no torn frames, no lost replies).
+	const n = 200
+	var wg sync.WaitGroup
+	var okCount, errCount int
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		cl.Do(wire.OpWrite, uint64(i), []byte("x"), func(resp wire.ClientResponse, err error) {
+			defer wg.Done()
+			mu.Lock()
+			if err == nil && resp.Status == wire.ClientStatusOK {
+				okCount++
+			} else {
+				errCount++
+			}
+			mu.Unlock()
+		})
+	}
+	// Let the burst reach the server before stopping: drain must answer
+	// accepted requests, not merely reject unseen ones.
+	waitUntil := time.Now().Add(2 * time.Second)
+	for c.Port(0).Outstanding() == 0 && time.Now().Before(waitUntil) {
+		mu.Lock()
+		started := okCount > 0
+		mu.Unlock()
+		if started {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if !c.Stop(10 * time.Second) {
+		t.Fatal("cluster did not drain")
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if okCount+errCount != n {
+		t.Fatalf("%d of %d requests unanswered", n-okCount-errCount, n)
+	}
+	// Most of the burst should have been accepted and answered OK; only
+	// requests arriving after draining began may be rejected.
+	if okCount == 0 {
+		t.Fatalf("no request succeeded (ok=%d err=%d)", okCount, errCount)
+	}
+}
+
+func TestRejectedWhileDraining(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(time.Second)
+	cl, err := Dial(c.ClientAddr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	c.Port(0).Stop(time.Second)
+	if err := cl.Put(2, []byte("b")); err == nil {
+		t.Fatal("write accepted after drain began")
+	}
+}
+
+// TestWorkloadClosedLoop runs the workload driver's closed loop against
+// a live cluster and checks complete accounting.
+func TestWorkloadClosedLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live load run")
+	}
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+
+	conns := make([]workload.Doer, c.NumNodes())
+	for i := range conns {
+		cl, err := Dial(c.ClientAddr(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		conns[i] = LoadConn{cl}
+	}
+	res := workload.RunLive(workload.LiveConfig{
+		Concurrency: 8,
+		Duration:    600 * time.Millisecond,
+		Warmup:      100 * time.Millisecond,
+		WriteRatio:  0.5,
+	}, conns)
+	if res.Offered == 0 {
+		t.Fatal("no requests offered")
+	}
+	if res.Completed != res.Offered || res.Failed != 0 {
+		t.Fatalf("offered %d, completed %d, failed %d", res.Offered, res.Completed, res.Failed)
+	}
+	if res.All().Count() != res.Completed {
+		t.Fatalf("histogram count %d != completed %d", res.All().Count(), res.Completed)
+	}
+}

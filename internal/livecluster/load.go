@@ -1,0 +1,16 @@
+package livecluster
+
+import "canopus/internal/wire"
+
+// LoadConn adapts Client to the workload.Doer shape: success means the
+// reply arrived and was not a rejection.
+type LoadConn struct {
+	*Client
+}
+
+// Do implements workload.Doer.
+func (lc LoadConn) Do(op wire.Op, key uint64, val []byte, done func(ok bool)) {
+	lc.Client.Do(op, key, val, func(resp wire.ClientResponse, err error) {
+		done(err == nil && resp.Status != wire.ClientStatusErr)
+	})
+}

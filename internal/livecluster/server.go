@@ -1,0 +1,464 @@
+package livecluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"canopus/internal/core"
+	"canopus/internal/transport"
+	"canopus/internal/wire"
+)
+
+// maxGroup bounds how many pipelined requests one connection submits per
+// machine turn; deeper pipelines are split across turns so one greedy
+// client cannot monopolize the node's serialization lock.
+const maxGroup = 512
+
+// ClientPort serves canopus-server's client protocol for one node: the
+// length-prefixed binary protocol (wire.ClientRequest/ClientResponse)
+// for programs, and the line-oriented text protocol (GET/PUT/QUIT) for
+// interactive use, sniffed per connection from the first byte.
+//
+// Replies are fanned out batch-aware: the port owns the node's
+// OnReplyBatch callback, so one committed cycle costs one pass over its
+// completions, appended into per-connection output buffers flushed by
+// per-connection writers — the consensus turn never blocks on a slow
+// client socket.
+type ClientPort struct {
+	runner *transport.Runner
+	node   *core.Node
+	ln     net.Listener
+
+	draining    atomic.Bool
+	outstanding atomic.Int64 // accepted-but-unanswered requests
+
+	// mu guards conns; pending maps inside each conn are guarded by the
+	// runner's machine lock (inserted under Invoke, consumed under the
+	// node's reply callback).
+	mu     sync.Mutex
+	nextID uint64
+	conns  map[uint64]*clientConn
+
+	writers sync.WaitGroup
+}
+
+// pendingEntry maps one submitted request back to its connection frame.
+type pendingEntry struct {
+	id   uint64 // binary correlation ID (unused in text mode)
+	text bool
+}
+
+type clientConn struct {
+	id   uint64
+	conn net.Conn
+
+	// pending maps request Seq -> entry; guarded by the runner lock.
+	pending map[uint64]pendingEntry
+
+	outMu   sync.Mutex
+	out     []byte // encoded responses awaiting flush
+	wake    chan struct{}
+	closing bool
+}
+
+// NewClientPort starts serving the client protocol for node on addr
+// (e.g. "127.0.0.1:0"). It installs itself as the node's reply callback.
+func NewClientPort(runner *transport.Runner, node *core.Node, addr string) (*ClientPort, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("livecluster: client listen %s: %w", addr, err)
+	}
+	p := &ClientPort{
+		runner: runner,
+		node:   node,
+		ln:     ln,
+		conns:  make(map[uint64]*clientConn),
+	}
+	node.SetOnReplyBatch(p.onReplyBatch)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the bound client address.
+func (p *ClientPort) Addr() string { return p.ln.Addr().String() }
+
+// Outstanding returns the number of accepted, not-yet-answered requests.
+func (p *ClientPort) Outstanding() int64 { return p.outstanding.Load() }
+
+func (p *ClientPort) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		p.nextID++
+		cc := &clientConn{
+			id:      (uint64(int64(p.node.ID())+1) << 32) | p.nextID,
+			conn:    conn,
+			pending: make(map[uint64]pendingEntry),
+			wake:    make(chan struct{}, 1),
+		}
+		p.conns[cc.id] = cc
+		p.mu.Unlock()
+		p.writers.Add(1)
+		go p.writeLoop(cc)
+		go p.handle(cc)
+	}
+}
+
+// handle drives one connection's read side until EOF or protocol error.
+func (p *ClientPort) handle(cc *clientConn) {
+	defer p.teardown(cc)
+	br := bufio.NewReaderSize(cc.conn, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wire.ClientMagic[0] {
+		var magic [4]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil || magic != wire.ClientMagic {
+			return
+		}
+		p.handleBinary(cc, br)
+		return
+	}
+	p.handleText(cc, br)
+}
+
+// teardown retires the connection. The read side is already done (EOF,
+// QUIT or protocol error), but submitted requests may still be in
+// consensus: wait briefly so their replies reach the output buffer and
+// are flushed before the writer closes the socket (a client that sends
+// GET then QUIT still gets its value).
+func (p *ClientPort) teardown(cc *clientConn) {
+	p.waitIdle(cc, 5*time.Second)
+	p.mu.Lock()
+	delete(p.conns, cc.id)
+	p.mu.Unlock()
+	p.runner.Invoke(func() {
+		if n := len(cc.pending); n > 0 {
+			p.outstanding.Add(int64(-n))
+			cc.pending = nil
+		}
+	})
+	cc.outMu.Lock()
+	cc.closing = true
+	cc.outMu.Unlock()
+	select {
+	case cc.wake <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop flushes one connection's response buffer: each wakeup writes
+// everything accumulated since the last flush with a single syscall.
+func (p *ClientPort) writeLoop(cc *clientConn) {
+	defer p.writers.Done()
+	for range cc.wake {
+		for {
+			cc.outMu.Lock()
+			buf := cc.out
+			cc.out = nil
+			closing := cc.closing
+			cc.outMu.Unlock()
+			if len(buf) == 0 {
+				if closing {
+					cc.conn.Close()
+					return
+				}
+				break
+			}
+			cc.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			_, err := cc.conn.Write(buf)
+			wire.EncodePool.Put(buf)
+			if err != nil {
+				cc.conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// push appends encoded response bytes to the connection's output buffer
+// and rings its writer.
+func (cc *clientConn) push(render func(b []byte) []byte) {
+	cc.outMu.Lock()
+	if cc.closing {
+		cc.outMu.Unlock()
+		return
+	}
+	if cc.out == nil {
+		cc.out = wire.EncodePool.Get(256)
+	}
+	cc.out = render(cc.out)
+	cc.outMu.Unlock()
+	select {
+	case cc.wake <- struct{}{}:
+	default:
+	}
+}
+
+// onReplyBatch is the node's completion callback: it runs inside the
+// machine turn and fans one batch of completions out to the owning
+// connections' buffers (no socket writes on this path).
+func (p *ClientPort) onReplyBatch(reqs []wire.Request, vals [][]byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range reqs {
+		req := &reqs[i]
+		cc, ok := p.conns[req.Client]
+		if !ok {
+			continue // connection gone; reply dropped
+		}
+		entry, ok := cc.pending[req.Seq]
+		if !ok {
+			continue
+		}
+		// Buffer the reply BEFORE retiring the pending entry: Stop and
+		// teardown poll Outstanding()/pending to decide when it is safe
+		// to set closing, so the response must already be in the output
+		// buffer (the writer flushes it before closing) by the time this
+		// request stops counting as outstanding.
+		val := vals[i]
+		if entry.text {
+			cc.push(func(b []byte) []byte { return appendTextReply(b, req.Op, val) })
+		} else {
+			resp := wire.ClientResponse{ID: entry.id, Status: wire.ClientStatusOK, Val: val}
+			if req.Op == wire.OpRead && val == nil {
+				resp.Status = wire.ClientStatusNil
+			}
+			cc.push(func(b []byte) []byte { return wire.AppendClientResponse(b, &resp) })
+		}
+		delete(cc.pending, req.Seq)
+		p.outstanding.Add(-1)
+	}
+}
+
+func appendTextReply(b []byte, op wire.Op, val []byte) []byte {
+	if op == wire.OpWrite {
+		return append(b, "OK\n"...)
+	}
+	if val == nil {
+		return append(b, "NIL\n"...)
+	}
+	b = append(b, "VALUE "...)
+	b = append(b, val...)
+	return append(b, '\n')
+}
+
+// reject answers a request without consulting the node.
+func (p *ClientPort) reject(cc *clientConn, text bool, id uint64, reason string) {
+	if text {
+		cc.push(func(b []byte) []byte {
+			b = append(b, "ERR "...)
+			b = append(b, reason...)
+			return append(b, '\n')
+		})
+		return
+	}
+	resp := wire.ClientResponse{ID: id, Status: wire.ClientStatusErr, Val: []byte(reason)}
+	cc.push(func(b []byte) []byte { return wire.AppendClientResponse(b, &resp) })
+}
+
+// submit hands a group of parsed requests to the node in one machine
+// turn, registering each for reply routing.
+func (p *ClientPort) submit(cc *clientConn, group []wire.ClientRequest, seq *uint64, text bool) {
+	if p.draining.Load() {
+		for i := range group {
+			p.reject(cc, text, group[i].ID, "draining")
+		}
+		return
+	}
+	p.runner.Invoke(func() {
+		if cc.pending == nil {
+			return // torn down concurrently
+		}
+		stalled := p.node.Stalled()
+		for i := range group {
+			q := &group[i]
+			if stalled {
+				p.reject(cc, text, q.ID, "node stalled")
+				continue
+			}
+			*seq++
+			cc.pending[*seq] = pendingEntry{id: q.ID, text: text}
+			p.outstanding.Add(1)
+			p.node.Submit(wire.Request{
+				Client: cc.id, Seq: *seq, Op: q.Op, Key: q.Key, Val: q.Val,
+			})
+		}
+	})
+}
+
+// handleBinary runs the pipelined binary protocol: all complete frames
+// already buffered are batched into a single submit turn.
+func (p *ClientPort) handleBinary(cc *clientConn, br *bufio.Reader) {
+	var seq uint64
+	var hdr [4]byte
+	var payload []byte // reused; ParseClientRequest copies what it keeps
+	group := make([]wire.ClientRequest, 0, maxGroup)
+	for {
+		group = group[:0]
+		// Block for the first request of the group.
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		q, err := readBinaryRequest(br, hdr, &payload)
+		if err != nil {
+			return
+		}
+		group = append(group, q)
+		// Drain whatever full frames the kernel already delivered.
+		for len(group) < maxGroup && br.Buffered() >= 4 {
+			peek, _ := br.Peek(4)
+			n, err := wire.ClientFrameLen([4]byte(peek))
+			if err != nil {
+				return
+			}
+			if br.Buffered() < 4+n {
+				break
+			}
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			q, err := readBinaryRequest(br, hdr, &payload)
+			if err != nil {
+				return
+			}
+			group = append(group, q)
+		}
+		p.submit(cc, group, &seq, false)
+	}
+}
+
+func readBinaryRequest(br *bufio.Reader, hdr [4]byte, scratch *[]byte) (wire.ClientRequest, error) {
+	n, err := wire.ClientFrameLen(hdr)
+	if err != nil {
+		return wire.ClientRequest{}, err
+	}
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n)
+	}
+	payload := (*scratch)[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return wire.ClientRequest{}, err
+	}
+	return wire.ParseClientRequest(payload)
+}
+
+// waitIdle blocks until the connection has no pending requests (its
+// replies are buffered for the writer) or timeout elapses.
+func (p *ClientPort) waitIdle(cc *clientConn, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		var n int
+		p.runner.Invoke(func() { n = len(cc.pending) })
+		if n == 0 || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// handleText runs the interactive line protocol.
+func (p *ClientPort) handleText(cc *clientConn, br *bufio.Reader) {
+	var seq uint64
+	sc := bufio.NewScanner(br)
+	group := make([]wire.ClientRequest, 0, 1)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		var q wire.ClientRequest
+		switch strings.ToUpper(fields[0]) {
+		case "PUT":
+			if len(fields) < 3 {
+				p.reject(cc, true, 0, "usage: PUT <key> <value>")
+				continue
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				p.reject(cc, true, 0, "bad key")
+				continue
+			}
+			q = wire.ClientRequest{Op: wire.OpWrite, Key: k, Val: []byte(strings.Join(fields[2:], " "))}
+		case "GET":
+			if len(fields) != 2 {
+				p.reject(cc, true, 0, "usage: GET <key>")
+				continue
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				p.reject(cc, true, 0, "bad key")
+				continue
+			}
+			q = wire.ClientRequest{Op: wire.OpRead, Key: k}
+		case "QUIT":
+			return
+		default:
+			p.reject(cc, true, 0, "unknown command")
+			continue
+		}
+		group = append(group[:0], q)
+		p.submit(cc, group, &seq, true)
+		// The text protocol has no correlation IDs, so replies must be
+		// strictly ordered with commands: wait for this command's reply
+		// to reach the output buffer before reading the next line (which
+		// might be rejected immediately, e.g. a parse error, and would
+		// otherwise overtake a consensus-path reply).
+		p.waitIdle(cc, 10*time.Second)
+	}
+}
+
+// Stop shuts the port down gracefully: stop accepting, reject new
+// requests, wait up to drain for in-flight requests to be answered, then
+// flush and close every connection. It reports whether the drain
+// completed (false means the timeout cut it short).
+func (p *ClientPort) Stop(drain time.Duration) bool {
+	p.draining.Store(true)
+	p.ln.Close()
+	deadline := time.Now().Add(drain)
+	drained := true
+	for p.outstanding.Load() > 0 {
+		if time.Now().After(deadline) {
+			drained = false
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.mu.Lock()
+	conns := make([]*clientConn, 0, len(p.conns))
+	for _, cc := range p.conns {
+		conns = append(conns, cc)
+	}
+	p.mu.Unlock()
+	for _, cc := range conns {
+		cc.outMu.Lock()
+		cc.closing = true
+		cc.outMu.Unlock()
+		select {
+		case cc.wake <- struct{}{}:
+		default:
+		}
+	}
+	done := make(chan struct{})
+	go func() { p.writers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		drained = false
+		for _, cc := range conns {
+			cc.conn.Close()
+		}
+	}
+	return drained
+}

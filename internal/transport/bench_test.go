@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"canopus/internal/engine"
+	"canopus/internal/wire"
+)
+
+// nullMachine is an inert machine for benchmark senders.
+type nullMachine struct{}
+
+func (nullMachine) Init(engine.Env)                {}
+func (nullMachine) Timer(engine.TimerTag)          {}
+func (nullMachine) Recv(wire.NodeID, wire.Message) {}
+
+// discardSink accepts TCP connections and counts discarded bytes, so
+// send-path benchmarks measure only sender-side allocations (a second
+// Runner would add its decode allocations to the same process totals).
+func discardSink(b *testing.B) (addr string, received *atomic.Int64) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	received = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 64<<10)
+				for {
+					n, err := conn.Read(buf)
+					received.Add(int64(n))
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	b.Cleanup(func() { ln.Close() })
+	return ln.Addr().String(), received
+}
+
+func benchSender(b *testing.B) (*Runner, *atomic.Int64) {
+	b.Helper()
+	addr, received := discardSink(b)
+	r, err := NewRunner(0, "127.0.0.1:0", map[wire.NodeID]string{1: addr}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Logf = func(string, ...interface{}) {}
+	r.Attach(nullMachine{})
+	go r.Serve(nil)
+	b.Cleanup(func() { r.Close() })
+	return r, received
+}
+
+// benchProposal is a realistic round-1 proposal: a 100-write batch of the
+// paper's 16-byte key-value requests.
+func benchProposal() *wire.Proposal {
+	reqs := make([]wire.Request, 100)
+	for i := range reqs {
+		reqs[i] = wire.Request{
+			Client: uint64(i % 10), Seq: uint64(i), Op: wire.OpWrite,
+			Key: uint64(i), Val: []byte("12345678"),
+		}
+	}
+	return &wire.Proposal{
+		Cycle: 7, Round: 1, Origin: 0, Num: 42,
+		Batches: []*wire.Batch{{Origin: 0, Reqs: reqs, NumWrite: 100}},
+	}
+}
+
+// BenchmarkSendPath measures the transport send hot path: encode a
+// realistic proposal inside one Invoke turn and write it to a live
+// loopback socket. Run with -benchmem when touching this path; the
+// end-to-end allocation budget (which includes this path) is gated in
+// CI as BENCH_live.json's allocs_per_request.
+func BenchmarkSendPath(b *testing.B) {
+	r, received := benchSender(b)
+	msg := benchProposal()
+	frameLen := int64(msg.WireSize() + 8)
+	b.ReportAllocs()
+	b.SetBytes(frameLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Invoke(func() { r.Send(1, msg) })
+	}
+	// Drain so iterations measure steady-state sends, not queue growth.
+	waitDrained(b, r, received, frameLen*int64(b.N))
+}
+
+// waitDrained blocks until the sink saw want bytes or the sender's queue
+// is empty (under backpressure the transport may legally drop batches).
+func waitDrained(b *testing.B, r *Runner, received *atomic.Int64, want int64) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for received.Load() < want {
+		if r.Drain(10*time.Millisecond) && received.Load() < want {
+			// Queue empty yet bytes short: batches were dropped under
+			// backpressure; nothing further will arrive.
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("drain stalled: %d of %d bytes", received.Load(), want)
+		}
+	}
+}
+
+// BenchmarkSendPathBurst sends 16 messages per Invoke turn: the shape of
+// a Canopus node fanning a cycle's traffic out to its super-leaf. With
+// write coalescing this is one buffer flush per turn, not sixteen
+// per-frame syscalls.
+func BenchmarkSendPathBurst(b *testing.B) {
+	r, received := benchSender(b)
+	msg := benchProposal()
+	const burst = 16
+	frameLen := int64(msg.WireSize() + 8)
+	b.ReportAllocs()
+	b.SetBytes(frameLen * burst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Invoke(func() {
+			for j := 0; j < burst; j++ {
+				r.Send(1, msg)
+			}
+		})
+	}
+	waitDrained(b, r, received, frameLen*int64(b.N)*burst)
+}

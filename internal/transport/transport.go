@@ -4,6 +4,12 @@
 // [encoded message]); connections are dialed lazily, redialed with
 // backoff, and all machine callbacks are serialized by a per-node mutex
 // so protocol code stays lock-free.
+//
+// Sends are coalesced: messages emitted during one machine turn (one
+// Invoke, Recv or Timer callback) are encoded back to back into a pooled
+// per-peer buffer and handed to that peer's writer goroutine when the
+// turn ends, so a turn costs one buffer flush per destination — not one
+// syscall and one allocation per frame.
 package transport
 
 import (
@@ -24,6 +30,15 @@ import (
 // maxFrame bounds incoming frame sizes (defense against corrupt peers).
 const maxFrame = 64 << 20
 
+// maxQueuedBytes bounds the unsent backlog per peer; beyond it new turn
+// buffers are dropped (protocol-level retries recover, exactly as on a
+// lossy network).
+const maxQueuedBytes = 32 << 20
+
+// dialBackoff is how long a writer waits after a failed dial before
+// trying that peer again; batches arriving in between are dropped.
+const dialBackoff = 100 * time.Millisecond
+
 // Runner hosts one protocol machine on a TCP endpoint.
 type Runner struct {
 	id    wire.NodeID
@@ -33,6 +48,11 @@ type Runner struct {
 	machine engine.Machine
 	start   time.Time
 	rng     *rand.Rand
+
+	// pending accumulates this turn's encoded frames per destination;
+	// guarded by mu (sends only happen inside machine turns).
+	pending map[wire.NodeID][]byte
+	scratch []byte // multicast encode-once buffer, guarded by mu
 
 	connMu sync.Mutex
 	conns  map[wire.NodeID]*peerConn
@@ -45,9 +65,15 @@ type Runner struct {
 	Logf func(format string, args ...interface{})
 }
 
+// peerConn is the outbound state for one peer: a queue of coalesced turn
+// buffers drained by a dedicated writer goroutine.
 type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu          sync.Mutex
+	queue       [][]byte
+	queuedBytes int
+	inflight    int // bytes taken off the queue but not yet written
+	dropped     uint64
+	wake        chan struct{} // 1-buffered writer doorbell
 }
 
 // NewRunner creates a runner for node id listening on listen, with the
@@ -62,6 +88,7 @@ func NewRunner(id wire.NodeID, listen string, peers map[wire.NodeID]string, seed
 		peers:    peers,
 		start:    time.Now(),
 		rng:      rand.New(rand.NewSource(seed ^ int64(id))),
+		pending:  make(map[wire.NodeID][]byte),
 		conns:    make(map[wire.NodeID]*peerConn),
 		listener: ln,
 		done:     make(chan struct{}),
@@ -80,6 +107,7 @@ func (r *Runner) Attach(m engine.Machine) {
 	defer r.mu.Unlock()
 	r.machine = m
 	m.Init(r)
+	r.flushTurn()
 }
 
 // Serve accepts connections until Close, attaching m first when non-nil
@@ -118,9 +146,7 @@ func (r *Runner) Close() {
 	r.connMu.Lock()
 	for _, pc := range r.conns {
 		pc.mu.Lock()
-		if pc.conn != nil {
-			pc.conn.Close()
-		}
+		pc.queue, pc.queuedBytes = nil, 0
 		pc.mu.Unlock()
 	}
 	// Nil the map as the connMu-guarded shutdown signal: peer() must not
@@ -129,12 +155,42 @@ func (r *Runner) Close() {
 	r.connMu.Unlock()
 }
 
+// Drain blocks until every peer's outbound queue has been handed to the
+// kernel (or timeout elapses). Graceful shutdown uses it so the final
+// frames of a turn are not torn off mid-write by Close.
+func (r *Runner) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if r.queuedBytes() == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (r *Runner) queuedBytes() int {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	total := 0
+	for _, pc := range r.conns {
+		pc.mu.Lock()
+		total += pc.queuedBytes + pc.inflight
+		pc.mu.Unlock()
+	}
+	return total
+}
+
 // Invoke runs fn inside the machine's serialization lock; servers use it
-// to feed client requests into the node safely.
+// to feed client requests into the node safely. Messages sent by fn are
+// flushed, coalesced per destination, when fn returns.
 func (r *Runner) Invoke(fn func()) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fn()
+	r.flushTurn()
 }
 
 // --- engine.Env ---
@@ -157,59 +213,94 @@ func (r *Runner) After(d time.Duration, tag engine.TimerTag) {
 			return
 		}
 		r.machine.Timer(tag)
+		r.flushTurn()
 	})
 }
 
-// Send implements engine.Env. Delivery is asynchronous; failures drop
-// the message (protocol retries recover, exactly as on a lossy-at-crash
+// Send implements engine.Env. The frame is encoded into the turn's
+// per-peer buffer; delivery is asynchronous and failures drop the
+// message (protocol retries recover, exactly as on a lossy-at-crash
 // network).
 func (r *Runner) Send(to wire.NodeID, m wire.Message) {
-	frame := encodeFrame(r.id, m)
-	go r.write(to, frame)
+	buf, ok := r.pending[to]
+	if !ok {
+		buf = wire.EncodePool.Get(8 + m.WireSize())
+	}
+	r.pending[to] = appendFrame(buf, r.id, m)
 }
 
 // Multicast implements engine.Env (no switch assist on plain TCP: it is
-// a send loop).
+// a send loop, but the message is encoded only once).
 func (r *Runner) Multicast(to []wire.NodeID, m wire.Message) {
-	frame := encodeFrame(r.id, m)
-	for _, dst := range to {
-		go r.write(dst, frame)
-	}
-}
-
-func encodeFrame(from wire.NodeID, m wire.Message) []byte {
-	body := m.AppendTo(nil)
-	frame := make([]byte, 8, 8+len(body))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(int32(from)))
-	return append(frame, body...)
-}
-
-func (r *Runner) write(to wire.NodeID, frame []byte) {
-	pc := r.peer(to)
-	if pc == nil {
+	if len(to) == 0 {
 		return
 	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if pc.conn == nil {
-		addr, ok := r.peers[to]
+	r.scratch = appendFrame(r.scratch[:0], r.id, m)
+	for _, dst := range to {
+		buf, ok := r.pending[dst]
 		if !ok {
-			return
+			buf = wire.EncodePool.Get(len(r.scratch))
 		}
-		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
-		if err != nil {
-			return // dropped; protocol-level retries re-send what matters
-		}
-		pc.conn = conn
-	}
-	pc.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	if _, err := pc.conn.Write(frame); err != nil {
-		pc.conn.Close()
-		pc.conn = nil
+		r.pending[dst] = append(buf, r.scratch...)
 	}
 }
 
+// appendFrame appends one length-prefixed frame ([u32 length][i32 sender]
+// [encoded message]) to b.
+func appendFrame(b []byte, from wire.NodeID, m wire.Message) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b = m.AppendTo(b)
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(b)-start-8))
+	binary.LittleEndian.PutUint32(b[start+4:], uint32(int32(from)))
+	return b
+}
+
+// flushTurn hands this turn's coalesced buffers to the per-peer writers.
+// Called with r.mu held at the end of every machine turn; it performs no
+// syscalls and never blocks on the network.
+func (r *Runner) flushTurn() {
+	if len(r.pending) == 0 {
+		return
+	}
+	for to, buf := range r.pending {
+		delete(r.pending, to)
+		if len(buf) == 0 {
+			wire.EncodePool.Put(buf)
+			continue
+		}
+		pc := r.peer(to)
+		if pc == nil {
+			wire.EncodePool.Put(buf)
+			continue // closed, or peer unknown
+		}
+		pc.mu.Lock()
+		if pc.queuedBytes+len(buf) > maxQueuedBytes {
+			pc.dropped++
+			n := pc.dropped
+			pc.mu.Unlock()
+			wire.EncodePool.Put(buf)
+			// Log at power-of-two counts: recurring congestion episodes
+			// stay visible without flooding the log.
+			if n&(n-1) == 0 {
+				r.Logf("transport: backlog to %v over %d bytes; %d turn buffers dropped so far (protocol retries recover)",
+					to, maxQueuedBytes, n)
+			}
+			continue
+		}
+		pc.queue = append(pc.queue, buf)
+		pc.queuedBytes += len(buf)
+		pc.mu.Unlock()
+		select {
+		case pc.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// peer returns (creating if needed) the outbound state for to, starting
+// its writer goroutine on first use. Returns nil when the runner is
+// closed or the peer has no known address.
 func (r *Runner) peer(to wire.NodeID) *peerConn {
 	r.connMu.Lock()
 	defer r.connMu.Unlock()
@@ -218,15 +309,87 @@ func (r *Runner) peer(to wire.NodeID) *peerConn {
 	}
 	pc, ok := r.conns[to]
 	if !ok {
-		pc = &peerConn{}
+		if _, known := r.peers[to]; !known {
+			return nil
+		}
+		pc = &peerConn{wake: make(chan struct{}, 1)}
 		r.conns[to] = pc
+		go r.writeLoop(to, pc)
 	}
 	return pc
+}
+
+// writeLoop drains one peer's queue: each wakeup writes every queued turn
+// buffer with a single vectored write. Dialing happens here, off the
+// machine's lock, so a slow or dead peer never stalls protocol turns.
+func (r *Runner) writeLoop(to wire.NodeID, pc *peerConn) {
+	var conn net.Conn
+	var lastDialFail time.Time
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-pc.wake:
+		}
+		for {
+			pc.mu.Lock()
+			batch := pc.queue
+			pc.queue, pc.inflight, pc.queuedBytes = nil, pc.queuedBytes, 0
+			pc.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			conn = r.writeBatch(to, conn, batch, &lastDialFail)
+			pc.mu.Lock()
+			pc.inflight = 0
+			pc.mu.Unlock()
+		}
+	}
+}
+
+// writeBatch writes one batch of turn buffers to the peer, dialing if
+// needed, and returns the (possibly new or closed) connection. Buffers
+// are returned to the encode pool afterwards regardless of outcome.
+func (r *Runner) writeBatch(to wire.NodeID, conn net.Conn, batch [][]byte, lastDialFail *time.Time) net.Conn {
+	defer func() {
+		for _, b := range batch {
+			wire.EncodePool.Put(b)
+		}
+	}()
+	if conn == nil {
+		if time.Since(*lastDialFail) < dialBackoff {
+			return nil // recently unreachable; drop the batch
+		}
+		addr, ok := r.peers[to]
+		if !ok {
+			return nil
+		}
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			*lastDialFail = time.Now()
+			return nil // dropped; protocol-level retries re-send what matters
+		}
+		conn = c
+	}
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	bufs := make(net.Buffers, len(batch))
+	copy(bufs, batch)
+	if _, err := bufs.WriteTo(conn); err != nil {
+		conn.Close()
+		return nil
+	}
+	return conn
 }
 
 func (r *Runner) readLoop(conn net.Conn) {
 	defer conn.Close()
 	var hdr [8]byte
+	var body []byte // reused across frames; decoded messages never alias it
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			if !errors.Is(err, io.EOF) {
@@ -244,7 +407,10 @@ func (r *Runner) readLoop(conn net.Conn) {
 			r.Logf("transport: oversized frame (%d bytes) from %v", size, from)
 			return
 		}
-		body := make([]byte, size)
+		if uint32(cap(body)) < size {
+			body = make([]byte, size)
+		}
+		body = body[:size]
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
@@ -256,6 +422,7 @@ func (r *Runner) readLoop(conn net.Conn) {
 		r.mu.Lock()
 		if !r.closed && r.machine != nil {
 			r.machine.Recv(from, msg)
+			r.flushTurn()
 		}
 		r.mu.Unlock()
 	}

@@ -69,9 +69,150 @@ func TestTCPRoundTrip(t *testing.T) {
 }
 
 func TestFrameEncoding(t *testing.T) {
-	f := encodeFrame(3, &wire.Ping{From: 3, Seq: 7})
-	if len(f) != 8+(&wire.Ping{From: 3, Seq: 7}).WireSize() {
+	msg := &wire.Ping{From: 3, Seq: 7}
+	f := appendFrame(nil, 3, msg)
+	if len(f) != 8+msg.WireSize() {
 		t.Fatalf("frame length %d", len(f))
+	}
+	// Two frames appended to one buffer decode back to back.
+	f = appendFrame(f, 3, &wire.Ping{From: 3, Seq: 8})
+	if len(f) != 2*(8+msg.WireSize()) {
+		t.Fatalf("coalesced length %d", len(f))
+	}
+	for i := 0; i < 2; i++ {
+		m, n, err := wire.Decode(f[8 : 8+msg.WireSize()])
+		if err != nil || n != msg.WireSize() {
+			t.Fatalf("decode frame %d: %v (n=%d)", i, err, n)
+		}
+		if m.(*wire.Ping).Seq != uint64(7+i) {
+			t.Fatalf("frame %d seq = %d", i, m.(*wire.Ping).Seq)
+		}
+		f = f[8+msg.WireSize():]
+	}
+}
+
+// TestTurnCoalescing checks that many sends inside one Invoke turn all
+// arrive, in order, at the peer (they travel as one coalesced buffer).
+func TestTurnCoalescing(t *testing.T) {
+	peers := map[wire.NodeID]string{}
+	var runners []*Runner
+	for i := 0; i < 2; i++ {
+		r, err := NewRunner(wire.NodeID(i), "127.0.0.1:0", peers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Logf = func(string, ...interface{}) {}
+		peers[wire.NodeID(i)] = r.Addr().String()
+		runners = append(runners, r)
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Close()
+		}
+	}()
+	a, b := &countMachine{}, &countMachine{}
+	runners[0].Attach(a)
+	runners[1].Attach(b)
+	go runners[0].Serve(nil)
+	go runners[1].Serve(nil)
+
+	const n = 500
+	runners[0].Invoke(func() {
+		for i := 0; i < n; i++ {
+			a.env.Send(1, &wire.Ping{From: 0, Seq: uint64(i)})
+		}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var got []wire.Message
+		runners[1].Invoke(func() { got = append([]wire.Message(nil), b.got...) })
+		if len(got) == n {
+			for i, m := range got {
+				if m.(*wire.Ping).Seq != uint64(i) {
+					t.Fatalf("message %d has seq %d (reordered)", i, m.(*wire.Ping).Seq)
+				}
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("coalesced turn never fully arrived")
+}
+
+// TestConcurrentSendersAndClose races the write-coalescing path: many
+// goroutines Invoke sends and multicasts while timers fire and the
+// runner eventually closes mid-traffic. Run under -race in CI.
+func TestConcurrentSendersAndClose(t *testing.T) {
+	peers := map[wire.NodeID]string{}
+	var runners []*Runner
+	for i := 0; i < 3; i++ {
+		r, err := NewRunner(wire.NodeID(i), "127.0.0.1:0", peers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Logf = func(string, ...interface{}) {}
+		peers[wire.NodeID(i)] = r.Addr().String()
+		runners = append(runners, r)
+	}
+	machines := make([]*countMachine, 3)
+	for i, r := range runners {
+		machines[i] = &countMachine{}
+		r.Attach(machines[i])
+		go r.Serve(nil)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := machines[g%3]
+			r := runners[g%3]
+			for i := 0; i < 200; i++ {
+				r.Invoke(func() {
+					m.env.Send(wire.NodeID((g+1)%3), &wire.Ping{From: wire.NodeID(g % 3), Seq: uint64(i)})
+					m.env.Multicast([]wire.NodeID{0, 1, 2}, &wire.Ping{From: wire.NodeID(g % 3), Seq: uint64(i)})
+				})
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	runners[2].Close() // close one runner mid-traffic
+	wg.Wait()
+	runners[0].Drain(time.Second)
+	runners[0].Close()
+	runners[1].Close()
+}
+
+// TestDrain verifies Drain reports completion only after queued bytes
+// reach the kernel.
+func TestDrain(t *testing.T) {
+	peers := map[wire.NodeID]string{}
+	var runners []*Runner
+	for i := 0; i < 2; i++ {
+		r, err := NewRunner(wire.NodeID(i), "127.0.0.1:0", peers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Logf = func(string, ...interface{}) {}
+		peers[wire.NodeID(i)] = r.Addr().String()
+		runners = append(runners, r)
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Close()
+		}
+	}()
+	a, b := &countMachine{}, &countMachine{}
+	runners[0].Attach(a)
+	runners[1].Attach(b)
+	go runners[0].Serve(nil)
+	go runners[1].Serve(nil)
+	const n = 100
+	for i := 0; i < n; i++ {
+		runners[0].Invoke(func() { a.env.Send(1, &wire.Ping{From: 0, Seq: 1}) })
+	}
+	if !runners[0].Drain(2 * time.Second) {
+		t.Fatal("Drain timed out")
 	}
 }
 

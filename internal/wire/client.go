@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary client protocol. canopus-server's client port speaks two
+// protocols, distinguished by the first byte of the connection: the
+// line-oriented text protocol ("GET 7\n") for interactive use, and this
+// length-prefixed binary protocol for programs. The binary protocol is
+// pipelined: a client may have any number of requests outstanding, and
+// responses carry the request's correlation ID so they can complete out
+// of submission order (within one connection the server preserves order,
+// but clients must not rely on it).
+//
+// Connection preamble (client -> server): the 4 magic bytes of
+// ClientMagic. The first byte is outside ASCII so the server can sniff
+// binary vs text mode from one byte.
+//
+// Frames in both directions are [u32 length][payload], little-endian,
+// where length counts payload bytes only:
+//
+//	request payload:  [u64 id][u8 op][u64 key][u32 vlen][vlen bytes]
+//	response payload: [u64 id][u8 status][u32 vlen][vlen bytes]
+//
+// Statuses: OK (write acknowledged / read hit, value attached), Nil
+// (read miss), Err (request rejected; value is a human-readable reason).
+
+// ClientMagic is the binary-mode connection preamble.
+var ClientMagic = [4]byte{0xC4, 'N', 'P', 0x01}
+
+// Client response statuses.
+const (
+	ClientStatusOK  uint8 = 0 // success; reads carry the value
+	ClientStatusNil uint8 = 1 // read of an absent key
+	ClientStatusErr uint8 = 2 // rejected; value holds the reason
+)
+
+// MaxClientFrame bounds client protocol frame sizes in both directions.
+const MaxClientFrame = 16 << 20
+
+// ErrClientFrame is returned for malformed client protocol frames.
+var ErrClientFrame = errors.New("wire: bad client frame")
+
+// ClientRequest is one keyed operation on the binary client port. ID is
+// the client-chosen correlation ID echoed in the response.
+type ClientRequest struct {
+	ID  uint64
+	Op  Op
+	Key uint64
+	Val []byte // write payload; nil for reads
+}
+
+// ClientResponse answers one ClientRequest.
+type ClientResponse struct {
+	ID     uint64
+	Status uint8
+	Val    []byte
+}
+
+const clientReqFixed = 8 + 1 + 8 + 4 // id, op, key, vlen
+const clientRespFixed = 8 + 1 + 4    // id, status, vlen
+
+// AppendClientRequest appends q as a length-prefixed frame to b.
+func AppendClientRequest(b []byte, q *ClientRequest) []byte {
+	b = putU32(b, uint32(clientReqFixed+len(q.Val)))
+	b = putU64(b, q.ID)
+	b = putU8(b, uint8(q.Op))
+	b = putU64(b, q.Key)
+	return putBytes(b, q.Val)
+}
+
+// ParseClientRequest decodes one request payload (the bytes after the
+// length prefix).
+func ParseClientRequest(payload []byte) (ClientRequest, error) {
+	r := &reader{b: payload}
+	var q ClientRequest
+	q.ID = r.u64()
+	q.Op = Op(r.u8())
+	q.Key = r.u64()
+	q.Val = r.bytes()
+	if r.err != nil || r.off != len(payload) {
+		return ClientRequest{}, fmt.Errorf("%w: request (%d bytes)", ErrClientFrame, len(payload))
+	}
+	if q.Op != OpRead && q.Op != OpWrite {
+		return ClientRequest{}, fmt.Errorf("%w: unknown op %d", ErrClientFrame, uint8(q.Op))
+	}
+	return q, nil
+}
+
+// AppendClientResponse appends resp as a length-prefixed frame to b.
+func AppendClientResponse(b []byte, resp *ClientResponse) []byte {
+	b = putU32(b, uint32(clientRespFixed+len(resp.Val)))
+	b = putU64(b, resp.ID)
+	b = putU8(b, resp.Status)
+	return putBytes(b, resp.Val)
+}
+
+// ParseClientResponse decodes one response payload (the bytes after the
+// length prefix).
+func ParseClientResponse(payload []byte) (ClientResponse, error) {
+	r := &reader{b: payload}
+	var resp ClientResponse
+	resp.ID = r.u64()
+	resp.Status = r.u8()
+	resp.Val = r.bytes()
+	if r.err != nil || r.off != len(payload) {
+		return ClientResponse{}, fmt.Errorf("%w: response (%d bytes)", ErrClientFrame, len(payload))
+	}
+	return resp, nil
+}
+
+// ClientFrameLen validates a frame length prefix read off the wire.
+func ClientFrameLen(hdr [4]byte) (int, error) {
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxClientFrame {
+		return 0, fmt.Errorf("%w: oversized frame (%d bytes)", ErrClientFrame, n)
+	}
+	return int(n), nil
+}

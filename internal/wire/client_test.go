@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestClientRequestRoundTrip(t *testing.T) {
+	cases := []ClientRequest{
+		{ID: 1, Op: OpWrite, Key: 7, Val: []byte("hello")},
+		{ID: 1<<63 + 5, Op: OpRead, Key: 0},
+		{ID: 0, Op: OpWrite, Key: ^uint64(0), Val: make([]byte, 4096)},
+	}
+	for _, q := range cases {
+		frame := AppendClientRequest(nil, &q)
+		n, err := ClientFrameLen([4]byte(frame[:4]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(frame)-4 {
+			t.Fatalf("frame length %d, payload %d", n, len(frame)-4)
+		}
+		got, err := ParseClientRequest(frame[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != q.ID || got.Op != q.Op || got.Key != q.Key || !bytes.Equal(got.Val, q.Val) {
+			t.Fatalf("round trip: got %+v want %+v", got, q)
+		}
+	}
+}
+
+func TestClientResponseRoundTrip(t *testing.T) {
+	cases := []ClientResponse{
+		{ID: 42, Status: ClientStatusOK, Val: []byte("v")},
+		{ID: 43, Status: ClientStatusNil},
+		{ID: 44, Status: ClientStatusErr, Val: []byte("draining")},
+	}
+	for _, resp := range cases {
+		frame := AppendClientResponse(nil, &resp)
+		got, err := ParseClientResponse(frame[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != resp.ID || got.Status != resp.Status || !bytes.Equal(got.Val, resp.Val) {
+			t.Fatalf("round trip: got %+v want %+v", got, resp)
+		}
+	}
+}
+
+func TestClientFrameErrors(t *testing.T) {
+	if _, err := ParseClientRequest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated request parsed")
+	}
+	// Trailing garbage is rejected (frames are exactly sized).
+	q := ClientRequest{ID: 1, Op: OpRead, Key: 2}
+	frame := AppendClientRequest(nil, &q)
+	if _, err := ParseClientRequest(append(frame[4:], 0)); err == nil {
+		t.Fatal("oversized request parsed")
+	}
+	// Unknown op rejected.
+	bad := ClientRequest{ID: 1, Op: Op(9), Key: 2}
+	frame = AppendClientRequest(nil, &bad)
+	if _, err := ParseClientRequest(frame[4:]); err == nil {
+		t.Fatal("unknown op parsed")
+	}
+	// Oversized length prefix rejected.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxClientFrame+1)
+	if _, err := ClientFrameLen(hdr); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	// Magic is not valid ASCII text.
+	if ClientMagic[0] < 0x80 {
+		t.Fatal("magic first byte must be non-ASCII for mode sniffing")
+	}
+}

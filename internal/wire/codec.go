@@ -21,6 +21,12 @@ var ErrTruncated = errors.New("wire: truncated message")
 // ErrUnknownKind is returned for an unrecognized kind byte.
 var ErrUnknownKind = errors.New("wire: unknown message kind")
 
+// ErrBadBool is returned when a boolean field is neither 0 nor 1. The
+// codec only ever writes 0/1, so anything else is corruption; rejecting
+// it also keeps decoding canonical (decode∘encode is the identity on
+// every accepted buffer), which the codec fuzz target checks.
+var ErrBadBool = errors.New("wire: invalid boolean encoding")
+
 func putU8(b []byte, v uint8) []byte   { return append(b, v) }
 func putU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
 func putU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
@@ -104,7 +110,13 @@ func (r *reader) u64() uint64 {
 	return v
 }
 
-func (r *reader) boolean() bool { return r.u8() != 0 }
+func (r *reader) boolean() bool {
+	v := r.u8()
+	if v > 1 && r.err == nil {
+		r.err = ErrBadBool
+	}
+	return v == 1
+}
 
 func (r *reader) node() NodeID { return NodeID(int32(r.u32())) }
 

@@ -1,0 +1,63 @@
+package wire
+
+import "sync"
+
+// Encode-buffer pooling. The live transport and the client protocol both
+// encode many small messages per event turn; a shared free list keeps the
+// per-turn cost at one pooled buffer (re)use instead of one allocation
+// per frame.
+
+const (
+	// poolBufCap is the initial capacity of fresh pool buffers: large
+	// enough for a typical coalesced turn (a few proposals).
+	poolBufCap = 16 << 10
+	// poolBufMax bounds the capacity of buffers returned to the pool so a
+	// single huge frame does not pin memory forever.
+	poolBufMax = 4 << 20
+)
+
+// pbuf is the pooled carrier: buffers travel behind a pointer so neither
+// pool operation boxes a slice header.
+type pbuf struct{ b []byte }
+
+// BufPool recycles byte buffers used to encode frames. The zero value is
+// ready to use. All methods are safe for concurrent use. Steady state
+// allocates nothing: the carrier boxes of emptied buffers are recycled
+// through a second free list and reused by Put.
+type BufPool struct {
+	p     sync.Pool // *pbuf with a buffer
+	boxes sync.Pool // *pbuf carriers awaiting reuse
+}
+
+// Get returns an empty buffer with at least n bytes of capacity.
+func (bp *BufPool) Get(n int) []byte {
+	if v, ok := bp.p.Get().(*pbuf); ok {
+		b := v.b
+		v.b = nil
+		bp.boxes.Put(v)
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	if n < poolBufCap {
+		n = poolBufCap
+	}
+	return make([]byte, 0, n)
+}
+
+// Put returns a buffer obtained from Get (possibly grown by appends) to
+// the pool. Oversized buffers are dropped to bound pooled memory.
+func (bp *BufPool) Put(b []byte) {
+	if cap(b) == 0 || cap(b) > poolBufMax {
+		return
+	}
+	v, ok := bp.boxes.Get().(*pbuf)
+	if !ok {
+		v = new(pbuf)
+	}
+	v.b = b[:0]
+	bp.p.Put(v)
+}
+
+// EncodePool is the process-wide default pool for message encoding.
+var EncodePool BufPool

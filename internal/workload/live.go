@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"canopus/internal/metrics"
+	"canopus/internal/wire"
+)
+
+// Live workload driving. The same keyed Poisson workload the simulator
+// runs in fluid mode is generated here against real connections (the
+// livecluster binary client protocol), in two shapes:
+//
+//   - closed loop: Concurrency workers, each with one outstanding
+//     request — measures latency at a self-limiting load;
+//   - open loop: Poisson arrivals at OpenRate req/s regardless of
+//     completions — measures throughput and queueing behaviour, like the
+//     paper's offered-load sweeps.
+
+// Doer issues one keyed operation asynchronously; done is called when
+// the reply arrives (ok=false when the request failed or was rejected).
+// livecluster.Client satisfies the shape via a thin adapter.
+type Doer interface {
+	Do(op wire.Op, key uint64, val []byte, done func(ok bool))
+}
+
+// LiveConfig parameterizes a live load run.
+type LiveConfig struct {
+	// OpenRate, when positive, selects open-loop generation at this many
+	// requests/second across all connections.
+	OpenRate float64
+	// Concurrency is the closed-loop worker count (used when OpenRate is
+	// zero). Default 16.
+	Concurrency int
+	// Duration is the total generation time, including Warmup.
+	Duration time.Duration
+	// Warmup excludes early arrivals from the recorded statistics.
+	Warmup time.Duration
+	// WriteRatio is the fraction of requests that are writes (default
+	// 0.2, the paper's standard mix).
+	WriteRatio float64
+	// Keys is the key-space size (default 65536).
+	Keys uint64
+	// ValueBytes is the write payload size (default 8: the paper's
+	// 16-byte key-value pairs).
+	ValueBytes int
+	// Window is the open-loop arrival aggregation granularity (default
+	// 1ms).
+	Window time.Duration
+	// Seed randomizes keys and arrivals.
+	Seed int64
+	// DrainTimeout bounds the post-generation wait for stragglers
+	// (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c *LiveConfig) fill() {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.WriteRatio == 0 {
+		c.WriteRatio = 0.2
+	}
+	if c.Keys == 0 {
+		c.Keys = 65536
+	}
+	if c.ValueBytes == 0 {
+		c.ValueBytes = 8
+	}
+	if c.Window == 0 {
+		c.Window = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// LiveResult summarizes a live run. Offered counts requests issued
+// inside the measurement window [Warmup, Duration); Completed and Failed
+// partition the offered requests that finished before the drain timeout.
+type LiveResult struct {
+	Offered   uint64
+	Completed uint64
+	Failed    uint64
+	// Lost counts requests still unanswered when the drain timed out,
+	// including warmup-window requests the measured counters skip.
+	Lost uint64
+
+	Reads, Writes metrics.Histogram
+
+	// Measure is the measurement wall-clock window Offered spans.
+	Measure time.Duration
+}
+
+// All merges the read and write latency distributions.
+func (r *LiveResult) All() *metrics.Histogram {
+	var h metrics.Histogram
+	h.Merge(&r.Reads)
+	h.Merge(&r.Writes)
+	return &h
+}
+
+// Throughput returns completed requests/second over the measurement
+// window.
+func (r *LiveResult) Throughput() float64 {
+	return metrics.Throughput(r.Completed, r.Measure)
+}
+
+// liveRecorder accumulates completions; one mutex is fine at benchmark
+// rates (the critical section is a histogram bucket increment).
+type liveRecorder struct {
+	mu     sync.Mutex
+	reads  metrics.Histogram
+	writes metrics.Histogram
+}
+
+func (r *liveRecorder) record(op wire.Op, lat time.Duration) {
+	r.mu.Lock()
+	if op == wire.OpRead {
+		r.reads.Observe(lat)
+	} else {
+		r.writes.Observe(lat)
+	}
+	r.mu.Unlock()
+}
+
+// RunLive drives the configured workload over conns and blocks until
+// generation ends and in-flight requests drain (or time out).
+func RunLive(cfg LiveConfig, conns []Doer) *LiveResult {
+	cfg.fill()
+	if cfg.OpenRate > 0 {
+		return runOpen(cfg, conns)
+	}
+	return runClosed(cfg, conns)
+}
+
+func runClosed(cfg LiveConfig, conns []Doer) *LiveResult {
+	res := &LiveResult{}
+	rec := &liveRecorder{}
+	start := time.Now()
+	warmEnd := start.Add(cfg.Warmup)
+	end := start.Add(cfg.Duration)
+	var offered, completed, failed atomic.Uint64
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			conn := conns[w%len(conns)]
+			val := make([]byte, cfg.ValueBytes)
+			ch := make(chan bool, 1)
+			timer := time.NewTimer(time.Hour)
+			timer.Stop()
+			defer timer.Stop()
+			for {
+				issued := time.Now()
+				if !issued.Before(end) {
+					return
+				}
+				op := wire.OpRead
+				var v []byte
+				if rng.Float64() < cfg.WriteRatio {
+					op, v = wire.OpWrite, val
+				}
+				key := rng.Uint64() % cfg.Keys
+				measured := !issued.Before(warmEnd)
+				if measured {
+					offered.Add(1)
+				}
+				conn.Do(op, key, v, func(ok bool) { ch <- ok })
+				var ok bool
+				timer.Reset(cfg.DrainTimeout)
+				select {
+				case ok = <-ch:
+					timer.Stop()
+				case <-timer.C:
+					// Lost reply: record it and retire this worker (a late
+					// completion on ch must not leak into the next
+					// request's wait). The run's accounting surfaces it.
+					if measured {
+						failed.Add(1)
+					} else {
+						offered.Add(1)
+						failed.Add(1)
+					}
+					return
+				}
+				if measured {
+					if ok {
+						completed.Add(1)
+						rec.record(op, time.Since(issued))
+					} else {
+						failed.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Measure = cfg.Duration - cfg.Warmup
+	res.Offered = offered.Load()
+	res.Completed = completed.Load()
+	res.Failed = failed.Load()
+	res.Reads, res.Writes = rec.reads, rec.writes
+	return res
+}
+
+func runOpen(cfg LiveConfig, conns []Doer) *LiveResult {
+	res := &LiveResult{}
+	rec := &liveRecorder{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	warmEnd := start.Add(cfg.Warmup)
+	end := start.Add(cfg.Duration)
+	var offered, completed, failed atomic.Uint64
+	var inflight atomic.Int64
+
+	val := make([]byte, cfg.ValueBytes)
+	perWindow := cfg.OpenRate * cfg.Window.Seconds()
+	next := 0 // round-robin connection cursor
+	ticker := time.NewTicker(cfg.Window)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		if !now.Before(end) {
+			break
+		}
+		n := poisson(rng, perWindow)
+		measured := !now.Before(warmEnd)
+		for i := 0; i < n; i++ {
+			op := wire.OpRead
+			var v []byte
+			if rng.Float64() < cfg.WriteRatio {
+				op, v = wire.OpWrite, val
+			}
+			key := rng.Uint64() % cfg.Keys
+			issued := time.Now()
+			if measured {
+				offered.Add(1)
+			}
+			inflight.Add(1)
+			conn := conns[next%len(conns)]
+			next++
+			conn.Do(op, key, v, func(ok bool) {
+				inflight.Add(-1)
+				if !measured {
+					return
+				}
+				if ok {
+					completed.Add(1)
+					rec.record(op, time.Since(issued))
+				} else {
+					failed.Add(1)
+				}
+			})
+		}
+	}
+	// Drain stragglers.
+	deadline := time.Now().Add(cfg.DrainTimeout)
+	for inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	res.Measure = cfg.Duration - cfg.Warmup
+	res.Offered = offered.Load()
+	res.Completed = completed.Load()
+	res.Failed = failed.Load()
+	// Anything still in flight after the drain was never answered —
+	// including warmup-window requests, which the measured counters
+	// skip; a reply lost during cold start must still fail the run.
+	res.Lost = uint64(inflight.Load())
+	res.Reads, res.Writes = rec.reads, rec.writes
+	return res
+}
