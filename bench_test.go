@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"canopus"
+	"canopus/client"
 	"canopus/internal/harness"
 	"canopus/internal/wire"
+	"canopus/internal/workload"
 )
 
 // benchWindows keeps each iteration around a second of virtual time.
@@ -145,7 +147,7 @@ func BenchmarkAblationHardwareBroadcast(b *testing.B) {
 // answer locally without a consensus-cycle delay.
 func BenchmarkAblationWriteLeases(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		c := canopus.NewSimCluster(canopus.SimOptions{
+		c := canopus.MustSimCluster(canopus.SimOptions{
 			Racks: 2, NodesPerRack: 3, Seed: int64(i + 1),
 			Node: canopus.Config{WriteLeases: true},
 		})
@@ -154,7 +156,7 @@ func BenchmarkAblationWriteLeases(b *testing.B) {
 		for s := 0; s < 200; s++ {
 			seq := uint64(s + 1)
 			c.At(time.Duration(s+1)*time.Millisecond, func() {
-				c.Submit(0, canopus.Read(1, seq, seq%16+1000))
+				c.SubmitRequest(0, canopus.Read(1, seq, seq%16+1000))
 			})
 		}
 		c.RunUntil(time.Second)
@@ -195,4 +197,62 @@ func BenchmarkCodec(b *testing.B) {
 		}
 		b.SetBytes(int64(len(buf)))
 	}
+}
+
+// --- Client API round trip ---
+
+// BenchmarkClientRoundTrip measures the public canopus/client package
+// end to end against a live loopback cluster: protocol v2 over real
+// sockets, through consensus, back through the reply fan-out — the
+// paper's client interaction layer as applications see it. The numbers
+// are wall-clock but cycle-paced (the 2ms CycleInterval dominates the
+// latency), so throughput and MEAN latency are stable enough for the
+// benchdiff drift gate (the median is bimodal across cycle-phase bucket
+// boundaries and is deliberately not reported);
+// BENCH_baseline.json carries the committed values.
+func BenchmarkClientRoundTrip(b *testing.B) {
+	var tput, meanMS float64
+	for i := 0; i < b.N; i++ {
+		cluster, err := canopus.StartLiveCluster(canopus.LiveOptions{
+			Nodes: 3,
+			Node: canopus.Config{
+				CycleInterval: 2 * time.Millisecond,
+				TickInterval:  2 * time.Millisecond,
+				MaxBatch:      4096,
+			},
+			Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients := make([]*client.Client, cluster.NumNodes())
+		conns := make([]workload.Doer, cluster.NumNodes())
+		for j := range conns {
+			cl, err := client.New(client.Config{Endpoints: []string{cluster.Endpoint(j)}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients[j] = cl
+			conns[j] = harness.ClientDoer{Client: cl}
+		}
+		res := workload.RunLive(workload.LiveConfig{
+			Concurrency: 32,
+			Duration:    700 * time.Millisecond,
+			Warmup:      200 * time.Millisecond,
+			WriteRatio:  0.2,
+			Seed:        int64(i + 1),
+		}, conns)
+		if res.Completed != res.Offered || res.Failed != 0 {
+			b.Fatalf("lost replies: offered %d, completed %d, failed %d",
+				res.Offered, res.Completed, res.Failed)
+		}
+		tput = res.Throughput()
+		meanMS = float64(res.All().Mean()) / float64(time.Millisecond)
+		for _, cl := range clients {
+			cl.Close()
+		}
+		cluster.Close()
+	}
+	b.ReportMetric(tput/1e6, "Mreq/s")
+	b.ReportMetric(meanMS, "mean-ms")
 }

@@ -8,16 +8,27 @@
 //
 // The root package is a thin facade: protocol types are aliases of the
 // internal implementations, plus convenience constructors for simulated
-// clusters (deterministic, virtual time) and live TCP clusters.
+// clusters (deterministic, virtual time) and live TCP clusters — both
+// behind the one Cluster interface every driver in this repository
+// consumes:
 //
-//	cluster := canopus.NewSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
-//	cluster.At(time.Millisecond, func() {
-//	    cluster.Submit(0, canopus.Write(1, 1, 42, []byte("hello")))
+//	cluster := canopus.MustSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+//	cluster.Serve() // wall-clock mode: Submit from any goroutine
+//	defer cluster.Close()
+//	done := make(chan []byte, 1)
+//	cluster.Submit(0, canopus.OpWrite, 42, []byte("hello"), func(val []byte, ok bool) {
+//	    done <- val
 //	})
-//	cluster.RunUntil(time.Second)
+//	<-done
+//
+// Network applications should use the typed, context-aware client in
+// canopus/client against a live deployment (StartLiveCluster here, or
+// cmd/canopus-server processes).
 package canopus
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
 	"canopus/internal/core"
@@ -33,7 +44,7 @@ type (
 	NodeID = wire.NodeID
 	// Request is one client key-value operation.
 	Request = wire.Request
-	// Op is a request kind (OpRead / OpWrite).
+	// Op is a request kind (OpRead / OpWrite / OpDelete).
 	Op = wire.Op
 	// Batch is an ordered request set (the protocol's unit of ordering).
 	Batch = wire.Batch
@@ -45,6 +56,8 @@ const (
 	OpRead = wire.OpRead
 	// OpWrite marks a key write.
 	OpWrite = wire.OpWrite
+	// OpDelete marks a key removal.
+	OpDelete = wire.OpDelete
 	// NoNode is the "no node" sentinel.
 	NoNode = wire.NoNode
 )
@@ -95,6 +108,11 @@ func Read(client, seq, key uint64) Request {
 	return Request{Client: client, Seq: seq, Op: OpRead, Key: key}
 }
 
+// Delete builds a delete request.
+func Delete(client, seq, key uint64) Request {
+	return Request{Client: client, Seq: seq, Op: OpDelete, Key: key}
+}
+
 // SimOptions shapes a simulated deployment.
 type SimOptions struct {
 	// Racks and NodesPerRack lay out a single datacenter; each rack is
@@ -111,29 +129,92 @@ type SimOptions struct {
 	Seed int64
 }
 
+func (o *SimOptions) fill() error {
+	if o.Racks == 0 {
+		o.Racks = 2
+	}
+	if o.NodesPerRack == 0 {
+		o.NodesPerRack = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Racks < 0 || o.NodesPerRack < 0 {
+		return fmt.Errorf("canopus: negative topology (%d racks x %d nodes)", o.Racks, o.NodesPerRack)
+	}
+	if o.WANRTT != nil {
+		if len(o.WANRTT) != o.Racks {
+			return fmt.Errorf("canopus: WANRTT has %d rows for %d racks", len(o.WANRTT), o.Racks)
+		}
+		for i, row := range o.WANRTT {
+			if len(row) != o.Racks {
+				return fmt.Errorf("canopus: WANRTT row %d has %d columns for %d racks", i, len(row), o.Racks)
+			}
+		}
+	}
+	return nil
+}
+
+// driverClient is the reserved Request.Client identity carrying
+// interface-submitted operations (Cluster.Submit); replies to it are
+// routed to per-request callbacks instead of the per-node OnReply hook.
+const driverClient = 1<<63 - 1
+
 // SimCluster is an in-process simulated Canopus deployment running on
 // virtual time: deterministic, instantaneous, no sockets. It is the
 // quickest way to experiment with the protocol and what the examples and
 // tests build on.
+//
+// Two driving modes:
+//
+//   - Event-loop mode (default): schedule work with At, submit from
+//     inside those callbacks, advance time with RunUntil. Deterministic
+//     and replayable.
+//   - Serve mode: call Serve once and the cluster pumps virtual time on
+//     a background goroutine; Submit then works from any goroutine, so
+//     wall-clock drivers (internal/workload's live drivers, or any code
+//     written against the Cluster interface) run unmodified against the
+//     simulator. Not deterministic (arrival order depends on the
+//     scheduler); do not mix with At/RunUntil.
 type SimCluster struct {
 	Sim    *netsim.Sim
 	Runner *netsim.Runner
 	Tree   *Tree
 	nodes  []*Node
 	stores []*Store
+
+	onReply map[NodeID]func(req *Request, val []byte)
+	// dones routes driverClient completions back to Submit callbacks;
+	// touched only from the simulation context (event loop or pump).
+	dones     map[uint64]func(val []byte, ok bool)
+	driverSeq uint64
+
+	mu      sync.Mutex
+	serving bool
+	closed  bool // Close was called on a serving cluster
+	queue   []queuedOp
+	wake    chan struct{} // rings the pump when work is queued
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// queuedOp is one Submit awaiting injection by the serve-mode pump. The
+// arguments are kept (rather than a closure) so a shutdown can still
+// honor the done contract with ok=false.
+type queuedOp struct {
+	node int
+	op   Op
+	key  uint64
+	val  []byte
+	done func(val []byte, ok bool)
 }
 
 // NewSimCluster builds and registers a full simulated deployment with a
-// logged KV store per node.
-func NewSimCluster(opts SimOptions) *SimCluster {
-	if opts.Racks == 0 {
-		opts.Racks = 2
-	}
-	if opts.NodesPerRack == 0 {
-		opts.NodesPerRack = 3
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
+// logged KV store per node. It returns an error for invalid tree shapes
+// (negative sizes, mismatched WANRTT matrices).
+func NewSimCluster(opts SimOptions) (*SimCluster, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
 	}
 	sim := netsim.NewSim()
 	var topo *netsim.Topology
@@ -159,21 +240,54 @@ func NewSimCluster(opts SimOptions) *SimCluster {
 	}
 	tree, err := lot.New(lot.Config{SuperLeaves: sls})
 	if err != nil {
-		panic(err) // impossible for the shapes NewSimCluster builds
+		return nil, fmt.Errorf("canopus: %w", err)
 	}
 
-	c := &SimCluster{Sim: sim, Runner: runner, Tree: tree}
+	c := &SimCluster{
+		Sim: sim, Runner: runner, Tree: tree,
+		onReply: make(map[NodeID]func(req *Request, val []byte)),
+		dones:   make(map[uint64]func(val []byte, ok bool)),
+	}
 	for i := 0; i < topo.NumNodes(); i++ {
 		cfg := opts.Node
 		cfg.Tree = tree
 		cfg.Self = NodeID(i)
 		st := kvstore.New()
 		n := core.NewNode(cfg, st, Callbacks{})
+		c.installDispatcher(NodeID(i), n)
 		c.nodes = append(c.nodes, n)
 		c.stores = append(c.stores, st)
 		runner.Register(NodeID(i), n)
 	}
+	return c, nil
+}
+
+// MustSimCluster is NewSimCluster, panicking on invalid options —
+// convenient in tests and examples with known-good shapes.
+func MustSimCluster(opts SimOptions) *SimCluster {
+	c, err := NewSimCluster(opts)
+	if err != nil {
+		panic(err)
+	}
 	return c
+}
+
+// installDispatcher owns a node's OnReply: driver-submitted requests
+// complete their per-request callbacks, everything else flows to the
+// per-node OnReply hook.
+func (c *SimCluster) installDispatcher(id NodeID, n *Node) {
+	n.SetOnReply(func(req *Request, val []byte) {
+		if req.Client == driverClient {
+			if done, ok := c.dones[req.Seq]; ok {
+				delete(c.dones, req.Seq)
+				done(val, true)
+			}
+			return
+		}
+		if fn := c.onReply[id]; fn != nil {
+			fn(req, val)
+		}
+	})
 }
 
 // Node returns the protocol node with the given ID.
@@ -185,20 +299,173 @@ func (c *SimCluster) StoreOf(id NodeID) *Store { return c.stores[id] }
 // NumNodes returns the deployment size.
 func (c *SimCluster) NumNodes() int { return len(c.nodes) }
 
-// OnReply installs a completion callback on node id. Must be called
-// before the simulation runs past the node's first request.
+// OnReply installs a completion callback for node id's requests injected
+// with SubmitRequest. Must be called before the simulation runs past the
+// node's first request.
 func (c *SimCluster) OnReply(id NodeID, fn func(req *Request, val []byte)) {
-	c.nodes[id].SetOnReply(fn)
+	c.onReply[id] = fn
 }
 
 // At schedules fn at an absolute virtual time; use it to inject client
-// requests from the simulation's event loop.
+// requests from the simulation's event loop (event-loop mode only).
 func (c *SimCluster) At(t time.Duration, fn func()) { c.Sim.At(t, fn) }
 
-// Submit delivers one client request to node id (call from inside At).
-func (c *SimCluster) Submit(id NodeID, req Request) { c.nodes[id].Submit(req) }
+// SubmitRequest delivers one raw client request to node id with
+// caller-owned Client/Seq identity; replies arrive at the node's OnReply
+// hook. Call from inside At (event-loop mode). Most callers want Submit.
+func (c *SimCluster) SubmitRequest(id NodeID, req Request) { c.nodes[id].Submit(req) }
 
-// RunUntil advances virtual time.
+// Submit implements Cluster: it asynchronously executes one keyed
+// operation at node's replica and invokes done (from the simulation
+// context — it must not block) with the read value (nil for mutations
+// and misses) and whether the operation was served. In event-loop mode
+// call it from inside At; after Serve it is safe from any goroutine.
+func (c *SimCluster) Submit(node int, op Op, key uint64, val []byte, done func(val []byte, ok bool)) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		if done != nil {
+			done(nil, false)
+		}
+		return
+	}
+	if c.serving {
+		c.queue = append(c.queue, queuedOp{node: node, op: op, key: key, val: val, done: done})
+		c.mu.Unlock()
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+		return
+	}
+	c.mu.Unlock()
+	c.submitNow(node, op, key, val, done)
+}
+
+// submitNow runs in the simulation context.
+func (c *SimCluster) submitNow(node int, op Op, key uint64, val []byte, done func(val []byte, ok bool)) {
+	n := c.nodes[node]
+	if !c.Runner.Alive(NodeID(node)) || n.Stalled() {
+		if done != nil {
+			done(nil, false)
+		}
+		return
+	}
+	c.driverSeq++
+	if done != nil {
+		c.dones[c.driverSeq] = done
+	}
+	n.Submit(Request{Client: driverClient, Seq: c.driverSeq, Op: op, Key: key, Val: val})
+}
+
+// Endpoint implements Cluster. The simulator has no network endpoints;
+// drive it through Submit.
+func (c *SimCluster) Endpoint(node int) string { return "" }
+
+// Serve switches the cluster into wall-clock mode: a background pump
+// continuously advances virtual time and drains queued Submit calls, so
+// the deployment behaves like a (very fast) live cluster to concurrent
+// callers. Do not mix with At/RunUntil after calling Serve.
+func (c *SimCluster) Serve() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.serving {
+		return
+	}
+	c.serving = true
+	c.wake = make(chan struct{}, 1)
+	c.stop = make(chan struct{})
+	c.stopped = make(chan struct{})
+	go c.pump()
+}
+
+// pump is the serve-mode driver: inject queued submissions at the
+// current virtual instant, then advance time one slice. On shutdown it
+// rejects (done(nil, false)) anything still queued, so the Submit
+// contract — done always fires — holds across Close.
+func (c *SimCluster) pump() {
+	defer close(c.stopped)
+	const step = time.Millisecond // virtual time per iteration
+	idle := time.NewTimer(time.Hour)
+	idle.Stop()
+	defer idle.Stop()
+	for {
+		select {
+		case <-c.stop:
+			c.mu.Lock()
+			q := c.queue
+			c.queue = nil
+			c.mu.Unlock()
+			for _, op := range q {
+				if op.done != nil {
+					op.done(nil, false)
+				}
+			}
+			// Operations already injected into the simulation but not
+			// yet committed will never complete (time stops here):
+			// reject them too. Safe without further locking — this
+			// goroutine is the only simulation context in serve mode,
+			// and it is exiting.
+			for seq, done := range c.dones {
+				delete(c.dones, seq)
+				done(nil, false)
+			}
+			return
+		default:
+		}
+		c.mu.Lock()
+		q := c.queue
+		c.queue = nil
+		c.mu.Unlock()
+		now := c.Sim.Now()
+		for _, op := range q {
+			op := op
+			c.Sim.At(now, func() { c.submitNow(op.node, op.op, op.key, op.val, op.done) })
+		}
+		c.Sim.RunUntil(now + step)
+		if len(q) == 0 {
+			// No new work: park until a Submit rings the wake channel or
+			// a tick passes — the tick keeps virtual time advancing (at
+			// roughly wall speed) for in-flight completions and timers
+			// without spinning a core, even when an in-flight operation
+			// can never complete (e.g. its node stalled).
+			idle.Reset(time.Millisecond)
+			select {
+			case <-c.stop:
+				// Loop back: the stop branch at the top owns the drain.
+			case <-c.wake:
+			case <-idle.C:
+			}
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// Close implements Cluster: it stops the serve-mode pump (if running)
+// and rejects queued or later Submits with ok=false. The simulation
+// itself holds no external resources; on an event-loop-mode cluster
+// Close is a no-op.
+func (c *SimCluster) Close() error {
+	c.mu.Lock()
+	if !c.serving {
+		c.mu.Unlock()
+		return nil
+	}
+	c.serving = false
+	c.closed = true
+	stop, stopped := c.stop, c.stopped
+	c.mu.Unlock()
+	close(stop)
+	<-stopped
+	return nil
+}
+
+// RunUntil advances virtual time (event-loop mode).
 func (c *SimCluster) RunUntil(t time.Duration) { c.Sim.RunUntil(t) }
 
 // Crash fails node id crash-stop.
@@ -210,6 +477,7 @@ func (c *SimCluster) RestartAsJoiner(id NodeID) *Node {
 	cfg := Config{Tree: c.Tree, Self: id}
 	st := kvstore.New()
 	n := core.NewJoiner(cfg, st, Callbacks{})
+	c.installDispatcher(id, n)
 	c.nodes[id] = n
 	c.stores[id] = st
 	c.Runner.Restart(id, n)

@@ -5,21 +5,24 @@ import (
 	"time"
 
 	"canopus"
+	"canopus/internal/workload"
 )
 
 func TestSimClusterPublicAPI(t *testing.T) {
-	c := canopus.NewSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	c := canopus.MustSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
 	var readVal []byte
-	c.OnReply(0, func(req *canopus.Request, val []byte) {
-		if req.Op == canopus.OpRead {
-			readVal = val
-		}
-	})
 	c.At(time.Millisecond, func() {
-		c.Submit(0, canopus.Write(1, 1, 5, []byte("v")))
-		c.Submit(3, canopus.Write(2, 1, 6, []byte("w")))
+		c.Submit(0, canopus.OpWrite, 5, []byte("v"), nil)
+		c.Submit(3, canopus.OpWrite, 6, []byte("w"), nil)
 	})
-	c.At(200*time.Millisecond, func() { c.Submit(0, canopus.Read(1, 2, 6)) })
+	c.At(200*time.Millisecond, func() {
+		c.Submit(0, canopus.OpRead, 6, nil, func(val []byte, ok bool) {
+			if !ok {
+				t.Error("read rejected")
+			}
+			readVal = val
+		})
+	})
 	c.RunUntil(time.Second)
 	if string(readVal) != "w" {
 		t.Fatalf("read = %q", readVal)
@@ -31,16 +34,80 @@ func TestSimClusterPublicAPI(t *testing.T) {
 	}
 }
 
+func TestSimClusterDelete(t *testing.T) {
+	c := canopus.MustSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	var afterDelete []byte
+	deleted := false
+	c.At(time.Millisecond, func() {
+		c.Submit(0, canopus.OpWrite, 5, []byte("v"), nil)
+	})
+	c.At(200*time.Millisecond, func() {
+		c.Submit(2, canopus.OpDelete, 5, nil, func(_ []byte, ok bool) { deleted = ok })
+	})
+	c.At(400*time.Millisecond, func() {
+		c.Submit(4, canopus.OpRead, 5, nil, func(val []byte, ok bool) {
+			afterDelete = val
+		})
+	})
+	c.RunUntil(time.Second)
+	if !deleted {
+		t.Fatal("delete not acknowledged")
+	}
+	if afterDelete != nil {
+		t.Fatalf("read after delete = %q, want nil", afterDelete)
+	}
+	for id := canopus.NodeID(0); int(id) < c.NumNodes(); id++ {
+		if c.StoreOf(id).Read(5) != nil {
+			t.Fatalf("node %v still holds deleted key", id)
+		}
+	}
+}
+
+func TestSimClusterLegacyRequestAPI(t *testing.T) {
+	// The low-level event-loop surface: caller-owned Request identity
+	// with node-level reply hooks.
+	c := canopus.MustSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	var readVal []byte
+	c.OnReply(0, func(req *canopus.Request, val []byte) {
+		if req.Op == canopus.OpRead {
+			readVal = val
+		}
+	})
+	c.At(time.Millisecond, func() {
+		c.SubmitRequest(0, canopus.Write(1, 1, 5, []byte("v")))
+	})
+	c.At(200*time.Millisecond, func() { c.SubmitRequest(0, canopus.Read(1, 2, 5)) })
+	c.RunUntil(time.Second)
+	if string(readVal) != "v" {
+		t.Fatalf("read = %q", readVal)
+	}
+}
+
+func TestNewSimClusterRejectsBadShapes(t *testing.T) {
+	if _, err := canopus.NewSimCluster(canopus.SimOptions{Racks: -1}); err == nil {
+		t.Fatal("negative racks accepted")
+	}
+	if _, err := canopus.NewSimCluster(canopus.SimOptions{
+		Racks: 3, NodesPerRack: 2,
+		WANRTT: make([][]time.Duration, 2), // 2x? matrix for 3 racks
+	}); err == nil {
+		t.Fatal("mismatched WANRTT accepted")
+	}
+	if _, err := canopus.NewCoordCluster(canopus.SimOptions{NodesPerRack: -3}); err == nil {
+		t.Fatal("coordination cluster accepted negative shape")
+	}
+}
+
 func TestSimClusterWAN(t *testing.T) {
 	rtt := [][]time.Duration{
 		{0, 100 * time.Millisecond},
 		{100 * time.Millisecond, 0},
 	}
-	c := canopus.NewSimCluster(canopus.SimOptions{
+	c := canopus.MustSimCluster(canopus.SimOptions{
 		Racks: 2, NodesPerRack: 3, WANRTT: rtt,
 		Node: canopus.Config{CycleInterval: 5 * time.Millisecond, MaxInFlight: 64},
 	})
-	c.At(time.Millisecond, func() { c.Submit(0, canopus.Write(1, 1, 1, []byte("x"))) })
+	c.At(time.Millisecond, func() { c.Submit(0, canopus.OpWrite, 1, []byte("x"), nil) })
 	c.RunUntil(2 * time.Second)
 	if string(c.StoreOf(5).Read(1)) != "x" {
 		t.Fatal("WAN replication failed")
@@ -48,12 +115,20 @@ func TestSimClusterWAN(t *testing.T) {
 }
 
 func TestCrashAndRejoinPublicAPI(t *testing.T) {
-	c := canopus.NewSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
-	c.At(time.Millisecond, func() { c.Submit(0, canopus.Write(1, 1, 1, []byte("a"))) })
+	c := canopus.MustSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	c.At(time.Millisecond, func() { c.Submit(0, canopus.OpWrite, 1, []byte("a"), nil) })
 	c.At(300*time.Millisecond, func() { c.Crash(5) })
-	c.At(800*time.Millisecond, func() { c.Submit(0, canopus.Write(1, 2, 2, []byte("b"))) })
+	c.At(500*time.Millisecond, func() {
+		// A submit aimed at the crashed node is rejected, not lost.
+		c.Submit(5, canopus.OpWrite, 9, []byte("x"), func(_ []byte, ok bool) {
+			if ok {
+				t.Error("crashed node served a write")
+			}
+		})
+	})
+	c.At(800*time.Millisecond, func() { c.Submit(0, canopus.OpWrite, 2, []byte("b"), nil) })
 	c.At(1500*time.Millisecond, func() { c.RestartAsJoiner(5) })
-	c.At(3*time.Second, func() { c.Submit(0, canopus.Write(1, 3, 3, []byte("c"))) })
+	c.At(3*time.Second, func() { c.Submit(0, canopus.OpWrite, 3, []byte("c"), nil) })
 	c.RunUntil(6 * time.Second)
 	st := c.StoreOf(5)
 	for k, want := range map[uint64]string{1: "a", 2: "b", 3: "c"} {
@@ -64,7 +139,7 @@ func TestCrashAndRejoinPublicAPI(t *testing.T) {
 }
 
 func TestCoordClusterPublicAPI(t *testing.T) {
-	c := canopus.NewCoordCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	c := canopus.MustCoordCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
 	var got string
 	c.At(time.Millisecond, func() {
 		c.Server(0).Set("/cfg", []byte("on"), func(n *canopus.ZNode) {
@@ -79,4 +154,105 @@ func TestCoordClusterPublicAPI(t *testing.T) {
 	if got != "on" {
 		t.Fatalf("linearizable get = %q", got)
 	}
+}
+
+// TestSimClusterCloseCompletesSubmits pins the serve-mode shutdown
+// contract: every Submit's done fires even when Close races the pump —
+// queued operations are rejected (ok=false), not dropped.
+func TestSimClusterCloseCompletesSubmits(t *testing.T) {
+	c := canopus.MustSimCluster(canopus.SimOptions{Racks: 1, NodesPerRack: 3})
+	c.Serve()
+	const n = 200
+	results := make(chan bool, n+1)
+	go func() {
+		for i := 0; i < n; i++ {
+			c.Submit(i%3, canopus.OpWrite, uint64(i), []byte("x"), func(_ []byte, ok bool) {
+				results <- ok
+			})
+		}
+	}()
+	c.Close()
+	// Submits after Close are rejected immediately, too.
+	c.Submit(0, canopus.OpWrite, 999, nil, func(_ []byte, ok bool) { results <- ok })
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < n+1; i++ {
+		select {
+		case <-results:
+		case <-deadline:
+			t.Fatalf("only %d of %d done callbacks fired across Close", i, n+1)
+		}
+	}
+}
+
+// TestSimClusterCloseCompletesInjected pins the other half of the
+// shutdown contract: an operation injected into the simulation but
+// unable to ever commit (its super-leaf lost quorum) still gets its
+// done callback — rejected by the stall detection or, at the latest,
+// by Close draining the in-flight completion table.
+func TestSimClusterCloseCompletesInjected(t *testing.T) {
+	c := canopus.MustSimCluster(canopus.SimOptions{Racks: 1, NodesPerRack: 3})
+	// Crash a majority before serving: node 0 will stall as soon as the
+	// failure detector runs, and nothing it accepted can commit.
+	c.Crash(1)
+	c.Crash(2)
+	c.Serve()
+	done := make(chan bool, 1)
+	c.Submit(0, canopus.OpWrite, 1, []byte("x"), func(_ []byte, ok bool) { done <- ok })
+	time.Sleep(50 * time.Millisecond) // let the pump inject it and detect the failures
+	c.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("uncommittable operation reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("injected operation's done never fired across Close")
+	}
+}
+
+// TestWorkloadDriverBothBackends is the unified-API acceptance check:
+// the same closed-loop workload driver, handed the same []workload.Doer
+// adapter over the canopus.Cluster interface, runs unmodified against a
+// simulated cluster (in serve mode) and a live loopback cluster.
+func TestWorkloadDriverBothBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock load run")
+	}
+	drive := func(t *testing.T, c canopus.Cluster) {
+		t.Helper()
+		defer c.Close()
+		conns := make([]workload.Doer, c.NumNodes())
+		for i := range conns {
+			conns[i] = canopus.NodeConn{C: c, Node: i}
+		}
+		res := workload.RunLive(workload.LiveConfig{
+			Concurrency: 8,
+			Duration:    500 * time.Millisecond,
+			Warmup:      100 * time.Millisecond,
+			WriteRatio:  0.5,
+			Seed:        3,
+		}, conns)
+		if res.Offered == 0 {
+			t.Fatal("no requests offered")
+		}
+		if res.Completed != res.Offered || res.Failed != 0 {
+			t.Fatalf("offered %d, completed %d, failed %d", res.Offered, res.Completed, res.Failed)
+		}
+	}
+
+	t.Run("sim", func(t *testing.T) {
+		c := canopus.MustSimCluster(canopus.SimOptions{Racks: 1, NodesPerRack: 3})
+		c.Serve()
+		drive(t, c)
+	})
+	t.Run("live", func(t *testing.T) {
+		c, err := canopus.StartLiveCluster(canopus.LiveOptions{
+			Nodes: 3,
+			Node:  canopus.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(t, c)
+	})
 }

@@ -1,0 +1,551 @@
+// Package client is the public Canopus client: a typed, context-aware
+// key-value API over the binary client protocol v2, with per-request
+// read-consistency levels and automatic failover across cluster
+// endpoints.
+//
+// A Client connects to one endpoint at a time (every Canopus replica
+// holds the full state, so any node serves any request) and pipelines
+// all traffic over that connection. When the connection breaks — or the
+// serving node reports that it is draining or stalled — the client
+// transparently redials the next endpoint and retries each affected
+// in-flight operation exactly once; an operation that fails twice
+// surfaces the error.
+//
+// Retry semantics for mutations are at-least-once: if the connection
+// breaks after a Put/Delete entered a consensus cycle but before its
+// reply arrived, the retry re-submits it and it can commit a second
+// time (idempotent per operation, but able to clobber a concurrent
+// writer's intervening update). Reads are always safe to retry.
+// Applications needing exactly-once mutations under failover should
+// fence with their own versioning until server-side client-identity
+// deduplication lands (see ROADMAP).
+//
+// Synchronous calls take a context:
+//
+//	cl, err := client.New(client.Config{Endpoints: addrs})
+//	err = cl.Put(ctx, 7, []byte("hello"))
+//	val, err := cl.Get(ctx, 7)                                // linearizable
+//	val, err = cl.Get(ctx, 7, client.WithConsistency(client.Stale)) // local replica state
+//
+// Asynchronous calls return a Future:
+//
+//	f := cl.PutAsync(7, []byte("hello"))
+//	// ... other work ...
+//	res, err := f.Wait(ctx)
+//
+// Consistency levels (see wire.Consistency): Linearizable reads order
+// through a consensus cycle and observe every write committed anywhere
+// before they were issued. Sequential reads are served from the
+// contacted replica's committed state once it has caught up to the
+// client's last observed commit cycle — monotonic within the client
+// session, including across failovers — without starting a consensus
+// cycle. Stale reads are served immediately from whatever the replica
+// has committed. Writes and deletes always order through consensus.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"canopus/internal/wire"
+)
+
+// Consistency is a per-request read-consistency level.
+type Consistency = wire.Consistency
+
+// Re-exported consistency levels.
+const (
+	// Linearizable routes the read through a consensus cycle.
+	Linearizable = wire.Linearizable
+	// Sequential reads the local replica's committed state, monotone
+	// within this client's session.
+	Sequential = wire.Sequential
+	// Stale reads the local replica's committed state immediately.
+	Stale = wire.Stale
+)
+
+// Kind is an operation kind.
+type Kind = wire.Op
+
+// Operation kinds.
+const (
+	OpGet    = wire.OpRead
+	OpPut    = wire.OpWrite
+	OpDelete = wire.OpDelete
+)
+
+// Typed errors. Errors returned by the Client wrap one of these (use
+// errors.Is).
+var (
+	// ErrNotFound reports a read of an absent key.
+	ErrNotFound = errors.New("canopus/client: key not found")
+	// ErrTimeout reports a context deadline or the configured
+	// RequestTimeout expiring before the reply arrived. The operation
+	// may still commit server-side.
+	ErrTimeout = errors.New("canopus/client: request timed out")
+	// ErrClusterDown reports that no configured endpoint accepted a
+	// connection.
+	ErrClusterDown = errors.New("canopus/client: cluster unreachable")
+	// ErrRejected reports a request the server refused (malformed, or
+	// rejected twice during failover).
+	ErrRejected = errors.New("canopus/client: request rejected")
+	// ErrClosed reports use of a closed client.
+	ErrClosed = errors.New("canopus/client: client closed")
+)
+
+// Op is one keyed operation.
+type Op struct {
+	Kind Kind
+	Key  uint64
+	Val  []byte // payload for OpPut; ignored otherwise
+
+	// Consistency selects the read path (reads only; mutations always
+	// order through consensus). Zero value is Linearizable.
+	Consistency Consistency
+	// MinCycle, when non-zero, is an explicit lower bound on the commit
+	// cycle whose state may serve a non-linearizable read; Sequential
+	// reads additionally bound it by the session's last observed cycle.
+	MinCycle uint64
+}
+
+// Result is one completed operation.
+type Result struct {
+	// Val is the read value (nil for mutations and misses).
+	Val []byte
+	// Found reports a read hit; true for completed mutations.
+	Found bool
+	// Cycle is the consensus commit cycle that served the operation —
+	// the read timestamp for non-linearizable reads.
+	Cycle uint64
+	// Err is the per-operation error inside a Batch result slice (nil
+	// on success). Single-operation calls return errors directly.
+	Err error
+
+	// batch carries a batch frame's positional results (see Batch).
+	batch []Result
+}
+
+// Config parameterizes a Client.
+type Config struct {
+	// Endpoints are the cluster's client-port addresses. The client
+	// connects to one at a time and fails over along the list.
+	Endpoints []string
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds synchronous calls and Future.Wait when the
+	// caller's context carries no deadline (default 30s; 0 keeps the
+	// default, negative disables).
+	RequestTimeout time.Duration
+}
+
+func (c *Config) fill() error {
+	if len(c.Endpoints) == 0 {
+		return errors.New("canopus/client: Config.Endpoints required")
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	} else if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	return nil
+}
+
+// Stats counts client-side recovery events.
+type Stats struct {
+	// Failovers is the number of connection switches after a failure.
+	Failovers uint64
+	// Retries is the number of individual operations re-sent to another
+	// endpoint (each operation is retried at most once).
+	Retries uint64
+}
+
+// Client is a Canopus cluster client. It is safe for concurrent use;
+// all operations share one pipelined connection.
+type Client struct {
+	cfg Config
+
+	mu       sync.Mutex
+	conn     *conn
+	next     int // endpoint cursor
+	closed   bool
+	dialing  bool          // a dial is in flight (single-flight)
+	dialDone chan struct{} // closed when the in-flight dial finishes
+	old      []*conn       // retired connections still draining replies
+
+	lastCycle atomic.Uint64 // highest commit cycle observed (session clock)
+	failovers atomic.Uint64
+	retries   atomic.Uint64
+}
+
+// New validates cfg and returns a Client. Connections are established
+// lazily on first use; a cluster that is down surfaces as ErrClusterDown
+// from the operations, not from New.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// Close tears the client down; in-flight operations fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	cn := c.conn
+	c.conn = nil
+	old := c.old
+	c.old = nil
+	c.mu.Unlock()
+	if cn != nil {
+		cn.fail(ErrClosed)
+	}
+	for _, o := range old {
+		o.fail(ErrClosed)
+	}
+	return nil
+}
+
+// Stats returns the client's recovery counters.
+func (c *Client) Stats() Stats {
+	return Stats{Failovers: c.failovers.Load(), Retries: c.retries.Load()}
+}
+
+// LastCycle returns the highest consensus commit cycle this client has
+// observed — the session's read timestamp. A Sequential read handed this
+// value (or issued through the same client) observes at least that
+// state on any replica.
+func (c *Client) LastCycle() uint64 { return c.lastCycle.Load() }
+
+// Option tweaks one operation built by the sync/async helpers.
+type Option func(*Op)
+
+// WithConsistency selects the read-consistency level.
+func WithConsistency(l Consistency) Option { return func(o *Op) { o.Consistency = l } }
+
+// WithMinCycle sets an explicit minimum commit cycle for a
+// non-linearizable read.
+func WithMinCycle(cycle uint64) Option { return func(o *Op) { o.MinCycle = cycle } }
+
+// Get reads key. ErrNotFound reports an absent key. Reads are
+// linearizable unless WithConsistency picks a weaker level.
+func (c *Client) Get(ctx context.Context, key uint64, opts ...Option) ([]byte, error) {
+	res, err := c.Do(ctx, buildOp(OpGet, key, nil, opts))
+	if err != nil {
+		return nil, err
+	}
+	if !res.Found {
+		return nil, fmt.Errorf("%w: key %d", ErrNotFound, key)
+	}
+	return res.Val, nil
+}
+
+// Put writes key = val and waits for the committed acknowledgement.
+func (c *Client) Put(ctx context.Context, key uint64, val []byte) error {
+	_, err := c.Do(ctx, Op{Kind: OpPut, Key: key, Val: val})
+	return err
+}
+
+// Delete removes key (a no-op if absent) and waits for the committed
+// acknowledgement.
+func (c *Client) Delete(ctx context.Context, key uint64) error {
+	_, err := c.Do(ctx, Op{Kind: OpDelete, Key: key})
+	return err
+}
+
+// Do executes one operation and waits for its result.
+func (c *Client) Do(ctx context.Context, op Op) (Result, error) {
+	return c.DoAsync(op).Wait(ctx)
+}
+
+// GetAsync issues a read and returns its Future.
+func (c *Client) GetAsync(key uint64, opts ...Option) *Future {
+	return c.DoAsync(buildOp(OpGet, key, nil, opts))
+}
+
+// PutAsync issues a write and returns its Future.
+func (c *Client) PutAsync(key uint64, val []byte) *Future {
+	return c.DoAsync(Op{Kind: OpPut, Key: key, Val: val})
+}
+
+// DeleteAsync issues a delete and returns its Future.
+func (c *Client) DeleteAsync(key uint64) *Future {
+	return c.DoAsync(Op{Kind: OpDelete, Key: key})
+}
+
+// DoAsync issues one operation and returns its Future.
+func (c *Client) DoAsync(op Op) *Future {
+	f := newFuture(c.cfg.RequestTimeout)
+	c.Async(op, f.complete)
+	return f
+}
+
+// Batch executes ops as one multi-op frame — submitted to the serving
+// node in a single machine turn — and waits for all results. The
+// returned slice is positional; per-operation failures are reported in
+// Result.Err, a frame-level failure in the returned error. Reads inside
+// a batch follow the batch's first read consistency level; they do not
+// observe the batch's own mutations unless Linearizable.
+func (c *Client) Batch(ctx context.Context, ops []Op) ([]Result, error) {
+	f := c.BatchAsync(ops)
+	res, err := f.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.batch, nil
+}
+
+// BatchAsync issues ops as one multi-op frame and returns its Future;
+// Wait's Result carries no value — collect the per-op results with
+// (*Future).Batch. A batch is bounded (wire.MaxBatchOps) and its reads
+// must share one consistency level — the level travels per frame, so a
+// mix would silently downgrade the stricter reads.
+func (c *Client) BatchAsync(ops []Op) *Future {
+	f := newFuture(c.cfg.RequestTimeout)
+	if len(ops) == 0 {
+		f.complete(Result{}, nil)
+		return f
+	}
+	if len(ops) > wire.MaxBatchOps {
+		f.complete(Result{}, fmt.Errorf("%w: batch of %d ops exceeds the %d-op frame limit",
+			ErrRejected, len(ops), wire.MaxBatchOps))
+		return f
+	}
+	var level Consistency
+	seenRead := false
+	for i := range ops {
+		if ops[i].Kind != OpGet {
+			continue
+		}
+		if !seenRead {
+			level, seenRead = ops[i].Consistency, true
+			continue
+		}
+		if ops[i].Consistency != level {
+			f.complete(Result{}, fmt.Errorf("%w: batch mixes read consistency levels (%v and %v)",
+				ErrRejected, level, ops[i].Consistency))
+			return f
+		}
+	}
+	c.asyncBatch(ops, f)
+	return f
+}
+
+func buildOp(kind Kind, key uint64, val []byte, opts []Option) Op {
+	op := Op{Kind: kind, Key: key, Val: val}
+	for _, fn := range opts {
+		fn(&op)
+	}
+	return op
+}
+
+// Async is the low-level asynchronous primitive: it issues op and
+// invokes fn exactly once when the result (or a terminal error) is
+// known. fn runs on the client's reader goroutine — or synchronously,
+// when the operation cannot be issued — and must not block.
+func (c *Client) Async(op Op, fn func(Result, error)) {
+	c.start(&pendingOp{op: op, fn: fn})
+}
+
+func (c *Client) asyncBatch(ops []Op, f *Future) {
+	c.start(&pendingOp{op: ops[0], batch: ops, fn: f.complete})
+}
+
+// start places p on the current connection, dialing one as needed. It
+// is also the retry path: a pendingOp whose connection failed re-enters
+// here once. Dials are single-flighted and run with no lock held, so a
+// slow endpoint never blocks traffic already flowing on a live
+// connection. It returns the terminal error delivered to p (already
+// passed to p.fn), or nil once p is enqueued — callers re-issuing many
+// operations use it to short-circuit a dead cluster instead of paying a
+// full dial scan per operation.
+func (c *Client) start(p *pendingOp) error {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			p.fn(Result{}, ErrClosed)
+			return ErrClosed
+		}
+		if cn := c.conn; cn != nil {
+			c.mu.Unlock()
+			if cn.enqueue(p) {
+				return nil
+			}
+			// The connection failed between selection and enqueue; its
+			// failure handler owns its pending set. Detach it if the
+			// handler has not yet, and try again on a fresh one.
+			c.mu.Lock()
+			if c.conn == cn {
+				c.conn = nil
+			}
+			c.mu.Unlock()
+			continue
+		}
+		if c.dialing {
+			wait := c.dialDone
+			c.mu.Unlock()
+			<-wait
+			continue
+		}
+		c.dialing = true
+		c.dialDone = make(chan struct{})
+		c.mu.Unlock()
+
+		cn, err := c.dial()
+
+		c.mu.Lock()
+		c.dialing = false
+		close(c.dialDone)
+		if err != nil {
+			c.mu.Unlock()
+			p.fn(Result{}, err)
+			return err
+		}
+		if c.closed {
+			c.mu.Unlock()
+			cn.fail(ErrClosed)
+			p.fn(Result{}, ErrClosed)
+			return ErrClosed
+		}
+		c.conn = cn
+		c.mu.Unlock()
+	}
+}
+
+// dial tries every endpoint once, starting at the cursor, and returns a
+// running connection. Runs with no lock held.
+func (c *Client) dial() (*conn, error) {
+	c.mu.Lock()
+	start := c.next
+	c.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(c.cfg.Endpoints); i++ {
+		idx := (start + i) % len(c.cfg.Endpoints)
+		cn, err := dialConn(c, c.cfg.Endpoints[idx], c.cfg.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.mu.Lock()
+		c.next = idx
+		c.mu.Unlock()
+		return cn, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrClusterDown, lastErr)
+}
+
+// observeCycle folds a response's commit cycle into the session clock.
+func (c *Client) observeCycle(cycle uint64) {
+	for {
+		old := c.lastCycle.Load()
+		if cycle <= old || c.lastCycle.CompareAndSwap(old, cycle) {
+			return
+		}
+	}
+}
+
+// onConnFailure retires a dead connection and re-issues its pending
+// operations on the next endpoint — each exactly once. Operations that
+// already failed over once, and everything when the client is closed,
+// complete with the connection error.
+func (c *Client) onConnFailure(cn *conn, pend []*pendingOp, cause error) {
+	c.mu.Lock()
+	wasCurrent := c.conn == cn
+	if wasCurrent {
+		c.conn = nil
+		c.next = (c.next + 1) % len(c.cfg.Endpoints)
+	}
+	c.dropOldLocked(cn)
+	closed := c.closed
+	c.mu.Unlock()
+	if wasCurrent && !closed && !errors.Is(cause, ErrClosed) {
+		c.failovers.Add(1)
+	}
+	// down, once set, short-circuits the remaining retries: the first
+	// failed re-issue already scanned every endpoint, so repeating the
+	// scan (and its dial timeouts) once per pending op would only delay
+	// the inevitable for the whole pipeline.
+	var down error
+	for _, p := range pend {
+		if closed || errors.Is(cause, ErrClosed) || p.retried {
+			p.fn(Result{}, connError(cause))
+			continue
+		}
+		if down != nil {
+			p.fn(Result{}, down)
+			continue
+		}
+		p.retried = true
+		c.retries.Add(1)
+		if err := c.start(p); errors.Is(err, ErrClusterDown) {
+			down = err
+		}
+	}
+}
+
+// dropOld forgets a connection that no longer needs tracking (it fully
+// drained or died).
+func (c *Client) dropOld(cn *conn) {
+	c.mu.Lock()
+	c.dropOldLocked(cn)
+	c.mu.Unlock()
+}
+
+// dropOldLocked forgets a connection that no longer needs tracking.
+// Called with c.mu held.
+func (c *Client) dropOldLocked(cn *conn) {
+	for i, o := range c.old {
+		if o == cn {
+			c.old = append(c.old[:i], c.old[i+1:]...)
+			return
+		}
+	}
+}
+
+// retryElsewhere handles a retryable server rejection (draining or
+// stalled): point the client at the next endpoint for new traffic and
+// re-issue just this operation there, once. In-flight neighbours on the
+// old connection are NOT disturbed — it is retired, keeps delivering
+// the replies the server already accepted, and is closed once the last
+// one drains. The retry itself runs on its own goroutine so the
+// retired connection's reader is never blocked behind a dial.
+func (c *Client) retryElsewhere(cn *conn, p *pendingOp, cause error) {
+	c.mu.Lock()
+	retiredNow := c.conn == cn
+	if retiredNow {
+		c.conn = nil
+		c.next = (c.next + 1) % len(c.cfg.Endpoints)
+		c.old = append(c.old, cn)
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	cn.retire()
+	if retiredNow && !closed {
+		c.failovers.Add(1)
+	}
+	if closed || p.retried {
+		p.fn(Result{}, cause)
+		return
+	}
+	p.retried = true
+	c.retries.Add(1)
+	go c.start(p)
+}
+
+func connError(cause error) error {
+	if errors.Is(cause, ErrClosed) || errors.Is(cause, ErrClusterDown) {
+		return cause
+	}
+	return fmt.Errorf("%w: connection failed: %v", ErrClusterDown, cause)
+}

@@ -1,0 +1,295 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"canopus/client"
+	"canopus/internal/core"
+	"canopus/internal/livecluster"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := client.New(client.Config{}); err == nil {
+		t.Fatal("New accepted an endpoint-less config")
+	}
+}
+
+func TestClusterDown(t *testing.T) {
+	cl, err := client.New(client.Config{
+		Endpoints:   []string{"127.0.0.1:1"}, // reserved port: nothing listens
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Put(context.Background(), 1, []byte("x")); !errors.Is(err, client.ErrClusterDown) {
+		t.Fatalf("err = %v, want ErrClusterDown", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	// A listener that accepts and then never answers: the dial succeeds,
+	// the request goes unanswered, and the context deadline maps to
+	// ErrTimeout.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var mu sync.Mutex
+	var held []net.Conn
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, conn)
+			mu.Unlock()
+		}
+	}()
+	cl, err := client.New(client.Config{Endpoints: []string{ln.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Get(ctx, 1); !errors.Is(err, client.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The configured RequestTimeout applies when the context has no
+	// deadline.
+	cl2, err := client.New(client.Config{
+		Endpoints:      []string{ln.Addr().String()},
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.Get(context.Background(), 1); !errors.Is(err, client.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout from RequestTimeout", err)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	cl, err := client.New(client.Config{Endpoints: []string{"127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := cl.Put(context.Background(), 1, nil); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestFailoverRetriesPendingOpsOnce crashes the connected node with a
+// pipeline of linearizable writes in flight and asserts the client
+// fails over to another endpoint, retrying every pending operation
+// exactly once — and that nothing is applied twice (checked through the
+// surviving replicas' apply-log lengths and the per-key sequence
+// values).
+func TestFailoverRetriesPendingOpsOnce(t *testing.T) {
+	// A long cycle interval parks submitted operations in the serving
+	// node's accumulator: the crash deterministically happens BEFORE any
+	// of them enters a consensus cycle, so the retry is the only path to
+	// commitment and duplicate application would be visible.
+	const cycleEvery = 2 * time.Second
+	c, err := livecluster.Start(livecluster.Config{
+		Nodes:        3,
+		Node:         core.Config{CycleInterval: cycleEvery, TickInterval: 5 * time.Millisecond},
+		Seed:         11,
+		LoggedStores: true, // the no-duplicate check below reads LogLen
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+
+	cl, err := client.New(client.Config{
+		Endpoints:      []string{c.ClientAddr(0), c.ClientAddr(1), c.ClientAddr(2)},
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Pipeline N writes whose values encode their sequence numbers.
+	const n = 20
+	futs := make([]*client.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = cl.PutAsync(uint64(i), []byte(fmt.Sprintf("seq-%d", i)))
+	}
+
+	// Wait until node 0 has accepted the whole pipeline, then crash it
+	// mid-stream.
+	deadline := time.Now().Add(cycleEvery / 2)
+	for c.Port(0).Outstanding() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 0 accepted only %d of %d ops", c.Port(0).Outstanding(), n)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	c.Crash(0)
+
+	// Every pending operation completes through the failover endpoint.
+	ctx := context.Background()
+	for i, f := range futs {
+		if _, err := f.Wait(ctx); err != nil {
+			t.Fatalf("op %d never completed after failover: %v", i, err)
+		}
+	}
+
+	// Exactly-once retry accounting: one connection failover, each of
+	// the n pending ops re-sent exactly once.
+	st := cl.Stats()
+	if st.Retries != n {
+		t.Fatalf("retries = %d, want %d (exactly once per pending op)", st.Retries, n)
+	}
+	if st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers)
+	}
+
+	// No duplicate application: each surviving replica applied exactly n
+	// writes, and every key holds its own sequence value.
+	for _, node := range []int{1, 2} {
+		var logLen uint64
+		var vals [n][]byte
+		c.Runner(node).Invoke(func() {
+			logLen = c.Store(node).LogLen()
+			for i := 0; i < n; i++ {
+				vals[i] = c.Store(node).Read(uint64(i))
+			}
+		})
+		if logLen != n {
+			t.Fatalf("node %d applied %d writes, want %d (duplicate or lost application)", node, logLen, n)
+		}
+		for i := 0; i < n; i++ {
+			if want := fmt.Sprintf("seq-%d", i); string(vals[i]) != want {
+				t.Fatalf("node %d key %d = %q, want %q", node, i, vals[i], want)
+			}
+		}
+	}
+
+	// The client session remains usable against the surviving nodes
+	// without further failovers: a Stale read is served from committed
+	// state immediately (no extra consensus cycle at this long cycle
+	// interval).
+	val, err := cl.Get(ctx, n-1, client.WithConsistency(client.Stale))
+	if err != nil || string(val) != fmt.Sprintf("seq-%d", n-1) {
+		t.Fatalf("post-failover stale read = %q, %v", val, err)
+	}
+	if got := cl.Stats().Failovers; got != 1 {
+		t.Fatalf("failovers after recovery = %d, want still 1", got)
+	}
+}
+
+// TestSequentialFailoverMonotonic pins the session guarantee across a
+// failover: after writing through one node and crashing it, a
+// Sequential read through the failover endpoint observes the write
+// (the session clock carries the commit cycle to the new replica).
+func TestSequentialFailoverMonotonic(t *testing.T) {
+	c, err := livecluster.Start(livecluster.Config{
+		Nodes: 3,
+		Node:  core.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond},
+		Seed:  13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+
+	cl, err := client.New(client.Config{
+		Endpoints: []string{c.ClientAddr(0), c.ClientAddr(1), c.ClientAddr(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	if err := cl.Put(ctx, 42, []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if cl.LastCycle() == 0 {
+		t.Fatal("session observed no commit cycle")
+	}
+	c.Crash(0)
+
+	// The Sequential read fails over and must still observe the
+	// session's write — the new replica serves it only once it has
+	// committed the session's last observed cycle.
+	val, err := cl.Get(ctx, 42, client.WithConsistency(client.Sequential))
+	if err != nil || string(val) != "mine" {
+		t.Fatalf("sequential read after failover = %q, %v", val, err)
+	}
+}
+
+// TestBatchRoundTrip exercises the multi-op frame end to end through
+// the public API.
+func TestBatchRoundTrip(t *testing.T) {
+	c, err := livecluster.Start(livecluster.Config{
+		Nodes: 3,
+		Node:  core.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond},
+		Seed:  17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+
+	cl, err := client.New(client.Config{Endpoints: []string{c.ClientAddr(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	res, err := cl.Batch(ctx, []client.Op{
+		{Kind: client.OpPut, Key: 1, Val: []byte("a")},
+		{Kind: client.OpPut, Key: 2, Val: []byte("b")},
+		{Kind: client.OpGet, Key: 1, Consistency: client.Linearizable},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[2].Err != nil || string(res[2].Val) != "a" {
+		t.Fatalf("batch results: %+v", res)
+	}
+	if res[2].Cycle == 0 {
+		t.Fatal("batch carried no commit cycle")
+	}
+
+	// Async form, mixed with a stale read.
+	f := cl.BatchAsync([]client.Op{
+		{Kind: client.OpGet, Key: 2, Consistency: client.Stale},
+		{Kind: client.OpDelete, Key: 1},
+	})
+	res, err = f.Batch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || string(res[0].Val) != "b" || res[1].Err != nil {
+		t.Fatalf("async batch results: %+v", res)
+	}
+	if _, err := cl.Get(ctx, 1); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("key 1 survived batch delete: %v", err)
+	}
+}

@@ -1,0 +1,341 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"canopus/internal/wire"
+)
+
+// pendingOp is one in-flight operation: the request (for re-encoding on
+// failover), its completion callback and the exactly-once retry latch.
+type pendingOp struct {
+	op      Op
+	batch   []Op // non-nil: encode as a multi-op frame
+	fn      func(Result, error)
+	retried bool
+}
+
+// conn is one pipelined protocol-v2 connection. Writes from concurrent
+// goroutines are coalesced into single syscalls by a flusher goroutine;
+// responses are correlated by ID on the reader goroutine, mirroring the
+// server side.
+type conn struct {
+	cl *Client
+	nc net.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*pendingOp
+	err     error
+	retired bool // no longer current; close once pending drains
+
+	outMu sync.Mutex
+	out   []byte
+	wake  chan struct{}
+
+	done chan struct{}
+}
+
+// dialConn connects to one endpoint and starts the v2 preamble and the
+// reader/writer goroutines.
+func dialConn(cl *Client, addr string, timeout time.Duration) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("canopus/client: dial %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if _, err := nc.Write(wire.ClientMagicV2[:]); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("canopus/client: preamble %s: %w", addr, err)
+	}
+	cn := &conn{
+		cl:      cl,
+		nc:      nc,
+		pending: make(map[uint64]*pendingOp),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go cn.readLoop()
+	go cn.writeLoop()
+	return cn, nil
+}
+
+// enqueue registers p and appends its encoded frame to the output
+// buffer. It reports false when the connection has already failed (the
+// failure handler owns any previously registered operations; p was not
+// registered).
+func (cn *conn) enqueue(p *pendingOp) bool {
+	cn.mu.Lock()
+	if cn.err != nil {
+		cn.mu.Unlock()
+		return false
+	}
+	cn.nextID++
+	id := cn.nextID
+	cn.pending[id] = p
+	cn.mu.Unlock()
+
+	q := wire.ClientRequestV2{ID: id}
+	var one [1]wire.ClientOp // single-op fast path: no slice allocation
+	if p.batch != nil {
+		q.Batch = true
+		q.Consistency, q.MinCycle = cn.cl.readLevel(batchReadLevel(p.batch))
+		q.Ops = make([]wire.ClientOp, len(p.batch))
+		for i := range p.batch {
+			q.Ops[i] = wire.ClientOp{Op: p.batch[i].Kind, Key: p.batch[i].Key, Val: p.batch[i].Val}
+		}
+	} else {
+		q.Consistency, q.MinCycle = cn.cl.readLevel(p.op)
+		one[0] = wire.ClientOp{Op: p.op.Kind, Key: p.op.Key, Val: p.op.Val}
+		q.Ops = one[:]
+	}
+
+	cn.outMu.Lock()
+	if cn.out == nil {
+		cn.out = wire.EncodePool.Get(64 + len(p.op.Val))
+	}
+	cn.out = wire.AppendClientRequestV2(cn.out, &q)
+	cn.outMu.Unlock()
+	select {
+	case cn.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// readLevel resolves an operation's effective consistency level and
+// minimum cycle: Sequential reads ride the session clock.
+func (cl *Client) readLevel(op Op) (Consistency, uint64) {
+	min := op.MinCycle
+	if op.Consistency == Sequential {
+		if last := cl.lastCycle.Load(); last > min {
+			min = last
+		}
+	}
+	return op.Consistency, min
+}
+
+// batchReadLevel resolves the consistency parameters of a batch frame:
+// the shared read level (BatchAsync validates reads do not mix levels)
+// and the strongest — maximum — MinCycle any read asked for.
+func batchReadLevel(ops []Op) Op {
+	var out Op
+	seen := false
+	for i := range ops {
+		if ops[i].Kind != OpGet {
+			continue
+		}
+		if !seen {
+			out, seen = ops[i], true
+			continue
+		}
+		if ops[i].MinCycle > out.MinCycle {
+			out.MinCycle = ops[i].MinCycle
+		}
+	}
+	return out
+}
+
+func (cn *conn) writeLoop() {
+	for {
+		select {
+		case <-cn.done:
+			return
+		case <-cn.wake:
+		}
+		for {
+			cn.outMu.Lock()
+			buf := cn.out
+			cn.out = nil
+			cn.outMu.Unlock()
+			if len(buf) == 0 {
+				break
+			}
+			cn.nc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			_, err := cn.nc.Write(buf)
+			wire.EncodePool.Put(buf)
+			if err != nil {
+				cn.fail(err)
+				return
+			}
+		}
+	}
+}
+
+func (cn *conn) readLoop() {
+	var hdr [4]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(cn.nc, hdr[:]); err != nil {
+			cn.fail(err)
+			return
+		}
+		n, err := wire.ClientFrameLen(hdr)
+		if err != nil {
+			cn.fail(err)
+			return
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(cn.nc, payload); err != nil {
+			cn.fail(err)
+			return
+		}
+		resp, err := wire.ParseClientResponseV2(payload)
+		if err != nil {
+			cn.fail(err)
+			return
+		}
+		cn.mu.Lock()
+		p, ok := cn.pending[resp.ID]
+		if ok {
+			delete(cn.pending, resp.ID)
+		}
+		cn.mu.Unlock()
+		if ok {
+			cn.deliver(p, &resp)
+		}
+		cn.maybeRelease()
+	}
+}
+
+// retire marks the connection as no longer current: it stays alive to
+// deliver the replies the server already accepted and is closed the
+// moment its pending set drains.
+func (cn *conn) retire() {
+	cn.mu.Lock()
+	cn.retired = true
+	cn.mu.Unlock()
+	cn.maybeRelease()
+}
+
+// maybeRelease closes a retired connection once nothing is in flight,
+// without routing through the failover path (there is nothing left to
+// retry).
+func (cn *conn) maybeRelease() {
+	cn.mu.Lock()
+	if !cn.retired || cn.err != nil || len(cn.pending) != 0 {
+		cn.mu.Unlock()
+		return
+	}
+	cn.err = errRetired
+	cn.pending = nil
+	cn.mu.Unlock()
+	close(cn.done)
+	cn.nc.Close()
+	cn.cl.dropOld(cn)
+}
+
+// deliver maps one v2 response onto its pending operation.
+func (cn *conn) deliver(p *pendingOp, resp *wire.ClientResponseV2) {
+	cn.cl.observeCycle(resp.Cycle)
+	if p.batch != nil {
+		cn.deliverBatch(p, resp)
+		return
+	}
+	switch resp.Status {
+	case wire.ClientStatusOK:
+		// resp.Val is already a private copy (the v2 parser copies out of
+		// the reusable read buffer).
+		p.fn(Result{Val: resp.Val, Found: true, Cycle: resp.Cycle}, nil)
+	case wire.ClientStatusNil:
+		p.fn(Result{Cycle: resp.Cycle}, nil)
+	default:
+		if retryableCode(resp.Code) {
+			cn.cl.retryElsewhere(cn, p, rejectionError(resp.Code, resp.Val))
+			return
+		}
+		p.fn(Result{}, rejectionError(resp.Code, resp.Val))
+	}
+}
+
+func (cn *conn) deliverBatch(p *pendingOp, resp *wire.ClientResponseV2) {
+	// A frame-level code with no per-op results is a wholesale rejection
+	// (e.g. draining before any sub-op was accepted): retryable as one
+	// unit, since nothing was submitted.
+	if resp.Code != wire.CodeNone && len(resp.Results) == 0 {
+		if retryableCode(resp.Code) {
+			cn.cl.retryElsewhere(cn, p, rejectionError(resp.Code, nil))
+			return
+		}
+		p.fn(Result{}, rejectionError(resp.Code, nil))
+		return
+	}
+	if len(resp.Results) != len(p.batch) {
+		p.fn(Result{}, fmt.Errorf("%w: batch answered %d of %d ops",
+			ErrRejected, len(resp.Results), len(p.batch)))
+		return
+	}
+	out := make([]Result, len(resp.Results))
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		switch r.Status {
+		case wire.ClientStatusOK:
+			out[i] = Result{Val: r.Val, Found: true, Cycle: resp.Cycle}
+		case wire.ClientStatusNil:
+			out[i] = Result{Cycle: resp.Cycle}
+		default:
+			out[i] = Result{Cycle: resp.Cycle, Err: rejectionError(wire.CodeNone, r.Val)}
+		}
+	}
+	p.fn(Result{Cycle: resp.Cycle, batch: out}, nil)
+}
+
+// fail poisons the connection and hands every pending operation to the
+// client's failover path, in submission order (correlation IDs are
+// assigned sequentially) so a session's own same-key mutations are not
+// reordered by the retry.
+func (cn *conn) fail(cause error) {
+	cn.mu.Lock()
+	if cn.err != nil {
+		cn.mu.Unlock()
+		return
+	}
+	cn.err = cause
+	pending := cn.pending
+	cn.pending = nil
+	cn.mu.Unlock()
+	close(cn.done)
+	cn.nc.Close()
+	ids := make([]uint64, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	pend := make([]*pendingOp, 0, len(ids))
+	for _, id := range ids {
+		pend = append(pend, pending[id])
+	}
+	cn.cl.onConnFailure(cn, pend, cause)
+}
+
+func retryableCode(code uint8) bool {
+	return code == wire.CodeDraining || code == wire.CodeStalled
+}
+
+func rejectionError(code uint8, reason []byte) error {
+	switch {
+	case code == wire.CodeDraining:
+		return fmt.Errorf("%w: server draining", ErrRejected)
+	case code == wire.CodeStalled:
+		return fmt.Errorf("%w: node stalled", ErrRejected)
+	case len(reason) > 0:
+		return fmt.Errorf("%w: %s", ErrRejected, reason)
+	default:
+		return ErrRejected
+	}
+}
+
+// errRetired poisons a retired connection after its pending set drains;
+// it never reaches a caller.
+var errRetired = errors.New("canopus/client: connection retired")

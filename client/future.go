@@ -1,0 +1,85 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Future is one asynchronous operation's pending result. Create one
+// with the *Async methods; collect it with Wait (or select on Done and
+// then call Result).
+type Future struct {
+	done    chan struct{}
+	timeout time.Duration // default bound when Wait's ctx has no deadline
+	res     Result
+	err     error
+}
+
+func newFuture(timeout time.Duration) *Future {
+	return &Future{done: make(chan struct{}), timeout: timeout}
+}
+
+// complete resolves the future exactly once; later calls are dropped
+// (e.g. a straggler reply after the wait already failed elsewhere —
+// cannot happen today, but cheap to make safe).
+func (f *Future) complete(res Result, err error) {
+	select {
+	case <-f.done:
+		return
+	default:
+	}
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// Done is closed when the result is available.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks for the result, the context, or the client's configured
+// RequestTimeout (applied only when ctx carries no deadline). A timed
+// out or cancelled wait abandons the operation client-side; it may
+// still commit on the cluster.
+func (f *Future) Wait(ctx context.Context) (Result, error) {
+	var timeoutC <-chan time.Time
+	if f.timeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			t := time.NewTimer(f.timeout)
+			defer t.Stop()
+			timeoutC = t.C
+		}
+	}
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		err := ctx.Err()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return Result{}, fmt.Errorf("%w: %v", ErrTimeout, err)
+		}
+		return Result{}, err
+	case <-timeoutC:
+		return Result{}, fmt.Errorf("%w: no reply within %v", ErrTimeout, f.timeout)
+	}
+}
+
+// Result returns the resolved result; valid only after Done is closed.
+func (f *Future) Result() (Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	default:
+		return Result{}, errors.New("canopus/client: Future not resolved; use Wait")
+	}
+}
+
+// Batch returns a batch future's positional results; valid only after
+// Done is closed.
+func (f *Future) Batch(ctx context.Context) ([]Result, error) {
+	res, err := f.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.batch, nil
+}

@@ -1,0 +1,70 @@
+package canopus
+
+import (
+	"canopus/internal/livecluster"
+)
+
+// Cluster is the backend-independent handle on a running Canopus
+// deployment: the simulator (*SimCluster, after Serve) and the live
+// loopback-TCP deployment (*LiveCluster) both implement it, so
+// workloads, harnesses and applications written against this interface
+// run unmodified on either.
+//
+// Submit is the in-process path: one keyed operation, executed at the
+// chosen node's replica, completed through a callback. Endpoint exposes
+// the node's client-port address for network clients (canopus/client);
+// backends without sockets return "".
+type Cluster interface {
+	// NumNodes returns the deployment size.
+	NumNodes() int
+	// Submit asynchronously executes one keyed operation at node's
+	// replica. done is invoked from the backend's execution context — it
+	// must not block — with the read value (nil for mutations and
+	// misses) and whether the operation was served; ok=false means the
+	// node is stalled, draining or crashed.
+	Submit(node int, op Op, key uint64, val []byte, done func(val []byte, ok bool))
+	// Endpoint returns node's client-port address, or "" when the
+	// backend is not reachable over the network.
+	Endpoint(node int) string
+	// Close tears the deployment down.
+	Close() error
+}
+
+// Interface conformance: both backends stay behind the one API.
+var (
+	_ Cluster = (*SimCluster)(nil)
+	_ Cluster = (*LiveCluster)(nil)
+)
+
+// NodeConn adapts one node of a Cluster to the asynchronous Do shape
+// the internal/workload live drivers consume, so one load generator
+// drives simulated and live backends alike:
+//
+//	conns := make([]workload.Doer, c.NumNodes())
+//	for i := range conns { conns[i] = canopus.NodeConn{C: c, Node: i} }
+type NodeConn struct {
+	C    Cluster
+	Node int
+}
+
+// Do submits one operation and reports completion success.
+func (nc NodeConn) Do(op Op, key uint64, val []byte, done func(ok bool)) {
+	nc.C.Submit(nc.Node, op, key, val, func(_ []byte, ok bool) { done(ok) })
+}
+
+// LiveOptions shapes a live loopback deployment (see
+// internal/livecluster.Config: node count or explicit super-leaves, a
+// per-node protocol Config template, seed and log sink).
+type LiveOptions = livecluster.Config
+
+// LiveCluster is a running live deployment: real TCP sockets on
+// loopback, the same engines and client ports cmd/canopus-server runs.
+// Connect a canopus/client.Client to its Endpoint addresses, or drive
+// it in-process through the Cluster interface.
+type LiveCluster = livecluster.Cluster
+
+// StartLiveCluster boots a live loopback deployment: listeners first
+// (so every node knows every address), then nodes, then client ports.
+func StartLiveCluster(opts LiveOptions) (*LiveCluster, error) {
+	return livecluster.Start(opts)
+}

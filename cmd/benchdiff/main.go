@@ -53,6 +53,7 @@ type liveBaseline struct {
 var unitMetric = map[string]string{
 	"Mreq/s":    "mreq_per_s",
 	"median-ms": "median_ms",
+	"mean-ms":   "mean_ms",
 }
 
 func main() {

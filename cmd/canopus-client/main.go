@@ -1,16 +1,26 @@
 // Command canopus-client talks to canopus-server's client port.
 //
 // Interactive (text protocol): run with no arguments and type
-// "PUT 7 hello" or "GET 7".
+// "PUT 7 hello", "GET 7" or "DEL 7".
 //
-// One-shot (binary protocol): pass a command —
+// One-shot (binary protocol v2, via the public canopus/client package):
+// pass a command —
 //
 //	canopus-client -addr 127.0.0.1:8000 put 7 hello
 //	canopus-client -addr 127.0.0.1:8000 get 7
+//	canopus-client -addr 127.0.0.1:8000 -consistency stale get 7
+//	canopus-client -addr 127.0.0.1:8000 del 7
+//
+// -addr takes a comma-separated endpoint list; the client fails over
+// along it. -consistency selects the read path: linearizable (default,
+// ordered through consensus), sequential (local committed state,
+// monotone per session) or stale (local committed state, immediate).
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,24 +31,31 @@ import (
 	"strings"
 	"time"
 
-	"canopus/internal/livecluster"
+	"canopus/client"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8000", "canopus-server client address")
+	addr := flag.String("addr", "127.0.0.1:8000", "comma-separated canopus-server client addresses")
+	level := flag.String("consistency", "linearizable", "read consistency: linearizable | sequential | stale")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
-		oneShot(*addr, flag.Args())
+		oneShot(strings.Split(*addr, ","), *level, *timeout, flag.Args())
 		return
 	}
 
-	conn, err := net.Dial("tcp", *addr)
+	interactive(strings.Split(*addr, ",")[0])
+}
+
+// interactive runs the line-oriented text protocol over a raw socket.
+func interactive(addr string) {
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		log.Fatal("canopus-client: ", err)
 	}
 	defer conn.Close()
-	fmt.Printf("connected to %s; commands: PUT <key> <value> | GET <key> | QUIT\n", *addr)
+	fmt.Printf("connected to %s; commands: PUT <key> <value> | GET <key> | DEL <key> | QUIT\n", addr)
 
 	// The reader goroutine ends the process once the server closes the
 	// connection (e.g. after QUIT), with all replies printed. A broken
@@ -65,22 +82,25 @@ func main() {
 	log.Fatal("canopus-client: server never closed the connection")
 }
 
-// oneShot executes a single command over the binary protocol.
-func oneShot(addr string, args []string) {
-	cl, err := livecluster.Dial(addr)
+// oneShot executes a single command through the typed client API.
+func oneShot(endpoints []string, level string, timeout time.Duration, args []string) {
+	consistency, err := parseLevel(level)
+	if err != nil {
+		log.Fatal("canopus-client: ", err)
+	}
+	cl, err := client.New(client.Config{Endpoints: endpoints, RequestTimeout: timeout})
 	if err != nil {
 		log.Fatal("canopus-client: ", err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
 
-	cmd := strings.ToLower(args[0])
-	switch cmd {
+	switch cmd := strings.ToLower(args[0]); cmd {
 	case "put":
 		if len(args) < 3 {
 			log.Fatal("canopus-client: usage: put <key> <value>")
 		}
-		key := parseKey(args[1])
-		if err := cl.Put(key, []byte(strings.Join(args[2:], " "))); err != nil {
+		if err := cl.Put(ctx, parseKey(args[1]), []byte(strings.Join(args[2:], " "))); err != nil {
 			log.Fatal("canopus-client: ", err)
 		}
 		fmt.Println("OK")
@@ -88,17 +108,38 @@ func oneShot(addr string, args []string) {
 		if len(args) != 2 {
 			log.Fatal("canopus-client: usage: get <key>")
 		}
-		val, ok, err := cl.Get(parseKey(args[1]))
-		if err != nil {
-			log.Fatal("canopus-client: ", err)
-		}
-		if !ok {
+		val, err := cl.Get(ctx, parseKey(args[1]), client.WithConsistency(consistency))
+		if errors.Is(err, client.ErrNotFound) {
 			fmt.Println("NIL")
 			os.Exit(1)
 		}
+		if err != nil {
+			log.Fatal("canopus-client: ", err)
+		}
 		fmt.Printf("%s\n", val)
+	case "del":
+		if len(args) != 2 {
+			log.Fatal("canopus-client: usage: del <key>")
+		}
+		if err := cl.Delete(ctx, parseKey(args[1])); err != nil {
+			log.Fatal("canopus-client: ", err)
+		}
+		fmt.Println("OK")
 	default:
-		log.Fatalf("canopus-client: unknown command %q (want put|get)", cmd)
+		log.Fatalf("canopus-client: unknown command %q (want put|get|del)", cmd)
+	}
+}
+
+func parseLevel(s string) (client.Consistency, error) {
+	switch strings.ToLower(s) {
+	case "linearizable", "":
+		return client.Linearizable, nil
+	case "sequential":
+		return client.Sequential, nil
+	case "stale":
+		return client.Stale, nil
+	default:
+		return 0, fmt.Errorf("unknown consistency %q (want linearizable|sequential|stale)", s)
 	}
 }
 

@@ -31,9 +31,13 @@ type CoordCluster struct {
 }
 
 // NewCoordCluster builds a simulated ZKCanopus deployment with the same
-// topology options as NewSimCluster.
-func NewCoordCluster(opts SimOptions) *CoordCluster {
-	base := NewSimCluster(opts) // reuse topology/tree wiring, then swap state machines
+// topology options as NewSimCluster, returning an error for invalid
+// tree shapes.
+func NewCoordCluster(opts SimOptions) (*CoordCluster, error) {
+	base, err := NewSimCluster(opts) // reuse topology/tree wiring, then swap state machines
+	if err != nil {
+		return nil, err
+	}
 	c := &CoordCluster{Sim: base.Sim, Runner: base.Runner}
 	for i := 0; i < base.NumNodes(); i++ {
 		id := NodeID(i)
@@ -48,6 +52,15 @@ func NewCoordCluster(opts SimOptions) *CoordCluster {
 		c.trees = append(c.trees, tree)
 		c.nodes = append(c.nodes, node)
 		base.Runner.Restart(id, node)
+	}
+	return c, nil
+}
+
+// MustCoordCluster is NewCoordCluster, panicking on invalid options.
+func MustCoordCluster(opts SimOptions) *CoordCluster {
+	c, err := NewCoordCluster(opts)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

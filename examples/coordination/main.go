@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	cluster := canopus.NewCoordCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	cluster := canopus.MustCoordCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
 
 	const lock = "/locks/leader"
 	contenders := []canopus.NodeID{0, 2, 4}

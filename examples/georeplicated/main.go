@@ -32,7 +32,7 @@ func main() {
 			rtt[i][j] = time.Duration(rttMS[i][j] * float64(time.Millisecond))
 		}
 	}
-	cluster := canopus.NewSimCluster(canopus.SimOptions{
+	cluster := canopus.MustSimCluster(canopus.SimOptions{
 		Racks:        7,
 		NodesPerRack: 3,
 		WANRTT:       rtt,
@@ -44,30 +44,24 @@ func main() {
 	})
 
 	// One "ledger writer" per datacenter appends entries to its own key
-	// range; a monotonically growing shared sequence (key 0) shows the
-	// single global order.
+	// range; each append's completion callback fires when the entry's
+	// cycle commits in the single global order.
 	const entries = 5
 	var committed int
-	done := make(map[uint64]time.Duration)
-	for dc := 0; dc < 7; dc++ {
-		node := canopus.NodeID(dc * 3) // first replica in each DC
-		cluster.OnReply(node, func(req *canopus.Request, val []byte) {
-			if req.Op == canopus.OpWrite {
-				committed++
-				done[req.Key] = 0
-			}
-		})
-	}
 	for dc := 0; dc < 7; dc++ {
 		dc := dc
-		node := canopus.NodeID(dc * 3)
+		node := dc * 3 // first replica in each DC
 		for e := 0; e < entries; e++ {
 			e := e
 			at := 10*time.Millisecond + time.Duration(e)*50*time.Millisecond
 			cluster.At(at, func() {
 				key := uint64(dc*1000 + e)
 				payload := fmt.Sprintf("%s-entry-%d", regions[dc], e)
-				cluster.Submit(node, canopus.Write(uint64(dc+1), uint64(e+1), key, []byte(payload)))
+				cluster.Submit(node, canopus.OpWrite, key, []byte(payload), func(_ []byte, ok bool) {
+					if ok {
+						committed++
+					}
+				})
 			})
 		}
 	}

@@ -1,92 +1,85 @@
 // Livecluster: six real Canopus nodes over TCP on localhost — the same
-// protocol engines the simulator drives, behind real sockets
-// (internal/transport). Two super-leaves of three; one client writes and
-// reads through node 0's engine.
+// protocol engines the simulator drives, behind real sockets — driven
+// through the public client package: typed sync/async operations,
+// multi-op batches, read-consistency levels, and failover across the
+// cluster's endpoints.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sync"
-	"time"
 
 	"canopus"
-	"canopus/internal/transport"
+	"canopus/client"
 )
 
 func main() {
-	const n = 6
-	// Bind listeners first so every node knows every address.
-	peers := make(map[canopus.NodeID]string, n)
-	runners := make([]*transport.Runner, n)
-	base := 17000
-	for i := 0; i < n; i++ {
-		peers[canopus.NodeID(i)] = fmt.Sprintf("127.0.0.1:%d", base+i)
-	}
-	for i := 0; i < n; i++ {
-		r, err := transport.NewRunner(canopus.NodeID(i), peers[canopus.NodeID(i)], peers, 7)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r.Logf = func(string, ...interface{}) {} // quiet shutdown noise
-		runners[i] = r
-	}
-
-	tree, err := canopus.NewTree(canopus.TreeConfig{SuperLeaves: [][]canopus.NodeID{
-		{0, 1, 2}, {3, 4, 5},
-	}})
+	// Two super-leaves of three on loopback TCP.
+	cluster, err := canopus.StartLiveCluster(canopus.LiveOptions{
+		SuperLeaves: [][]canopus.NodeID{{0, 1, 2}, {3, 4, 5}},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cluster.Close()
 
-	stores := make([]*canopus.Store, n)
-	nodes := make([]*canopus.Node, n)
-	replies := make(chan string, 16)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		i := i
-		stores[i] = canopus.NewStore()
-		cbs := canopus.Callbacks{}
-		if i == 0 {
-			cbs.OnReply = func(req *canopus.Request, val []byte) {
-				if req.Op == canopus.OpRead {
-					replies <- fmt.Sprintf("read key %d -> %q", req.Key, val)
-				} else {
-					replies <- fmt.Sprintf("write key %d committed", req.Key)
-				}
-			}
+	// A client over every endpoint: it connects to the first and fails
+	// over along the list if that node dies.
+	endpoints := make([]string, cluster.NumNodes())
+	for i := range endpoints {
+		endpoints[i] = cluster.Endpoint(i)
+	}
+	cl, err := client.New(client.Config{Endpoints: endpoints})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Synchronous: a committed write, then a linearizable read.
+	if err := cl.Put(ctx, 7, []byte("live!")); err != nil {
+		log.Fatal(err)
+	}
+	val, err := cl.Get(ctx, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linearizable read: key 7 = %q\n", val)
+
+	// Weaker consistency: served from the connected replica's committed
+	// state without entering a consensus cycle. The result carries the
+	// commit cycle that served it (the read timestamp).
+	res, err := cl.Do(ctx, client.Op{Kind: client.OpGet, Key: 7, Consistency: client.Stale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stale read: key 7 = %q (cycle %d)\n", res.Val, res.Cycle)
+
+	// Asynchronous: pipeline writes, then collect the futures.
+	futs := make([]*client.Future, 5)
+	for i := range futs {
+		futs[i] = cl.PutAsync(uint64(100+i), []byte(fmt.Sprintf("entry-%d", i)))
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(ctx); err != nil {
+			log.Fatalf("async put %d: %v", i, err)
 		}
-		nodes[i] = canopus.NewNode(canopus.Config{Tree: tree, Self: canopus.NodeID(i)}, stores[i], cbs)
-		runners[i].Attach(nodes[i])
-		wg.Add(1)
-		go func() { defer wg.Done(); runners[i].Serve(nil) }()
 	}
+	fmt.Println("5 pipelined writes committed")
 
-	// Submit through node 0's engine (Invoke serializes with the
-	// protocol goroutine).
-	runners[0].Invoke(func() {
-		nodes[0].Submit(canopus.Write(1, 1, 7, []byte("live!")))
+	// A multi-op batch, submitted to the serving node in one turn.
+	results, err := cl.Batch(ctx, []client.Op{
+		{Kind: client.OpGet, Key: 100},
+		{Kind: client.OpDelete, Key: 101},
+		{Kind: client.OpGet, Key: 101},
 	})
-	fmt.Println(<-replies)
-	runners[0].Invoke(func() {
-		nodes[0].Submit(canopus.Read(1, 2, 7))
-	})
-	fmt.Println(<-replies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch: key 100 = %q; key 101 after delete found=%v\n",
+		results[0].Val, results[2].Found)
 
-	// Give replication a moment, then verify a remote replica converged.
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		var v []byte
-		runners[5].Invoke(func() { v = stores[5].Read(7) })
-		if string(v) == "live!" {
-			fmt.Printf("node 5 replica converged: key 7 = %q\n", v)
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	for _, r := range runners {
-		r.Close()
-	}
-	wg.Wait()
-	fmt.Println("cluster shut down")
+	fmt.Printf("session observed commit cycle %d across %d endpoints\n",
+		cl.LastCycle(), len(endpoints))
 }

@@ -1,6 +1,8 @@
 // Quickstart: the paper's Figure 2 scenario — six nodes in two
 // super-leaves reaching consensus in two rounds — on the in-process
-// simulator (virtual time, deterministic, no sockets).
+// simulator (virtual time, deterministic, no sockets), driven through
+// the unified Cluster API: per-operation completion callbacks instead
+// of node-level reply hooks.
 package main
 
 import (
@@ -11,24 +13,25 @@ import (
 )
 
 func main() {
-	cluster := canopus.NewSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	cluster := canopus.MustSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
 	fmt.Printf("LOT height %d, %d super-leaves\n\n", cluster.Tree.Height, cluster.Tree.NumSuperLeaves())
 
 	// Two clients at different nodes write concurrently; one then reads.
-	cluster.OnReply(0, func(req *canopus.Request, val []byte) {
-		if req.Op == canopus.OpRead {
-			fmt.Printf("node 0: read key %d -> %q\n", req.Key, val)
-		} else {
-			fmt.Printf("node 0: write key %d committed\n", req.Key)
-		}
-	})
+	// Submit completes each operation with its own callback when the
+	// ordering cycle commits.
 	cluster.At(time.Millisecond, func() {
-		cluster.Submit(0, canopus.Write(1, 1, 42, []byte("from node 0")))
-		cluster.Submit(4, canopus.Write(2, 1, 43, []byte("from node 4")))
+		cluster.Submit(0, canopus.OpWrite, 42, []byte("from node 0"), func(_ []byte, ok bool) {
+			fmt.Printf("node 0: write key 42 committed (ok=%v)\n", ok)
+		})
+		cluster.Submit(4, canopus.OpWrite, 43, []byte("from node 4"), func(_ []byte, ok bool) {
+			fmt.Printf("node 4: write key 43 committed (ok=%v)\n", ok)
+		})
 	})
 	// A read after the writes: linearizable without going on the wire.
 	cluster.At(100*time.Millisecond, func() {
-		cluster.Submit(0, canopus.Read(1, 2, 43))
+		cluster.Submit(0, canopus.OpRead, 43, nil, func(val []byte, ok bool) {
+			fmt.Printf("node 0: read key 43 -> %q\n", val)
+		})
 	})
 	cluster.RunUntil(time.Second)
 

@@ -34,6 +34,7 @@ func (n *Node) commit(c *cycle) {
 	n.applyLeases(c.id, root.Leases)
 	n.revokeLeases(c.id, root.Updates)
 	n.runDeferredReads(c.id)
+	n.runLocalReads()
 
 	if n.cbs.OnCommit != nil {
 		n.cbs.OnCommit(c.id, root.Batches)
@@ -95,7 +96,7 @@ func (n *Node) applyOwnSet(set *ownSet) {
 		req := &set.reqs[i]
 		var val []byte
 		switch req.Op {
-		case wire.OpWrite:
+		case wire.OpWrite, wire.OpDelete:
 			if n.sm != nil {
 				n.sm.ApplyWrite(req)
 			}
@@ -126,6 +127,27 @@ func (n *Node) reply(req *wire.Request, val []byte) {
 	if n.cbs.OnReply != nil {
 		n.cbs.OnReply(req, val)
 	}
+}
+
+// runLocalReads serves deferred committed-state reads (Sequential
+// consistency) whose minimum cycle has now committed.
+func (n *Node) runLocalReads() {
+	if len(n.localReads) == 0 {
+		return
+	}
+	kept := n.localReads[:0]
+	for _, lr := range n.localReads {
+		if n.committed >= lr.minCycle {
+			var val []byte
+			if n.sm != nil {
+				val = n.sm.Read(lr.key)
+			}
+			lr.fn(val, n.committed, true)
+		} else {
+			kept = append(kept, lr)
+		}
+	}
+	n.localReads = kept
 }
 
 // flushReplies delivers the accumulated completion batch, if any.

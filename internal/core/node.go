@@ -109,6 +109,10 @@ type Node struct {
 	heldWrites     map[uint64][]heldWrite
 	deferredReads  map[uint64][]deferredRead
 
+	// localReads are Sequential-consistency reads waiting for a minimum
+	// committed cycle (see ReadLocal); served at commit boundaries.
+	localReads []localRead
+
 	stalled        bool
 	rejoin         bool
 	joinSeq        int
@@ -125,6 +129,13 @@ type Node struct {
 type heldWrite struct {
 	req     wire.Request
 	arrived time.Duration
+}
+
+// localRead is one deferred committed-state read (see Node.ReadLocal).
+type localRead struct {
+	key      uint64
+	minCycle uint64
+	fn       func(val []byte, cycle uint64, ok bool)
 }
 
 type deferredRead struct {
@@ -303,8 +314,50 @@ func (n *Node) Submit(req wire.Request) {
 func (n *Node) enqueue(req wire.Request) {
 	n.accum.reqs = append(n.accum.reqs, req)
 	n.accum.arrivals = append(n.accum.arrivals, n.env.Now())
-	if req.Op == wire.OpWrite {
+	if req.Op.Mutates() {
 		n.accum.writes++
+	}
+}
+
+// ReadLocal answers a read from this replica's committed state without
+// entering a consensus cycle — the Sequential/Stale client read path
+// (every replica holds the full state, §5). If the node has committed at
+// least minCycle the read is served immediately; otherwise it is
+// deferred until that cycle commits (cycles are global, so a cycle
+// observed committed anywhere commits here too, absent failures). fn
+// runs in the node's event context with the value (nil when absent),
+// the commit cycle whose state served the read, and ok=true — or
+// ok=false if the read was abandoned by FailLocalReads before minCycle
+// committed. Unlike Submit, ReadLocal also works on a stalled node when
+// minCycle is already committed: serving stale state during a stall is
+// exactly what the weaker levels are for.
+func (n *Node) ReadLocal(key uint64, minCycle uint64, fn func(val []byte, cycle uint64, ok bool)) {
+	if n.committed >= minCycle {
+		var val []byte
+		if n.sm != nil {
+			val = n.sm.Read(key)
+		}
+		fn(val, n.committed, true)
+		return
+	}
+	if n.stalled || n.rejoin {
+		// The awaited cycle cannot commit here (§6 stall semantics);
+		// fail fast so the client retries another replica.
+		fn(nil, n.committed, false)
+		return
+	}
+	n.localReads = append(n.localReads, localRead{key: key, minCycle: minCycle, fn: fn})
+}
+
+// FailLocalReads abandons every deferred committed-state read (their fn
+// runs with ok=false): the serving process is shutting down or crashed,
+// and the cycles those reads wait for will not commit here. Call from
+// the node's event context.
+func (n *Node) FailLocalReads() {
+	lrs := n.localReads
+	n.localReads = nil
+	for _, lr := range lrs {
+		lr.fn(nil, n.committed, false)
 	}
 }
 
@@ -424,7 +477,7 @@ func (n *Node) takeAccum() (*wire.Batch, *ownSet) {
 		writes := make([]wire.Request, 0, set.writes)
 		var nr, nw uint32
 		for i := range set.reqs {
-			if set.reqs[i].Op == wire.OpWrite {
+			if set.reqs[i].Op.Mutates() {
 				writes = append(writes, set.reqs[i])
 				nw++
 			} else {

@@ -60,6 +60,7 @@ func (n *Node) onPeerFailed(peer wire.NodeID) {
 		// of the rack considers us dead. Crash-stop semantics forbid
 		// continuing; halt until restarted through the join protocol.
 		n.stalled = true
+		n.FailLocalReads() // their awaited cycles will not commit here
 		if n.cbs.OnStall != nil {
 			n.cbs.OnStall()
 		}
@@ -82,6 +83,7 @@ func (n *Node) onPeerFailed(peer wire.NodeID) {
 	}
 	if live < len(n.tree.SuperLeaf(n.sl).Members)/2+1 {
 		n.stalled = true
+		n.FailLocalReads() // their awaited cycles will not commit here
 		if n.cbs.OnStall != nil {
 			n.cbs.OnStall()
 		}

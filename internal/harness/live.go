@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"canopus/client"
 	"canopus/internal/core"
 	"canopus/internal/livecluster"
 	"canopus/internal/metrics"
@@ -114,7 +115,7 @@ func Live(o *Options) {
 		addRow(tbl, shape.label, "open", open, -1)
 
 		for _, c := range conns {
-			c.(livecluster.LoadConn).Client.Close()
+			c.(ClientDoer).Client.Close()
 		}
 		if !cluster.Stop(10 * time.Second) {
 			fail("live: %s did not shut down cleanly", shape.label)
@@ -139,14 +140,27 @@ func Live(o *Options) {
 	}
 }
 
+// ClientDoer adapts the public client package to the workload.Doer
+// shape, using the low-level callback primitive so the benchmark hot
+// path stays goroutine- and allocation-lean. The round-trip benchmark
+// in the root package uses it too.
+type ClientDoer struct{ Client *client.Client }
+
+// Do implements workload.Doer.
+func (d ClientDoer) Do(op wire.Op, key uint64, val []byte, done func(ok bool)) {
+	d.Client.Async(client.Op{Kind: op, Key: key, Val: val}, func(_ client.Result, err error) {
+		done(err == nil)
+	})
+}
+
 func dialAll(cluster *livecluster.Cluster) []workload.Doer {
 	conns := make([]workload.Doer, cluster.NumNodes())
 	for i := range conns {
-		cl, err := livecluster.Dial(cluster.ClientAddr(i))
+		cl, err := client.New(client.Config{Endpoints: []string{cluster.ClientAddr(i)}})
 		if err != nil {
-			fail("live: dial node %d: %v", i, err)
+			fail("live: client for node %d: %v", i, err)
 		}
-		conns[i] = livecluster.LoadConn{Client: cl}
+		conns[i] = ClientDoer{Client: cl}
 	}
 	return conns
 }

@@ -37,19 +37,25 @@ func NewLogged() *Store {
 	return s
 }
 
-// ApplyWrite implements core.StateMachine.
+// ApplyWrite implements core.StateMachine. OpDelete requests remove the
+// key; anything else stores the value.
 func (s *Store) ApplyWrite(req *wire.Request) {
-	v := make([]byte, len(req.Val))
-	copy(v, req.Val)
-	s.data[req.Key] = v
+	if req.Op == wire.OpDelete {
+		delete(s.data, req.Key)
+	} else {
+		v := make([]byte, len(req.Val))
+		copy(v, req.Val)
+		s.data[req.Key] = v
+	}
 	if s.recordLog {
 		s.logLen++
 		h := fnv.New64a()
-		var buf [8 * 4]byte
+		var buf [8*4 + 1]byte
 		binary.LittleEndian.PutUint64(buf[0:], s.logDigest)
 		binary.LittleEndian.PutUint64(buf[8:], req.Client)
 		binary.LittleEndian.PutUint64(buf[16:], req.Seq)
 		binary.LittleEndian.PutUint64(buf[24:], req.Key)
+		buf[32] = uint8(req.Op)
 		h.Write(buf[:])
 		h.Write(req.Val)
 		s.logDigest = h.Sum64()

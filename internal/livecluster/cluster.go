@@ -29,6 +29,11 @@ type Config struct {
 	Node core.Config
 	// Seed randomizes proposal numbers per node.
 	Seed int64
+	// LoggedStores gives every node an apply-order-logging store
+	// (kvstore.NewLogged) so tests can assert replica equality and
+	// exactly-once application; off by default — the digest costs a hash
+	// per mutation on the benchmarked hot path.
+	LoggedStores bool
 	// Logf receives transport log lines; default discards them (loopback
 	// teardown noise is not interesting).
 	Logf func(format string, args ...interface{})
@@ -90,6 +95,9 @@ func Start(cfg Config) (*Cluster, error) {
 		nodeCfg.Tree = tree
 		nodeCfg.Self = wire.NodeID(i)
 		st := kvstore.New()
+		if cfg.LoggedStores {
+			st = kvstore.NewLogged()
+		}
 		node := core.NewNode(nodeCfg, st, core.Callbacks{})
 		c.stores = append(c.stores, st)
 		c.nodes = append(c.nodes, node)
@@ -100,10 +108,14 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		c.ports = append(c.ports, port)
 	}
-	// Attach and serve only after every client port exists, so no node
-	// commits into a nil reply callback.
+	// Attach only after every client port exists, so no node commits
+	// into a nil reply callback — and synchronously, so Submit works the
+	// moment Start returns (the canopus.Cluster contract).
 	for i := 0; i < n; i++ {
-		go c.runners[i].Serve(c.nodes[i])
+		c.runners[i].Attach(c.nodes[i])
+	}
+	for i := 0; i < n; i++ {
+		go c.runners[i].Serve(nil)
 	}
 	return c, nil
 }
@@ -117,11 +129,46 @@ func (c *Cluster) ClientAddr(i int) string { return c.ports[i].Addr() }
 // Node returns protocol node i (for tests and tooling).
 func (c *Cluster) Node(i int) *core.Node { return c.nodes[i] }
 
+// Store returns node i's local replica state (for tests and tooling).
+func (c *Cluster) Store(i int) *kvstore.Store { return c.stores[i] }
+
 // Port returns node i's client port.
 func (c *Cluster) Port(i int) *ClientPort { return c.ports[i] }
 
 // Runner returns node i's transport runner.
 func (c *Cluster) Runner(i int) *transport.Runner { return c.runners[i] }
+
+// Submit asynchronously executes one keyed operation at node's replica,
+// implementing the canopus.Cluster interface over the same reply fan-out
+// the socket clients use. done runs inside the node's machine turn (it
+// must not block) with the read value (nil for mutations and misses) and
+// whether the operation was served; ok=false means the node is draining,
+// stalled or crashed.
+func (c *Cluster) Submit(node int, op wire.Op, key uint64, val []byte, done func(val []byte, ok bool)) {
+	c.ports[node].SubmitLocal(op, key, val, done)
+}
+
+// Endpoint returns node's client-port address, implementing the
+// canopus.Cluster interface: a canopus/client.Client pointed at the
+// endpoints drives this deployment over real sockets.
+func (c *Cluster) Endpoint(node int) string { return c.ports[node].Addr() }
+
+// Close implements the canopus.Cluster lifecycle: a bounded graceful
+// stop (see Stop for the drain semantics).
+func (c *Cluster) Close() error {
+	c.Stop(5 * time.Second)
+	return nil
+}
+
+// Crash fails node i crash-stop: its client port drops every connection
+// without draining and its transport closes. The rest of the deployment
+// keeps running (and keeps committing while the super-leaf retains a
+// broadcast majority); clients connected to the node observe a broken
+// connection, exactly as if the process died.
+func (c *Cluster) Crash(i int) {
+	c.ports[i].Abort()
+	c.runners[i].Close()
+}
 
 // Stop shuts the deployment down gracefully: drain every client port
 // (answer in-flight requests), flush transports, then close. It reports

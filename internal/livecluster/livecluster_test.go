@@ -2,12 +2,16 @@ package livecluster
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"canopus/client"
 	"canopus/internal/core"
 	"canopus/internal/wire"
 	"canopus/internal/workload"
@@ -26,84 +30,242 @@ func startCluster(t *testing.T, nodes int) *Cluster {
 	return c
 }
 
-func TestBinaryPutGet(t *testing.T) {
-	c := startCluster(t, 3)
-	defer c.Stop(5 * time.Second)
-
-	cl, err := Dial(c.ClientAddr(0))
+func dialClient(t *testing.T, c *Cluster, nodes ...int) *client.Client {
+	t.Helper()
+	var eps []string
+	for _, i := range nodes {
+		eps = append(eps, c.ClientAddr(i))
+	}
+	cl, err := client.New(client.Config{Endpoints: eps, RequestTimeout: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cl.Close()
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
 
-	if err := cl.Put(7, []byte("hello")); err != nil {
+func TestClientPutGetDelete(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+	ctx := context.Background()
+
+	cl := dialClient(t, c, 0)
+	if err := cl.Put(ctx, 7, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	val, ok, err := cl.Get(7)
-	if err != nil || !ok || string(val) != "hello" {
-		t.Fatalf("Get(7) = %q, %v, %v", val, ok, err)
+	val, err := cl.Get(ctx, 7)
+	if err != nil || string(val) != "hello" {
+		t.Fatalf("Get(7) = %q, %v", val, err)
 	}
-	if _, ok, err := cl.Get(99); err != nil || ok {
-		t.Fatalf("Get(99) = present=%v err=%v, want miss", ok, err)
+	if _, err := cl.Get(ctx, 99); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("Get(99) err = %v, want ErrNotFound", err)
+	}
+	if err := cl.Delete(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(ctx, 7); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("Get(7) after delete err = %v, want ErrNotFound", err)
 	}
 
 	// A write through node 0 is readable through node 2 once committed
 	// (both reads linearize after the write's cycle).
-	cl2, err := Dial(c.ClientAddr(2))
-	if err != nil {
+	if err := cl.Put(ctx, 8, []byte("cross")); err != nil {
 		t.Fatal(err)
 	}
-	defer cl2.Close()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		val, ok, err := cl2.Get(7)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ok && string(val) == "hello" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("write never became visible at node 2")
-		}
-		time.Sleep(5 * time.Millisecond)
+	cl2 := dialClient(t, c, 2)
+	val, err = cl2.Get(ctx, 8)
+	if err != nil || string(val) != "cross" {
+		t.Fatalf("Get(8) via node 2 = %q, %v", val, err)
 	}
 }
 
-func TestPipelinedRequests(t *testing.T) {
+func TestClientAsyncPipelined(t *testing.T) {
 	c := startCluster(t, 3)
 	defer c.Stop(5 * time.Second)
 
-	cl, err := Dial(c.ClientAddr(1))
+	cl := dialClient(t, c, 1)
+	// Issue many writes without waiting, then verify every reply arrives.
+	const n = 500
+	futs := make([]*client.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = cl.PutAsync(uint64(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	ctx := context.Background()
+	for i, f := range futs {
+		if _, err := f.Wait(ctx); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	val, err := cl.Get(ctx, n-1)
+	if err != nil || string(val) != fmt.Sprintf("v%d", n-1) {
+		t.Fatalf("Get(%d) = %q, %v", n-1, val, err)
+	}
+}
+
+func TestClientBatch(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+	ctx := context.Background()
+
+	cl := dialClient(t, c, 0)
+	if err := cl.Put(ctx, 1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Batch(ctx, []client.Op{
+		{Kind: client.OpPut, Key: 2, Val: []byte("two")},
+		{Kind: client.OpGet, Key: 1},
+		{Kind: client.OpGet, Key: 404},
+		{Kind: client.OpDelete, Key: 1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cl.Close()
-
-	// Issue many writes without waiting, then verify every reply arrives.
-	const n = 500
-	var wg sync.WaitGroup
-	errs := make(chan error, n)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		key, val := uint64(i), []byte(fmt.Sprintf("v%d", i))
-		cl.Do(wire.OpWrite, key, val, func(resp wire.ClientResponse, err error) {
-			defer wg.Done()
-			if err != nil {
-				errs <- err
-			} else if resp.Status != wire.ClientStatusOK {
-				errs <- fmt.Errorf("key %d: status %d", key, resp.Status)
-			}
-		})
+	if len(res) != 4 {
+		t.Fatalf("batch returned %d results", len(res))
 	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
+	if res[0].Err != nil || !res[0].Found {
+		t.Fatalf("batch put: %+v", res[0])
+	}
+	if string(res[1].Val) != "one" {
+		t.Fatalf("batch get: %+v", res[1])
+	}
+	if res[2].Found || res[2].Err != nil {
+		t.Fatalf("batch miss: %+v", res[2])
+	}
+	if _, err := cl.Get(ctx, 1); !errorsIsNotFound(err) {
+		t.Fatalf("key 1 survived batch delete: %v", err)
+	}
+}
+
+func errorsIsNotFound(err error) bool { return errors.Is(err, client.ErrNotFound) }
+
+// TestStaleReadsSkipConsensus is the dual-path acceptance check: Stale
+// reads are served from committed state without advancing the consensus
+// cycle count, while Linearizable reads ride a cycle and observe the
+// latest committed write.
+func TestStaleReadsSkipConsensus(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+	ctx := context.Background()
+
+	cl := dialClient(t, c, 0)
+	if err := cl.Put(ctx, 7, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	val, ok, err := cl.Get(n - 1)
-	if err != nil || !ok || string(val) != fmt.Sprintf("v%d", n-1) {
-		t.Fatalf("Get(%d) = %q, %v, %v", n-1, val, ok, err)
+
+	committedAt := func(i int) uint64 {
+		var k uint64
+		c.Runner(i).Invoke(func() { k = c.Node(i).Committed() })
+		return k
+	}
+	before := committedAt(0)
+
+	// A burst of Stale reads: all answered, none starts a cycle.
+	for i := 0; i < 50; i++ {
+		val, err := cl.Get(ctx, 7, client.WithConsistency(client.Stale))
+		if err != nil || string(val) != "v1" {
+			t.Fatalf("stale read %d = %q, %v", i, val, err)
+		}
+	}
+	// Idle-wait one cycle interval: a cycle triggered by the reads would
+	// have committed by now.
+	time.Sleep(20 * time.Millisecond)
+	if after := committedAt(0); after != before {
+		t.Fatalf("stale reads advanced the consensus cycle: %d -> %d", before, after)
+	}
+
+	// A later write through another node...
+	cl2 := dialClient(t, c, 1)
+	if err := cl2.Put(ctx, 7, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// ...is observed by a Linearizable read at node 0 (which DOES ride a
+	// consensus cycle).
+	val, err := cl.Get(ctx, 7)
+	if err != nil || string(val) != "v2" {
+		t.Fatalf("linearizable read after remote write = %q, %v", val, err)
+	}
+	if after := committedAt(0); after == before {
+		t.Fatal("linearizable read did not advance the consensus cycle")
+	}
+}
+
+// TestSequentialReadWaitsForCycle pins the session guarantee: a
+// Sequential read carrying a commit cycle observed elsewhere is not
+// answered from older state, even through a different replica.
+func TestSequentialReadWaitsForCycle(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+	ctx := context.Background()
+
+	clA := dialClient(t, c, 0)
+	if err := clA.Put(ctx, 9, []byte("newest")); err != nil {
+		t.Fatal(err)
+	}
+	cycle := clA.LastCycle()
+	if cycle == 0 {
+		t.Fatal("write reported no commit cycle")
+	}
+
+	// A fresh client session against another replica, seeded with the
+	// observed cycle: the read must reflect at least that state.
+	clB := dialClient(t, c, 2)
+	val, err := clB.Get(ctx, 9,
+		client.WithConsistency(client.Sequential), client.WithMinCycle(cycle))
+	if err != nil || string(val) != "newest" {
+		t.Fatalf("sequential read = %q, %v", val, err)
+	}
+	if clB.LastCycle() < cycle {
+		t.Fatalf("session clock %d did not absorb the read timestamp %d", clB.LastCycle(), cycle)
+	}
+}
+
+// TestV1ProtocolStillAccepted drives the legacy v1 binary protocol over
+// a raw socket: v1 connections are sniffed per connection and served
+// alongside v2 and text.
+func TestV1ProtocolStillAccepted(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+
+	conn, err := net.Dial("tcp", c.ClientAddr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(wire.ClientMagic[:]); err != nil {
+		t.Fatal(err)
+	}
+	send := func(q wire.ClientRequest) wire.ClientResponse {
+		t.Helper()
+		if _, err := conn.Write(wire.AppendClientRequest(nil, &q)); err != nil {
+			t.Fatal(err)
+		}
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		n, err := wire.ClientFrameLen(hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.ParseClientResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if resp := send(wire.ClientRequest{ID: 1, Op: wire.OpWrite, Key: 5, Val: []byte("v1-write")}); resp.Status != wire.ClientStatusOK {
+		t.Fatalf("v1 put status %d", resp.Status)
+	}
+	if resp := send(wire.ClientRequest{ID: 2, Op: wire.OpRead, Key: 5}); resp.Status != wire.ClientStatusOK || string(resp.Val) != "v1-write" {
+		t.Fatalf("v1 get = %q (status %d)", resp.Val, resp.Status)
+	}
+	if resp := send(wire.ClientRequest{ID: 3, Op: wire.OpRead, Key: 99}); resp.Status != wire.ClientStatusNil {
+		t.Fatalf("v1 miss status %d", resp.Status)
 	}
 }
 
@@ -137,6 +299,12 @@ func TestTextProtocol(t *testing.T) {
 	if got := say("GET 4"); got != "NIL\n" {
 		t.Fatalf("GET miss reply %q", got)
 	}
+	if got := say("DEL 3"); got != "OK\n" {
+		t.Fatalf("DEL reply %q", got)
+	}
+	if got := say("GET 3"); got != "NIL\n" {
+		t.Fatalf("GET after DEL reply %q", got)
+	}
 	if got := say("FROB"); got != "ERR unknown command\n" {
 		t.Fatalf("bad command reply %q", got)
 	}
@@ -144,11 +312,7 @@ func TestTextProtocol(t *testing.T) {
 
 func TestGracefulStopDrainsInFlight(t *testing.T) {
 	c := startCluster(t, 3)
-	cl, err := Dial(c.ClientAddr(0))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
+	cl := dialClient(t, c, 0)
 
 	// Pipeline a burst and immediately stop the cluster: every accepted
 	// request must still be answered (no torn frames, no lost replies).
@@ -158,16 +322,17 @@ func TestGracefulStopDrainsInFlight(t *testing.T) {
 	var mu sync.Mutex
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		cl.Do(wire.OpWrite, uint64(i), []byte("x"), func(resp wire.ClientResponse, err error) {
-			defer wg.Done()
-			mu.Lock()
-			if err == nil && resp.Status == wire.ClientStatusOK {
-				okCount++
-			} else {
-				errCount++
-			}
-			mu.Unlock()
-		})
+		cl.Async(client.Op{Kind: client.OpPut, Key: uint64(i), Val: []byte("x")},
+			func(_ client.Result, err error) {
+				defer wg.Done()
+				mu.Lock()
+				if err == nil {
+					okCount++
+				} else {
+					errCount++
+				}
+				mu.Unlock()
+			})
 	}
 	// Let the burst reach the server before stopping: drain must answer
 	// accepted requests, not merely reject unseen ones.
@@ -200,17 +365,116 @@ func TestGracefulStopDrainsInFlight(t *testing.T) {
 func TestRejectedWhileDraining(t *testing.T) {
 	c := startCluster(t, 3)
 	defer c.Stop(time.Second)
-	cl, err := Dial(c.ClientAddr(0))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
-	if err := cl.Put(1, []byte("a")); err != nil {
+	cl := dialClient(t, c, 0)
+	ctx := context.Background()
+	if err := cl.Put(ctx, 1, []byte("a")); err != nil {
 		t.Fatal(err)
 	}
 	c.Port(0).Stop(time.Second)
-	if err := cl.Put(2, []byte("b")); err == nil {
+	// The server rejects with a draining code; the single-endpoint
+	// client retries once against the same (now closed) port and fails.
+	if err := cl.Put(ctx, 2, []byte("b")); err == nil {
 		t.Fatal("write accepted after drain began")
+	}
+}
+
+// TestClusterSubmitLocal drives the socketless Cluster.Submit path (the
+// canopus.Cluster interface backend) end to end.
+func TestClusterSubmitLocal(t *testing.T) {
+	c := startCluster(t, 3)
+	defer c.Stop(5 * time.Second)
+
+	done := make(chan []byte, 1)
+	c.Submit(0, wire.OpWrite, 3, []byte("local"), func(_ []byte, ok bool) {
+		if !ok {
+			t.Error("write rejected")
+		}
+		done <- nil
+	})
+	<-done
+	c.Submit(2, wire.OpRead, 3, nil, func(val []byte, ok bool) {
+		if !ok {
+			t.Error("read rejected")
+		}
+		v := make([]byte, len(val))
+		copy(v, val)
+		done <- v
+	})
+	if got := <-done; string(got) != "local" {
+		t.Fatalf("local read = %q", got)
+	}
+}
+
+// TestStopRejectsParkedSequentialReads pins graceful-shutdown behavior
+// for Sequential reads parked on a future commit cycle: they must not
+// burn the drain timeout, and the client gets a draining rejection
+// instead of silence.
+func TestStopRejectsParkedSequentialReads(t *testing.T) {
+	c := startCluster(t, 3)
+	cl := dialClient(t, c, 0)
+
+	// A Sequential read ahead of anything committed (but within the
+	// sanity bound) parks at the node (nothing else generates cycles).
+	got := make(chan error, 1)
+	cl.Async(client.Op{Kind: client.OpGet, Key: 1, Consistency: client.Sequential, MinCycle: 1 << 15},
+		func(_ client.Result, err error) { got <- err })
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Port(0).Outstanding() == 0 && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	start := time.Now()
+	drained := c.Stop(5 * time.Second)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Stop burned %v on a parked read", elapsed)
+	}
+	if !drained {
+		t.Fatal("parked Sequential read failed the drain")
+	}
+	select {
+	case err := <-got:
+		if err == nil {
+			t.Fatal("parked read reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked read never completed client-side")
+	}
+}
+
+// TestCrashCompletesLocalSubmits pins the Cluster.Submit contract on
+// crash: operations in flight at a crashed node complete their done
+// callbacks with ok=false instead of hanging forever.
+func TestCrashCompletesLocalSubmits(t *testing.T) {
+	// A long cycle interval parks the submissions in the accumulator so
+	// the crash deterministically catches them in flight.
+	c, err := Start(Config{
+		Nodes: 3,
+		Node:  core.Config{CycleInterval: time.Minute, TickInterval: 5 * time.Millisecond},
+		Seed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(time.Second)
+
+	const n = 5
+	results := make(chan bool, n)
+	for i := 0; i < n; i++ {
+		c.Submit(0, wire.OpWrite, uint64(i), []byte("x"), func(_ []byte, ok bool) {
+			results <- ok
+		})
+	}
+	c.Crash(0)
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case ok := <-results:
+			if ok {
+				t.Fatal("crashed node reported a committed operation")
+			}
+		case <-deadline:
+			t.Fatalf("only %d of %d done callbacks fired after crash", i, n)
+		}
 	}
 }
 
@@ -225,12 +489,8 @@ func TestWorkloadClosedLoop(t *testing.T) {
 
 	conns := make([]workload.Doer, c.NumNodes())
 	for i := range conns {
-		cl, err := Dial(c.ClientAddr(i))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer cl.Close()
-		conns[i] = LoadConn{cl}
+		cl := dialClient(t, c, i)
+		conns[i] = doerAdapter{cl}
 	}
 	res := workload.RunLive(workload.LiveConfig{
 		Concurrency: 8,
@@ -247,4 +507,13 @@ func TestWorkloadClosedLoop(t *testing.T) {
 	if res.All().Count() != res.Completed {
 		t.Fatalf("histogram count %d != completed %d", res.All().Count(), res.Completed)
 	}
+}
+
+// doerAdapter bridges the public client to workload.Doer.
+type doerAdapter struct{ cl *client.Client }
+
+func (d doerAdapter) Do(op wire.Op, key uint64, val []byte, done func(ok bool)) {
+	d.cl.Async(client.Op{Kind: op, Key: key, Val: val}, func(_ client.Result, err error) {
+		done(err == nil)
+	})
 }

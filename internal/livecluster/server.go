@@ -21,10 +21,22 @@ import (
 // client cannot monopolize the node's serialization lock.
 const maxGroup = 512
 
+// Connection protocol modes, sniffed from the preamble.
+const (
+	modeText uint8 = iota // line-oriented text protocol
+	modeV1                // binary protocol v1 (wire.ClientRequest)
+	modeV2                // binary protocol v2 (wire.ClientRequestV2)
+)
+
 // ClientPort serves canopus-server's client protocol for one node: the
-// length-prefixed binary protocol (wire.ClientRequest/ClientResponse)
-// for programs, and the line-oriented text protocol (GET/PUT/QUIT) for
-// interactive use, sniffed per connection from the first byte.
+// length-prefixed binary protocols v1 and v2 (see internal/wire) for
+// programs, and the line-oriented text protocol (GET/PUT/QUIT) for
+// interactive use — all sniffed per connection from the preamble.
+//
+// Protocol v2 adds per-request consistency levels: Linearizable
+// operations enter consensus exactly like v1 traffic, while Sequential
+// and Stale reads are answered from the node's committed state
+// (core.Node.ReadLocal) without starting or riding a consensus cycle.
 //
 // Replies are fanned out batch-aware: the port owns the node's
 // OnReplyBatch callback, so one committed cycle costs one pass over its
@@ -38,6 +50,10 @@ type ClientPort struct {
 
 	draining    atomic.Bool
 	outstanding atomic.Int64 // accepted-but-unanswered requests
+	// deferredLocal counts the subset of outstanding that are Sequential
+	// reads parked on a future commit cycle: they cannot complete on an
+	// idle node, so a graceful Stop rejects rather than awaits them.
+	deferredLocal atomic.Int64
 
 	// mu guards conns; pending maps inside each conn are guarded by the
 	// runner's machine lock (inserted under Invoke, consumed under the
@@ -45,22 +61,40 @@ type ClientPort struct {
 	mu     sync.Mutex
 	nextID uint64
 	conns  map[uint64]*clientConn
+	loc    *clientConn // lazy pseudo-connection for SubmitLocal
 
 	writers sync.WaitGroup
 }
 
-// pendingEntry maps one submitted request back to its connection frame.
+// pendingEntry maps one submitted request back to its completion target:
+// a connection frame (text/v1/v2, optionally one slot of a v2 batch) or
+// a local done callback.
 type pendingEntry struct {
-	id   uint64 // binary correlation ID (unused in text mode)
-	text bool
+	id   uint64 // correlation ID (unused in text mode)
+	mode uint8
+	done func(val []byte, ok bool) // SubmitLocal completion; nil for sockets
+	agg  *batchAgg                 // v2 batch aggregation; nil for single ops
+	idx  int                       // slot in agg.results
+}
+
+// batchAgg accumulates one v2 batch frame's per-op results; the response
+// is pushed when the last sub-op completes. Guarded by the runner lock,
+// like the pending maps feeding it.
+type batchAgg struct {
+	id        uint64
+	remaining int
+	cycle     uint64
+	results   []wire.ClientResult
 }
 
 type clientConn struct {
 	id   uint64
-	conn net.Conn
+	conn net.Conn // nil for the SubmitLocal pseudo-connection
 
-	// pending maps request Seq -> entry; guarded by the runner lock.
+	// pending maps request Seq -> entry; seq is the per-connection
+	// submission counter. Both are guarded by the runner lock.
 	pending map[uint64]pendingEntry
+	seq     uint64
 
 	outMu   sync.Mutex
 	out     []byte // encoded responses awaiting flush
@@ -81,6 +115,16 @@ func NewClientPort(runner *transport.Runner, node *core.Node, addr string) (*Cli
 		ln:     ln,
 		conns:  make(map[uint64]*clientConn),
 	}
+	// The SubmitLocal pseudo-connection is created eagerly so Stop and
+	// Abort always see it — a lazily created one could slip past their
+	// shutdown snapshot and strand its done callbacks.
+	p.nextID++
+	p.loc = &clientConn{
+		id:      (uint64(int64(node.ID())+1) << 32) | p.nextID,
+		pending: make(map[uint64]pendingEntry),
+		wake:    make(chan struct{}, 1),
+	}
+	p.conns[p.loc.id] = p.loc
 	node.SetOnReplyBatch(p.onReplyBatch)
 	go p.acceptLoop()
 	return p, nil
@@ -92,22 +136,32 @@ func (p *ClientPort) Addr() string { return p.ln.Addr().String() }
 // Outstanding returns the number of accepted, not-yet-answered requests.
 func (p *ClientPort) Outstanding() int64 { return p.outstanding.Load() }
 
+func (p *ClientPort) newConn(conn net.Conn) *clientConn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	cc := &clientConn{
+		id:      (uint64(int64(p.node.ID())+1) << 32) | p.nextID,
+		conn:    conn,
+		pending: make(map[uint64]pendingEntry),
+		wake:    make(chan struct{}, 1),
+	}
+	p.conns[cc.id] = cc
+	return cc
+}
+
+// local returns the pseudo-connection carrying SubmitLocal traffic
+// (created at port construction). It has no socket and no writer: every
+// pending entry completes through its done callback.
+func (p *ClientPort) local() *clientConn { return p.loc }
+
 func (p *ClientPort) acceptLoop() {
 	for {
 		conn, err := p.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		p.mu.Lock()
-		p.nextID++
-		cc := &clientConn{
-			id:      (uint64(int64(p.node.ID())+1) << 32) | p.nextID,
-			conn:    conn,
-			pending: make(map[uint64]pendingEntry),
-			wake:    make(chan struct{}, 1),
-		}
-		p.conns[cc.id] = cc
-		p.mu.Unlock()
+		cc := p.newConn(conn)
 		p.writers.Add(1)
 		go p.writeLoop(cc)
 		go p.handle(cc)
@@ -124,10 +178,15 @@ func (p *ClientPort) handle(cc *clientConn) {
 	}
 	if first[0] == wire.ClientMagic[0] {
 		var magic [4]byte
-		if _, err := io.ReadFull(br, magic[:]); err != nil || magic != wire.ClientMagic {
+		if _, err := io.ReadFull(br, magic[:]); err != nil {
 			return
 		}
-		p.handleBinary(cc, br)
+		switch magic {
+		case wire.ClientMagic:
+			p.handleBinary(cc, br)
+		case wire.ClientMagicV2:
+			p.handleV2(cc, br)
+		}
 		return
 	}
 	p.handleText(cc, br)
@@ -206,6 +265,59 @@ func (cc *clientConn) push(render func(b []byte) []byte) {
 	}
 }
 
+// completeEntry delivers one completed consensus operation to its
+// destination: local callback, batch slot, or an encoded single-op
+// response. Runs inside the machine turn (runner lock held).
+func (p *ClientPort) completeEntry(cc *clientConn, entry pendingEntry, op wire.Op, val []byte) {
+	cycle := p.node.Committed()
+	switch {
+	case entry.done != nil:
+		entry.done(val, true)
+	case entry.agg != nil:
+		status := wire.ClientStatusOK
+		if op == wire.OpRead && val == nil {
+			status = wire.ClientStatusNil
+		}
+		p.completeBatchOp(cc, entry.agg, entry.idx, status, val, cycle)
+		return // completeBatchOp owns the outstanding decrement
+	case entry.mode == modeText:
+		cc.push(func(b []byte) []byte { return appendTextReply(b, op, val) })
+	case entry.mode == modeV2:
+		resp := wire.ClientResponseV2{ID: entry.id, Status: wire.ClientStatusOK, Cycle: cycle, Val: val}
+		if op == wire.OpRead && val == nil {
+			resp.Status = wire.ClientStatusNil
+		}
+		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+	default: // modeV1
+		resp := wire.ClientResponse{ID: entry.id, Status: wire.ClientStatusOK, Val: val}
+		if op == wire.OpRead && val == nil {
+			resp.Status = wire.ClientStatusNil
+		}
+		cc.push(func(b []byte) []byte { return wire.AppendClientResponse(b, &resp) })
+	}
+	p.outstanding.Add(-1)
+}
+
+// completeBatchOp fills one slot of a v2 batch and pushes the aggregate
+// response when the batch is complete. Runs under the runner lock.
+func (p *ClientPort) completeBatchOp(cc *clientConn, agg *batchAgg, idx int, status uint8, val []byte, cycle uint64) {
+	if status == wire.ClientStatusOK && val != nil {
+		v := make([]byte, len(val))
+		copy(v, val)
+		val = v // vals from the reply batch are only valid during the callback
+	}
+	agg.results[idx] = wire.ClientResult{Status: status, Val: val}
+	if cycle > agg.cycle {
+		agg.cycle = cycle
+	}
+	agg.remaining--
+	p.outstanding.Add(-1)
+	if agg.remaining == 0 {
+		resp := wire.ClientResponseV2{ID: agg.id, Batch: true, Cycle: agg.cycle, Results: agg.results}
+		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+	}
+}
+
 // onReplyBatch is the node's completion callback: it runs inside the
 // machine turn and fans one batch of completions out to the owning
 // connections' buffers (no socket writes on this path).
@@ -227,23 +339,13 @@ func (p *ClientPort) onReplyBatch(reqs []wire.Request, vals [][]byte) {
 		// to set closing, so the response must already be in the output
 		// buffer (the writer flushes it before closing) by the time this
 		// request stops counting as outstanding.
-		val := vals[i]
-		if entry.text {
-			cc.push(func(b []byte) []byte { return appendTextReply(b, req.Op, val) })
-		} else {
-			resp := wire.ClientResponse{ID: entry.id, Status: wire.ClientStatusOK, Val: val}
-			if req.Op == wire.OpRead && val == nil {
-				resp.Status = wire.ClientStatusNil
-			}
-			cc.push(func(b []byte) []byte { return wire.AppendClientResponse(b, &resp) })
-		}
+		p.completeEntry(cc, entry, req.Op, vals[i])
 		delete(cc.pending, req.Seq)
-		p.outstanding.Add(-1)
 	}
 }
 
 func appendTextReply(b []byte, op wire.Op, val []byte) []byte {
-	if op == wire.OpWrite {
+	if op.Mutates() {
 		return append(b, "OK\n"...)
 	}
 	if val == nil {
@@ -255,25 +357,35 @@ func appendTextReply(b []byte, op wire.Op, val []byte) []byte {
 }
 
 // reject answers a request without consulting the node.
-func (p *ClientPort) reject(cc *clientConn, text bool, id uint64, reason string) {
-	if text {
+func (p *ClientPort) reject(cc *clientConn, mode uint8, id uint64, code uint8, reason string) {
+	switch mode {
+	case modeText:
 		cc.push(func(b []byte) []byte {
 			b = append(b, "ERR "...)
 			b = append(b, reason...)
 			return append(b, '\n')
 		})
-		return
+	case modeV2:
+		resp := wire.ClientResponseV2{ID: id, Status: wire.ClientStatusErr, Code: code, Val: []byte(reason)}
+		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+	default:
+		resp := wire.ClientResponse{ID: id, Status: wire.ClientStatusErr, Val: []byte(reason)}
+		cc.push(func(b []byte) []byte { return wire.AppendClientResponse(b, &resp) })
 	}
-	resp := wire.ClientResponse{ID: id, Status: wire.ClientStatusErr, Val: []byte(reason)}
-	cc.push(func(b []byte) []byte { return wire.AppendClientResponse(b, &resp) })
 }
 
-// submit hands a group of parsed requests to the node in one machine
-// turn, registering each for reply routing.
-func (p *ClientPort) submit(cc *clientConn, group []wire.ClientRequest, seq *uint64, text bool) {
+// rejectBatch answers an entire v2 batch frame with a frame-level code.
+func (p *ClientPort) rejectBatch(cc *clientConn, id uint64, code uint8) {
+	resp := wire.ClientResponseV2{ID: id, Batch: true, Code: code}
+	cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+}
+
+// submit hands a group of parsed v1/text requests to the node in one
+// machine turn, registering each for reply routing.
+func (p *ClientPort) submit(cc *clientConn, group []wire.ClientRequest, mode uint8) {
 	if p.draining.Load() {
 		for i := range group {
-			p.reject(cc, text, group[i].ID, "draining")
+			p.reject(cc, mode, group[i].ID, wire.CodeDraining, "draining")
 		}
 		return
 	}
@@ -285,23 +397,194 @@ func (p *ClientPort) submit(cc *clientConn, group []wire.ClientRequest, seq *uin
 		for i := range group {
 			q := &group[i]
 			if stalled {
-				p.reject(cc, text, q.ID, "node stalled")
+				p.reject(cc, mode, q.ID, wire.CodeStalled, "node stalled")
 				continue
 			}
-			*seq++
-			cc.pending[*seq] = pendingEntry{id: q.ID, text: text}
+			cc.seq++
+			cc.pending[cc.seq] = pendingEntry{id: q.ID, mode: mode}
 			p.outstanding.Add(1)
 			p.node.Submit(wire.Request{
-				Client: cc.id, Seq: *seq, Op: q.Op, Key: q.Key, Val: q.Val,
+				Client: cc.id, Seq: cc.seq, Op: q.Op, Key: q.Key, Val: q.Val,
 			})
 		}
 	})
 }
 
-// handleBinary runs the pipelined binary protocol: all complete frames
-// already buffered are batched into a single submit turn.
+// submitV2 hands a group of parsed v2 frames to the node in one machine
+// turn. Linearizable operations (and all mutations) enter consensus;
+// Sequential/Stale reads take the committed-state local path and never
+// start a cycle.
+func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
+	if p.draining.Load() {
+		for i := range group {
+			if group[i].Batch {
+				p.rejectBatch(cc, group[i].ID, wire.CodeDraining)
+			} else {
+				p.reject(cc, modeV2, group[i].ID, wire.CodeDraining, "draining")
+			}
+		}
+		return
+	}
+	p.runner.Invoke(func() {
+		if cc.pending == nil {
+			return // torn down concurrently
+		}
+		for i := range group {
+			q := &group[i]
+			if q.Batch {
+				if len(q.Ops) > wire.MaxBatchOps {
+					// One batch is one machine turn; an oversized one
+					// would monopolize the node exactly as maxGroup
+					// exists to prevent for pipelined singles.
+					p.rejectBatch(cc, q.ID, wire.CodeBadRequest)
+					continue
+				}
+				p.submitV2Batch(cc, q)
+				continue
+			}
+			op := &q.Ops[0]
+			if op.Op == wire.OpRead && q.Consistency != wire.Linearizable {
+				if !p.minCycleSane(q.MinCycle) {
+					p.reject(cc, modeV2, q.ID, wire.CodeBadRequest, "minCycle too far ahead")
+					continue
+				}
+				p.localRead(cc, q.ID, op.Key, q.MinCycle)
+				continue
+			}
+			if p.node.Stalled() {
+				p.reject(cc, modeV2, q.ID, wire.CodeStalled, "node stalled")
+				continue
+			}
+			cc.seq++
+			cc.pending[cc.seq] = pendingEntry{id: q.ID, mode: modeV2}
+			p.outstanding.Add(1)
+			p.node.Submit(wire.Request{
+				Client: cc.id, Seq: cc.seq, Op: op.Op, Key: op.Key, Val: op.Val,
+			})
+		}
+	})
+}
+
+// maxMinCycleAhead bounds how far beyond the replica's committed cycle
+// a Sequential read may wait. Legitimate read timestamps come from
+// observed commits, so they can only lead a healthy replica by the
+// pipelining depth plus transient lag; anything further is a bug or an
+// attempt to park unbounded state server-side.
+const maxMinCycleAhead = 1 << 16
+
+// minCycleSane validates a deferred read's target cycle against the
+// bound. Runs under the runner lock.
+func (p *ClientPort) minCycleSane(minCycle uint64) bool {
+	return minCycle <= p.node.Committed()+maxMinCycleAhead
+}
+
+// trackedReadLocal runs one committed-state read with the outstanding /
+// deferred-read accounting shared by the single-op and batch paths.
+// complete runs under the runner lock with the op's status, value and
+// serving cycle (status Err means the read was abandoned: node shutting
+// down, crashed, or stalled below the awaited cycle) and is responsible
+// for the matching outstanding decrement.
+func (p *ClientPort) trackedReadLocal(key, minCycle uint64, complete func(status uint8, val []byte, cycle uint64)) {
+	p.outstanding.Add(1)
+	fired := false
+	var wasDeferred bool // written after ReadLocal returns; read only at commit time, both under the runner lock
+	p.node.ReadLocal(key, minCycle, func(val []byte, cycle uint64, ok bool) {
+		fired = true
+		status := wire.ClientStatusOK
+		switch {
+		case !ok:
+			status, val = wire.ClientStatusErr, []byte("unavailable")
+		case val == nil:
+			status = wire.ClientStatusNil
+		}
+		complete(status, val, cycle)
+		if wasDeferred {
+			p.deferredLocal.Add(-1)
+		}
+	})
+	if !fired {
+		wasDeferred = true
+		p.deferredLocal.Add(1)
+	}
+}
+
+// localRead serves one non-linearizable single-op read from committed
+// state. Runs under the runner lock.
+func (p *ClientPort) localRead(cc *clientConn, id uint64, key, minCycle uint64) {
+	p.trackedReadLocal(key, minCycle, func(status uint8, val []byte, cycle uint64) {
+		resp := wire.ClientResponseV2{ID: id, Status: status, Cycle: cycle, Val: val}
+		if status == wire.ClientStatusErr {
+			// Abandoned: tell the client to go elsewhere (retryable).
+			resp.Code = wire.CodeDraining
+		}
+		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+		p.outstanding.Add(-1)
+	})
+}
+
+// submitV2Batch registers one multi-op frame: consensus sub-ops and
+// local reads complete independently into the shared aggregate, and the
+// response goes out when the last slot fills. Runs under the runner
+// lock.
+func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
+	agg := &batchAgg{id: q.ID, remaining: len(q.Ops), results: make([]wire.ClientResult, len(q.Ops))}
+	stalled := p.node.Stalled()
+	for i := range q.Ops {
+		op := &q.Ops[i]
+		if op.Op == wire.OpRead && q.Consistency != wire.Linearizable {
+			if !p.minCycleSane(q.MinCycle) {
+				p.outstanding.Add(1) // completeBatchOp undoes it
+				p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, []byte("minCycle too far ahead"), 0)
+				continue
+			}
+			idx := i
+			p.trackedReadLocal(op.Key, q.MinCycle, func(status uint8, val []byte, cycle uint64) {
+				p.completeBatchOp(cc, agg, idx, status, val, cycle)
+			})
+			continue
+		}
+		if stalled {
+			p.outstanding.Add(1) // completeBatchOp undoes it; keeps one accounting path
+			p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, []byte("node stalled"), 0)
+			continue
+		}
+		cc.seq++
+		cc.pending[cc.seq] = pendingEntry{id: q.ID, mode: modeV2, agg: agg, idx: i}
+		p.outstanding.Add(1)
+		p.node.Submit(wire.Request{
+			Client: cc.id, Seq: cc.seq, Op: op.Op, Key: op.Key, Val: op.Val,
+		})
+	}
+}
+
+// SubmitLocal injects one operation directly into the node — no socket,
+// no frame encoding — while sharing the port's reply fan-out, drain
+// rejection and outstanding accounting with socket clients. done is
+// invoked from the node's machine turn (so it must not block) with the
+// read value and whether the operation was served; ok=false means the
+// port is draining or the node has stalled. This is the backend path of
+// the public canopus.Cluster interface.
+func (p *ClientPort) SubmitLocal(op wire.Op, key uint64, val []byte, done func(val []byte, ok bool)) {
+	if p.draining.Load() {
+		done(nil, false)
+		return
+	}
+	cc := p.local()
+	p.runner.Invoke(func() {
+		if cc.pending == nil || p.node.Stalled() {
+			done(nil, false)
+			return
+		}
+		cc.seq++
+		cc.pending[cc.seq] = pendingEntry{done: done}
+		p.outstanding.Add(1)
+		p.node.Submit(wire.Request{Client: cc.id, Seq: cc.seq, Op: op, Key: key, Val: val})
+	})
+}
+
+// handleBinary runs the pipelined binary protocol v1: all complete
+// frames already buffered are batched into a single submit turn.
 func (p *ClientPort) handleBinary(cc *clientConn, br *bufio.Reader) {
-	var seq uint64
 	var hdr [4]byte
 	var payload []byte // reused; ParseClientRequest copies what it keeps
 	group := make([]wire.ClientRequest, 0, maxGroup)
@@ -335,23 +618,77 @@ func (p *ClientPort) handleBinary(cc *clientConn, br *bufio.Reader) {
 			}
 			group = append(group, q)
 		}
-		p.submit(cc, group, &seq, false)
+		p.submit(cc, group, modeV1)
+	}
+}
+
+// handleV2 runs the pipelined binary protocol v2, with the same
+// group-per-turn batching as v1.
+func (p *ClientPort) handleV2(cc *clientConn, br *bufio.Reader) {
+	var hdr [4]byte
+	var payload []byte
+	group := make([]wire.ClientRequestV2, 0, maxGroup)
+	for {
+		group = group[:0]
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		q, err := readV2Request(br, hdr, &payload)
+		if err != nil {
+			return
+		}
+		group = append(group, q)
+		for len(group) < maxGroup && br.Buffered() >= 4 {
+			peek, _ := br.Peek(4)
+			n, err := wire.ClientFrameLen([4]byte(peek))
+			if err != nil {
+				return
+			}
+			if br.Buffered() < 4+n {
+				break
+			}
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			q, err := readV2Request(br, hdr, &payload)
+			if err != nil {
+				return
+			}
+			group = append(group, q)
+		}
+		p.submitV2(cc, group)
 	}
 }
 
 func readBinaryRequest(br *bufio.Reader, hdr [4]byte, scratch *[]byte) (wire.ClientRequest, error) {
-	n, err := wire.ClientFrameLen(hdr)
+	payload, err := readFrame(br, hdr, scratch)
 	if err != nil {
 		return wire.ClientRequest{}, err
+	}
+	return wire.ParseClientRequest(payload)
+}
+
+func readV2Request(br *bufio.Reader, hdr [4]byte, scratch *[]byte) (wire.ClientRequestV2, error) {
+	payload, err := readFrame(br, hdr, scratch)
+	if err != nil {
+		return wire.ClientRequestV2{}, err
+	}
+	return wire.ParseClientRequestV2(payload)
+}
+
+func readFrame(br *bufio.Reader, hdr [4]byte, scratch *[]byte) ([]byte, error) {
+	n, err := wire.ClientFrameLen(hdr)
+	if err != nil {
+		return nil, err
 	}
 	if cap(*scratch) < n {
 		*scratch = make([]byte, n)
 	}
 	payload := (*scratch)[:n]
 	if _, err := io.ReadFull(br, payload); err != nil {
-		return wire.ClientRequest{}, err
+		return nil, err
 	}
-	return wire.ParseClientRequest(payload)
+	return payload, nil
 }
 
 // waitIdle blocks until the connection has no pending requests (its
@@ -370,7 +707,6 @@ func (p *ClientPort) waitIdle(cc *clientConn, timeout time.Duration) {
 
 // handleText runs the interactive line protocol.
 func (p *ClientPort) handleText(cc *clientConn, br *bufio.Reader) {
-	var seq uint64
 	sc := bufio.NewScanner(br)
 	group := make([]wire.ClientRequest, 0, 1)
 	for sc.Scan() {
@@ -382,34 +718,45 @@ func (p *ClientPort) handleText(cc *clientConn, br *bufio.Reader) {
 		switch strings.ToUpper(fields[0]) {
 		case "PUT":
 			if len(fields) < 3 {
-				p.reject(cc, true, 0, "usage: PUT <key> <value>")
+				p.reject(cc, modeText, 0, wire.CodeBadRequest, "usage: PUT <key> <value>")
 				continue
 			}
 			k, err := strconv.ParseUint(fields[1], 10, 64)
 			if err != nil {
-				p.reject(cc, true, 0, "bad key")
+				p.reject(cc, modeText, 0, wire.CodeBadRequest, "bad key")
 				continue
 			}
 			q = wire.ClientRequest{Op: wire.OpWrite, Key: k, Val: []byte(strings.Join(fields[2:], " "))}
 		case "GET":
 			if len(fields) != 2 {
-				p.reject(cc, true, 0, "usage: GET <key>")
+				p.reject(cc, modeText, 0, wire.CodeBadRequest, "usage: GET <key>")
 				continue
 			}
 			k, err := strconv.ParseUint(fields[1], 10, 64)
 			if err != nil {
-				p.reject(cc, true, 0, "bad key")
+				p.reject(cc, modeText, 0, wire.CodeBadRequest, "bad key")
 				continue
 			}
 			q = wire.ClientRequest{Op: wire.OpRead, Key: k}
+		case "DEL":
+			if len(fields) != 2 {
+				p.reject(cc, modeText, 0, wire.CodeBadRequest, "usage: DEL <key>")
+				continue
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				p.reject(cc, modeText, 0, wire.CodeBadRequest, "bad key")
+				continue
+			}
+			q = wire.ClientRequest{Op: wire.OpDelete, Key: k}
 		case "QUIT":
 			return
 		default:
-			p.reject(cc, true, 0, "unknown command")
+			p.reject(cc, modeText, 0, wire.CodeBadRequest, "unknown command")
 			continue
 		}
 		group = append(group[:0], q)
-		p.submit(cc, group, &seq, true)
+		p.submit(cc, group, modeText)
 		// The text protocol has no correlation IDs, so replies must be
 		// strictly ordered with commands: wait for this command's reply
 		// to reach the output buffer before reading the next line (which
@@ -428,12 +775,31 @@ func (p *ClientPort) Stop(drain time.Duration) bool {
 	p.ln.Close()
 	deadline := time.Now().Add(drain)
 	drained := true
-	for p.outstanding.Load() > 0 {
+	// Deferred Sequential reads (parked on a future commit cycle) do not
+	// gate the drain: on an idle or stalling node they would never
+	// complete, so only genuinely in-flight work is awaited and the
+	// stragglers are then rejected with a draining code.
+	for p.outstanding.Load() > p.deferredLocal.Load() {
 		if time.Now().After(deadline) {
 			drained = false
 			break
 		}
 		time.Sleep(time.Millisecond)
+	}
+	if p.outstanding.Load() > 0 {
+		p.runner.Invoke(func() { p.node.FailLocalReads() })
+		if p.outstanding.Load() > 0 {
+			drained = false
+		}
+	}
+	// Local (Cluster.Submit) operations still unanswered after the drain
+	// will never complete once the transport closes; honor the done
+	// contract (ok=false) now.
+	p.mu.Lock()
+	loc := p.loc
+	p.mu.Unlock()
+	if loc != nil {
+		p.runner.Invoke(func() { p.failPendingLocked(loc) })
 	}
 	p.mu.Lock()
 	conns := make([]*clientConn, 0, len(p.conns))
@@ -457,8 +823,66 @@ func (p *ClientPort) Stop(drain time.Duration) bool {
 	case <-time.After(2 * time.Second):
 		drained = false
 		for _, cc := range conns {
-			cc.conn.Close()
+			if cc.conn != nil {
+				cc.conn.Close()
+			}
 		}
 	}
 	return drained
+}
+
+// Abort tears the port down immediately — close the listener and sever
+// every connection without draining. Tests use it to simulate a node
+// crash as seen by clients (in-flight requests are simply lost).
+func (p *ClientPort) Abort() {
+	p.draining.Store(true)
+	p.ln.Close()
+	p.mu.Lock()
+	conns := make([]*clientConn, 0, len(p.conns))
+	for _, cc := range p.conns {
+		conns = append(conns, cc)
+	}
+	p.mu.Unlock()
+	for _, cc := range conns {
+		cc.outMu.Lock()
+		cc.closing = true
+		cc.outMu.Unlock()
+		if cc.conn != nil {
+			cc.conn.Close()
+		}
+		select {
+		case cc.wake <- struct{}{}:
+		default:
+		}
+	}
+	// The node is dead: its in-flight requests will never be answered,
+	// so retire their accounting. Socket clients recover via failover;
+	// local (Cluster.Submit) callers are owed their done callback, with
+	// ok=false — and deferred local reads their abandonment.
+	p.runner.Invoke(func() {
+		p.node.FailLocalReads()
+		for _, cc := range conns {
+			p.failPendingLocked(cc)
+		}
+	})
+}
+
+// failPendingLocked retires every pending entry of one connection,
+// completing local done callbacks with ok=false (the Cluster.Submit
+// contract: done always fires). Runs under the runner lock.
+func (p *ClientPort) failPendingLocked(cc *clientConn) {
+	if len(cc.pending) == 0 {
+		if cc.pending != nil {
+			cc.pending = nil
+		}
+		return
+	}
+	p.outstanding.Add(int64(-len(cc.pending)))
+	pending := cc.pending
+	cc.pending = nil
+	for _, entry := range pending {
+		if entry.done != nil {
+			entry.done(nil, false)
+		}
+	}
 }

@@ -41,6 +41,11 @@ const (
 // MaxClientFrame bounds client protocol frame sizes in both directions.
 const MaxClientFrame = 16 << 20
 
+// MaxBatchOps bounds the operation count of one v2 batch frame: a batch
+// is submitted to the node in a single machine turn, so it must respect
+// the same per-turn fairness cap as a pipelined group of singles.
+const MaxBatchOps = 512
+
 // ErrClientFrame is returned for malformed client protocol frames.
 var ErrClientFrame = errors.New("wire: bad client frame")
 
@@ -119,4 +124,278 @@ func ClientFrameLen(hdr [4]byte) (int, error) {
 		return 0, fmt.Errorf("%w: oversized frame (%d bytes)", ErrClientFrame, n)
 	}
 	return int(n), nil
+}
+
+// --- Protocol v2 ---
+//
+// Version 2 keeps the [u32 length][payload] framing and the pipelined
+// correlation-ID model of v1, and adds per-request consistency levels,
+// multi-op batch frames, machine-readable error codes, delete, and a
+// commit-cycle "read timestamp" on every response. The connection
+// preamble selects the version: the 4th magic byte is 0x01 (v1) or 0x02
+// (v2), sniffed per connection exactly like binary-vs-text mode.
+//
+//	v2 request payload (single op):
+//	  [u64 id][u8 kind=1][u8 op][u8 consistency][u64 minCycle][u64 key][u32 vlen][vlen bytes]
+//	v2 request payload (batch):
+//	  [u64 id][u8 kind=2][u8 consistency][u64 minCycle][u32 count]
+//	  count x ([u8 op][u64 key][u32 vlen][vlen bytes])
+//	v2 response payload (single op):
+//	  [u64 id][u8 kind=1][u8 status][u8 code][u64 cycle][u32 vlen][vlen bytes]
+//	v2 response payload (batch):
+//	  [u64 id][u8 kind=2][u8 code][u64 cycle][u32 count]
+//	  count x ([u8 status][u32 vlen][vlen bytes])
+//
+// Consistency levels: Linearizable routes through consensus as v1 did.
+// Sequential and Stale are served from the replica's committed state
+// without entering a consensus cycle; Sequential additionally waits
+// until the replica has committed at least minCycle (the client's last
+// observed commit cycle), giving monotonic reads / read-your-writes
+// within a client session. The response's cycle field is the commit
+// cycle whose state served the request.
+
+// ClientMagicV2 is the protocol-v2 connection preamble.
+var ClientMagicV2 = [4]byte{0xC4, 'N', 'P', 0x02}
+
+// Consistency is a client read-consistency level.
+type Consistency uint8
+
+const (
+	// Linearizable orders the read through a consensus cycle: it
+	// observes every write committed before it was issued, anywhere.
+	Linearizable Consistency = 0
+	// Sequential is served from the local replica's committed state once
+	// the replica has committed the client's last observed cycle:
+	// monotonic within a session, possibly stale globally.
+	Sequential Consistency = 1
+	// Stale is served immediately from the local replica's committed
+	// state, however far behind it is.
+	Stale Consistency = 2
+)
+
+func (c Consistency) String() string {
+	switch c {
+	case Linearizable:
+		return "linearizable"
+	case Sequential:
+		return "sequential"
+	case Stale:
+		return "stale"
+	default:
+		return fmt.Sprintf("consistency(%d)", uint8(c))
+	}
+}
+
+// v2 frame kinds.
+const (
+	v2KindOp    uint8 = 1
+	v2KindBatch uint8 = 2
+)
+
+// v2 response error codes (meaningful when a status is ClientStatusErr).
+const (
+	CodeNone       uint8 = 0 // no error
+	CodeDraining   uint8 = 1 // server shutting down; retry elsewhere
+	CodeStalled    uint8 = 2 // node halted (§6); retry elsewhere
+	CodeBadRequest uint8 = 3 // malformed or unsupported request
+)
+
+// ClientOp is one keyed operation inside a v2 request.
+type ClientOp struct {
+	Op  Op
+	Key uint64
+	Val []byte // write payload; nil for reads and deletes
+}
+
+// ClientRequestV2 is one v2 request frame: a single operation, or an
+// ordered multi-op batch submitted in one machine turn. Consistency and
+// MinCycle apply to every read in the frame.
+type ClientRequestV2 struct {
+	ID          uint64
+	Batch       bool // encode as a batch frame even when len(Ops) == 1
+	Consistency Consistency
+	MinCycle    uint64
+	Ops         []ClientOp
+}
+
+// ClientResult is one operation's outcome inside a v2 batch response.
+type ClientResult struct {
+	Status uint8
+	Val    []byte
+}
+
+// ClientResponseV2 answers one ClientRequestV2. Cycle is the highest
+// commit cycle involved in serving the frame (the read timestamp).
+// Single-op responses use Status/Code/Val; batch responses use
+// Code/Results.
+type ClientResponseV2 struct {
+	ID      uint64
+	Batch   bool
+	Status  uint8
+	Code    uint8
+	Cycle   uint64
+	Val     []byte
+	Results []ClientResult
+}
+
+const (
+	v2ReqOpFixed     = 8 + 1 + 1 + 1 + 8 + 8 + 4 // id, kind, op, consistency, minCycle, key, vlen
+	v2ReqBatchFixed  = 8 + 1 + 1 + 8 + 4         // id, kind, consistency, minCycle, count
+	v2ReqElemFixed   = 1 + 8 + 4                 // op, key, vlen
+	v2RespOpFixed    = 8 + 1 + 1 + 1 + 8 + 4     // id, kind, status, code, cycle, vlen
+	v2RespBatchFixed = 8 + 1 + 1 + 8 + 4         // id, kind, code, cycle, count
+	v2RespElemFixed  = 1 + 4                     // status, vlen
+)
+
+func validOp(o Op) bool { return o == OpRead || o == OpWrite || o == OpDelete }
+
+// AppendClientRequestV2 appends q as a length-prefixed v2 frame to b.
+// Single-op encoding requires exactly one op; Batch forces the batch
+// frame shape regardless of op count.
+func AppendClientRequestV2(b []byte, q *ClientRequestV2) []byte {
+	if q.Batch {
+		n := v2ReqBatchFixed
+		for i := range q.Ops {
+			n += v2ReqElemFixed + len(q.Ops[i].Val)
+		}
+		b = putU32(b, uint32(n))
+		b = putU64(b, q.ID)
+		b = putU8(b, v2KindBatch)
+		b = putU8(b, uint8(q.Consistency))
+		b = putU64(b, q.MinCycle)
+		b = putU32(b, uint32(len(q.Ops)))
+		for i := range q.Ops {
+			op := &q.Ops[i]
+			b = putU8(b, uint8(op.Op))
+			b = putU64(b, op.Key)
+			b = putBytes(b, op.Val)
+		}
+		return b
+	}
+	op := &q.Ops[0]
+	b = putU32(b, uint32(v2ReqOpFixed+len(op.Val)))
+	b = putU64(b, q.ID)
+	b = putU8(b, v2KindOp)
+	b = putU8(b, uint8(op.Op))
+	b = putU8(b, uint8(q.Consistency))
+	b = putU64(b, q.MinCycle)
+	b = putU64(b, op.Key)
+	return putBytes(b, op.Val)
+}
+
+// ParseClientRequestV2 decodes one v2 request payload.
+func ParseClientRequestV2(payload []byte) (ClientRequestV2, error) {
+	r := &reader{b: payload}
+	var q ClientRequestV2
+	q.ID = r.u64()
+	kind := r.u8()
+	switch kind {
+	case v2KindOp:
+		var op ClientOp
+		op.Op = Op(r.u8())
+		q.Consistency = Consistency(r.u8())
+		q.MinCycle = r.u64()
+		op.Key = r.u64()
+		op.Val = r.bytes()
+		q.Ops = []ClientOp{op}
+	case v2KindBatch:
+		q.Batch = true
+		q.Consistency = Consistency(r.u8())
+		q.MinCycle = r.u64()
+		count := r.count(v2ReqElemFixed)
+		if count == 0 && r.err == nil {
+			return ClientRequestV2{}, fmt.Errorf("%w: empty batch", ErrClientFrame)
+		}
+		q.Ops = make([]ClientOp, 0, count)
+		for i := 0; i < count; i++ {
+			var op ClientOp
+			op.Op = Op(r.u8())
+			op.Key = r.u64()
+			op.Val = r.bytes()
+			q.Ops = append(q.Ops, op)
+		}
+	default:
+		return ClientRequestV2{}, fmt.Errorf("%w: unknown v2 frame kind %d", ErrClientFrame, kind)
+	}
+	if r.err != nil || r.off != len(payload) {
+		return ClientRequestV2{}, fmt.Errorf("%w: v2 request (%d bytes)", ErrClientFrame, len(payload))
+	}
+	if q.Consistency > Stale {
+		return ClientRequestV2{}, fmt.Errorf("%w: unknown consistency %d", ErrClientFrame, uint8(q.Consistency))
+	}
+	for i := range q.Ops {
+		if !validOp(q.Ops[i].Op) {
+			return ClientRequestV2{}, fmt.Errorf("%w: unknown op %d", ErrClientFrame, uint8(q.Ops[i].Op))
+		}
+	}
+	return q, nil
+}
+
+// AppendClientResponseV2 appends resp as a length-prefixed v2 frame to b.
+func AppendClientResponseV2(b []byte, resp *ClientResponseV2) []byte {
+	if resp.Batch {
+		n := v2RespBatchFixed
+		for i := range resp.Results {
+			n += v2RespElemFixed + len(resp.Results[i].Val)
+		}
+		b = putU32(b, uint32(n))
+		b = putU64(b, resp.ID)
+		b = putU8(b, v2KindBatch)
+		b = putU8(b, resp.Code)
+		b = putU64(b, resp.Cycle)
+		b = putU32(b, uint32(len(resp.Results)))
+		for i := range resp.Results {
+			b = putU8(b, resp.Results[i].Status)
+			b = putBytes(b, resp.Results[i].Val)
+		}
+		return b
+	}
+	b = putU32(b, uint32(v2RespOpFixed+len(resp.Val)))
+	b = putU64(b, resp.ID)
+	b = putU8(b, v2KindOp)
+	b = putU8(b, resp.Status)
+	b = putU8(b, resp.Code)
+	b = putU64(b, resp.Cycle)
+	return putBytes(b, resp.Val)
+}
+
+// ParseClientResponseV2 decodes one v2 response payload.
+func ParseClientResponseV2(payload []byte) (ClientResponseV2, error) {
+	r := &reader{b: payload}
+	var resp ClientResponseV2
+	resp.ID = r.u64()
+	kind := r.u8()
+	switch kind {
+	case v2KindOp:
+		resp.Status = r.u8()
+		resp.Code = r.u8()
+		resp.Cycle = r.u64()
+		resp.Val = r.bytes()
+	case v2KindBatch:
+		resp.Batch = true
+		resp.Code = r.u8()
+		resp.Cycle = r.u64()
+		count := r.count(v2RespElemFixed)
+		resp.Results = make([]ClientResult, 0, count)
+		for i := 0; i < count; i++ {
+			var res ClientResult
+			res.Status = r.u8()
+			res.Val = r.bytes()
+			resp.Results = append(resp.Results, res)
+		}
+	default:
+		return ClientResponseV2{}, fmt.Errorf("%w: unknown v2 frame kind %d", ErrClientFrame, kind)
+	}
+	if r.err != nil || r.off != len(payload) {
+		return ClientResponseV2{}, fmt.Errorf("%w: v2 response (%d bytes)", ErrClientFrame, len(payload))
+	}
+	if resp.Status > ClientStatusErr {
+		return ClientResponseV2{}, fmt.Errorf("%w: unknown status %d", ErrClientFrame, resp.Status)
+	}
+	for i := range resp.Results {
+		if resp.Results[i].Status > ClientStatusErr {
+			return ClientResponseV2{}, fmt.Errorf("%w: unknown status %d", ErrClientFrame, resp.Results[i].Status)
+		}
+	}
+	return resp, nil
 }

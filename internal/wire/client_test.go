@@ -76,3 +76,169 @@ func TestClientFrameErrors(t *testing.T) {
 		t.Fatal("magic first byte must be non-ASCII for mode sniffing")
 	}
 }
+
+func v2RequestsForTest() []ClientRequestV2 {
+	return []ClientRequestV2{
+		{ID: 1, Consistency: Linearizable, Ops: []ClientOp{{Op: OpWrite, Key: 7, Val: []byte("hello")}}},
+		{ID: 2, Consistency: Stale, Ops: []ClientOp{{Op: OpRead, Key: 9}}},
+		{ID: 3, Consistency: Sequential, MinCycle: 41, Ops: []ClientOp{{Op: OpRead, Key: 0}}},
+		{ID: 4, Consistency: Linearizable, Ops: []ClientOp{{Op: OpDelete, Key: ^uint64(0)}}},
+		{ID: 5, Batch: true, Consistency: Sequential, MinCycle: 9, Ops: []ClientOp{
+			{Op: OpWrite, Key: 1, Val: []byte("a")},
+			{Op: OpRead, Key: 2},
+			{Op: OpDelete, Key: 3},
+		}},
+		{ID: 6, Batch: true, Consistency: Linearizable, Ops: []ClientOp{{Op: OpRead, Key: 4}}},
+	}
+}
+
+func v2ResponsesForTest() []ClientResponseV2 {
+	return []ClientResponseV2{
+		{ID: 1, Status: ClientStatusOK, Cycle: 12, Val: []byte("v")},
+		{ID: 2, Status: ClientStatusNil, Cycle: 3},
+		{ID: 3, Status: ClientStatusErr, Code: CodeDraining, Val: []byte("draining")},
+		{ID: 5, Batch: true, Cycle: 14, Results: []ClientResult{
+			{Status: ClientStatusOK, Val: []byte("a")},
+			{Status: ClientStatusNil},
+			{Status: ClientStatusOK},
+		}},
+		{ID: 6, Batch: true, Code: CodeStalled, Results: []ClientResult{{Status: ClientStatusErr, Val: []byte("node stalled")}}},
+	}
+}
+
+func TestClientV2RequestRoundTrip(t *testing.T) {
+	for _, q := range v2RequestsForTest() {
+		frame := AppendClientRequestV2(nil, &q)
+		n, err := ClientFrameLen([4]byte(frame[:4]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(frame)-4 {
+			t.Fatalf("frame length %d, payload %d", n, len(frame)-4)
+		}
+		got, err := ParseClientRequestV2(frame[4:])
+		if err != nil {
+			t.Fatalf("id %d: %v", q.ID, err)
+		}
+		if enc := AppendClientRequestV2(nil, &got); !bytes.Equal(enc, frame) {
+			t.Fatalf("id %d: re-encode mismatch", q.ID)
+		}
+		if got.ID != q.ID || got.Batch != q.Batch || got.Consistency != q.Consistency ||
+			got.MinCycle != q.MinCycle || len(got.Ops) != len(q.Ops) {
+			t.Fatalf("round trip: got %+v want %+v", got, q)
+		}
+		for i := range q.Ops {
+			if got.Ops[i].Op != q.Ops[i].Op || got.Ops[i].Key != q.Ops[i].Key ||
+				!bytes.Equal(got.Ops[i].Val, q.Ops[i].Val) {
+				t.Fatalf("op %d: got %+v want %+v", i, got.Ops[i], q.Ops[i])
+			}
+		}
+	}
+}
+
+func TestClientV2ResponseRoundTrip(t *testing.T) {
+	for _, resp := range v2ResponsesForTest() {
+		frame := AppendClientResponseV2(nil, &resp)
+		got, err := ParseClientResponseV2(frame[4:])
+		if err != nil {
+			t.Fatalf("id %d: %v", resp.ID, err)
+		}
+		if enc := AppendClientResponseV2(nil, &got); !bytes.Equal(enc, frame) {
+			t.Fatalf("id %d: re-encode mismatch", resp.ID)
+		}
+		if got.ID != resp.ID || got.Batch != resp.Batch || got.Status != resp.Status ||
+			got.Code != resp.Code || got.Cycle != resp.Cycle || !bytes.Equal(got.Val, resp.Val) ||
+			len(got.Results) != len(resp.Results) {
+			t.Fatalf("round trip: got %+v want %+v", got, resp)
+		}
+	}
+}
+
+func TestClientV2FrameErrors(t *testing.T) {
+	// Truncated payload.
+	if _, err := ParseClientRequestV2([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated v2 request parsed")
+	}
+	// Unknown frame kind.
+	q := ClientRequestV2{ID: 1, Ops: []ClientOp{{Op: OpRead, Key: 2}}}
+	frame := AppendClientRequestV2(nil, &q)
+	frame[4+8] = 9
+	if _, err := ParseClientRequestV2(frame[4:]); err == nil {
+		t.Fatal("unknown v2 kind parsed")
+	}
+	// Unknown consistency.
+	frame = AppendClientRequestV2(nil, &q)
+	frame[4+8+1+1] = 7
+	if _, err := ParseClientRequestV2(frame[4:]); err == nil {
+		t.Fatal("unknown consistency parsed")
+	}
+	// Empty batch rejected.
+	empty := ClientRequestV2{ID: 1, Batch: true}
+	frame = AppendClientRequestV2(nil, &empty)
+	if _, err := ParseClientRequestV2(frame[4:]); err == nil {
+		t.Fatal("empty v2 batch parsed")
+	}
+	// Trailing garbage rejected.
+	frame = AppendClientRequestV2(nil, &q)
+	if _, err := ParseClientRequestV2(append(frame[4:], 0)); err == nil {
+		t.Fatal("oversized v2 request parsed")
+	}
+	// v1 and v2 preambles differ only in the version byte, and neither
+	// starts with ASCII (text-mode sniffing stays one byte).
+	if ClientMagicV2[0] < 0x80 || ClientMagicV2[0] != ClientMagic[0] ||
+		ClientMagicV2[1] != ClientMagic[1] || ClientMagicV2[2] != ClientMagic[2] ||
+		ClientMagicV2[3] == ClientMagic[3] {
+		t.Fatal("v2 magic must share the v1 prefix and differ in the version byte")
+	}
+}
+
+// TestClientCrossVersionRoundTrip pins the v1<->v2 correspondence: any
+// v1 frame is expressible as a v2 single-op frame (Linearizable,
+// MinCycle 0) and survives the translation in both directions, so a
+// server can serve both protocol versions from one internal
+// representation.
+func TestClientCrossVersionRoundTrip(t *testing.T) {
+	reqs := []ClientRequest{
+		{ID: 1, Op: OpWrite, Key: 7, Val: []byte("hello")},
+		{ID: 2, Op: OpRead, Key: 9},
+	}
+	for _, q := range reqs {
+		// v1 -> v2: parse the v1 frame, lift it into the v2 shape.
+		v1, err := ParseClientRequest(AppendClientRequest(nil, &q)[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lifted := ClientRequestV2{ID: v1.ID, Consistency: Linearizable,
+			Ops: []ClientOp{{Op: v1.Op, Key: v1.Key, Val: v1.Val}}}
+		// v2 round trip preserves it.
+		got, err := ParseClientRequestV2(AppendClientRequestV2(nil, &lifted)[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// v2 -> v1: lower back and compare against the original encoding.
+		lowered := ClientRequest{ID: got.ID, Op: got.Ops[0].Op, Key: got.Ops[0].Key, Val: got.Ops[0].Val}
+		if !bytes.Equal(AppendClientRequest(nil, &lowered), AppendClientRequest(nil, &q)) {
+			t.Fatalf("id %d: cross-version request round trip changed encoding", q.ID)
+		}
+	}
+	resps := []ClientResponse{
+		{ID: 1, Status: ClientStatusOK, Val: []byte("v")},
+		{ID: 2, Status: ClientStatusNil},
+		{ID: 3, Status: ClientStatusErr, Val: []byte("no")},
+	}
+	for _, resp := range resps {
+		v1, err := ParseClientResponse(AppendClientResponse(nil, &resp)[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lifted := ClientResponseV2{ID: v1.ID, Status: v1.Status, Val: v1.Val}
+		got, err := ParseClientResponseV2(AppendClientResponseV2(nil, &lifted)[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowered := ClientResponse{ID: got.ID, Status: got.Status, Val: got.Val}
+		if !bytes.Equal(AppendClientResponse(nil, &lowered), AppendClientResponse(nil, &resp)) {
+			t.Fatalf("id %d: cross-version response round trip changed encoding", resp.ID)
+		}
+	}
+}

@@ -83,24 +83,35 @@ func FuzzCodec(f *testing.F) {
 	})
 }
 
-// FuzzClientCodec does the same for the binary client protocol frames.
+// FuzzClientCodec does the same for the binary client protocol frames,
+// v1 and v2: decoding arbitrary payloads must never panic, and every
+// successfully decoded frame must re-encode canonically.
 func FuzzClientCodec(f *testing.F) {
 	for _, q := range []ClientRequest{
 		{ID: 1, Op: OpWrite, Key: 7, Val: []byte("hello")},
 		{ID: 2, Op: OpRead, Key: 9},
 	} {
 		frame := AppendClientRequest(nil, &q)
-		f.Add(frame[4:], true)
+		f.Add(frame[4:], true, false)
 	}
 	for _, resp := range []ClientResponse{
 		{ID: 1, Status: ClientStatusOK, Val: []byte("v")},
 		{ID: 2, Status: ClientStatusNil},
 	} {
 		frame := AppendClientResponse(nil, &resp)
-		f.Add(frame[4:], false)
+		f.Add(frame[4:], false, false)
 	}
-	f.Fuzz(func(t *testing.T, payload []byte, asRequest bool) {
-		if asRequest {
+	for _, q := range v2RequestsForTest() {
+		frame := AppendClientRequestV2(nil, &q)
+		f.Add(frame[4:], true, true)
+	}
+	for _, resp := range v2ResponsesForTest() {
+		frame := AppendClientResponseV2(nil, &resp)
+		f.Add(frame[4:], false, true)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte, asRequest, v2 bool) {
+		switch {
+		case asRequest && !v2:
 			q, err := ParseClientRequest(payload)
 			if err != nil {
 				return
@@ -109,7 +120,7 @@ func FuzzClientCodec(f *testing.F) {
 			if !bytes.Equal(frame[4:], payload) {
 				t.Fatalf("request re-encode mismatch")
 			}
-		} else {
+		case !asRequest && !v2:
 			resp, err := ParseClientResponse(payload)
 			if err != nil {
 				return
@@ -117,6 +128,24 @@ func FuzzClientCodec(f *testing.F) {
 			frame := AppendClientResponse(nil, &resp)
 			if !bytes.Equal(frame[4:], payload) {
 				t.Fatalf("response re-encode mismatch")
+			}
+		case asRequest && v2:
+			q, err := ParseClientRequestV2(payload)
+			if err != nil {
+				return
+			}
+			frame := AppendClientRequestV2(nil, &q)
+			if !bytes.Equal(frame[4:], payload) {
+				t.Fatalf("v2 request re-encode mismatch")
+			}
+		default:
+			resp, err := ParseClientResponseV2(payload)
+			if err != nil {
+				return
+			}
+			frame := AppendClientResponseV2(nil, &resp)
+			if !bytes.Equal(frame[4:], payload) {
+				t.Fatalf("v2 response re-encode mismatch")
 			}
 		}
 	})

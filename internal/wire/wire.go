@@ -41,6 +41,10 @@ const (
 	OpRead Op = iota
 	// OpWrite is a key write.
 	OpWrite
+	// OpDelete removes a key. Deletes travel and order exactly like
+	// writes (they mutate replicated state); only the state machine
+	// treats them differently.
+	OpDelete
 )
 
 func (o Op) String() string {
@@ -49,10 +53,16 @@ func (o Op) String() string {
 		return "read"
 	case OpWrite:
 		return "write"
+	case OpDelete:
+		return "delete"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
 }
+
+// Mutates reports whether the operation changes replicated state (and
+// therefore must be disseminated and ordered by consensus).
+func (o Op) Mutates() bool { return o == OpWrite || o == OpDelete }
 
 // Request is a single client key-value operation. The paper's workload
 // uses 16-byte key-value pairs: an 8-byte key plus an 8-byte value, which
