@@ -188,6 +188,14 @@ type SimCluster struct {
 	// touched only from the simulation context (event loop or pump).
 	dones     map[uint64]func(val []byte, ok bool)
 	driverSeq uint64
+	// sessDones routes session-scoped completions (SubmitSession) by the
+	// replicated (session, seq) identity; touched only from the
+	// simulation context, like dones.
+	sessDones map[simSessKey]func(val []byte, ok bool)
+	// regPending tracks in-flight RegisterSession completions so a
+	// serve-mode Close can still honor their done contract.
+	regPending map[uint64]func(id uint64, ok bool)
+	regCtr     uint64
 
 	mu      sync.Mutex
 	serving bool
@@ -198,15 +206,56 @@ type SimCluster struct {
 	stopped chan struct{}
 }
 
-// queuedOp is one Submit awaiting injection by the serve-mode pump. The
-// arguments are kept (rather than a closure) so a shutdown can still
-// honor the done contract with ok=false.
+// simSessKey identifies one in-flight session-scoped operation.
+type simSessKey struct{ session, seq uint64 }
+
+// queuedOp kinds (serve-mode pump queue).
+const (
+	queuedSubmit  uint8 = iota // plain Submit
+	queuedReg                  // RegisterSession
+	queuedSession              // SubmitSession
+)
+
+// queuedOp is one Submit/RegisterSession/SubmitSession awaiting
+// injection by the serve-mode pump. The arguments are kept (rather than
+// a closure) so a shutdown can still honor the done contract with
+// ok=false.
 type queuedOp struct {
-	node int
-	op   Op
-	key  uint64
-	val  []byte
-	done func(val []byte, ok bool)
+	kind    uint8
+	node    int
+	op      Op
+	key     uint64
+	val     []byte
+	session uint64
+	seq     uint64
+	done    func(val []byte, ok bool)
+	regDone func(id uint64, ok bool)
+}
+
+// fail honors the done contract on a shutdown path.
+func (q *queuedOp) fail() {
+	switch {
+	case q.kind == queuedReg:
+		if q.regDone != nil {
+			q.regDone(0, false)
+		}
+	default:
+		if q.done != nil {
+			q.done(nil, false)
+		}
+	}
+}
+
+// inject runs in the simulation context.
+func (q *queuedOp) inject(c *SimCluster) {
+	switch q.kind {
+	case queuedReg:
+		c.registerNow(q.node, q.regDone)
+	case queuedSession:
+		c.submitSessionNow(q.node, q.session, q.seq, q.op, q.key, q.val, q.done)
+	default:
+		c.submitNow(q.node, q.op, q.key, q.val, q.done)
+	}
 }
 
 // NewSimCluster builds and registers a full simulated deployment with a
@@ -245,8 +294,10 @@ func NewSimCluster(opts SimOptions) (*SimCluster, error) {
 
 	c := &SimCluster{
 		Sim: sim, Runner: runner, Tree: tree,
-		onReply: make(map[NodeID]func(req *Request, val []byte)),
-		dones:   make(map[uint64]func(val []byte, ok bool)),
+		onReply:    make(map[NodeID]func(req *Request, val []byte)),
+		dones:      make(map[uint64]func(val []byte, ok bool)),
+		sessDones:  make(map[simSessKey]func(val []byte, ok bool)),
+		regPending: make(map[uint64]func(id uint64, ok bool)),
 	}
 	for i := 0; i < topo.NumNodes(); i++ {
 		cfg := opts.Node
@@ -273,7 +324,8 @@ func MustSimCluster(opts SimOptions) *SimCluster {
 }
 
 // installDispatcher owns a node's OnReply: driver-submitted requests
-// complete their per-request callbacks, everything else flows to the
+// complete their per-request callbacks, session-scoped requests route by
+// their replicated (session, seq) identity, everything else flows to the
 // per-node OnReply hook.
 func (c *SimCluster) installDispatcher(id NodeID, n *Node) {
 	n.SetOnReply(func(req *Request, val []byte) {
@@ -284,8 +336,23 @@ func (c *SimCluster) installDispatcher(id NodeID, n *Node) {
 			}
 			return
 		}
+		if wire.IsSessionID(req.Client) {
+			k := simSessKey{req.Client, req.Seq}
+			if done, ok := c.sessDones[k]; ok {
+				delete(c.sessDones, k)
+				done(val, true)
+			}
+			return
+		}
 		if fn := c.onReply[id]; fn != nil {
 			fn(req, val)
+		}
+	})
+	n.SetOnSessionReject(func(req *Request) {
+		k := simSessKey{req.Client, req.Seq}
+		if done, ok := c.sessDones[k]; ok {
+			delete(c.sessDones, k)
+			done(nil, false)
 		}
 	})
 }
@@ -321,16 +388,41 @@ func (c *SimCluster) SubmitRequest(id NodeID, req Request) { c.nodes[id].Submit(
 // and misses) and whether the operation was served. In event-loop mode
 // call it from inside At; after Serve it is safe from any goroutine.
 func (c *SimCluster) Submit(node int, op Op, key uint64, val []byte, done func(val []byte, ok bool)) {
+	c.dispatch(queuedOp{kind: queuedSubmit, node: node, op: op, key: key, val: val, done: done})
+}
+
+// RegisterSession implements SessionCluster: it commits a fresh
+// replicated client session through node's replica. done is invoked
+// from the simulation context with the session ID every replica now
+// knows; ok=false means the node could not commit it (crashed, stalled,
+// or the cluster closed). In event-loop mode call it from inside At;
+// after Serve it is safe from any goroutine.
+func (c *SimCluster) RegisterSession(node int, done func(id uint64, ok bool)) {
+	c.dispatch(queuedOp{kind: queuedReg, node: node, regDone: done})
+}
+
+// SubmitSession implements SessionCluster: one session-scoped keyed
+// operation with a caller-chosen per-session sequence number. A mutation
+// re-submitted with a (session, seq) that already committed — the
+// reply-loss retry — completes with the cached result instead of
+// applying twice, at any node. done runs from the simulation context;
+// ok=false means the node is crashed or stalled, or the session is
+// expired/unknown.
+func (c *SimCluster) SubmitSession(node int, session, seq uint64, op Op, key uint64, val []byte, done func(val []byte, ok bool)) {
+	c.dispatch(queuedOp{kind: queuedSession, node: node, session: session, seq: seq, op: op, key: key, val: val, done: done})
+}
+
+// dispatch routes one operation to the simulation context: queued for
+// the pump in serve mode, run inline otherwise.
+func (c *SimCluster) dispatch(q queuedOp) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		if done != nil {
-			done(nil, false)
-		}
+		q.fail()
 		return
 	}
 	if c.serving {
-		c.queue = append(c.queue, queuedOp{node: node, op: op, key: key, val: val, done: done})
+		c.queue = append(c.queue, q)
 		c.mu.Unlock()
 		select {
 		case c.wake <- struct{}{}:
@@ -339,7 +431,7 @@ func (c *SimCluster) Submit(node int, op Op, key uint64, val []byte, done func(v
 		return
 	}
 	c.mu.Unlock()
-	c.submitNow(node, op, key, val, done)
+	q.inject(c)
 }
 
 // submitNow runs in the simulation context.
@@ -356,6 +448,56 @@ func (c *SimCluster) submitNow(node int, op Op, key uint64, val []byte, done fun
 		c.dones[c.driverSeq] = done
 	}
 	n.Submit(Request{Client: driverClient, Seq: c.driverSeq, Op: op, Key: key, Val: val})
+}
+
+// registerNow runs in the simulation context.
+func (c *SimCluster) registerNow(node int, done func(id uint64, ok bool)) {
+	n := c.nodes[node]
+	if !c.Runner.Alive(NodeID(node)) || n.Stalled() {
+		if done != nil {
+			done(0, false)
+		}
+		return
+	}
+	if done == nil {
+		n.RegisterSession(nil)
+		return
+	}
+	c.regCtr++
+	key := c.regCtr
+	c.regPending[key] = done
+	n.RegisterSession(func(id uint64, ok bool) {
+		if d, live := c.regPending[key]; live {
+			delete(c.regPending, key)
+			d(id, ok)
+		}
+	})
+}
+
+// submitSessionNow runs in the simulation context. Reads carry no dedup
+// identity (they are idempotent) and take the plain driver path.
+func (c *SimCluster) submitSessionNow(node int, session, seq uint64, op Op, key uint64, val []byte, done func(val []byte, ok bool)) {
+	if !op.Mutates() {
+		c.submitNow(node, op, key, val, done)
+		return
+	}
+	n := c.nodes[node]
+	if !c.Runner.Alive(NodeID(node)) || n.Stalled() {
+		if done != nil {
+			done(nil, false)
+		}
+		return
+	}
+	k := simSessKey{session, seq}
+	if old, ok := c.sessDones[k]; ok {
+		old(nil, false) // superseded by a re-submission of the same identity
+	}
+	if done != nil {
+		c.sessDones[k] = done
+	} else {
+		delete(c.sessDones, k)
+	}
+	n.Submit(Request{Client: session, Seq: seq, Op: op, Key: key, Val: val})
 }
 
 // Endpoint implements Cluster. The simulator has no network endpoints;
@@ -396,10 +538,8 @@ func (c *SimCluster) pump() {
 			q := c.queue
 			c.queue = nil
 			c.mu.Unlock()
-			for _, op := range q {
-				if op.done != nil {
-					op.done(nil, false)
-				}
+			for i := range q {
+				q[i].fail()
 			}
 			// Operations already injected into the simulation but not
 			// yet committed will never complete (time stops here):
@@ -409,6 +549,14 @@ func (c *SimCluster) pump() {
 			for seq, done := range c.dones {
 				delete(c.dones, seq)
 				done(nil, false)
+			}
+			for k, done := range c.sessDones {
+				delete(c.sessDones, k)
+				done(nil, false)
+			}
+			for k, done := range c.regPending {
+				delete(c.regPending, k)
+				done(0, false)
 			}
 			return
 		default:
@@ -420,7 +568,7 @@ func (c *SimCluster) pump() {
 		now := c.Sim.Now()
 		for _, op := range q {
 			op := op
-			c.Sim.At(now, func() { c.submitNow(op.node, op.op, op.key, op.val, op.done) })
+			c.Sim.At(now, func() { op.inject(c) })
 		}
 		c.Sim.RunUntil(now + step)
 		if len(q) == 0 {

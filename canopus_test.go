@@ -138,6 +138,45 @@ func TestCrashAndRejoinPublicAPI(t *testing.T) {
 	}
 }
 
+// TestSessionSurvivesRejoinStateTransfer pins the join-protocol session
+// transfer: a node restarted with total state loss receives the
+// replicated dedup table in its JoinReply, so a retried committed
+// mutation submitted AT the rejoined node still classifies as a
+// duplicate instead of re-applying.
+func TestSessionSurvivesRejoinStateTransfer(t *testing.T) {
+	c := canopus.MustSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	var sess uint64
+	c.At(time.Millisecond, func() {
+		c.RegisterSession(0, func(id uint64, ok bool) {
+			if !ok {
+				t.Error("registration refused")
+			}
+			sess = id
+		})
+	})
+	c.At(300*time.Millisecond, func() {
+		c.SubmitSession(0, sess, 1, canopus.OpWrite, 5, []byte("first"), nil)
+	})
+	c.At(600*time.Millisecond, func() { c.Crash(5) })
+	c.At(1500*time.Millisecond, func() { c.RestartAsJoiner(5) })
+	dupAcked := false
+	c.At(3*time.Second, func() {
+		// The reply-loss retry, aimed at the node that lost all state.
+		c.SubmitSession(5, sess, 1, canopus.OpWrite, 5, []byte("second"), func(_ []byte, ok bool) {
+			dupAcked = ok
+		})
+	})
+	c.RunUntil(6 * time.Second)
+	if !dupAcked {
+		t.Fatal("rejoined node refused the duplicate (session table lost in transfer)")
+	}
+	for id := canopus.NodeID(0); int(id) < c.NumNodes(); id++ {
+		if got := string(c.StoreOf(id).Read(5)); got != "first" {
+			t.Fatalf("node %v = %q: duplicate re-applied after rejoin", id, got)
+		}
+	}
+}
+
 func TestCoordClusterPublicAPI(t *testing.T) {
 	c := canopus.MustCoordCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
 	var got string
@@ -254,5 +293,129 @@ func TestWorkloadDriverBothBackends(t *testing.T) {
 			t.Fatal(err)
 		}
 		drive(t, c)
+	})
+}
+
+// TestSessionExactlyOnceBothBackends asserts the replicated-session
+// guarantee holds identically behind the one SessionCluster interface:
+// on both backends, re-submitting a committed mutation with its
+// original (session, seq) — the reply-loss retry, reproduced directly —
+// acknowledges from the dedup table without re-applying, and an unknown
+// session is refused rather than silently applied.
+func TestSessionExactlyOnceBothBackends(t *testing.T) {
+	drive := func(t *testing.T, c canopus.SessionCluster, read func(node int, key uint64) []byte) {
+		t.Helper()
+		defer c.Close()
+
+		wait := func(what string, ch chan []byte) []byte {
+			t.Helper()
+			select {
+			case v := <-ch:
+				return v
+			case <-time.After(10 * time.Second):
+				t.Fatalf("%s never completed", what)
+				return nil
+			}
+		}
+		regCh := make(chan []byte, 1)
+		var sess uint64
+		c.RegisterSession(0, func(id uint64, ok bool) {
+			if !ok {
+				t.Error("session registration refused")
+			}
+			sess = id
+			regCh <- nil
+		})
+		wait("registration", regCh)
+		if sess == 0 {
+			t.Fatal("no session ID committed")
+		}
+
+		done := make(chan []byte, 1)
+		okCh := make(chan bool, 2)
+		c.SubmitSession(0, sess, 1, canopus.OpWrite, 7, []byte("first"), func(_ []byte, ok bool) {
+			okCh <- ok
+			done <- nil
+		})
+		wait("first submission", done)
+
+		// The reply-loss retry: same (session, seq), different node, and
+		// — to make a re-apply visible — a different payload. The dedup
+		// table must acknowledge without applying.
+		c.SubmitSession(1, sess, 1, canopus.OpWrite, 7, []byte("second"), func(_ []byte, ok bool) {
+			okCh <- ok
+			done <- nil
+		})
+		wait("duplicate submission", done)
+		for i := 0; i < 2; i++ {
+			if !<-okCh {
+				t.Fatal("session submission refused")
+			}
+		}
+		// Let the duplicate's cycle reach every replica before checking
+		// their states (commits land asynchronously across nodes).
+		time.Sleep(100 * time.Millisecond)
+		for node := 0; node < c.NumNodes(); node++ {
+			if got := string(read(node, 7)); got != "first" {
+				t.Fatalf("node %d = %q: duplicate submission was re-applied", node, got)
+			}
+		}
+
+		// An unknown session must be refused, not silently applied.
+		bogus := sess ^ 0x5a5a
+		c.SubmitSession(2, bogus, 1, canopus.OpWrite, 8, []byte("x"), func(_ []byte, ok bool) {
+			if ok {
+				t.Error("unknown session accepted")
+			}
+			done <- nil
+		})
+		wait("unknown-session submission", done)
+		time.Sleep(100 * time.Millisecond)
+		if v := read(0, 8); v != nil {
+			t.Fatalf("unknown session mutated state: %q", v)
+		}
+	}
+
+	t.Run("sim", func(t *testing.T) {
+		c := canopus.MustSimCluster(canopus.SimOptions{Racks: 1, NodesPerRack: 3})
+		c.Serve()
+		drive(t, c, func(node int, key uint64) []byte {
+			// The pump owns the simulation context; a Stale read through
+			// the interface observes the node's committed state safely.
+			ch := make(chan []byte, 1)
+			c.Submit(node, canopus.OpRead, key, nil, func(val []byte, ok bool) {
+				v := make([]byte, len(val))
+				copy(v, val)
+				if val == nil {
+					v = nil
+				}
+				ch <- v
+			})
+			select {
+			case v := <-ch:
+				return v
+			case <-time.After(10 * time.Second):
+				t.Fatal("read never completed")
+				return nil
+			}
+		})
+	})
+	t.Run("live", func(t *testing.T) {
+		c, err := canopus.StartLiveCluster(canopus.LiveOptions{
+			Nodes: 3,
+			Node:  canopus.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(t, c, func(node int, key uint64) []byte {
+			var v []byte
+			c.Runner(node).Invoke(func() {
+				if val := c.Store(node).Read(key); val != nil {
+					v = append([]byte(nil), val...)
+				}
+			})
+			return v
+		})
 	})
 }

@@ -11,14 +11,20 @@
 // in-flight operation exactly once; an operation that fails twice
 // surfaces the error.
 //
-// Retry semantics for mutations are at-least-once: if the connection
-// breaks after a Put/Delete entered a consensus cycle but before its
-// reply arrived, the retry re-submits it and it can commit a second
-// time (idempotent per operation, but able to clobber a concurrent
-// writer's intervening update). Reads are always safe to retry.
-// Applications needing exactly-once mutations under failover should
-// fence with their own versioning until server-side client-identity
-// deduplication lands (see ROADMAP).
+// Mutations are exactly-once end to end. The client registers a
+// replicated session on first mutation (one consensus round-trip,
+// amortized over the client's lifetime) and stamps every Put/Delete with
+// a per-session sequence number; each replica's state machine keeps a
+// per-session dedup table, so a retry of an operation that had already
+// committed — the reply lost in a crash window — returns the cached
+// committed result instead of applying twice, on any endpoint. Reads
+// are idempotent and carry no session state. A session with no
+// committed mutation for the cluster's configured idle bound is
+// reclaimed through consensus; a failover-retried mutation that
+// straddles the expiry fails with ErrSessionExpired (never a silent
+// re-apply), after which the client transparently registers a fresh
+// session for subsequent mutations. Call EndSession to release the
+// replicated state eagerly.
 //
 // Synchronous calls take a context:
 //
@@ -45,6 +51,7 @@ package client
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -95,6 +102,17 @@ var (
 	ErrRejected = errors.New("canopus/client: request rejected")
 	// ErrClosed reports use of a closed client.
 	ErrClosed = errors.New("canopus/client: client closed")
+	// ErrSessionExpired reports a mutation that straddled the expiry of
+	// its replicated session (idle bound, or EndSession) after already
+	// being retried once across a failover. The final submission was NOT
+	// applied, but whether the earlier one committed before the expiry
+	// is unknowable — the dedup state that could tell is gone — so the
+	// client refuses to re-issue it; callers decide (re-issue if
+	// idempotent at the application level). A mutation that was never
+	// failover-retried is re-issued under a fresh session automatically
+	// and does not see this error. Later mutations transparently run
+	// under a fresh session either way.
+	ErrSessionExpired = errors.New("canopus/client: session expired")
 )
 
 // Op is one keyed operation.
@@ -182,6 +200,15 @@ type Client struct {
 	lastCycle atomic.Uint64 // highest commit cycle observed (session clock)
 	failovers atomic.Uint64
 	retries   atomic.Uint64
+
+	// Replicated-session state: session is the committed session ID (0 =
+	// none yet), seqCtr the per-session mutation sequence counter. regMu
+	// guards the registration single-flight and its parked mutations.
+	session atomic.Uint64
+	seqCtr  atomic.Uint64
+	regMu   sync.Mutex
+	regWait []*pendingOp
+	regBusy bool
 }
 
 // New validates cfg and returns a Client. Connections are established
@@ -226,6 +253,28 @@ func (c *Client) Stats() Stats {
 // value (or issued through the same client) observes at least that
 // state on any replica.
 func (c *Client) LastCycle() uint64 { return c.lastCycle.Load() }
+
+// SessionID returns the client's replicated session ID, or 0 when no
+// session is registered yet (no mutation has been issued, or the last
+// session expired and no mutation has re-registered one).
+func (c *Client) SessionID() uint64 { return c.session.Load() }
+
+// EndSession expires the client's replicated session through a
+// consensus cycle, releasing its dedup state on every replica, and
+// waits for the expiry to commit. In-flight mutations of the old
+// session may fail with ErrSessionExpired; later mutations register a
+// fresh session automatically. A client with no session returns nil
+// immediately.
+func (c *Client) EndSession(ctx context.Context) error {
+	sess := c.session.Swap(0)
+	if sess == 0 {
+		return nil
+	}
+	f := newFuture(c.cfg.RequestTimeout)
+	c.start(&pendingOp{expire: true, session: sess, fn: f.complete})
+	_, err := f.Wait(ctx)
+	return err
+}
 
 // Option tweaks one operation built by the sync/async helpers.
 type Option func(*Op)
@@ -369,7 +418,27 @@ func (c *Client) asyncBatch(ops []Op, f *Future) {
 // passed to p.fn), or nil once p is enqueued — callers re-issuing many
 // operations use it to short-circuit a dead cluster instead of paying a
 // full dial scan per operation.
+//
+// Mutations are bound to the replicated session here, exactly once per
+// operation (retries keep their original (session, seq) — that identity
+// is what the server-side dedup recognizes). The first mutation parks
+// while a session registration round-trips through consensus.
 func (c *Client) start(p *pendingOp) error {
+	if p.session == 0 && p.needsSession() {
+		// Loop until bound or parked: parkForSession refusing (a session
+		// exists under its lock) and the session expiring again can
+		// interleave, and an unbound mutation must never reach the wire
+		// — it would carry no dedup identity.
+		for {
+			if sess := c.session.Load(); sess != 0 {
+				c.bindSession(p, sess)
+				break
+			}
+			if c.parkForSession(p) {
+				return nil // resumes via onRegistered
+			}
+		}
+	}
 	for {
 		c.mu.Lock()
 		if c.closed {
@@ -420,6 +489,90 @@ func (c *Client) start(p *pendingOp) error {
 		}
 		c.conn = cn
 		c.mu.Unlock()
+	}
+}
+
+// parkForSession queues a mutation behind the session registration,
+// starting the (single-flight) registration if none is running. It
+// reports false when a session appeared concurrently — the caller binds
+// and proceeds.
+func (c *Client) parkForSession(p *pendingOp) bool {
+	c.regMu.Lock()
+	if c.session.Load() != 0 {
+		c.regMu.Unlock()
+		return false
+	}
+	c.regWait = append(c.regWait, p)
+	launch := !c.regBusy
+	c.regBusy = true
+	c.regMu.Unlock()
+	if launch {
+		go c.start(&pendingOp{register: true, fn: c.onRegistered})
+	}
+	return true
+}
+
+// bindSession stamps p with its session identity: the session ID and a
+// fresh per-session sequence number per mutating op (a batch consumes a
+// contiguous block, in frame order, mirroring the server). The binding
+// is permanent — failover retries re-send the same identity.
+func (c *Client) bindSession(p *pendingOp, sess uint64) {
+	p.session = sess
+	if p.batch != nil {
+		muts := uint64(0)
+		for i := range p.batch {
+			if p.batch[i].Kind.Mutates() {
+				muts++
+			}
+		}
+		p.seq = c.seqCtr.Add(muts) - muts + 1
+		return
+	}
+	p.seq = c.seqCtr.Add(1)
+}
+
+// onRegistered completes the session registration round-trip: parse the
+// committed session ID, publish it, and release the parked mutations.
+// Runs on a connection's reader goroutine (or synchronously on a
+// terminal error), so the parked operations restart on their own
+// goroutine — start may need to dial.
+func (c *Client) onRegistered(res Result, err error) {
+	if err == nil {
+		if len(res.Val) == 8 {
+			// Reset the seq counter BEFORE publishing the session: every
+			// binding against the new session must draw from the fresh
+			// counter, or a seq could repeat within one session.
+			c.seqCtr.Store(0)
+			c.session.Store(binary.LittleEndian.Uint64(res.Val))
+		} else {
+			err = fmt.Errorf("%w: malformed session registration reply", ErrRejected)
+		}
+	}
+	c.regMu.Lock()
+	waiting := c.regWait
+	c.regWait = nil
+	c.regBusy = false
+	c.regMu.Unlock()
+	if err != nil {
+		for _, p := range waiting {
+			p.fn(Result{}, err)
+		}
+		return
+	}
+	if len(waiting) > 0 {
+		go func() {
+			for _, p := range waiting {
+				c.start(p)
+			}
+		}()
+	}
+}
+
+// sessionExpired retires a session the server reported reclaimed; the
+// next mutation registers a fresh one.
+func (c *Client) sessionExpired(sess uint64) {
+	if sess != 0 {
+		c.session.CompareAndSwap(sess, 0)
 	}
 }
 

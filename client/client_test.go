@@ -130,6 +130,14 @@ func TestFailoverRetriesPendingOpsOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
+
+	// Establish the replicated session (and one committed write) before
+	// the pipeline, so the crash window below holds exactly the n
+	// pipelined ops.
+	if err := cl.Put(ctx, 999, []byte("session-up")); err != nil {
+		t.Fatal(err)
+	}
 
 	// Pipeline N writes whose values encode their sequence numbers.
 	const n = 20
@@ -139,7 +147,7 @@ func TestFailoverRetriesPendingOpsOnce(t *testing.T) {
 	}
 
 	// Wait until node 0 has accepted the whole pipeline, then crash it
-	// mid-stream.
+	// mid-stream (the next cycle is most of cycleEvery away).
 	deadline := time.Now().Add(cycleEvery / 2)
 	for c.Port(0).Outstanding() < n {
 		if time.Now().After(deadline) {
@@ -150,7 +158,6 @@ func TestFailoverRetriesPendingOpsOnce(t *testing.T) {
 	c.Crash(0)
 
 	// Every pending operation completes through the failover endpoint.
-	ctx := context.Background()
 	for i, f := range futs {
 		if _, err := f.Wait(ctx); err != nil {
 			t.Fatalf("op %d never completed after failover: %v", i, err)
@@ -167,8 +174,9 @@ func TestFailoverRetriesPendingOpsOnce(t *testing.T) {
 		t.Fatalf("failovers = %d, want 1", st.Failovers)
 	}
 
-	// No duplicate application: each surviving replica applied exactly n
-	// writes, and every key holds its own sequence value.
+	// No duplicate application: each surviving replica applied exactly
+	// n+1 writes (the session-establishing one plus the pipeline), and
+	// every key holds its own sequence value.
 	for _, node := range []int{1, 2} {
 		var logLen uint64
 		var vals [n][]byte
@@ -178,8 +186,8 @@ func TestFailoverRetriesPendingOpsOnce(t *testing.T) {
 				vals[i] = c.Store(node).Read(uint64(i))
 			}
 		})
-		if logLen != n {
-			t.Fatalf("node %d applied %d writes, want %d (duplicate or lost application)", node, logLen, n)
+		if logLen != n+1 {
+			t.Fatalf("node %d applied %d writes, want %d (duplicate or lost application)", node, logLen, n+1)
 		}
 		for i := 0; i < n; i++ {
 			if want := fmt.Sprintf("seq-%d", i); string(vals[i]) != want {
@@ -198,6 +206,298 @@ func TestFailoverRetriesPendingOpsOnce(t *testing.T) {
 	}
 	if got := cl.Stats().Failovers; got != 1 {
 		t.Fatalf("failovers after recovery = %d, want still 1", got)
+	}
+}
+
+// TestExactlyOnceAcrossReplyLoss is the acceptance test for replicated
+// client sessions: the reply-loss race is injected deterministically
+// (the serving node commits and applies a pipeline of writes but its
+// replies are discarded), the node then crashes, and the client's
+// failover retry re-submits operations that ALREADY committed. Every
+// retry must complete from the cached session reply, and the apply logs
+// on every surviving replica must show exactly one apply per operation
+// — zero duplicates.
+func TestExactlyOnceAcrossReplyLoss(t *testing.T) {
+	c, err := livecluster.Start(livecluster.Config{
+		Nodes:        3,
+		Node:         core.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond},
+		Seed:         19,
+		LoggedStores: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+
+	cl, err := client.New(client.Config{
+		Endpoints:      []string{c.ClientAddr(0), c.ClientAddr(1), c.ClientAddr(2)},
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Establish the session with one committed write (all replicas log
+	// it), so the window below contains exactly the pipelined ops.
+	if err := cl.Put(ctx, 999, []byte("session-up")); err != nil {
+		t.Fatal(err)
+	}
+	if cl.SessionID() == 0 {
+		t.Fatal("no replicated session after first mutation")
+	}
+	logLenAt := func(node int) uint64 {
+		var n uint64
+		c.Runner(node).Invoke(func() { n = c.Store(node).LogLen() })
+		return n
+	}
+	base := logLenAt(1)
+
+	// Inject the reply-loss fault, then pipeline writes through node 0:
+	// they commit cluster-wide, but the client never hears back.
+	c.Port(0).DropReplies()
+	const n = 10
+	futs := make([]*client.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = cl.PutAsync(uint64(i), []byte(fmt.Sprintf("v-%d", i)))
+	}
+
+	// Wait until a surviving replica has applied the whole pipeline: the
+	// ops are now committed, their replies lost — the exact crash window
+	// that used to re-apply on retry.
+	deadline := time.Now().Add(10 * time.Second)
+	for logLenAt(1) < base+n {
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline did not commit: log %d, want %d", logLenAt(1), base+n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Crash(0)
+
+	// Every future completes through the failover endpoint — answered
+	// from the dedup table's cached replies, not by re-applying.
+	for i, f := range futs {
+		if _, err := f.Wait(ctx); err != nil {
+			t.Fatalf("op %d not answered from cached reply: %v", i, err)
+		}
+	}
+	if st := cl.Stats(); st.Retries != n {
+		t.Fatalf("retries = %d, want %d", st.Retries, n)
+	}
+
+	// Zero duplicate applies: the surviving replicas' logs grew by
+	// exactly the pipeline, and every key holds its own value.
+	for _, node := range []int{1, 2} {
+		if got := logLenAt(node); got != base+n {
+			t.Fatalf("node %d applied %d writes, want %d (duplicate apply)", node, got, base+n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		val, err := cl.Get(ctx, uint64(i))
+		if err != nil || string(val) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("key %d = %q, %v", i, val, err)
+		}
+	}
+}
+
+// TestSessionExpiredMidFlightSurfaces pins the expiry boundary: an
+// operation that committed, lost its reply, and straddled a session
+// expiry before the failover retry must surface ErrSessionExpired — the
+// dedup state that could classify the retry is gone, and silently
+// re-applying would break exactly-once.
+func TestSessionExpiredMidFlightSurfaces(t *testing.T) {
+	c, err := livecluster.Start(livecluster.Config{
+		Nodes:        3,
+		Node:         core.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond},
+		Seed:         23,
+		LoggedStores: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+
+	cl, err := client.New(client.Config{
+		Endpoints:      []string{c.ClientAddr(0), c.ClientAddr(1), c.ClientAddr(2)},
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	if err := cl.Put(ctx, 1, []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	sess := cl.SessionID()
+
+	// Commit a write whose reply is lost.
+	c.Port(0).DropReplies()
+	fut := cl.PutAsync(2, []byte("orphan"))
+	logLenAt := func(node int) uint64 {
+		var n uint64
+		c.Runner(node).Invoke(func() { n = c.Store(node).LogLen() })
+		return n
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for logLenAt(1) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("orphan write did not commit")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Expire the session through consensus while the reply is lost.
+	c.Runner(1).Invoke(func() { c.Node(1).ExpireSession(sess, nil) })
+	for {
+		var has bool
+		c.Runner(1).Invoke(func() { has = c.Node(1).Sessions().Has(sess) })
+		if !has {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session expiry did not commit")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Crash the serving node: the failover retry of the committed write
+	// meets an expired session and must surface the typed error.
+	c.Crash(0)
+	if _, err := fut.Wait(ctx); !errors.Is(err, client.ErrSessionExpired) {
+		t.Fatalf("retry across expiry returned %v, want ErrSessionExpired", err)
+	}
+
+	// Not re-applied: replicas logged the session write exactly once.
+	if got := logLenAt(1); got != 2 {
+		t.Fatalf("replica applied %d writes, want 2 (expired retry must not re-apply)", got)
+	}
+
+	// The client recovers: the next mutation runs under a fresh session.
+	if err := cl.Put(ctx, 3, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if ns := cl.SessionID(); ns == 0 || ns == sess {
+		t.Fatalf("session not re-registered: %#x (old %#x)", ns, sess)
+	}
+}
+
+// TestEndSessionLifecycle pins explicit session teardown: EndSession
+// commits the expiry (the dedup state leaves every replica), and the
+// next mutation transparently registers a fresh session.
+func TestEndSessionLifecycle(t *testing.T) {
+	c, err := livecluster.Start(livecluster.Config{
+		Nodes: 3,
+		Node:  core.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond},
+		Seed:  29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+
+	cl, err := client.New(client.Config{Endpoints: []string{c.ClientAddr(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	if err := cl.Put(ctx, 1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	old := cl.SessionID()
+	if old == 0 {
+		t.Fatal("no session after mutation")
+	}
+	if err := cl.EndSession(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cl.SessionID() != 0 {
+		t.Fatal("session survived EndSession client-side")
+	}
+	for i := 0; i < 3; i++ {
+		var has bool
+		c.Runner(i).Invoke(func() { has = c.Node(i).Sessions().Has(old) })
+		if has {
+			t.Fatalf("node %d still holds the expired session", i)
+		}
+	}
+	// A second EndSession with no session is a no-op.
+	if err := cl.EndSession(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The next mutation re-registers and succeeds (it was never retried,
+	// so no ErrSessionExpired surfaces).
+	if err := cl.Put(ctx, 2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if ns := cl.SessionID(); ns == 0 || ns == old {
+		t.Fatalf("fresh session not registered: %#x (old %#x)", ns, old)
+	}
+}
+
+// TestBatchAcrossExpiryReissues pins the batch half of the expiry
+// contract: a never-retried batch whose mutations meet an expired
+// session is deterministically unapplied, so the client re-issues it
+// whole under a fresh session instead of surfacing per-slot errors.
+func TestBatchAcrossExpiryReissues(t *testing.T) {
+	c, err := livecluster.Start(livecluster.Config{
+		Nodes: 3,
+		Node:  core.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond},
+		Seed:  37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+
+	cl, err := client.New(client.Config{Endpoints: []string{c.ClientAddr(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	if err := cl.Put(ctx, 1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	sess := cl.SessionID()
+
+	// Expire the session through consensus behind the client's back.
+	c.Runner(1).Invoke(func() { c.Node(1).ExpireSession(sess, nil) })
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var has bool
+		c.Runner(0).Invoke(func() { has = c.Node(0).Sessions().Has(sess) })
+		if !has {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("expiry never committed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res, err := cl.Batch(ctx, []client.Op{
+		{Kind: client.OpPut, Key: 2, Val: []byte("b")},
+		{Kind: client.OpGet, Key: 1},
+	})
+	if err != nil {
+		t.Fatalf("batch across expiry failed wholesale: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("slot %d surfaced %v, want transparent re-issue", i, r.Err)
+		}
+	}
+	if string(res[1].Val) != "a" {
+		t.Fatalf("read slot = %q", res[1].Val)
+	}
+	if ns := cl.SessionID(); ns == 0 || ns == sess {
+		t.Fatalf("batch did not re-register: %#x (old %#x)", ns, sess)
 	}
 }
 

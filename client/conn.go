@@ -13,12 +13,35 @@ import (
 )
 
 // pendingOp is one in-flight operation: the request (for re-encoding on
-// failover), its completion callback and the exactly-once retry latch.
+// failover), its completion callback, the exactly-once retry latch, and
+// — for mutations — the replicated session identity assigned at first
+// send and kept across retries (the server-side dedup key).
 type pendingOp struct {
-	op      Op
-	batch   []Op // non-nil: encode as a multi-op frame
-	fn      func(Result, error)
-	retried bool
+	op       Op
+	batch    []Op // non-nil: encode as a multi-op frame
+	register bool // session-register frame
+	expire   bool // session-expire frame
+	session  uint64
+	seq      uint64 // first mutating op's session seq
+	fn       func(Result, error)
+	retried  bool
+}
+
+// needsSession reports whether p must be bound to a replicated session
+// before it can go on the wire (it carries at least one mutation).
+func (p *pendingOp) needsSession() bool {
+	if p.register || p.expire {
+		return false
+	}
+	if p.batch != nil {
+		for i := range p.batch {
+			if p.batch[i].Kind.Mutates() {
+				return true
+			}
+		}
+		return false
+	}
+	return p.op.Kind.Mutates()
 }
 
 // conn is one pipelined protocol-v2 connection. Writes from concurrent
@@ -85,15 +108,22 @@ func (cn *conn) enqueue(p *pendingOp) bool {
 
 	q := wire.ClientRequestV2{ID: id}
 	var one [1]wire.ClientOp // single-op fast path: no slice allocation
-	if p.batch != nil {
+	switch {
+	case p.register:
+		q.Register = true
+	case p.expire:
+		q.Expire, q.Session = true, p.session
+	case p.batch != nil:
 		q.Batch = true
 		q.Consistency, q.MinCycle = cn.cl.readLevel(batchReadLevel(p.batch))
+		q.Session, q.Seq = p.session, p.seq
 		q.Ops = make([]wire.ClientOp, len(p.batch))
 		for i := range p.batch {
 			q.Ops[i] = wire.ClientOp{Op: p.batch[i].Kind, Key: p.batch[i].Key, Val: p.batch[i].Val}
 		}
-	} else {
+	default:
 		q.Consistency, q.MinCycle = cn.cl.readLevel(p.op)
+		q.Session, q.Seq = p.session, p.seq
 		one[0] = wire.ClientOp{Op: p.op.Kind, Key: p.op.Key, Val: p.op.Val}
 		q.Ops = one[:]
 	}
@@ -251,6 +281,25 @@ func (cn *conn) deliver(p *pendingOp, resp *wire.ClientResponseV2) {
 	case wire.ClientStatusNil:
 		p.fn(Result{Cycle: resp.Cycle}, nil)
 	default:
+		if resp.Code == wire.CodeSessionExpired {
+			cn.cl.sessionExpired(p.session)
+			// The apply-path rejection is deterministic: THIS submission
+			// was not applied anywhere. If the op was never retried there
+			// is no earlier submission that could have committed, so it
+			// is safe to re-bind it to a fresh session and re-issue —
+			// exactly once, reusing the failover latch. A retried op's
+			// first submission may have committed under the old session
+			// (whose dedup state is gone), so it must surface the expiry.
+			if !p.retried {
+				p.retried = true
+				p.session, p.seq = 0, 0
+				cn.cl.retries.Add(1)
+				go cn.cl.start(p)
+				return
+			}
+			p.fn(Result{Cycle: resp.Cycle}, ErrSessionExpired)
+			return
+		}
 		if retryableCode(resp.Code) {
 			cn.cl.retryElsewhere(cn, p, rejectionError(resp.Code, resp.Val))
 			return
@@ -276,6 +325,24 @@ func (cn *conn) deliverBatch(p *pendingOp, resp *wire.ClientResponseV2) {
 			ErrRejected, len(resp.Results), len(p.batch)))
 		return
 	}
+	// Expired-session slots: a batch's consensus mutations are submitted
+	// in one machine turn and ride one cycle, so a single submission's
+	// mutating slots share the expiry verdict. Mirroring the single-op
+	// path, a never-retried batch was deterministically not applied and
+	// is safe to re-issue whole under a fresh session (its reads are
+	// idempotent); a retried one must surface the expiry per slot.
+	if p.session != 0 && !p.retried {
+		for i := range resp.Results {
+			if resp.Results[i].Code == wire.CodeSessionExpired {
+				cn.cl.sessionExpired(p.session)
+				p.retried = true
+				p.session, p.seq = 0, 0
+				cn.cl.retries.Add(1)
+				go cn.cl.start(p)
+				return
+			}
+		}
+	}
 	out := make([]Result, len(resp.Results))
 	for i := range resp.Results {
 		r := &resp.Results[i]
@@ -285,7 +352,12 @@ func (cn *conn) deliverBatch(p *pendingOp, resp *wire.ClientResponseV2) {
 		case wire.ClientStatusNil:
 			out[i] = Result{Cycle: resp.Cycle}
 		default:
-			out[i] = Result{Cycle: resp.Cycle, Err: rejectionError(wire.CodeNone, r.Val)}
+			if r.Code == wire.CodeSessionExpired {
+				cn.cl.sessionExpired(p.session)
+				out[i] = Result{Cycle: resp.Cycle, Err: ErrSessionExpired}
+				continue
+			}
+			out[i] = Result{Cycle: resp.Cycle, Err: rejectionError(r.Code, r.Val)}
 		}
 	}
 	p.fn(Result{Cycle: resp.Cycle, batch: out}, nil)
@@ -325,6 +397,8 @@ func retryableCode(code uint8) bool {
 
 func rejectionError(code uint8, reason []byte) error {
 	switch {
+	case code == wire.CodeSessionExpired:
+		return ErrSessionExpired
 	case code == wire.CodeDraining:
 		return fmt.Errorf("%w: server draining", ErrRejected)
 	case code == wire.CodeStalled:

@@ -30,10 +30,38 @@ type Cluster interface {
 	Close() error
 }
 
+// SessionCluster extends Cluster with replicated client sessions — the
+// exactly-once mutation surface. RegisterSession commits a session ID
+// through a consensus cycle; SubmitSession executes one keyed operation
+// under that session with a caller-chosen per-session sequence number.
+// Re-submitting a mutation with a (session, seq) that already committed
+// (the reply-loss retry) completes with the cached committed result
+// instead of applying twice — at any node, because the dedup table is
+// part of every replica's state machine. Both backends implement it;
+// network clients get the same guarantee transparently through
+// canopus/client.
+type SessionCluster interface {
+	Cluster
+	// RegisterSession commits a fresh session through node's replica.
+	// done runs from the backend's execution context (it must not block)
+	// with the replicated session ID; ok=false means the node could not
+	// commit it (stalled, crashed, draining, or closed).
+	RegisterSession(node int, done func(id uint64, ok bool))
+	// SubmitSession executes one operation under (session, seq). done
+	// follows the Submit contract; additionally ok=false is returned for
+	// an expired or never-registered session (the mutation was NOT
+	// applied). Mutations of one session must use distinct seqs;
+	// re-using a seq marks a retry of the same operation. Reads carry no
+	// dedup identity.
+	SubmitSession(node int, session, seq uint64, op Op, key uint64, val []byte, done func(val []byte, ok bool))
+}
+
 // Interface conformance: both backends stay behind the one API.
 var (
-	_ Cluster = (*SimCluster)(nil)
-	_ Cluster = (*LiveCluster)(nil)
+	_ Cluster        = (*SimCluster)(nil)
+	_ Cluster        = (*LiveCluster)(nil)
+	_ SessionCluster = (*SimCluster)(nil)
+	_ SessionCluster = (*LiveCluster)(nil)
 )
 
 // NodeConn adapts one node of a Cluster to the asynchronous Do shape

@@ -17,6 +17,18 @@ func main() {
 	sls := flag.Int("superleaves", 9, "number of super-leaves (racks)")
 	size := flag.Int("size", 3, "pnodes per super-leaf")
 	fanout := flag.Int("fanout", 3, "vnode fanout (0 = flat: all under the root)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			`usage: lotviz [-superleaves N] [-size N] [-fanout N]
+
+Print a Canopus Leaf-Only Tree: its vnodes, super-leaves and emulation
+tables. The tree height it reports is the number of rounds in one
+consensus cycle. The default shape reproduces Figure 1 of the paper
+(27 pnodes in 9 super-leaves of 3, fanout 3).
+
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	cfg := lot.Config{Fanout: *fanout}

@@ -1,0 +1,63 @@
+// Command mdlinkcheck validates the repository's markdown cross-links
+// offline: every relative link and image target in the given files must
+// exist on disk (anchors are stripped; http/https/mailto links are
+// skipped — CI must not depend on external availability). Exit status 1
+// lists every broken link.
+//
+//	mdlinkcheck README.md ROADMAP.md docs/*.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links/images: [text](target) and
+// ![alt](target). Reference-style links are rare here and out of scope.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlinkcheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdlinkcheck: %v\n", err)
+			broken++
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+				if target == "" {
+					continue // same-document anchor
+				}
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: broken link %q (%s)\n", file, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"canopus/internal/kvstore"
 	"canopus/internal/wire"
 )
 
@@ -29,10 +30,12 @@ func (n *Node) commit(c *cycle) {
 		DebugHook(n.cfg.Self, "commit", c.id, "")
 	}
 
+	n.applySessions(c.id, root.Sessions)
 	n.applyOrder(c.id, root.Batches)
 	n.applyMembership(c.id, root.Updates)
 	n.applyLeases(c.id, root.Leases)
 	n.revokeLeases(c.id, root.Updates)
+	n.gcSessions(c.id)
 	n.runDeferredReads(c.id)
 	n.runLocalReads()
 
@@ -67,13 +70,22 @@ func (n *Node) applyOrder(cyc uint64, order []*wire.Batch) {
 	set := n.proposed[cyc]
 	for _, b := range order {
 		if b.Origin == n.cfg.Self && set != nil {
-			n.applyOwnSet(set)
+			n.applyOwnSet(cyc, set)
 			set = nil
 			continue
 		}
 		if n.sm != nil && b.Reqs != nil {
 			for i := range b.Reqs {
-				n.sm.ApplyWrite(&b.Reqs[i])
+				req := &b.Reqs[i]
+				if wire.IsSessionID(req.Client) {
+					if _, verdict := n.sessions.Begin(req.Client, req.Seq, cyc); verdict != kvstore.SessionApply {
+						continue // duplicate (or expired): never re-apply
+					}
+					n.sm.ApplyWrite(req)
+					n.sessions.Record(req.Client, req.Seq, nil)
+					continue
+				}
+				n.sm.ApplyWrite(req)
 			}
 		}
 	}
@@ -83,11 +95,11 @@ func (n *Node) applyOrder(cyc uint64, order []*wire.Batch) {
 	// issued no interleaved writes, so this placement is consistent
 	// with both real time and per-client order.
 	if set != nil {
-		n.applyOwnSet(set)
+		n.applyOwnSet(cyc, set)
 	}
 }
 
-func (n *Node) applyOwnSet(set *ownSet) {
+func (n *Node) applyOwnSet(cyc uint64, set *ownSet) {
 	batch := n.cbs.OnReplyBatch != nil
 	if batch {
 		n.replyReqs, n.replyVals = n.replyReqs[:0], n.replyVals[:0]
@@ -97,6 +109,26 @@ func (n *Node) applyOwnSet(set *ownSet) {
 		var val []byte
 		switch req.Op {
 		case wire.OpWrite, wire.OpDelete:
+			if wire.IsSessionID(req.Client) {
+				cached, verdict := n.sessions.Begin(req.Client, req.Seq, cyc)
+				switch verdict {
+				case kvstore.SessionUnknown:
+					// Deterministically not applied anywhere; the serving
+					// node surfaces the expiry instead of an OK.
+					if n.cbs.OnSessionReject != nil {
+						n.cbs.OnSessionReject(req)
+					}
+					continue
+				case kvstore.SessionDuplicate:
+					val = cached // the committed result; do not re-apply
+				default:
+					if n.sm != nil {
+						n.sm.ApplyWrite(req)
+					}
+					n.sessions.Record(req.Client, req.Seq, nil)
+				}
+				break
+			}
 			if n.sm != nil {
 				n.sm.ApplyWrite(req)
 			}

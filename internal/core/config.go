@@ -82,6 +82,14 @@ type Config struct {
 	// vnode state (the Figure 2 example behaviour) instead of splitting
 	// vnodes across representatives by the §4.5 modulo rule.
 	RedundantFetch bool
+
+	// SessionIdleCycles is the replicated client-session idle bound: a
+	// session with no committed mutation for this many consensus cycles
+	// is reclaimed through consensus (an expiry update riding a
+	// proposal), freeing its dedup state on every replica. Default 4096
+	// cycles (~tens of seconds at millisecond cycle intervals); negative
+	// disables idle reclamation.
+	SessionIdleCycles int
 }
 
 func (c *Config) fill() {
@@ -102,6 +110,9 @@ func (c *Config) fill() {
 	}
 	if c.LeaseTTL <= 0 {
 		c.LeaseTTL = 8
+	}
+	if c.SessionIdleCycles == 0 {
+		c.SessionIdleCycles = 4096
 	}
 }
 
@@ -143,4 +154,10 @@ type Callbacks struct {
 	// OnStall fires once when the node detects its super-leaf has failed
 	// (too few live members) and the consensus process halts (§6).
 	OnStall func()
+	// OnSessionReject fires, at apply time, for an own-set mutation whose
+	// session is not in the replicated table (expired or never
+	// registered): the op was NOT applied, deterministically on every
+	// replica, and the serving node must surface the expiry instead of a
+	// normal completion. The request must not be retained.
+	OnSessionReject func(req *wire.Request)
 }

@@ -97,6 +97,7 @@ func (n *Node) sendJoinReply(joiner wire.NodeID, cyc uint64) {
 	if n.sm != nil {
 		reply.Snapshot = n.sm.Snapshot()
 	}
+	reply.Sessions = n.sessions.Snapshot()
 	n.env.Send(joiner, reply)
 }
 
@@ -142,6 +143,9 @@ func (n *Node) onJoinReply(m *wire.JoinReply) {
 			n.sm.ApplyWrite(&m.Snapshot[i])
 		}
 	}
+	// Install the session dedup table: retried mutations must classify
+	// here exactly as on replicas that never crashed.
+	n.sessions.Restore(m.Sessions)
 
 	// Build the broadcast layer with the sponsor's incarnation numbers.
 	var members []wire.NodeID

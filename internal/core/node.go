@@ -6,6 +6,7 @@ import (
 
 	"canopus/internal/broadcast"
 	"canopus/internal/engine"
+	"canopus/internal/kvstore"
 	"canopus/internal/lot"
 	"canopus/internal/wire"
 )
@@ -92,6 +93,15 @@ type Node struct {
 	// the fastest one by up to the pipelining bound).
 	recent map[uint64][]*wire.Proposal
 
+	// Replicated client sessions (see session.go): the dedup table is
+	// replicated state, updated only at commit boundaries; the rest is
+	// this node's local proposal/notification bookkeeping.
+	sessions        *kvstore.SessionTable
+	pendingSessions []wire.SessionUpdate
+	regWaiters      map[uint64]func(id uint64, ok bool)
+	expWaiters      map[uint64][]func(ok bool)
+	expireProposed  map[uint64]bool
+
 	pendingUpdates []wire.MemberUpdate
 	// stallAfter, when non-zero, blocks starting cycles beyond it until
 	// it commits: a join rode cycle stallAfter, and membership must be
@@ -162,6 +172,7 @@ func NewNode(cfg Config, sm StateMachine, cbs Callbacks) *Node {
 		sl:             sl,
 		sm:             sm,
 		cbs:            cbs,
+		sessions:       kvstore.NewSessionTable(),
 		closedPeers:    make(map[wire.NodeID]bool),
 		proposed:       make(map[uint64]*ownSet),
 		cycles:         make(map[uint64]*cycle),
@@ -290,8 +301,10 @@ func (n *Node) onCycleTimer() {
 }
 
 // pendingCount is the number of accumulated-but-unproposed requests.
+// Pending session updates count too: a registration must get a cycle to
+// ride even on an otherwise idle node.
 func (n *Node) pendingCount() int {
-	return len(n.accum.reqs) + int(n.fluidRead) + int(n.fluidWrite)
+	return len(n.accum.reqs) + int(n.fluidRead) + int(n.fluidWrite) + len(n.pendingSessions)
 }
 
 // Submit hands the node one client request (explicit mode). It must be
@@ -460,6 +473,10 @@ func (n *Node) startCycle(k uint64) {
 		p.Leases = n.pendingLeases
 		n.pendingLeases = nil
 	}
+	if len(n.pendingSessions) > 0 {
+		p.Sessions = n.pendingSessions
+		n.pendingSessions = nil
+	}
 	n.bc.Broadcast(p)
 	n.issueFetches(c)
 }
@@ -599,3 +616,7 @@ func (n *Node) SetOnReplyBatch(fn func(reqs []wire.Request, vals [][]byte)) {
 
 // SetOnCommit installs or replaces the cycle-commit callback.
 func (n *Node) SetOnCommit(fn func(cycle uint64, order []*wire.Batch)) { n.cbs.OnCommit = fn }
+
+// SetOnSessionReject installs or replaces the expired-session callback
+// (see Callbacks.OnSessionReject).
+func (n *Node) SetOnSessionReject(fn func(req *wire.Request)) { n.cbs.OnSessionReject = fn }

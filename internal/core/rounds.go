@@ -61,6 +61,7 @@ func (n *Node) onPeerFailed(peer wire.NodeID) {
 		// continuing; halt until restarted through the join protocol.
 		n.stalled = true
 		n.FailLocalReads() // their awaited cycles will not commit here
+		n.FailSessionWaiters()
 		if n.cbs.OnStall != nil {
 			n.cbs.OnStall()
 		}
@@ -84,6 +85,7 @@ func (n *Node) onPeerFailed(peer wire.NodeID) {
 	if live < len(n.tree.SuperLeaf(n.sl).Members)/2+1 {
 		n.stalled = true
 		n.FailLocalReads() // their awaited cycles will not commit here
+		n.FailSessionWaiters()
 		if n.cbs.OnStall != nil {
 			n.cbs.OnStall()
 		}
@@ -240,6 +242,7 @@ func (n *Node) mergeProposals(cyc uint64, round uint8, target string, ordered []
 	}
 	seenUpd := make(map[wire.MemberUpdate]bool)
 	seenLease := make(map[wire.LeaseRequest]bool)
+	seenSess := make(map[wire.SessionUpdate]bool)
 	for _, p := range ordered {
 		if p.Num > out.Num {
 			out.Num = p.Num
@@ -255,6 +258,12 @@ func (n *Node) mergeProposals(cyc uint64, round uint8, target string, ordered []
 			if !seenLease[l] {
 				seenLease[l] = true
 				out.Leases = append(out.Leases, l)
+			}
+		}
+		for _, s := range p.Sessions {
+			if !seenSess[s] {
+				seenSess[s] = true
+				out.Sessions = append(out.Sessions, s)
 			}
 		}
 	}

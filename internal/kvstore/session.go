@@ -1,0 +1,210 @@
+package kvstore
+
+import (
+	"sort"
+
+	"canopus/internal/wire"
+)
+
+// SessionWindow bounds how many applied-but-uncompacted sequence numbers
+// one session retains. The dedup table normally compacts contiguously
+// applied seqs away; gaps (an op the client abandoned after a double
+// failure, or reordered pipelined retries) park entries until the window
+// overflows, at which point the floor is forced forward. An op older
+// than the window that straggles in afterwards is treated as a duplicate
+// — clients bound their pipelines far below this.
+const SessionWindow = 1024
+
+// SessionVerdict classifies one committed session mutation.
+type SessionVerdict uint8
+
+const (
+	// SessionApply: first sight of this (session, seq) — apply it to the
+	// state machine and Record the reply.
+	SessionApply SessionVerdict = iota
+	// SessionDuplicate: already applied — return the cached reply, do
+	// not touch the state machine.
+	SessionDuplicate
+	// SessionUnknown: the session is not in the table (expired, or never
+	// registered) — do not apply; the serving node reports expiry.
+	SessionUnknown
+)
+
+// sessionEntry is one session's dedup state.
+type sessionEntry struct {
+	low        uint64            // every seq < low is known applied (replies discarded)
+	max        uint64            // highest applied seq
+	applied    map[uint64][]byte // applied seqs >= low -> cached reply
+	lastActive uint64            // commit cycle of the last mutation (or registration)
+}
+
+// SessionTable is the replicated client-session dedup table: session
+// registrations, expiries, and per-mutation classification all happen at
+// commit boundaries in the committed total order, so every replica holds
+// an identical table (the same invariant as the membership view and the
+// lease table). It is not concurrency-safe: each protocol node owns one
+// table and drives it from its own event context.
+type SessionTable struct {
+	sessions map[uint64]*sessionEntry
+}
+
+// NewSessionTable creates an empty table.
+func NewSessionTable() *SessionTable {
+	return &SessionTable{sessions: make(map[uint64]*sessionEntry)}
+}
+
+// Register adds a session at commit cycle. Re-registering an existing ID
+// is a no-op (a duplicate registration proposal).
+func (t *SessionTable) Register(id, cycle uint64) {
+	if _, ok := t.sessions[id]; ok {
+		return
+	}
+	t.sessions[id] = &sessionEntry{low: 1, applied: make(map[uint64][]byte), lastActive: cycle}
+}
+
+// Expire removes a session and its dedup state.
+func (t *SessionTable) Expire(id uint64) { delete(t.sessions, id) }
+
+// Has reports whether a session is registered.
+func (t *SessionTable) Has(id uint64) bool {
+	_, ok := t.sessions[id]
+	return ok
+}
+
+// Len returns the number of registered sessions.
+func (t *SessionTable) Len() int { return len(t.sessions) }
+
+// Begin classifies one committed mutation (session id, seq) at commit
+// cycle, refreshing the session's activity clock. On SessionDuplicate
+// the cached reply is returned (nil once the seq has been compacted
+// below the floor — for the KV state machine every mutation's reply is a
+// bare acknowledgement anyway).
+func (t *SessionTable) Begin(id, seq, cycle uint64) (cached []byte, verdict SessionVerdict) {
+	e := t.sessions[id]
+	if e == nil {
+		return nil, SessionUnknown
+	}
+	e.lastActive = cycle
+	if seq < e.low {
+		return nil, SessionDuplicate
+	}
+	if v, ok := e.applied[seq]; ok {
+		return v, SessionDuplicate
+	}
+	return nil, SessionApply
+}
+
+// Record caches the reply of a just-applied (session, seq) — the seq
+// Begin classified SessionApply — then compacts: the floor advances over
+// contiguously applied seqs, and past SessionWindow outstanding entries
+// it is forced forward.
+func (t *SessionTable) Record(id, seq uint64, val []byte) {
+	e := t.sessions[id]
+	if e == nil {
+		return
+	}
+	if val != nil {
+		v := make([]byte, len(val))
+		copy(v, val)
+		val = v
+	}
+	e.applied[seq] = val
+	if seq > e.max {
+		e.max = seq
+	}
+	for {
+		if _, ok := e.applied[e.low]; !ok {
+			break
+		}
+		delete(e.applied, e.low)
+		e.low++
+	}
+	if e.max >= SessionWindow && e.max-SessionWindow+1 > e.low {
+		floor := e.max - SessionWindow + 1
+		for s := range e.applied {
+			if s < floor {
+				delete(e.applied, s)
+			}
+		}
+		e.low = floor
+		// Re-compact: the forced floor may now sit on applied seqs.
+		for {
+			if _, ok := e.applied[e.low]; !ok {
+				break
+			}
+			delete(e.applied, e.low)
+			e.low++
+		}
+	}
+}
+
+// IdleBefore returns (sorted, for replayable traces) the sessions whose
+// last activity is at or before the given cycle — the idle-GC scan.
+func (t *SessionTable) IdleBefore(cycle uint64) []uint64 {
+	var ids []uint64
+	for id, e := range t.sessions {
+		if e.lastActive <= cycle {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Snapshot renders the table for a join-protocol state transfer,
+// deterministically ordered.
+func (t *SessionTable) Snapshot() []wire.SessionState {
+	if len(t.sessions) == 0 {
+		return nil
+	}
+	ids := make([]uint64, 0, len(t.sessions))
+	for id := range t.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]wire.SessionState, 0, len(ids))
+	for _, id := range ids {
+		e := t.sessions[id]
+		st := wire.SessionState{ID: id, Low: e.low, LastActive: e.lastActive}
+		if len(e.applied) > 0 {
+			seqs := make([]uint64, 0, len(e.applied))
+			for s := range e.applied {
+				seqs = append(seqs, s)
+			}
+			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+			st.Applied = make([]wire.SessionReply, 0, len(seqs))
+			for _, s := range seqs {
+				st.Applied = append(st.Applied, wire.SessionReply{Seq: s, Val: e.applied[s]})
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Restore replaces the table's contents with a snapshot (the join
+// protocol's state install).
+func (t *SessionTable) Restore(states []wire.SessionState) {
+	t.sessions = make(map[uint64]*sessionEntry, len(states))
+	for i := range states {
+		st := &states[i]
+		e := &sessionEntry{low: st.Low, applied: make(map[uint64][]byte, len(st.Applied)), lastActive: st.LastActive}
+		if e.low == 0 {
+			e.low = 1
+		}
+		e.max = e.low - 1
+		for j := range st.Applied {
+			rep := &st.Applied[j]
+			var v []byte
+			if rep.Val != nil {
+				v = make([]byte, len(rep.Val))
+				copy(v, rep.Val)
+			}
+			e.applied[rep.Seq] = v
+			if rep.Seq > e.max {
+				e.max = rep.Seq
+			}
+		}
+		t.sessions[st.ID] = e
+	}
+}

@@ -153,6 +153,24 @@ func (c *Cluster) Submit(node int, op wire.Op, key uint64, val []byte, done func
 // endpoints drives this deployment over real sockets.
 func (c *Cluster) Endpoint(node int) string { return c.ports[node].Addr() }
 
+// RegisterSession commits a fresh replicated client session through
+// node, implementing the canopus.SessionCluster interface. done runs
+// from the node's machine turn (it must not block) with the session ID
+// every replica now knows; ok=false means the node could not commit it.
+func (c *Cluster) RegisterSession(node int, done func(id uint64, ok bool)) {
+	c.ports[node].RegisterLocal(done)
+}
+
+// SubmitSession executes one session-scoped operation at node's replica,
+// implementing the canopus.SessionCluster interface: a mutation carrying
+// a (session, seq) that already committed — a retry after a lost reply —
+// completes with the cached result instead of applying twice. done runs
+// from the node's machine turn; ok=false means the node is draining,
+// stalled, crashed, or the session has expired.
+func (c *Cluster) SubmitSession(node int, session, seq uint64, op wire.Op, key uint64, val []byte, done func(val []byte, ok bool)) {
+	c.ports[node].SubmitSessionLocal(session, seq, op, key, val, done)
+}
+
 // Close implements the canopus.Cluster lifecycle: a bounded graceful
 // stop (see Stop for the drain semantics).
 func (c *Cluster) Close() error {

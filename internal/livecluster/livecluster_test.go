@@ -314,6 +314,13 @@ func TestGracefulStopDrainsInFlight(t *testing.T) {
 	c := startCluster(t, 3)
 	cl := dialClient(t, c, 0)
 
+	// Establish the replicated session first (one committed mutation), so
+	// the burst below goes straight to the server instead of parking
+	// behind the registration round-trip.
+	if err := cl.Put(context.Background(), 999, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
 	// Pipeline a burst and immediately stop the cluster: every accepted
 	// request must still be answered (no torn frames, no lost replies).
 	const n = 200
@@ -438,6 +445,68 @@ func TestStopRejectsParkedSequentialReads(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("parked read never completed client-side")
+	}
+}
+
+// TestSessionIdleReclaimedThroughConsensus pins session GC: a session
+// with no committed mutation for SessionIdleCycles consensus cycles is
+// expired by an update riding a proposal — every replica drops it at
+// the same commit boundary, with no local timers involved — and the
+// owning client transparently re-registers on its next mutation.
+func TestSessionIdleReclaimedThroughConsensus(t *testing.T) {
+	c, err := Start(Config{
+		Nodes: 3,
+		Node: core.Config{CycleInterval: 2 * time.Millisecond, TickInterval: 2 * time.Millisecond,
+			SessionIdleCycles: 8},
+		Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+
+	cl := dialClient(t, c, 0)
+	ctx := context.Background()
+	if err := cl.Put(ctx, 1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	sess := cl.SessionID()
+	if sess == 0 {
+		t.Fatal("no session registered")
+	}
+
+	// Drive consensus cycles WITHOUT touching the session (linearizable
+	// reads ride cycles but carry no session identity) until the idle
+	// bound reclaims it on every replica.
+	cl2 := dialClient(t, c, 1)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := cl2.Get(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+		gone := true
+		for i := 0; i < 3 && gone; i++ {
+			c.Runner(i).Invoke(func() {
+				if c.Node(i).Sessions().Has(sess) {
+					gone = false
+				}
+			})
+		}
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle session never reclaimed through consensus")
+		}
+	}
+
+	// The next mutation was never failover-retried, so the client
+	// re-registers transparently instead of surfacing the expiry.
+	if err := cl.Put(ctx, 2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if ns := cl.SessionID(); ns == 0 || ns == sess {
+		t.Fatalf("client did not re-register after idle reclamation: %#x (old %#x)", ns, sess)
 	}
 }
 

@@ -2,6 +2,7 @@ package livecluster
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -55,6 +56,11 @@ type ClientPort struct {
 	// idle node, so a graceful Stop rejects rather than awaits them.
 	deferredLocal atomic.Int64
 
+	// dropReplies, when set, makes writers discard every encoded
+	// response instead of flushing it — the deterministic reply-loss
+	// fault tests use to force the commit-race retry window.
+	dropReplies atomic.Bool
+
 	// mu guards conns; pending maps inside each conn are guarded by the
 	// runner's machine lock (inserted under Invoke, consumed under the
 	// node's reply callback).
@@ -63,7 +69,22 @@ type ClientPort struct {
 	conns  map[uint64]*clientConn
 	loc    *clientConn // lazy pseudo-connection for SubmitLocal
 
+	// sessPending routes session-scoped submissions back to their
+	// serving connection: replies arrive keyed by the replicated
+	// (session, seq) identity, not the connection. Guarded by the runner
+	// lock, like the per-conn pending maps.
+	sessPending map[sessKey]sessEntry
+
 	writers sync.WaitGroup
+}
+
+// sessKey identifies one in-flight session-scoped operation.
+type sessKey struct{ session, seq uint64 }
+
+// sessEntry is the completion target of one session-scoped operation.
+type sessEntry struct {
+	cc *clientConn
+	e  pendingEntry
 }
 
 // pendingEntry maps one submitted request back to its completion target:
@@ -110,10 +131,11 @@ func NewClientPort(runner *transport.Runner, node *core.Node, addr string) (*Cli
 		return nil, fmt.Errorf("livecluster: client listen %s: %w", addr, err)
 	}
 	p := &ClientPort{
-		runner: runner,
-		node:   node,
-		ln:     ln,
-		conns:  make(map[uint64]*clientConn),
+		runner:      runner,
+		node:        node,
+		ln:          ln,
+		conns:       make(map[uint64]*clientConn),
+		sessPending: make(map[sessKey]sessEntry),
 	}
 	// The SubmitLocal pseudo-connection is created eagerly so Stop and
 	// Abort always see it — a lazily created one could slip past their
@@ -126,12 +148,20 @@ func NewClientPort(runner *transport.Runner, node *core.Node, addr string) (*Cli
 	}
 	p.conns[p.loc.id] = p.loc
 	node.SetOnReplyBatch(p.onReplyBatch)
+	node.SetOnSessionReject(p.onSessionReject)
 	go p.acceptLoop()
 	return p, nil
 }
 
 // Addr returns the bound client address.
 func (p *ClientPort) Addr() string { return p.ln.Addr().String() }
+
+// DropReplies makes the port silently discard every response instead of
+// writing it to the socket: ops still enter consensus, commit and apply,
+// but their clients never hear back. Crash-failover tests use it to
+// inject the reply-loss race deterministically — the committed-but-
+// unacknowledged window that forces a client retry of a committed op.
+func (p *ClientPort) DropReplies() { p.dropReplies.Store(true) }
 
 // Outstanding returns the number of accepted, not-yet-answered requests.
 func (p *ClientPort) Outstanding() int64 { return p.outstanding.Load() }
@@ -207,6 +237,7 @@ func (p *ClientPort) teardown(cc *clientConn) {
 			p.outstanding.Add(int64(-n))
 			cc.pending = nil
 		}
+		p.dropSessPending(cc)
 	})
 	cc.outMu.Lock()
 	cc.closing = true
@@ -234,6 +265,14 @@ func (p *ClientPort) writeLoop(cc *clientConn) {
 					return
 				}
 				break
+			}
+			if p.dropReplies.Load() {
+				// Fault injection: the response was produced (the op
+				// committed and left the pending set) but never reaches
+				// the client — the reply-loss crash window, made
+				// deterministic for tests.
+				wire.EncodePool.Put(buf)
+				continue
 			}
 			cc.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
 			_, err := cc.conn.Write(buf)
@@ -278,7 +317,7 @@ func (p *ClientPort) completeEntry(cc *clientConn, entry pendingEntry, op wire.O
 		if op == wire.OpRead && val == nil {
 			status = wire.ClientStatusNil
 		}
-		p.completeBatchOp(cc, entry.agg, entry.idx, status, val, cycle)
+		p.completeBatchOp(cc, entry.agg, entry.idx, status, wire.CodeNone, val, cycle)
 		return // completeBatchOp owns the outstanding decrement
 	case entry.mode == modeText:
 		cc.push(func(b []byte) []byte { return appendTextReply(b, op, val) })
@@ -300,13 +339,13 @@ func (p *ClientPort) completeEntry(cc *clientConn, entry pendingEntry, op wire.O
 
 // completeBatchOp fills one slot of a v2 batch and pushes the aggregate
 // response when the batch is complete. Runs under the runner lock.
-func (p *ClientPort) completeBatchOp(cc *clientConn, agg *batchAgg, idx int, status uint8, val []byte, cycle uint64) {
+func (p *ClientPort) completeBatchOp(cc *clientConn, agg *batchAgg, idx int, status, code uint8, val []byte, cycle uint64) {
 	if status == wire.ClientStatusOK && val != nil {
 		v := make([]byte, len(val))
 		copy(v, val)
 		val = v // vals from the reply batch are only valid during the callback
 	}
-	agg.results[idx] = wire.ClientResult{Status: status, Val: val}
+	agg.results[idx] = wire.ClientResult{Status: status, Code: code, Val: val}
 	if cycle > agg.cycle {
 		agg.cycle = cycle
 	}
@@ -326,6 +365,19 @@ func (p *ClientPort) onReplyBatch(reqs []wire.Request, vals [][]byte) {
 	defer p.mu.Unlock()
 	for i := range reqs {
 		req := &reqs[i]
+		if wire.IsSessionID(req.Client) {
+			// Session-scoped op: route by the replicated (session, seq)
+			// identity. A duplicate commit of a (session, seq) the client
+			// already got answered simply finds no entry here.
+			k := sessKey{req.Client, req.Seq}
+			se, ok := p.sessPending[k]
+			if !ok {
+				continue
+			}
+			delete(p.sessPending, k)
+			p.completeEntry(se.cc, se.e, req.Op, vals[i])
+			continue
+		}
 		cc, ok := p.conns[req.Client]
 		if !ok {
 			continue // connection gone; reply dropped
@@ -341,6 +393,60 @@ func (p *ClientPort) onReplyBatch(reqs []wire.Request, vals [][]byte) {
 		// request stops counting as outstanding.
 		p.completeEntry(cc, entry, req.Op, vals[i])
 		delete(cc.pending, req.Seq)
+	}
+}
+
+// onSessionReject is the node's expired-session callback: the op was
+// deterministically NOT applied; surface CodeSessionExpired instead of a
+// completion. Runs inside the machine turn.
+func (p *ClientPort) onSessionReject(req *wire.Request) {
+	k := sessKey{req.Client, req.Seq}
+	se, ok := p.sessPending[k]
+	if !ok {
+		return
+	}
+	delete(p.sessPending, k)
+	switch {
+	case se.e.done != nil:
+		se.e.done(nil, false)
+		p.outstanding.Add(-1)
+	case se.e.agg != nil:
+		p.completeBatchOp(se.cc, se.e.agg, se.e.idx, wire.ClientStatusErr, wire.CodeSessionExpired,
+			[]byte("session expired"), p.node.Committed())
+	default:
+		resp := wire.ClientResponseV2{ID: se.e.id, Status: wire.ClientStatusErr,
+			Code: wire.CodeSessionExpired, Cycle: p.node.Committed(), Val: []byte("session expired")}
+		se.cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+		p.outstanding.Add(-1)
+	}
+}
+
+// putSessPending registers one session-scoped submission, retiring any
+// stale entry for the same (session, seq) — a retry looping back to this
+// node before its first submission's bookkeeping was torn down. Runs
+// under the runner lock; owns the outstanding increment.
+func (p *ClientPort) putSessPending(k sessKey, se sessEntry) {
+	if old, ok := p.sessPending[k]; ok {
+		p.outstanding.Add(-1)
+		if old.e.done != nil {
+			old.e.done(nil, false)
+		}
+	}
+	p.sessPending[k] = se
+	p.outstanding.Add(1)
+}
+
+// dropSessPending retires every session-scoped entry bound to one (dead)
+// connection. Runs under the runner lock.
+func (p *ClientPort) dropSessPending(cc *clientConn) {
+	for k, se := range p.sessPending {
+		if se.cc == cc {
+			delete(p.sessPending, k)
+			p.outstanding.Add(-1)
+			if se.e.done != nil {
+				se.e.done(nil, false)
+			}
+		}
 	}
 }
 
@@ -431,6 +537,14 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 		}
 		for i := range group {
 			q := &group[i]
+			switch {
+			case q.Register:
+				p.registerSession(cc, q.ID)
+				continue
+			case q.Expire:
+				p.expireSession(cc, q.ID, q.Session)
+				continue
+			}
 			if q.Batch {
 				if len(q.Ops) > wire.MaxBatchOps {
 					// One batch is one machine turn; an oversized one
@@ -455,6 +569,16 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 				p.reject(cc, modeV2, q.ID, wire.CodeStalled, "node stalled")
 				continue
 			}
+			if q.Session != 0 && op.Op.Mutates() {
+				// Session-scoped mutation: the replicated (session, seq)
+				// identity travels into consensus, so the apply-path
+				// dedup table recognizes a retried committed op.
+				p.putSessPending(sessKey{q.Session, q.Seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2}})
+				p.node.Submit(wire.Request{
+					Client: q.Session, Seq: q.Seq, Op: op.Op, Key: op.Key, Val: op.Val,
+				})
+				continue
+			}
 			cc.seq++
 			cc.pending[cc.seq] = pendingEntry{id: q.ID, mode: modeV2}
 			p.outstanding.Add(1)
@@ -462,6 +586,44 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 				Client: cc.id, Seq: cc.seq, Op: op.Op, Key: op.Key, Val: op.Val,
 			})
 		}
+	})
+}
+
+// registerSession proposes a fresh replicated session and answers with
+// its 8-byte ID once the registration commits. Runs under the runner
+// lock.
+func (p *ClientPort) registerSession(cc *clientConn, id uint64) {
+	p.outstanding.Add(1)
+	p.node.RegisterSession(func(session uint64, ok bool) {
+		if !ok {
+			// Could not commit here (stall / shutdown): retryable
+			// elsewhere, exactly like a draining rejection.
+			p.reject(cc, modeV2, id, wire.CodeDraining, "cannot register session")
+			p.outstanding.Add(-1)
+			return
+		}
+		val := make([]byte, 8)
+		binary.LittleEndian.PutUint64(val, session)
+		resp := wire.ClientResponseV2{ID: id, Status: wire.ClientStatusOK,
+			Cycle: p.node.Committed(), Val: val}
+		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+		p.outstanding.Add(-1)
+	})
+}
+
+// expireSession proposes reclaiming a session and acknowledges once the
+// expiry commits. Runs under the runner lock.
+func (p *ClientPort) expireSession(cc *clientConn, id, session uint64) {
+	p.outstanding.Add(1)
+	p.node.ExpireSession(session, func(ok bool) {
+		if !ok {
+			p.reject(cc, modeV2, id, wire.CodeDraining, "cannot expire session")
+			p.outstanding.Add(-1)
+			return
+		}
+		resp := wire.ClientResponseV2{ID: id, Status: wire.ClientStatusOK, Cycle: p.node.Committed()}
+		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+		p.outstanding.Add(-1)
 	})
 }
 
@@ -524,28 +686,44 @@ func (p *ClientPort) localRead(cc *clientConn, id uint64, key, minCycle uint64) 
 
 // submitV2Batch registers one multi-op frame: consensus sub-ops and
 // local reads complete independently into the shared aggregate, and the
-// response goes out when the last slot fills. Runs under the runner
-// lock.
+// response goes out when the last slot fills. In a session batch the
+// frame's mutating ops carry session seqs q.Seq, q.Seq+1, ... in frame
+// order (reads consume none), mirroring the client's assignment. Runs
+// under the runner lock.
 func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 	agg := &batchAgg{id: q.ID, remaining: len(q.Ops), results: make([]wire.ClientResult, len(q.Ops))}
 	stalled := p.node.Stalled()
+	sessSeq := q.Seq
 	for i := range q.Ops {
 		op := &q.Ops[i]
 		if op.Op == wire.OpRead && q.Consistency != wire.Linearizable {
 			if !p.minCycleSane(q.MinCycle) {
 				p.outstanding.Add(1) // completeBatchOp undoes it
-				p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, []byte("minCycle too far ahead"), 0)
+				p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, wire.CodeBadRequest, []byte("minCycle too far ahead"), 0)
 				continue
 			}
 			idx := i
 			p.trackedReadLocal(op.Key, q.MinCycle, func(status uint8, val []byte, cycle uint64) {
-				p.completeBatchOp(cc, agg, idx, status, val, cycle)
+				code := wire.CodeNone
+				if status == wire.ClientStatusErr {
+					code = wire.CodeDraining
+				}
+				p.completeBatchOp(cc, agg, idx, status, code, val, cycle)
 			})
 			continue
 		}
 		if stalled {
 			p.outstanding.Add(1) // completeBatchOp undoes it; keeps one accounting path
-			p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, []byte("node stalled"), 0)
+			p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, wire.CodeStalled, []byte("node stalled"), 0)
+			continue
+		}
+		if q.Session != 0 && op.Op.Mutates() {
+			seq := sessSeq
+			sessSeq++
+			p.putSessPending(sessKey{q.Session, seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2, agg: agg, idx: i}})
+			p.node.Submit(wire.Request{
+				Client: q.Session, Seq: seq, Op: op.Op, Key: op.Key, Val: op.Val,
+			})
 			continue
 		}
 		cc.seq++
@@ -579,6 +757,54 @@ func (p *ClientPort) SubmitLocal(op wire.Op, key uint64, val []byte, done func(v
 		cc.pending[cc.seq] = pendingEntry{done: done}
 		p.outstanding.Add(1)
 		p.node.Submit(wire.Request{Client: cc.id, Seq: cc.seq, Op: op, Key: key, Val: val})
+	})
+}
+
+// RegisterLocal proposes a fresh replicated session without a socket —
+// the Cluster-interface twin of the v2 register frame. done runs from
+// the node's machine turn (it must not block) with the committed session
+// ID; ok=false means the port is draining or the node cannot commit.
+func (p *ClientPort) RegisterLocal(done func(id uint64, ok bool)) {
+	if p.draining.Load() {
+		done(0, false)
+		return
+	}
+	p.runner.Invoke(func() {
+		p.outstanding.Add(1)
+		p.node.RegisterSession(func(id uint64, ok bool) {
+			done(id, ok)
+			p.outstanding.Add(-1)
+		})
+	})
+}
+
+// SubmitSessionLocal injects one session-scoped operation directly into
+// the node, sharing the session reply routing with socket clients: a
+// mutation whose (session, seq) already committed completes with the
+// cached reply instead of applying twice. done runs from the node's
+// machine turn; ok=false means draining, stalled, crashed — or the
+// session expired.
+func (p *ClientPort) SubmitSessionLocal(session, seq uint64, op wire.Op, key uint64, val []byte, done func(val []byte, ok bool)) {
+	if p.draining.Load() {
+		done(nil, false)
+		return
+	}
+	cc := p.local()
+	p.runner.Invoke(func() {
+		if cc.pending == nil || p.node.Stalled() {
+			done(nil, false)
+			return
+		}
+		if !op.Mutates() {
+			// Reads are idempotent: no dedup identity needed.
+			cc.seq++
+			cc.pending[cc.seq] = pendingEntry{done: done}
+			p.outstanding.Add(1)
+			p.node.Submit(wire.Request{Client: cc.id, Seq: cc.seq, Op: op, Key: key, Val: val})
+			return
+		}
+		p.putSessPending(sessKey{session, seq}, sessEntry{cc: cc, e: pendingEntry{done: done}})
+		p.node.Submit(wire.Request{Client: session, Seq: seq, Op: op, Key: key, Val: val})
 	})
 }
 
@@ -787,7 +1013,10 @@ func (p *ClientPort) Stop(drain time.Duration) bool {
 		time.Sleep(time.Millisecond)
 	}
 	if p.outstanding.Load() > 0 {
-		p.runner.Invoke(func() { p.node.FailLocalReads() })
+		p.runner.Invoke(func() {
+			p.node.FailLocalReads()
+			p.node.FailSessionWaiters()
+		})
 		if p.outstanding.Load() > 0 {
 			drained = false
 		}
@@ -861,6 +1090,7 @@ func (p *ClientPort) Abort() {
 	// ok=false — and deferred local reads their abandonment.
 	p.runner.Invoke(func() {
 		p.node.FailLocalReads()
+		p.node.FailSessionWaiters()
 		for _, cc := range conns {
 			p.failPendingLocked(cc)
 		}
@@ -871,6 +1101,7 @@ func (p *ClientPort) Abort() {
 // completing local done callbacks with ok=false (the Cluster.Submit
 // contract: done always fires). Runs under the runner lock.
 func (p *ClientPort) failPendingLocked(cc *clientConn) {
+	p.dropSessPending(cc)
 	if len(cc.pending) == 0 {
 		if cc.pending != nil {
 			cc.pending = nil

@@ -10,7 +10,11 @@
 //
 // VNode identifiers are dotted paths rooted at "1": the root of a
 // height-2 tree with three super-leaves is "1" and its height-1 children
-// are "1.1", "1.2", "1.3" (Figure 1 of the paper).
+// are "1.1", "1.2", "1.3" (Figure 1 of the paper). The tree's height is
+// the number of rounds in one consensus cycle — internal/core walks one
+// level per round, and a super-leaf's representatives fetch remote vnode
+// states from the emulators the View reports. Run cmd/lotviz to print
+// any tree shape with its emulation tables.
 package lot
 
 import (

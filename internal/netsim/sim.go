@@ -12,7 +12,11 @@
 // hinges on: contention on oversubscribed aggregation/WAN links, and
 // per-node CPU saturation (the coordinator bottleneck in centralized
 // protocols). Given the same seed and inputs, a simulation is bit-for-bit
-// reproducible.
+// reproducible — including under fault injection: a FaultPlan (fault.go)
+// schedules partitions, crashes/restarts, latency spikes and
+// probabilistic drops on the virtual clock, which internal/harness's
+// chaos scenarios drive and replay. internal/transport is this package's
+// live twin: the same engine.Machine instances served over real TCP.
 package netsim
 
 import (

@@ -130,21 +130,31 @@ func ClientFrameLen(hdr [4]byte) (int, error) {
 //
 // Version 2 keeps the [u32 length][payload] framing and the pipelined
 // correlation-ID model of v1, and adds per-request consistency levels,
-// multi-op batch frames, machine-readable error codes, delete, and a
-// commit-cycle "read timestamp" on every response. The connection
-// preamble selects the version: the 4th magic byte is 0x01 (v1) or 0x02
-// (v2), sniffed per connection exactly like binary-vs-text mode.
+// multi-op batch frames, machine-readable error codes, delete, replicated
+// client sessions (exactly-once mutations), and a commit-cycle "read
+// timestamp" on every response. The connection preamble selects the
+// version: the 4th magic byte is 0x01 (v1) or 0x02 (v2), sniffed per
+// connection exactly like binary-vs-text mode.
 //
 //	v2 request payload (single op):
 //	  [u64 id][u8 kind=1][u8 op][u8 consistency][u64 minCycle][u64 key][u32 vlen][vlen bytes]
 //	v2 request payload (batch):
 //	  [u64 id][u8 kind=2][u8 consistency][u64 minCycle][u32 count]
 //	  count x ([u8 op][u64 key][u32 vlen][vlen bytes])
+//	v2 request payload (session register):
+//	  [u64 id][u8 kind=3]
+//	v2 request payload (session op):
+//	  [u64 id][u8 kind=4][u8 op][u8 consistency][u64 minCycle][u64 session][u64 seq][u64 key][u32 vlen][vlen bytes]
+//	v2 request payload (session batch):
+//	  [u64 id][u8 kind=5][u8 consistency][u64 minCycle][u64 session][u64 firstSeq][u32 count]
+//	  count x ([u8 op][u64 key][u32 vlen][vlen bytes])
+//	v2 request payload (session expire):
+//	  [u64 id][u8 kind=6][u64 session]
 //	v2 response payload (single op):
 //	  [u64 id][u8 kind=1][u8 status][u8 code][u64 cycle][u32 vlen][vlen bytes]
 //	v2 response payload (batch):
 //	  [u64 id][u8 kind=2][u8 code][u64 cycle][u32 count]
-//	  count x ([u8 status][u32 vlen][vlen bytes])
+//	  count x ([u8 status][u8 code][u32 vlen][vlen bytes])
 //
 // Consistency levels: Linearizable routes through consensus as v1 did.
 // Sequential and Stale are served from the replica's committed state
@@ -153,6 +163,17 @@ func ClientFrameLen(hdr [4]byte) (int, error) {
 // observed commit cycle), giving monotonic reads / read-your-writes
 // within a client session. The response's cycle field is the commit
 // cycle whose state served the request.
+//
+// Sessions: a register frame asks the serving node to commit a fresh
+// session ID through a consensus cycle; the reply's value is the 8-byte
+// little-endian ID. Session op / session batch frames carry that ID plus
+// a per-session sequence number for each mutation (in a session batch,
+// mutating ops consume seqs firstSeq, firstSeq+1, ... in frame order;
+// reads consume none). Every replica's state machine keeps a per-session
+// dedup table, so a mutation retried after a lost reply returns the
+// cached committed result instead of applying twice. A session expire
+// frame reclaims the session's replicated state; ops on an expired (or
+// idle-reclaimed) session fail with CodeSessionExpired.
 
 // ClientMagicV2 is the protocol-v2 connection preamble.
 var ClientMagicV2 = [4]byte{0xC4, 'N', 'P', 0x02}
@@ -188,16 +209,21 @@ func (c Consistency) String() string {
 
 // v2 frame kinds.
 const (
-	v2KindOp    uint8 = 1
-	v2KindBatch uint8 = 2
+	v2KindOp           uint8 = 1
+	v2KindBatch        uint8 = 2
+	v2KindRegister     uint8 = 3
+	v2KindSessionOp    uint8 = 4
+	v2KindSessionBatch uint8 = 5
+	v2KindExpire       uint8 = 6
 )
 
 // v2 response error codes (meaningful when a status is ClientStatusErr).
 const (
-	CodeNone       uint8 = 0 // no error
-	CodeDraining   uint8 = 1 // server shutting down; retry elsewhere
-	CodeStalled    uint8 = 2 // node halted (§6); retry elsewhere
-	CodeBadRequest uint8 = 3 // malformed or unsupported request
+	CodeNone           uint8 = 0 // no error
+	CodeDraining       uint8 = 1 // server shutting down; retry elsewhere
+	CodeStalled        uint8 = 2 // node halted (§6); retry elsewhere
+	CodeBadRequest     uint8 = 3 // malformed or unsupported request
+	CodeSessionExpired uint8 = 4 // session unknown or reclaimed; not retryable
 )
 
 // ClientOp is one keyed operation inside a v2 request.
@@ -207,20 +233,29 @@ type ClientOp struct {
 	Val []byte // write payload; nil for reads and deletes
 }
 
-// ClientRequestV2 is one v2 request frame: a single operation, or an
-// ordered multi-op batch submitted in one machine turn. Consistency and
-// MinCycle apply to every read in the frame.
+// ClientRequestV2 is one v2 request frame: a single operation, an
+// ordered multi-op batch submitted in one machine turn, or a session
+// management frame (Register / Expire). Consistency and MinCycle apply
+// to every read in the frame. A non-zero Session selects the session
+// frame shapes: Seq is the session sequence number of the frame's first
+// mutating op, and subsequent mutating ops in a batch consume Seq+1,
+// Seq+2, ... in frame order.
 type ClientRequestV2 struct {
 	ID          uint64
 	Batch       bool // encode as a batch frame even when len(Ops) == 1
+	Register    bool // session-register frame (no ops)
+	Expire      bool // session-expire frame (Session set, no ops)
 	Consistency Consistency
 	MinCycle    uint64
+	Session     uint64
+	Seq         uint64
 	Ops         []ClientOp
 }
 
 // ClientResult is one operation's outcome inside a v2 batch response.
 type ClientResult struct {
 	Status uint8
+	Code   uint8
 	Val    []byte
 }
 
@@ -239,30 +274,54 @@ type ClientResponseV2 struct {
 }
 
 const (
-	v2ReqOpFixed     = 8 + 1 + 1 + 1 + 8 + 8 + 4 // id, kind, op, consistency, minCycle, key, vlen
-	v2ReqBatchFixed  = 8 + 1 + 1 + 8 + 4         // id, kind, consistency, minCycle, count
-	v2ReqElemFixed   = 1 + 8 + 4                 // op, key, vlen
-	v2RespOpFixed    = 8 + 1 + 1 + 1 + 8 + 4     // id, kind, status, code, cycle, vlen
-	v2RespBatchFixed = 8 + 1 + 1 + 8 + 4         // id, kind, code, cycle, count
-	v2RespElemFixed  = 1 + 4                     // status, vlen
+	v2ReqOpFixed        = 8 + 1 + 1 + 1 + 8 + 8 + 4         // id, kind, op, consistency, minCycle, key, vlen
+	v2ReqBatchFixed     = 8 + 1 + 1 + 8 + 4                 // id, kind, consistency, minCycle, count
+	v2ReqElemFixed      = 1 + 8 + 4                         // op, key, vlen
+	v2ReqRegisterFixed  = 8 + 1                             // id, kind
+	v2ReqSessOpFixed    = 8 + 1 + 1 + 1 + 8 + 8 + 8 + 8 + 4 // id, kind, op, consistency, minCycle, session, seq, key, vlen
+	v2ReqSessBatchFixed = 8 + 1 + 1 + 8 + 8 + 8 + 4         // id, kind, consistency, minCycle, session, firstSeq, count
+	v2ReqExpireFixed    = 8 + 1 + 8                         // id, kind, session
+	v2RespOpFixed       = 8 + 1 + 1 + 1 + 8 + 4             // id, kind, status, code, cycle, vlen
+	v2RespBatchFixed    = 8 + 1 + 1 + 8 + 4                 // id, kind, code, cycle, count
+	v2RespElemFixed     = 1 + 1 + 4                         // status, code, vlen
 )
 
 func validOp(o Op) bool { return o == OpRead || o == OpWrite || o == OpDelete }
 
 // AppendClientRequestV2 appends q as a length-prefixed v2 frame to b.
 // Single-op encoding requires exactly one op; Batch forces the batch
-// frame shape regardless of op count.
+// frame shape regardless of op count. Register/Expire take precedence
+// over the op shapes; a non-zero Session selects the session op/batch
+// frames.
 func AppendClientRequestV2(b []byte, q *ClientRequestV2) []byte {
-	if q.Batch {
+	switch {
+	case q.Register:
+		b = putU32(b, uint32(v2ReqRegisterFixed))
+		b = putU64(b, q.ID)
+		return putU8(b, v2KindRegister)
+	case q.Expire:
+		b = putU32(b, uint32(v2ReqExpireFixed))
+		b = putU64(b, q.ID)
+		b = putU8(b, v2KindExpire)
+		return putU64(b, q.Session)
+	case q.Batch:
 		n := v2ReqBatchFixed
+		kind := v2KindBatch
+		if q.Session != 0 {
+			n, kind = v2ReqSessBatchFixed, v2KindSessionBatch
+		}
 		for i := range q.Ops {
 			n += v2ReqElemFixed + len(q.Ops[i].Val)
 		}
 		b = putU32(b, uint32(n))
 		b = putU64(b, q.ID)
-		b = putU8(b, v2KindBatch)
+		b = putU8(b, kind)
 		b = putU8(b, uint8(q.Consistency))
 		b = putU64(b, q.MinCycle)
+		if q.Session != 0 {
+			b = putU64(b, q.Session)
+			b = putU64(b, q.Seq)
+		}
 		b = putU32(b, uint32(len(q.Ops)))
 		for i := range q.Ops {
 			op := &q.Ops[i]
@@ -271,16 +330,29 @@ func AppendClientRequestV2(b []byte, q *ClientRequestV2) []byte {
 			b = putBytes(b, op.Val)
 		}
 		return b
+	case q.Session != 0:
+		op := &q.Ops[0]
+		b = putU32(b, uint32(v2ReqSessOpFixed+len(op.Val)))
+		b = putU64(b, q.ID)
+		b = putU8(b, v2KindSessionOp)
+		b = putU8(b, uint8(op.Op))
+		b = putU8(b, uint8(q.Consistency))
+		b = putU64(b, q.MinCycle)
+		b = putU64(b, q.Session)
+		b = putU64(b, q.Seq)
+		b = putU64(b, op.Key)
+		return putBytes(b, op.Val)
+	default:
+		op := &q.Ops[0]
+		b = putU32(b, uint32(v2ReqOpFixed+len(op.Val)))
+		b = putU64(b, q.ID)
+		b = putU8(b, v2KindOp)
+		b = putU8(b, uint8(op.Op))
+		b = putU8(b, uint8(q.Consistency))
+		b = putU64(b, q.MinCycle)
+		b = putU64(b, op.Key)
+		return putBytes(b, op.Val)
 	}
-	op := &q.Ops[0]
-	b = putU32(b, uint32(v2ReqOpFixed+len(op.Val)))
-	b = putU64(b, q.ID)
-	b = putU8(b, v2KindOp)
-	b = putU8(b, uint8(op.Op))
-	b = putU8(b, uint8(q.Consistency))
-	b = putU64(b, q.MinCycle)
-	b = putU64(b, op.Key)
-	return putBytes(b, op.Val)
 }
 
 // ParseClientRequestV2 decodes one v2 request payload.
@@ -290,18 +362,26 @@ func ParseClientRequestV2(payload []byte) (ClientRequestV2, error) {
 	q.ID = r.u64()
 	kind := r.u8()
 	switch kind {
-	case v2KindOp:
+	case v2KindOp, v2KindSessionOp:
 		var op ClientOp
 		op.Op = Op(r.u8())
 		q.Consistency = Consistency(r.u8())
 		q.MinCycle = r.u64()
+		if kind == v2KindSessionOp {
+			q.Session = r.u64()
+			q.Seq = r.u64()
+		}
 		op.Key = r.u64()
 		op.Val = r.bytes()
 		q.Ops = []ClientOp{op}
-	case v2KindBatch:
+	case v2KindBatch, v2KindSessionBatch:
 		q.Batch = true
 		q.Consistency = Consistency(r.u8())
 		q.MinCycle = r.u64()
+		if kind == v2KindSessionBatch {
+			q.Session = r.u64()
+			q.Seq = r.u64()
+		}
 		count := r.count(v2ReqElemFixed)
 		if count == 0 && r.err == nil {
 			return ClientRequestV2{}, fmt.Errorf("%w: empty batch", ErrClientFrame)
@@ -314,11 +394,25 @@ func ParseClientRequestV2(payload []byte) (ClientRequestV2, error) {
 			op.Val = r.bytes()
 			q.Ops = append(q.Ops, op)
 		}
+	case v2KindRegister:
+		q.Register = true
+	case v2KindExpire:
+		q.Expire = true
+		q.Session = r.u64()
 	default:
 		return ClientRequestV2{}, fmt.Errorf("%w: unknown v2 frame kind %d", ErrClientFrame, kind)
 	}
 	if r.err != nil || r.off != len(payload) {
 		return ClientRequestV2{}, fmt.Errorf("%w: v2 request (%d bytes)", ErrClientFrame, len(payload))
+	}
+	// Session frame shapes require a well-formed session ID: zero would
+	// re-encode as the sessionless shape (breaking decode∘encode
+	// canonicality), and an ID without SessionIDBit could never have
+	// been committed by a registration — accepting one would let a
+	// client inject a raw Request.Client identity that bypasses the
+	// dedup table and collides with connection-scoped reply routing.
+	if (kind == v2KindSessionOp || kind == v2KindSessionBatch || kind == v2KindExpire) && !IsSessionID(q.Session) {
+		return ClientRequestV2{}, fmt.Errorf("%w: invalid session ID %#x", ErrClientFrame, q.Session)
 	}
 	if q.Consistency > Stale {
 		return ClientRequestV2{}, fmt.Errorf("%w: unknown consistency %d", ErrClientFrame, uint8(q.Consistency))
@@ -346,6 +440,7 @@ func AppendClientResponseV2(b []byte, resp *ClientResponseV2) []byte {
 		b = putU32(b, uint32(len(resp.Results)))
 		for i := range resp.Results {
 			b = putU8(b, resp.Results[i].Status)
+			b = putU8(b, resp.Results[i].Code)
 			b = putBytes(b, resp.Results[i].Val)
 		}
 		return b
@@ -380,6 +475,7 @@ func ParseClientResponseV2(payload []byte) (ClientResponseV2, error) {
 		for i := 0; i < count; i++ {
 			var res ClientResult
 			res.Status = r.u8()
+			res.Code = r.u8()
 			res.Val = r.bytes()
 			resp.Results = append(resp.Results, res)
 		}

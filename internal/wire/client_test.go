@@ -89,6 +89,15 @@ func v2RequestsForTest() []ClientRequestV2 {
 			{Op: OpDelete, Key: 3},
 		}},
 		{ID: 6, Batch: true, Consistency: Linearizable, Ops: []ClientOp{{Op: OpRead, Key: 4}}},
+		{ID: 7, Register: true},
+		{ID: 8, Expire: true, Session: 99 | SessionIDBit},
+		{ID: 9, Session: 12 | SessionIDBit, Seq: 5, Consistency: Linearizable,
+			Ops: []ClientOp{{Op: OpWrite, Key: 3, Val: []byte("s")}}},
+		{ID: 10, Batch: true, Session: 12 | SessionIDBit, Seq: 6, Consistency: Stale, Ops: []ClientOp{
+			{Op: OpWrite, Key: 1, Val: []byte("a")},
+			{Op: OpRead, Key: 2},
+			{Op: OpDelete, Key: 3},
+		}},
 	}
 }
 
@@ -103,6 +112,11 @@ func v2ResponsesForTest() []ClientResponseV2 {
 			{Status: ClientStatusOK},
 		}},
 		{ID: 6, Batch: true, Code: CodeStalled, Results: []ClientResult{{Status: ClientStatusErr, Val: []byte("node stalled")}}},
+		{ID: 7, Status: ClientStatusErr, Code: CodeSessionExpired, Cycle: 7, Val: []byte("session expired")},
+		{ID: 8, Batch: true, Cycle: 20, Results: []ClientResult{
+			{Status: ClientStatusOK},
+			{Status: ClientStatusErr, Code: CodeSessionExpired, Val: []byte("session expired")},
+		}},
 	}
 }
 
@@ -124,7 +138,9 @@ func TestClientV2RequestRoundTrip(t *testing.T) {
 			t.Fatalf("id %d: re-encode mismatch", q.ID)
 		}
 		if got.ID != q.ID || got.Batch != q.Batch || got.Consistency != q.Consistency ||
-			got.MinCycle != q.MinCycle || len(got.Ops) != len(q.Ops) {
+			got.MinCycle != q.MinCycle || len(got.Ops) != len(q.Ops) ||
+			got.Register != q.Register || got.Expire != q.Expire ||
+			got.Session != q.Session || got.Seq != q.Seq {
 			t.Fatalf("round trip: got %+v want %+v", got, q)
 		}
 		for i := range q.Ops {
@@ -182,6 +198,15 @@ func TestClientV2FrameErrors(t *testing.T) {
 	frame = AppendClientRequestV2(nil, &q)
 	if _, err := ParseClientRequestV2(append(frame[4:], 0)); err == nil {
 		t.Fatal("oversized v2 request parsed")
+	}
+	// A session frame with a zero session ID is non-canonical (it would
+	// re-encode as the sessionless shape) and must be rejected.
+	sq := ClientRequestV2{ID: 1, Session: 5 | SessionIDBit, Seq: 1,
+		Ops: []ClientOp{{Op: OpWrite, Key: 2, Val: []byte("x")}}}
+	frame = AppendClientRequestV2(nil, &sq)
+	binary.LittleEndian.PutUint64(frame[4+8+1+1+1+8:], 0) // zero the session field
+	if _, err := ParseClientRequestV2(frame[4:]); err == nil {
+		t.Fatal("session op with zero session ID parsed")
 	}
 	// v1 and v2 preambles differ only in the version byte, and neither
 	// starts with ASCII (text-mode sniffing stays one byte).

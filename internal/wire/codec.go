@@ -248,6 +248,12 @@ func readBatch(r *reader) *Batch {
 
 // --- Proposal ---
 
+// proposalSessionsFlag marks, in the encoded Round byte's high bit, that
+// a trailing session-update section follows. Session updates are rare
+// (registrations, expiries), so the common proposal pays zero bytes for
+// the feature; LOT heights are single digits, far below the 7-bit limit.
+const proposalSessionsFlag = 0x80
+
 func (p *Proposal) WireSize() int {
 	n := 1 + 8 + 1 + 2 + len(p.VNode) + 4 + 8
 	n += 4 // batch count
@@ -256,13 +262,20 @@ func (p *Proposal) WireSize() int {
 	}
 	n += 4 + 5*len(p.Updates)
 	n += 4 + 13*len(p.Leases)
+	if len(p.Sessions) > 0 {
+		n += 4 + 9*len(p.Sessions)
+	}
 	return n
 }
 
 func (p *Proposal) AppendTo(b []byte) []byte {
 	b = putU8(b, uint8(KindProposal))
 	b = putU64(b, p.Cycle)
-	b = putU8(b, p.Round)
+	round := p.Round
+	if len(p.Sessions) > 0 {
+		round |= proposalSessionsFlag
+	}
+	b = putU8(b, round)
 	b = putString(b, p.VNode)
 	b = putNode(b, p.Origin)
 	b = putU64(b, p.Num)
@@ -281,13 +294,22 @@ func (p *Proposal) AppendTo(b []byte) []byte {
 		b = putNode(b, l.Node)
 		b = putBool(b, l.Release)
 	}
+	if len(p.Sessions) > 0 {
+		b = putU32(b, uint32(len(p.Sessions)))
+		for _, s := range p.Sessions {
+			b = putU64(b, s.ID)
+			b = putBool(b, s.Expire)
+		}
+	}
 	return b
 }
 
 func readProposal(r *reader) *Proposal {
 	p := &Proposal{}
 	p.Cycle = r.u64()
-	p.Round = r.u8()
+	round := r.u8()
+	hasSessions := round&proposalSessionsFlag != 0
+	p.Round = round &^ uint8(proposalSessionsFlag)
 	p.VNode = r.str()
 	p.Origin = r.node()
 	p.Num = r.u64()
@@ -311,6 +333,19 @@ func readProposal(r *reader) *Proposal {
 			p.Leases[i].Key = r.u64()
 			p.Leases[i].Node = r.node()
 			p.Leases[i].Release = r.boolean()
+		}
+	}
+	if hasSessions {
+		ns := r.count(9)
+		if ns == 0 && r.err == nil {
+			// A flagged-but-empty section would re-encode flagless;
+			// reject to keep decoding canonical.
+			r.err = ErrTruncated
+		}
+		p.Sessions = make([]SessionUpdate, ns)
+		for i := 0; i < ns; i++ {
+			p.Sessions[i].ID = r.u64()
+			p.Sessions[i].Expire = r.boolean()
 		}
 	}
 	return p
@@ -770,6 +805,20 @@ func (m *JoinReply) WireSize() int {
 	if m.Snapshot == nil {
 		n += int(m.StateBytes)
 	}
+	n += 4
+	for i := range m.Sessions {
+		n += sessionStateSize(&m.Sessions[i])
+	}
+	return n
+}
+
+const sessionStateFixed = 8 + 8 + 8 + 4 // id, low, lastActive, applied count
+
+func sessionStateSize(s *SessionState) int {
+	n := sessionStateFixed
+	for i := range s.Applied {
+		n += 8 + 4 + len(s.Applied[i].Val)
+	}
 	return n
 }
 
@@ -789,7 +838,20 @@ func (m *JoinReply) AppendTo(b []byte) []byte {
 	for i := range m.Snapshot {
 		b = appendRequest(b, &m.Snapshot[i])
 	}
-	return putU32(b, m.StateBytes)
+	b = putU32(b, m.StateBytes)
+	b = putU32(b, uint32(len(m.Sessions)))
+	for i := range m.Sessions {
+		s := &m.Sessions[i]
+		b = putU64(b, s.ID)
+		b = putU64(b, s.Low)
+		b = putU64(b, s.LastActive)
+		b = putU32(b, uint32(len(s.Applied)))
+		for j := range s.Applied {
+			b = putU64(b, s.Applied[j].Seq)
+			b = putBytes(b, s.Applied[j].Val)
+		}
+	}
+	return b
 }
 
 func readJoinReply(r *reader) *JoinReply {
@@ -818,6 +880,24 @@ func readJoinReply(r *reader) *JoinReply {
 		}
 	}
 	m.StateBytes = r.u32()
+	nsess := r.count(sessionStateFixed)
+	if nsess > 0 {
+		m.Sessions = make([]SessionState, nsess)
+		for i := 0; i < nsess; i++ {
+			s := &m.Sessions[i]
+			s.ID = r.u64()
+			s.Low = r.u64()
+			s.LastActive = r.u64()
+			na := r.count(12)
+			if na > 0 {
+				s.Applied = make([]SessionReply, na)
+				for j := 0; j < na; j++ {
+					s.Applied[j].Seq = r.u64()
+					s.Applied[j].Val = r.bytes()
+				}
+			}
+		}
+	}
 	return m
 }
 

@@ -21,9 +21,10 @@ func exemplars() []Message {
 	}
 	return []Message{
 		&Proposal{Cycle: 7, Round: 2, VNode: "1.2", Origin: 4, Num: 99,
-			Batches: []*Batch{b},
-			Updates: []MemberUpdate{{Node: 5, Leave: true}},
-			Leases:  []LeaseRequest{{Key: 11, Node: 2}}},
+			Batches:  []*Batch{b},
+			Updates:  []MemberUpdate{{Node: 5, Leave: true}},
+			Leases:   []LeaseRequest{{Key: 11, Node: 2}},
+			Sessions: []SessionUpdate{{ID: 21 | SessionIDBit}, {ID: 9 | SessionIDBit, Expire: true}}},
 		&ProposalRequest{Cycle: 7, Round: 2, VNode: "1.3", From: 1},
 		&RaftAppend{Group: 9, Term: 3, Leader: 0, PrevIndex: 4, PrevTerm: 2, Commit: 4,
 			Entries: []RaftEntry{{Term: 3, Payload: &ProposalRequest{Cycle: 1, VNode: "1"}}, {Term: 3}}},
@@ -47,7 +48,9 @@ func exemplars() []Message {
 		&JoinRequest{From: 4},
 		&JoinReply{From: 2, StartCycle: 12, Alive: []NodeID{0, 1, 2},
 			Incarnations: []uint32{0, 1, 0},
-			Snapshot:     []Request{{Op: OpWrite, Key: 3, Val: []byte("v")}}},
+			Snapshot:     []Request{{Op: OpWrite, Key: 3, Val: []byte("v")}},
+			Sessions: []SessionState{{ID: 4 | SessionIDBit, Low: 3, LastActive: 11,
+				Applied: []SessionReply{{Seq: 5, Val: nil}, {Seq: 7, Val: []byte("r")}}}}},
 		&Envelope{Origin: 1, Payload: &Ping{From: 1, Seq: 2}},
 	}
 }
@@ -102,6 +105,9 @@ func TestQuickProposalRoundTrip(t *testing.T) {
 		if len(vnode) > 1000 {
 			vnode = vnode[:1000]
 		}
+		// Round's domain is 1..LOT height (single digits); the codec
+		// reserves the high bit for the optional sessions section.
+		round &= 0x7f
 		p := &Proposal{Cycle: cycle, Round: round, VNode: vnode, Origin: NodeID(origin), Num: num}
 		b := &Batch{Origin: NodeID(origin)}
 		b.Reqs = []Request{}
@@ -116,6 +122,7 @@ func TestQuickProposalRoundTrip(t *testing.T) {
 		p.Batches = []*Batch{b}
 		for _, u := range updates {
 			p.Updates = append(p.Updates, MemberUpdate{Node: NodeID(u), Leave: u%2 == 0})
+			p.Sessions = append(p.Sessions, SessionUpdate{ID: uint64(u) | SessionIDBit, Expire: u%2 == 0})
 		}
 		buf := p.AppendTo(nil)
 		if len(buf) != p.WireSize() {

@@ -142,6 +142,42 @@ type LeaseRequest struct {
 	Release bool
 }
 
+// SessionIDBit marks a Request.Client identity as a replicated client
+// session. Session IDs are drawn with this bit set; connection-scoped
+// identities (and the driver sentinel) keep it clear, so the apply path
+// can tell session traffic apart without a per-request flag.
+const SessionIDBit uint64 = 1 << 63
+
+// IsSessionID reports whether a Request.Client identity names a
+// replicated client session (see SessionIDBit).
+func IsSessionID(client uint64) bool { return client&SessionIDBit != 0 }
+
+// SessionUpdate registers or expires a replicated client session. Like
+// MemberUpdate, session updates ride proposal messages so every replica
+// applies the same change at the same cycle boundary — the session dedup
+// table is replicated state.
+type SessionUpdate struct {
+	ID     uint64
+	Expire bool // true: reclaim the session; false: register it
+}
+
+// SessionReply is one cached (seq, reply) pair inside a SessionState.
+type SessionReply struct {
+	Seq uint64
+	Val []byte
+}
+
+// SessionState is one session's dedup state in a join-protocol state
+// transfer: the compaction floor (every seq below it is known applied),
+// the commit cycle of the session's last mutation, and the cached
+// replies for applied seqs at or above the floor.
+type SessionState struct {
+	ID         uint64
+	Low        uint64
+	LastActive uint64
+	Applied    []SessionReply
+}
+
 // Kind discriminates message types on the wire.
 type Kind uint8
 
@@ -245,8 +281,9 @@ type Proposal struct {
 	// order is identical on all nodes.
 	Batches []*Batch
 
-	Updates []MemberUpdate
-	Leases  []LeaseRequest
+	Updates  []MemberUpdate
+	Leases   []LeaseRequest
+	Sessions []SessionUpdate
 }
 
 func (p *Proposal) Kind() Kind { return KindProposal }
@@ -476,6 +513,10 @@ type JoinReply struct {
 	Incarnations []uint32
 	Snapshot     []Request // OpWrite entries reconstructing the KV state
 	StateBytes   uint32    // modeled snapshot size when Snapshot is nil
+	// Sessions transfers the replicated client-session dedup table, so a
+	// rejoined replica classifies retried mutations exactly like the
+	// replicas that never crashed.
+	Sessions []SessionState
 }
 
 func (m *JoinReply) Kind() Kind { return KindJoinReply }
