@@ -406,6 +406,15 @@ func (c *Client) Async(op Op, fn func(Result, error)) {
 	c.start(&pendingOp{op: op, fn: fn})
 }
 
+// AsyncOk issues op and invokes done exactly once with whether it
+// succeeded — the allocation-lean shape load generators want: passing a
+// long-lived done callback costs one pendingOp per operation and zero
+// adapter closures. done follows the Async callback contract (reader
+// goroutine or synchronous; must not block).
+func (c *Client) AsyncOk(op Op, done func(ok bool)) {
+	c.start(&pendingOp{op: op, okFn: done})
+}
+
 func (c *Client) asyncBatch(ops []Op, f *Future) {
 	c.start(&pendingOp{op: ops[0], batch: ops, fn: f.complete})
 }
@@ -443,7 +452,7 @@ func (c *Client) start(p *pendingOp) error {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
-			p.fn(Result{}, ErrClosed)
+			p.complete(Result{}, ErrClosed)
 			return ErrClosed
 		}
 		if cn := c.conn; cn != nil {
@@ -478,13 +487,13 @@ func (c *Client) start(p *pendingOp) error {
 		close(c.dialDone)
 		if err != nil {
 			c.mu.Unlock()
-			p.fn(Result{}, err)
+			p.complete(Result{}, err)
 			return err
 		}
 		if c.closed {
 			c.mu.Unlock()
 			cn.fail(ErrClosed)
-			p.fn(Result{}, ErrClosed)
+			p.complete(Result{}, ErrClosed)
 			return ErrClosed
 		}
 		c.conn = cn
@@ -555,7 +564,7 @@ func (c *Client) onRegistered(res Result, err error) {
 	c.regMu.Unlock()
 	if err != nil {
 		for _, p := range waiting {
-			p.fn(Result{}, err)
+			p.complete(Result{}, err)
 		}
 		return
 	}
@@ -632,11 +641,11 @@ func (c *Client) onConnFailure(cn *conn, pend []*pendingOp, cause error) {
 	var down error
 	for _, p := range pend {
 		if closed || errors.Is(cause, ErrClosed) || p.retried {
-			p.fn(Result{}, connError(cause))
+			p.complete(Result{}, connError(cause))
 			continue
 		}
 		if down != nil {
-			p.fn(Result{}, down)
+			p.complete(Result{}, down)
 			continue
 		}
 		p.retried = true
@@ -688,7 +697,7 @@ func (c *Client) retryElsewhere(cn *conn, p *pendingOp, cause error) {
 		c.failovers.Add(1)
 	}
 	if closed || p.retried {
-		p.fn(Result{}, cause)
+		p.complete(Result{}, cause)
 		return
 	}
 	p.retried = true

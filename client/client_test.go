@@ -11,6 +11,7 @@ import (
 
 	"canopus/client"
 	"canopus/internal/core"
+	"canopus/internal/kvstore"
 	"canopus/internal/livecluster"
 )
 
@@ -180,10 +181,10 @@ func TestFailoverRetriesPendingOpsOnce(t *testing.T) {
 	for _, node := range []int{1, 2} {
 		var logLen uint64
 		var vals [n][]byte
-		c.Runner(node).Invoke(func() {
-			logLen = c.Store(node).LogLen()
+		c.InspectStore(node, func(st *kvstore.Store) {
+			logLen = st.LogLen()
 			for i := 0; i < n; i++ {
-				vals[i] = c.Store(node).Read(uint64(i))
+				vals[i] = st.Read(uint64(i))
 			}
 		})
 		if logLen != n+1 {
@@ -249,7 +250,7 @@ func TestExactlyOnceAcrossReplyLoss(t *testing.T) {
 	}
 	logLenAt := func(node int) uint64 {
 		var n uint64
-		c.Runner(node).Invoke(func() { n = c.Store(node).LogLen() })
+		c.InspectStore(node, func(st *kvstore.Store) { n = st.LogLen() })
 		return n
 	}
 	base := logLenAt(1)
@@ -338,7 +339,7 @@ func TestSessionExpiredMidFlightSurfaces(t *testing.T) {
 	fut := cl.PutAsync(2, []byte("orphan"))
 	logLenAt := func(node int) uint64 {
 		var n uint64
-		c.Runner(node).Invoke(func() { n = c.Store(node).LogLen() })
+		c.InspectStore(node, func(st *kvstore.Store) { n = st.LogLen() })
 		return n
 	}
 	deadline := time.Now().Add(10 * time.Second)

@@ -24,7 +24,18 @@ type pendingOp struct {
 	session  uint64
 	seq      uint64 // first mutating op's session seq
 	fn       func(Result, error)
+	okFn     func(ok bool) // success-only completion (AsyncOk); fn is nil
 	retried  bool
+}
+
+// complete delivers the operation's outcome to whichever completion
+// shape it carries.
+func (p *pendingOp) complete(res Result, err error) {
+	if p.okFn != nil {
+		p.okFn(err == nil)
+		return
+	}
+	p.fn(res, err)
 }
 
 // needsSession reports whether p must be bound to a replicated session
@@ -277,9 +288,9 @@ func (cn *conn) deliver(p *pendingOp, resp *wire.ClientResponseV2) {
 	case wire.ClientStatusOK:
 		// resp.Val is already a private copy (the v2 parser copies out of
 		// the reusable read buffer).
-		p.fn(Result{Val: resp.Val, Found: true, Cycle: resp.Cycle}, nil)
+		p.complete(Result{Val: resp.Val, Found: true, Cycle: resp.Cycle}, nil)
 	case wire.ClientStatusNil:
-		p.fn(Result{Cycle: resp.Cycle}, nil)
+		p.complete(Result{Cycle: resp.Cycle}, nil)
 	default:
 		if resp.Code == wire.CodeSessionExpired {
 			cn.cl.sessionExpired(p.session)
@@ -297,14 +308,14 @@ func (cn *conn) deliver(p *pendingOp, resp *wire.ClientResponseV2) {
 				go cn.cl.start(p)
 				return
 			}
-			p.fn(Result{Cycle: resp.Cycle}, ErrSessionExpired)
+			p.complete(Result{Cycle: resp.Cycle}, ErrSessionExpired)
 			return
 		}
 		if retryableCode(resp.Code) {
 			cn.cl.retryElsewhere(cn, p, rejectionError(resp.Code, resp.Val))
 			return
 		}
-		p.fn(Result{}, rejectionError(resp.Code, resp.Val))
+		p.complete(Result{}, rejectionError(resp.Code, resp.Val))
 	}
 }
 
@@ -317,11 +328,11 @@ func (cn *conn) deliverBatch(p *pendingOp, resp *wire.ClientResponseV2) {
 			cn.cl.retryElsewhere(cn, p, rejectionError(resp.Code, nil))
 			return
 		}
-		p.fn(Result{}, rejectionError(resp.Code, nil))
+		p.complete(Result{}, rejectionError(resp.Code, nil))
 		return
 	}
 	if len(resp.Results) != len(p.batch) {
-		p.fn(Result{}, fmt.Errorf("%w: batch answered %d of %d ops",
+		p.complete(Result{}, fmt.Errorf("%w: batch answered %d of %d ops",
 			ErrRejected, len(resp.Results), len(p.batch)))
 		return
 	}
@@ -360,7 +371,7 @@ func (cn *conn) deliverBatch(p *pendingOp, resp *wire.ClientResponseV2) {
 			out[i] = Result{Cycle: resp.Cycle, Err: rejectionError(r.Code, r.Val)}
 		}
 	}
-	p.fn(Result{Cycle: resp.Cycle, batch: out}, nil)
+	p.complete(Result{Cycle: resp.Cycle, batch: out}, nil)
 }
 
 // fail poisons the connection and hands every pending operation to the

@@ -18,10 +18,12 @@ type Cluster interface {
 	// NumNodes returns the deployment size.
 	NumNodes() int
 	// Submit asynchronously executes one keyed operation at node's
-	// replica. done is invoked from the backend's execution context — it
-	// must not block — with the read value (nil for mutations and
+	// replica. done is invoked from the backend's execution context (the
+	// simulator's event loop, or a live node's commit apply executor) —
+	// it must not block — with the read value (nil for mutations and
 	// misses) and whether the operation was served; ok=false means the
-	// node is stalled, draining or crashed.
+	// node is stalled, draining or crashed. The value bytes are only
+	// valid during the callback.
 	Submit(node int, op Op, key uint64, val []byte, done func(val []byte, ok bool))
 	// Endpoint returns node's client-port address, or "" when the
 	// backend is not reachable over the network.

@@ -15,6 +15,12 @@
 // through the binary client protocol ("all" excludes it so figure
 // regeneration stays deterministic). With -json, live also writes its
 // metrics to the given path (used to regenerate BENCH_live.json).
+//
+// -cpuprofile / -memprofile capture pprof evidence for performance
+// work, e.g.:
+//
+//	canopus-bench -exp live -quick -cpuprofile live.cpu.pprof
+//	go tool pprof -top live.cpu.pprof
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"canopus/internal/harness"
+	"canopus/internal/pprofutil"
 )
 
 func main() {
@@ -31,7 +38,16 @@ func main() {
 	quick := flag.Bool("quick", false, "short windows and coarse search (CI mode)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	jsonOut := flag.String("json", "", "also write metrics as JSON to this path (live only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (pprof evidence for perf work)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this path on exit")
 	flag.Parse()
+
+	stopProfiles, err := pprofutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canopus-bench:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	o := &harness.Options{Quick: *quick, Seed: *seed, Out: os.Stdout, JSONOut: *jsonOut}
 	runs := map[string]func(*harness.Options){

@@ -31,6 +31,7 @@ import (
 	"canopus/internal/kvstore"
 	"canopus/internal/livecluster"
 	"canopus/internal/lot"
+	"canopus/internal/pprofutil"
 	"canopus/internal/transport"
 	"canopus/internal/wire"
 )
@@ -41,6 +42,10 @@ func main() {
 	slFlag := flag.String("superleaves", "", "semicolon-separated super-leaves of comma-separated node IDs (default: all in one)")
 	clientAddr := flag.String("client", "", "client-facing listen address (default: none)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound for in-flight client requests")
+	applyWorkers := flag.Int("apply-workers", 0, "commit-apply workers: 0 = auto (min(4, GOMAXPROCS), parallel pipeline), <0 = serial in-turn apply")
+	shards := flag.Int("shards", 8, "replica store shard count (rounded up to a power of two)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (stopped at graceful shutdown)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this path at graceful shutdown")
 	flag.Parse()
 
 	addrs := strings.Split(*peersFlag, ",")
@@ -77,12 +82,22 @@ func main() {
 		log.Fatal("canopus-server: ", err)
 	}
 
+	stopProfiles, err := pprofutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal("canopus-server: ", err)
+	}
+	defer stopProfiles()
+
 	self := wire.NodeID(*id)
 	runner, err := transport.NewRunner(self, peers[self], peers, 42)
 	if err != nil {
 		log.Fatal("canopus-server: ", err)
 	}
-	node := core.NewNode(core.Config{Tree: tree, Self: self}, kvstore.New(), core.Callbacks{})
+	node := core.NewNode(core.Config{
+		Tree: tree, Self: self,
+		ApplyWorkers: livecluster.ResolveApplyWorkers(*applyWorkers),
+	}, kvstore.NewSharded(*shards), core.Callbacks{})
+	defer node.Close()
 
 	var port *livecluster.ClientPort
 	if *clientAddr != "" {

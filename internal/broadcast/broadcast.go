@@ -59,7 +59,9 @@ type Broadcaster interface {
 	RemovePeer(peer wire.NodeID)
 	// AddPeer admits a (re)joined peer with a fresh incarnation.
 	AddPeer(peer wire.NodeID)
-	// Members returns the current membership, including self.
+	// Members returns the current membership, including self. The
+	// returned slice is owned by the broadcaster: callers must treat it
+	// as read-only and must not retain it across AddPeer/RemovePeer.
 	Members() []wire.NodeID
 }
 

@@ -149,9 +149,11 @@ func (b *Raft) Tick() {
 	}
 }
 
-// Members returns the current membership including self.
+// Members returns the current membership including self. Read-only;
+// stable until the next AddPeer/RemovePeer (RemovePeer re-slices with a
+// fresh backing array, so a slice handed out earlier never mutates).
 func (b *Raft) Members() []wire.NodeID {
-	return append([]wire.NodeID(nil), b.members...)
+	return b.members
 }
 
 // RemovePeer drops peer from every group's voting set and retires peer's

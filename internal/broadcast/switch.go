@@ -112,9 +112,10 @@ func (b *Switch) Tick() {
 	}
 }
 
-// Members returns current membership including self.
+// Members returns current membership including self. Read-only; stable
+// until the next AddPeer/RemovePeer.
 func (b *Switch) Members() []wire.NodeID {
-	return append([]wire.NodeID(nil), b.members...)
+	return b.members
 }
 
 // RemovePeer drops a peer after its failure cut.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"canopus/internal/kvstore"
 	"canopus/internal/wire"
@@ -19,25 +20,45 @@ func (n *Node) tryCommit() {
 	}
 }
 
-// commit makes cycle c's total order durable: apply writes, run this
-// node's reads at their recorded positions, fold membership updates into
-// the view and the broadcast layer, activate leases, and release the
-// cycle's memory.
+// commit makes cycle c's total order durable. The serial
+// order-resolution stage runs here, inside the machine turn: session
+// classification of the total order, membership, lease activation and
+// revocation, session GC — everything that must evolve in lock-step on
+// every replica. The resulting applyPlan (state-machine operations plus
+// this node's completion records) then executes either inline (serial
+// mode: ApplyWorkers == 0, identical to the historical single-stage
+// commit) or on the node's background apply executor, which lets the
+// next cycle's consensus turns overlap this cycle's bulk apply.
 func (n *Node) commit(c *cycle) {
 	root := c.states[n.tree.Height]
 	n.committed = c.id
+	n.orderedW.Store(c.id)
+	if n.exec == nil {
+		// Serial mode: the whole commit happens inside this turn, so the
+		// applied watermark advances with the ordered one and observers
+		// never see them apart.
+		n.applied.Store(c.id)
+	}
 	if DebugHook != nil {
 		DebugHook(n.cfg.Self, "commit", c.id, "")
 	}
 
 	n.applySessions(c.id, root.Sessions)
-	n.applyOrder(c.id, root.Batches)
+	plan := n.resolveOrder(c.id, root.Batches)
 	n.applyMembership(c.id, root.Updates)
 	n.applyLeases(c.id, root.Leases)
 	n.revokeLeases(c.id, root.Updates)
 	n.gcSessions(c.id)
-	n.runDeferredReads(c.id)
-	n.runLocalReads()
+	n.collectDeferredReads(c.id, plan)
+
+	if n.exec != nil {
+		n.exec.submitPlan(plan)
+	} else {
+		n.execPlanOps(plan)
+		n.deliverPlan(plan)
+		n.runLocalReads()
+		n.freePlan(plan)
+	}
 
 	if n.cbs.OnCommit != nil {
 		n.cbs.OnCommit(c.id, root.Batches)
@@ -46,6 +67,7 @@ func (n *Node) commit(c *cycle) {
 	delete(n.cycles, c.id)
 	delete(n.proposed, c.id)
 	n.recent[c.id] = c.states
+	n.freeCycle(c)
 	if old := c.id - n.retention(); old > 0 && old <= c.id {
 		delete(n.recent, old)
 	}
@@ -62,15 +84,19 @@ func (n *Node) commit(c *cycle) {
 	}
 }
 
-// applyOrder walks the cycle's total order. Remote batches contribute
-// their writes; this node's own batch is replayed from the locally
-// retained full request set so reads execute at their arrival positions
-// among the node's own writes (§5).
-func (n *Node) applyOrder(cyc uint64, order []*wire.Batch) {
+// resolveOrder walks the cycle's total order and produces its applyPlan.
+// Remote batches contribute their writes; this node's own batch is
+// replayed from the locally retained full request set so reads execute
+// at their arrival positions among the node's own writes (§5). Session
+// classification (the replicated dedup table) happens here, serially, in
+// the committed order — the apply stage never touches protocol state.
+func (n *Node) resolveOrder(cyc uint64, order []*wire.Batch) *applyPlan {
+	plan := n.newPlan(cyc)
 	set := n.proposed[cyc]
 	for _, b := range order {
 		if b.Origin == n.cfg.Self && set != nil {
-			n.applyOwnSet(cyc, set)
+			n.resolveOwnSet(cyc, set, plan)
+			plan.set = set
 			set = nil
 			continue
 		}
@@ -81,11 +107,9 @@ func (n *Node) applyOrder(cyc uint64, order []*wire.Batch) {
 					if _, verdict := n.sessions.Begin(req.Client, req.Seq, cyc); verdict != kvstore.SessionApply {
 						continue // duplicate (or expired): never re-apply
 					}
-					n.sm.ApplyWrite(req)
 					n.sessions.Record(req.Client, req.Seq, nil)
-					continue
 				}
-				n.sm.ApplyWrite(req)
+				plan.ops = append(plan.ops, planOp{req: req, comp: -1})
 			}
 		}
 	}
@@ -95,18 +119,18 @@ func (n *Node) applyOrder(cyc uint64, order []*wire.Batch) {
 	// issued no interleaved writes, so this placement is consistent
 	// with both real time and per-client order.
 	if set != nil {
-		n.applyOwnSet(cyc, set)
+		n.resolveOwnSet(cyc, set, plan)
+		plan.set = set
 	}
+	return plan
 }
 
-func (n *Node) applyOwnSet(cyc uint64, set *ownSet) {
-	batch := n.cbs.OnReplyBatch != nil
-	if batch {
-		n.replyReqs, n.replyVals = n.replyReqs[:0], n.replyVals[:0]
-	}
+// resolveOwnSet classifies this node's own request set into the plan:
+// every request gets a completion record (in arrival order), mutations
+// that must apply and reads that must execute become plan operations.
+func (n *Node) resolveOwnSet(cyc uint64, set *ownSet, plan *applyPlan) {
 	for i := range set.reqs {
 		req := &set.reqs[i]
-		var val []byte
 		switch req.Op {
 		case wire.OpWrite, wire.OpDelete:
 			if wire.IsSessionID(req.Client) {
@@ -120,35 +144,110 @@ func (n *Node) applyOwnSet(cyc uint64, set *ownSet) {
 					}
 					continue
 				case kvstore.SessionDuplicate:
-					val = cached // the committed result; do not re-apply
+					// The committed result; do not re-apply.
+					plan.comps = append(plan.comps, *req)
+					plan.vals = append(plan.vals, cached)
+					continue
 				default:
-					if n.sm != nil {
-						n.sm.ApplyWrite(req)
-					}
 					n.sessions.Record(req.Client, req.Seq, nil)
 				}
-				break
 			}
 			if n.sm != nil {
-				n.sm.ApplyWrite(req)
+				plan.ops = append(plan.ops, planOp{req: req, comp: -1})
 			}
+			plan.comps = append(plan.comps, *req)
+			plan.vals = append(plan.vals, nil)
 		case wire.OpRead:
+			plan.comps = append(plan.comps, *req)
+			plan.vals = append(plan.vals, nil)
 			if n.sm != nil {
-				val = n.sm.Read(req.Key)
+				plan.ops = append(plan.ops, planOp{req: req, comp: int32(len(plan.comps) - 1)})
 			}
-		}
-		if batch {
-			n.replyReqs = append(n.replyReqs, *req)
-			n.replyVals = append(n.replyVals, val)
-		} else {
-			n.reply(req, val)
 		}
 	}
-	n.flushReplies()
 }
 
-// reply completes a single request outside the own-set apply path (lease
-// fast-path reads, deferred reads).
+// collectDeferredReads appends reads parked behind cycle cyc's commit
+// (the §7.2 lease path) to the plan: they linearize at the end of the
+// cycle, after every write the cycle ordered, which in-shard apply order
+// guarantees because they sit last in the plan.
+func (n *Node) collectDeferredReads(cyc uint64, plan *applyPlan) {
+	reads, ok := n.deferredReads[cyc]
+	if !ok {
+		return
+	}
+	delete(n.deferredReads, cyc)
+	for i := range reads {
+		req := &reads[i].req
+		plan.comps = append(plan.comps, *req)
+		plan.vals = append(plan.vals, nil)
+		if n.sm != nil {
+			plan.ops = append(plan.ops, planOp{req: req, comp: int32(len(plan.comps) - 1)})
+		}
+	}
+}
+
+// execPlanOps applies one plan's operations on the calling goroutine
+// (the serial path; the executor fans the same loop across workers).
+func (n *Node) execPlanOps(p *applyPlan) {
+	if n.sm == nil {
+		return
+	}
+	applyShardSlice(n.sm, p, nil, 0, 0)
+}
+
+// deliverPlan materializes one plan's completion records through the
+// node's reply callbacks. In serial mode this runs in the machine turn
+// (as it always has); in parallel mode it runs on the apply executor,
+// off the machine lock — OnReplyBatch consumers must synchronize their
+// own state and must consume the value slices during the call.
+func (n *Node) deliverPlan(p *applyPlan) {
+	if len(p.comps) == 0 {
+		return
+	}
+	if n.cbs.OnReplyBatch != nil {
+		n.cbs.OnReplyBatch(p.comps, p.vals)
+		return
+	}
+	if n.cbs.OnReply != nil {
+		for i := range p.comps {
+			n.cbs.OnReply(&p.comps[i], p.vals[i])
+		}
+	}
+}
+
+// planPool recycles applyPlans (and, via plan.set, own request sets):
+// machine turns allocate, the delivering goroutine frees.
+var planPool = sync.Pool{New: func() any { return new(applyPlan) }}
+
+// ownSetPool recycles the per-cycle request-set backing arrays.
+var ownSetPool = sync.Pool{New: func() any { return new(ownSet) }}
+
+func (n *Node) newPlan(cyc uint64) *applyPlan {
+	p := planPool.Get().(*applyPlan)
+	p.cycle = cyc
+	return p
+}
+
+// freePlan recycles a delivered plan. Entries are cleared so pooled
+// plans do not pin request payloads or store values.
+func (n *Node) freePlan(p *applyPlan) {
+	clear(p.ops)
+	clear(p.comps)
+	clear(p.vals)
+	p.ops, p.comps, p.vals = p.ops[:0], p.comps[:0], p.vals[:0]
+	if set := p.set; set != nil {
+		p.set = nil
+		clear(set.reqs)
+		clear(set.arrivals)
+		set.reqs, set.arrivals, set.writes = set.reqs[:0], set.arrivals[:0], 0
+		ownSetPool.Put(set)
+	}
+	planPool.Put(p)
+}
+
+// reply completes a single request outside the plan path (lease
+// fast-path reads, which only run in serial mode).
 func (n *Node) reply(req *wire.Request, val []byte) {
 	if n.cbs.OnReplyBatch != nil {
 		n.replyReqs = append(n.replyReqs[:0], *req)
@@ -162,7 +261,8 @@ func (n *Node) reply(req *wire.Request, val []byte) {
 }
 
 // runLocalReads serves deferred committed-state reads (Sequential
-// consistency) whose minimum cycle has now committed.
+// consistency) whose minimum cycle has now committed. Serial mode only;
+// in parallel mode these reads live in the executor's parked set.
 func (n *Node) runLocalReads() {
 	if len(n.localReads) == 0 {
 		return
@@ -180,14 +280,6 @@ func (n *Node) runLocalReads() {
 		}
 	}
 	n.localReads = kept
-}
-
-// flushReplies delivers the accumulated completion batch, if any.
-func (n *Node) flushReplies() {
-	if n.cbs.OnReplyBatch != nil && len(n.replyReqs) > 0 {
-		n.cbs.OnReplyBatch(n.replyReqs, n.replyVals)
-		n.replyReqs, n.replyVals = n.replyReqs[:0], n.replyVals[:0]
-	}
 }
 
 // applyMembership folds the cycle's committed membership updates into

@@ -90,6 +90,26 @@ type Config struct {
 	// cycles (~tens of seconds at millisecond cycle intervals); negative
 	// disables idle reclamation.
 	SessionIdleCycles int
+
+	// ApplyWorkers selects the commit pipeline mode (see exec.go).
+	//
+	// 0 (default): serial — a committed cycle's writes apply and its
+	// replies materialize inside the machine turn, exactly the historical
+	// single-stage commit. Virtual-time simulation requires this mode
+	// (byte-identical deterministic replay).
+	//
+	// >= 1: parallel — each commit's serial order-resolution stage still
+	// runs in the machine turn, but the bulk apply and reply
+	// materialization run on a per-node background executor, off the
+	// machine lock, fanned across up to ApplyWorkers workers by
+	// state-machine shard (capped at the shard count; a non-sharded
+	// StateMachine gets one worker, which still pipelines apply against
+	// the next cycle's consensus turns). OnReplyBatch/OnReply then fire
+	// on the executor goroutine, and Committed() — the applied watermark
+	// — may trail Ordered() by the pipeline depth. Forced to 0 when
+	// WriteLeases is set (the §7.2 fast path reads committed state inside
+	// the submit turn) or when the node has no state machine.
+	ApplyWorkers int
 }
 
 func (c *Config) fill() {
@@ -122,7 +142,9 @@ func (c *Config) retention() uint64 { return uint64(c.MaxInFlight) + 16 }
 
 // StateMachine is the replicated application state Canopus drives. The
 // kvstore package provides the standard implementation; ZKCanopus plugs
-// in the znode tree.
+// in the znode tree. A StateMachine that additionally implements
+// ShardedMachine (kvstore.Store does) lets the parallel commit pipeline
+// fan a cycle's bulk apply across workers by key shard.
 type StateMachine interface {
 	// ApplyWrite applies one committed write.
 	ApplyWrite(req *wire.Request)
@@ -130,7 +152,9 @@ type StateMachine interface {
 	// only at linearization points chosen by the protocol.
 	Read(key uint64) []byte
 	// Snapshot returns requests that rebuild the state (for the join
-	// protocol's state transfer).
+	// protocol's state transfer). The returned values must not alias
+	// live store state: the protocol sends them while later writes keep
+	// applying.
 	Snapshot() []wire.Request
 }
 
@@ -148,8 +172,11 @@ type Callbacks struct {
 	// the completed requests in order and their read results (nil entries
 	// for writes and read misses). Live servers use it to fan a cycle's
 	// replies out to client connections without per-request callback
-	// overhead. Both slices are only valid during the call and must not
-	// be retained.
+	// overhead. Both slices — and the value bytes they reference — are
+	// only valid during the call and must not be retained. In serial mode
+	// it fires inside the machine turn; with ApplyWorkers > 0 it fires on
+	// the node's apply executor, off the machine lock, so consumers must
+	// do their own synchronization.
 	OnReplyBatch func(reqs []wire.Request, vals [][]byte)
 	// OnStall fires once when the node detects its super-leaf has failed
 	// (too few live members) and the consensus process halts (§6).

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"canopus/internal/kvstore"
+	"canopus/internal/lot"
+	"canopus/internal/wire"
+)
+
+// TestApplyShardSliceEquivalence pins the core claim behind the parallel
+// commit path: partitioning one cycle's operations across workers by
+// shard — each worker walking the total order and taking only its shards
+// — produces the same store state, the same log digests and the same
+// read results as a single serial walk.
+func TestApplyShardSliceEquivalence(t *testing.T) {
+	const shards = 8
+	mkPlan := func() (*applyPlan, []wire.Request) {
+		reqs := make([]wire.Request, 0, 4096)
+		for i := 0; i < 4096; i++ {
+			key := uint64(i*2654435761) % 512
+			switch i % 7 {
+			case 3:
+				reqs = append(reqs, wire.Request{Op: wire.OpDelete, Key: key})
+			case 5:
+				reqs = append(reqs, wire.Request{Op: wire.OpRead, Key: key})
+			default:
+				reqs = append(reqs, wire.Request{Op: wire.OpWrite, Key: key,
+					Val: []byte(fmt.Sprintf("v%d", i))})
+			}
+		}
+		plan := &applyPlan{}
+		for i := range reqs {
+			if reqs[i].Op == wire.OpRead {
+				plan.comps = append(plan.comps, reqs[i])
+				plan.vals = append(plan.vals, nil)
+				plan.ops = append(plan.ops, planOp{req: &reqs[i], comp: int32(len(plan.comps) - 1)})
+				continue
+			}
+			plan.ops = append(plan.ops, planOp{req: &reqs[i], comp: -1})
+		}
+		return plan, reqs
+	}
+
+	serialStore := kvstore.NewShardedLogged(shards)
+	serialPlan, _ := mkPlan()
+	applyShardSlice(serialStore, serialPlan, nil, 0, 0)
+
+	for _, workers := range []int{2, 3, 8} {
+		st := kvstore.NewShardedLogged(shards)
+		plan, _ := mkPlan()
+		// Sequentially run each worker's partition — the executor runs
+		// them concurrently, which is safe because partitions touch
+		// disjoint shards; equivalence is a property of the partition.
+		for w := 0; w < workers; w++ {
+			applyShardSlice(st, plan, st, workers, w)
+		}
+		if st.StateDigest() != serialStore.StateDigest() {
+			t.Fatalf("workers=%d: state digest %x != serial %x", workers, st.StateDigest(), serialStore.StateDigest())
+		}
+		if st.LogDigest() != serialStore.LogDigest() || st.LogLen() != serialStore.LogLen() {
+			t.Fatalf("workers=%d: log %d/%x != serial %d/%x",
+				workers, st.LogLen(), st.LogDigest(), serialStore.LogLen(), serialStore.LogDigest())
+		}
+		for i := range plan.vals {
+			if string(plan.vals[i]) != string(serialPlan.vals[i]) {
+				t.Fatalf("workers=%d: read %d = %q, serial read %q", workers, i, plan.vals[i], serialPlan.vals[i])
+			}
+		}
+	}
+}
+
+// TestApplyWorkersClamps pins the serial-mode sanity clamps: write
+// leases and a missing state machine force the serial commit path.
+func TestApplyWorkersClamps(t *testing.T) {
+	tree, err := lot.New(lot.Config{SuperLeaves: [][]wire.NodeID{{0, 1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(Config{Tree: tree, Self: 0, WriteLeases: true, ApplyWorkers: 4}, kvstore.New(), Callbacks{})
+	if n.ParallelApply() {
+		t.Fatal("WriteLeases + ApplyWorkers did not clamp to serial")
+	}
+	n = NewNode(Config{Tree: tree, Self: 0, ApplyWorkers: 4}, nil, Callbacks{})
+	if n.ParallelApply() {
+		t.Fatal("nil state machine + ApplyWorkers did not clamp to serial")
+	}
+	n = NewNode(Config{Tree: tree, Self: 0, ApplyWorkers: 4}, kvstore.NewSharded(8), Callbacks{})
+	if !n.ParallelApply() {
+		t.Fatal("ApplyWorkers with a sharded store should run the parallel pipeline")
+	}
+	defer n.Close()
+	// Watermarks start together; a drain on an idle executor returns.
+	if n.Ordered() != 0 || n.Committed() != 0 {
+		t.Fatalf("fresh node watermarks ordered=%d committed=%d", n.Ordered(), n.Committed())
+	}
+	n.DrainApply()
+}
+
+// TestExecutorReadsSerializeWithPlans drives the executor directly: a
+// read submitted after a plan observes that plan's writes, a read parked
+// on a future cycle is served the moment the cycle applies, and
+// FailLocalReads abandons only reads no queued plan can satisfy.
+func TestExecutorReadsSerializeWithPlans(t *testing.T) {
+	tree, err := lot.New(lot.Config{SuperLeaves: [][]wire.NodeID{{0, 1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(Config{Tree: tree, Self: 0, ApplyWorkers: 2}, kvstore.NewSharded(4), Callbacks{})
+	defer n.Close()
+
+	write := wire.Request{Op: wire.OpWrite, Key: 7, Val: []byte("cycle1")}
+	plan := n.newPlan(1)
+	plan.ops = append(plan.ops, planOp{req: &write, comp: -1})
+	n.exec.submitPlan(plan)
+
+	// Submitted after the plan: must see its write and cycle 1.
+	got := make(chan string, 1)
+	n.exec.submitRead(localRead{key: 7, minCycle: 0, fn: func(val []byte, cycle uint64, ok bool) {
+		got <- fmt.Sprintf("%s/%d/%v", val, cycle, ok)
+	}})
+	if s := <-got; s != "cycle1/1/true" {
+		t.Fatalf("read after plan = %q, want cycle1/1/true", s)
+	}
+
+	// Parked on cycle 2; served when the cycle-2 plan lands.
+	n.exec.submitRead(localRead{key: 7, minCycle: 2, fn: func(val []byte, cycle uint64, ok bool) {
+		got <- fmt.Sprintf("%s/%d/%v", val, cycle, ok)
+	}})
+	write2 := wire.Request{Op: wire.OpWrite, Key: 7, Val: []byte("cycle2")}
+	plan2 := n.newPlan(2)
+	plan2.ops = append(plan2.ops, planOp{req: &write2, comp: -1})
+	n.exec.submitPlan(plan2)
+	if s := <-got; s != "cycle2/2/true" {
+		t.Fatalf("parked read = %q, want cycle2/2/true", s)
+	}
+
+	// Parked beyond any queued plan: abandoned by FailLocalReads.
+	n.exec.submitRead(localRead{key: 7, minCycle: 99, fn: func(val []byte, cycle uint64, ok bool) {
+		got <- fmt.Sprintf("%v", ok)
+	}})
+	n.exec.failParked()
+	if s := <-got; s != "false" {
+		t.Fatalf("abandoned read ok = %q, want false", s)
+	}
+
+	if o, c := n.Ordered(), n.Committed(); c != 2 {
+		t.Fatalf("applied watermark = %d (ordered %d), want 2", c, o)
+	}
+}

@@ -95,6 +95,12 @@ func (n *Node) sendJoinReply(joiner wire.NodeID, cyc uint64) {
 		}
 	}
 	if n.sm != nil {
+		if n.exec != nil {
+			// Serialize with the apply stage: the snapshot must reflect
+			// every cycle up to cyc (all already ordered, possibly still
+			// applying off the machine lock).
+			n.exec.drain()
+		}
 		reply.Snapshot = n.sm.Snapshot()
 	}
 	reply.Sessions = n.sessions.Snapshot()
@@ -121,6 +127,7 @@ func (n *Node) onJoinReply(m *wire.JoinReply) {
 	n.rejoin = false
 	n.started = m.StartCycle
 	n.committed = m.StartCycle
+	n.orderedW.Store(m.StartCycle)
 
 	// Rebuild the membership view: start from the static tree and fail
 	// everyone absent from the sponsor's alive set.
@@ -137,11 +144,23 @@ func (n *Node) onJoinReply(m *wire.JoinReply) {
 	}
 	n.view.Apply(dead)
 
-	// Install the state machine snapshot.
-	if n.sm != nil {
+	// Install the state machine snapshot. In parallel mode the install
+	// rides the apply stage as a synthetic plan so it serializes with any
+	// committed-state reads already routed through the executor; the
+	// applied watermark advances to StartCycle when it lands.
+	if n.exec != nil {
+		plan := n.newPlan(m.StartCycle)
 		for i := range m.Snapshot {
-			n.sm.ApplyWrite(&m.Snapshot[i])
+			plan.ops = append(plan.ops, planOp{req: &m.Snapshot[i], comp: -1})
 		}
+		n.exec.submitPlan(plan)
+	} else {
+		if n.sm != nil {
+			for i := range m.Snapshot {
+				n.sm.ApplyWrite(&m.Snapshot[i])
+			}
+		}
+		n.applied.Store(m.StartCycle)
 	}
 	// Install the session dedup table: retried mutations must classify
 	// here exactly as on replicas that never crashed.

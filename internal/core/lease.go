@@ -158,28 +158,6 @@ func (n *Node) revokeLeases(cyc uint64, updates []wire.MemberUpdate) {
 	}
 }
 
-// runDeferredReads executes reads parked behind cycle cyc's commit.
-func (n *Node) runDeferredReads(cyc uint64) {
-	reads, ok := n.deferredReads[cyc]
-	if !ok {
-		return
-	}
-	delete(n.deferredReads, cyc)
-	batch := n.cbs.OnReplyBatch != nil
-	if batch {
-		n.replyReqs, n.replyVals = n.replyReqs[:0], n.replyVals[:0]
-	}
-	for i := range reads {
-		var val []byte
-		if n.sm != nil {
-			val = n.sm.Read(reads[i].req.Key)
-		}
-		if batch {
-			n.replyReqs = append(n.replyReqs, reads[i].req)
-			n.replyVals = append(n.replyVals, val)
-		} else {
-			n.reply(&reads[i].req, val)
-		}
-	}
-	n.flushReplies()
-}
+// Deferred reads parked behind a cycle's commit are collected into that
+// cycle's applyPlan (see commit.go collectDeferredReads) and execute
+// after every write the cycle ordered.

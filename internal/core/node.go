@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"canopus/internal/broadcast"
@@ -88,10 +89,22 @@ type Node struct {
 	cycles    map[uint64]*cycle
 	started   uint64
 	committed uint64
+	// cycleFree recycles committed cycle structs (and their maps) so a
+	// saturated node does not allocate a fresh cycle skeleton per commit.
+	cycleFree []*cycle
 	// recent retains committed cycles' vnode states so late fetches from
 	// lagging super-leaves can still be answered (a super-leaf can trail
 	// the fastest one by up to the pipelining bound).
 	recent map[uint64][]*wire.Proposal
+
+	// Commit-pipeline watermarks (see exec.go). orderedW mirrors
+	// n.committed for lock-free observers; applied is the highest cycle
+	// whose apply stage has finished (equal to orderedW in serial mode).
+	orderedW atomic.Uint64
+	applied  atomic.Uint64
+	// exec is the background apply stage; nil in serial mode
+	// (Config.ApplyWorkers == 0).
+	exec *executor
 
 	// Replicated client sessions (see session.go): the dedup table is
 	// replicated state, updated only at commit boundaries; the rest is
@@ -166,7 +179,13 @@ func NewNode(cfg Config, sm StateMachine, cbs Callbacks) *Node {
 	if sl < 0 {
 		panic(fmt.Sprintf("core: node %v not in tree", cfg.Self))
 	}
-	return &Node{
+	if cfg.WriteLeases || sm == nil {
+		// The §7.2 lease fast path reads committed state synchronously
+		// inside the submit turn, and a node without a state machine has
+		// nothing to apply: both force the serial commit path.
+		cfg.ApplyWorkers = 0
+	}
+	n := &Node{
 		cfg:            cfg,
 		tree:           cfg.Tree,
 		sl:             sl,
@@ -184,6 +203,51 @@ func NewNode(cfg Config, sm StateMachine, cbs Callbacks) *Node {
 		heldWrites:     make(map[uint64][]heldWrite),
 		deferredReads:  make(map[uint64][]deferredRead),
 	}
+	if cfg.ApplyWorkers > 0 {
+		n.exec = newExecutor(n, cfg.ApplyWorkers)
+	}
+	return n
+}
+
+// Close releases the node's background resources (the commit apply
+// executor, when running): queued cycles finish applying, parked
+// committed-state reads fail, and the executor goroutines exit. A node
+// must not be driven after Close. Serial-mode nodes hold no background
+// resources and Close is a no-op.
+func (n *Node) Close() {
+	if n.exec != nil {
+		n.exec.close()
+	}
+}
+
+// DrainApply blocks until every cycle ordered so far has finished
+// applying (Committed() has caught up with Ordered()). Tests and tools
+// call it before inspecting the node's StateMachine directly — in
+// parallel mode the apply stage owns the store, and only a drain makes a
+// foreign read coherent. No-op in serial mode. Must NOT be called from
+// the node's machine turn or from a reply callback.
+func (n *Node) DrainApply() {
+	if n.exec != nil {
+		n.exec.drain()
+	}
+}
+
+// ParallelApply reports whether this node runs the parallel commit
+// pipeline (Config.ApplyWorkers > 0 survived the sanity clamps).
+func (n *Node) ParallelApply() bool { return n.exec != nil }
+
+// InspectApplied runs fn in the apply stage's execution context: every
+// cycle ordered before the call has applied, and no apply overlaps fn —
+// fn may read the StateMachine coherently. It blocks until fn returns.
+// Parallel mode only (serial-mode callers already serialize through the
+// machine turn); must NOT be called from the machine turn or a reply
+// callback.
+func (n *Node) InspectApplied(fn func()) {
+	if n.exec == nil {
+		fn()
+		return
+	}
+	n.exec.call(fn)
 }
 
 // NewJoiner builds a node that re-enters an existing deployment through
@@ -345,6 +409,19 @@ func (n *Node) enqueue(req wire.Request) {
 // minCycle is already committed: serving stale state during a stall is
 // exactly what the weaker levels are for.
 func (n *Node) ReadLocal(key uint64, minCycle uint64, fn func(val []byte, cycle uint64, ok bool)) {
+	if n.exec != nil {
+		// Parallel mode: every committed-state read serializes with the
+		// apply stage through the executor (fn runs on the executor
+		// goroutine). A cycle that is ordered here will apply here, so
+		// only targets beyond the ordered watermark are unreachable on a
+		// stalled node.
+		if (n.stalled || n.rejoin) && minCycle > n.committed {
+			fn(nil, n.applied.Load(), false)
+			return
+		}
+		n.exec.submitRead(localRead{key: key, minCycle: minCycle, fn: fn})
+		return
+	}
 	if n.committed >= minCycle {
 		var val []byte
 		if n.sm != nil {
@@ -367,6 +444,11 @@ func (n *Node) ReadLocal(key uint64, minCycle uint64, fn func(val []byte, cycle 
 // and the cycles those reads wait for will not commit here. Call from
 // the node's event context.
 func (n *Node) FailLocalReads() {
+	if n.exec != nil {
+		// Ordered after every queued plan: reads whose cycle is already
+		// ordered still complete; only genuinely unreachable ones fail.
+		n.exec.failParked()
+	}
 	lrs := n.localReads
 	n.localReads = nil
 	for _, lr := range lrs {
@@ -430,6 +512,14 @@ func (n *Node) canStart(k uint64) bool {
 	if int(n.started-n.committed) >= n.cfg.MaxInFlight {
 		return false
 	}
+	if n.exec != nil && k > n.applied.Load()+uint64(2*n.cfg.MaxInFlight) {
+		// Apply backpressure: ordering paces against the applied
+		// watermark too, so a slow apply stage bounds the executor's
+		// plan queue instead of letting it (and the retained cycle
+		// state) grow without limit. The cycle timer re-triggers once
+		// the executor catches up.
+		return false
+	}
 	if n.stallAfter != 0 && k > n.stallAfter && n.committed < n.stallAfter {
 		return false // membership change in flight: wait for it to land
 	}
@@ -483,14 +573,17 @@ func (n *Node) startCycle(k uint64) {
 
 // takeAccum converts the accumulated requests into the proposal batch
 // (writes only on the wire; reads stay local) and the locally retained
-// full set.
+// full set. Sets are pooled: the recycled backing arrays become the next
+// accumulation window, so a saturated node reuses the same storage
+// cycle after cycle.
 func (n *Node) takeAccum() (*wire.Batch, *ownSet) {
-	set := &ownSet{}
+	set := ownSetPool.Get().(*ownSet)
 	var batch *wire.Batch
 	switch {
 	case len(n.accum.reqs) > 0:
+		recycled := *set
 		*set = n.accum
-		n.accum = ownSet{}
+		n.accum = ownSet{reqs: recycled.reqs[:0], arrivals: recycled.arrivals[:0]}
 		writes := make([]wire.Request, 0, set.writes)
 		var nr, nw uint32
 		for i := range set.reqs {
@@ -536,27 +629,63 @@ func (n *Node) noteUpdates(k uint64, updates []wire.MemberUpdate) {
 	}
 }
 
+// ensureCycle returns (creating or recycling as needed) cycle k's state.
+// The per-cycle maps are created lazily at their write sites — a
+// height-1 deployment never fetches, so child/fetchAttempt/fetchDeadline
+// would be three dead allocations per cycle.
 func (n *Node) ensureCycle(k uint64) *cycle {
 	if c, ok := n.cycles[k]; ok {
 		return c
 	}
-	c := &cycle{
-		id:            k,
-		round:         0,
-		r1:            make(map[wire.NodeID]*wire.Proposal),
-		states:        make([]*wire.Proposal, n.tree.Height+1),
-		child:         make(map[string]*wire.Proposal),
-		fetchAttempt:  make(map[string]int),
-		fetchDeadline: make(map[string]time.Duration),
+	var c *cycle
+	if len(n.cycleFree) > 0 {
+		c = n.cycleFree[len(n.cycleFree)-1]
+		n.cycleFree = n.cycleFree[:len(n.cycleFree)-1]
+		*c = cycle{
+			r1:            c.r1,
+			child:         c.child,
+			fetchAttempt:  c.fetchAttempt,
+			fetchDeadline: c.fetchDeadline,
+			rebroadcast:   c.rebroadcast,
+			waiting:       c.waiting[:0],
+		}
+	} else {
+		c = &cycle{}
 	}
+	c.id = k
+	c.states = make([]*wire.Proposal, n.tree.Height+1)
 	n.cycles[k] = c
 	return c
 }
 
+// freeCycle recycles a committed cycle's skeleton. Its states slice is
+// NOT recycled — n.recent retains it to answer late fetches.
+func (n *Node) freeCycle(c *cycle) {
+	if len(n.cycleFree) >= n.cfg.MaxInFlight+4 {
+		return
+	}
+	clear(c.r1)
+	clear(c.child)
+	clear(c.fetchAttempt)
+	clear(c.fetchDeadline)
+	clear(c.rebroadcast)
+	c.states = nil
+	n.cycleFree = append(n.cycleFree, c)
+}
+
 func (n *Node) retention() uint64 { return n.cfg.retention() }
 
-// Committed returns the highest committed cycle.
-func (n *Node) Committed() uint64 { return n.committed }
+// Committed returns the highest cycle whose effects are visible in this
+// replica's committed state — the applied watermark. In serial mode it
+// coincides with the ordered watermark; in parallel mode it may trail it
+// by the apply pipeline depth. Safe from any goroutine.
+func (n *Node) Committed() uint64 { return n.applied.Load() }
+
+// Ordered returns the highest cycle whose total order this node has
+// resolved (the protocol-internal commit watermark §7.1 paces against).
+// Ordered() >= Committed(); they are equal in serial mode. Safe from any
+// goroutine.
+func (n *Node) Ordered() uint64 { return n.orderedW.Load() }
 
 // Started returns the highest started cycle.
 func (n *Node) Started() uint64 { return n.started }

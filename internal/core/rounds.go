@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"canopus/internal/wire"
 )
@@ -35,6 +36,9 @@ func (n *Node) onDeliver(origin wire.NodeID, payload wire.Message) {
 		if _, dup := c.r1[origin]; dup {
 			return
 		}
+		if c.r1 == nil {
+			c.r1 = make(map[wire.NodeID]*wire.Proposal)
+		}
 		c.r1[origin] = p
 		// A join update observed in a peer's proposal arms the same
 		// barrier as proposing one ourselves.
@@ -45,6 +49,9 @@ func (n *Node) onDeliver(origin wire.NodeID, payload wire.Message) {
 	// Rebroadcast vnode state.
 	if _, dup := c.child[p.VNode]; dup {
 		return
+	}
+	if c.child == nil {
+		c.child = make(map[string]*wire.Proposal)
 	}
 	c.child[p.VNode] = p
 	n.advance(c)
@@ -240,9 +247,12 @@ func (n *Node) mergeProposals(cyc uint64, round uint8, target string, ordered []
 		VNode:  target,
 		Origin: wire.NoNode,
 	}
-	seenUpd := make(map[wire.MemberUpdate]bool)
-	seenLease := make(map[wire.LeaseRequest]bool)
-	seenSess := make(map[wire.SessionUpdate]bool)
+	// The dedup maps are created lazily: most cycles carry no membership,
+	// lease or session updates, and the maps would be three dead
+	// allocations per merge on the commit hot path.
+	var seenUpd map[wire.MemberUpdate]bool
+	var seenLease map[wire.LeaseRequest]bool
+	var seenSess map[wire.SessionUpdate]bool
 	for _, p := range ordered {
 		if p.Num > out.Num {
 			out.Num = p.Num
@@ -250,18 +260,27 @@ func (n *Node) mergeProposals(cyc uint64, round uint8, target string, ordered []
 		out.Batches = append(out.Batches, p.Batches...)
 		for _, u := range p.Updates {
 			if !seenUpd[u] {
+				if seenUpd == nil {
+					seenUpd = make(map[wire.MemberUpdate]bool)
+				}
 				seenUpd[u] = true
 				out.Updates = append(out.Updates, u)
 			}
 		}
 		for _, l := range p.Leases {
 			if !seenLease[l] {
+				if seenLease == nil {
+					seenLease = make(map[wire.LeaseRequest]bool)
+				}
 				seenLease[l] = true
 				out.Leases = append(out.Leases, l)
 			}
 		}
 		for _, s := range p.Sessions {
 			if !seenSess[s] {
+				if seenSess == nil {
+					seenSess = make(map[wire.SessionUpdate]bool)
+				}
 				seenSess[s] = true
 				out.Sessions = append(out.Sessions, s)
 			}
@@ -387,6 +406,10 @@ func (n *Node) sendFetch(c *cycle, u string) {
 	ems := n.view.Emulators(u)
 	if len(ems) == 0 {
 		return // all descendants dead: the consensus process stalls (§6)
+	}
+	if c.fetchAttempt == nil {
+		c.fetchAttempt = make(map[string]int)
+		c.fetchDeadline = make(map[string]time.Duration)
 	}
 	attempt := c.fetchAttempt[u]
 	c.fetchAttempt[u] = attempt + 1

@@ -56,6 +56,13 @@ type ChaosSpec struct {
 	OpTimeout  time.Duration // abandon an unacknowledged op after this (default 1s)
 	MaxOps     int           // global op budget; 0 = time-bound only
 
+	// StoreShards is each replica's kvstore shard count (default 1).
+	// Sharding must be protocol-invisible: runs differing only in shard
+	// count produce identical histories, commit digests and event counts,
+	// and replicas with equal shard counts at equal commit positions hold
+	// equal log digests.
+	StoreShards int
+
 	Seed     int64
 	Duration time.Duration // virtual run length (default 5s)
 }
@@ -91,6 +98,9 @@ func (s *ChaosSpec) fill() {
 	if s.Duration == 0 {
 		s.Duration = 5 * time.Second
 	}
+	if s.StoreShards <= 0 {
+		s.StoreShards = 1
+	}
 }
 
 // ChaosResult is one chaos run's outcome.
@@ -111,6 +121,21 @@ type ChaosResult struct {
 	Recovered    bool
 
 	Events uint64 // simulation events (replay-identity indicator)
+
+	// Replicas is each replica's final commit position and digests
+	// (after the drain window). Replicas at the same committed cycle
+	// must agree on every digest — the replica-equality invariant the
+	// sharded store has to preserve.
+	Replicas []ReplicaState
+}
+
+// ReplicaState is one replica's post-run position and digests.
+type ReplicaState struct {
+	Node        wire.NodeID
+	Committed   uint64
+	LogLen      uint64
+	LogDigest   uint64
+	StateDigest uint64
 }
 
 // perKeyCap keeps per-key histories comfortably inside lincheck's 62-op
@@ -220,6 +245,15 @@ func RunChaos(spec ChaosSpec) ChaosResult {
 		LongestStall: r.avail.LongestGap(0, spec.Duration),
 		Events:       r.sim.Steps(),
 	}
+	for i, node := range r.nodes {
+		res.Replicas = append(res.Replicas, ReplicaState{
+			Node:        wire.NodeID(i),
+			Committed:   node.Committed(),
+			LogLen:      r.stores[i].LogLen(),
+			LogDigest:   r.stores[i].LogDigest(),
+			StateDigest: r.stores[i].StateDigest(),
+		})
+	}
 	if spec.FaultAt > 0 {
 		res.Recovery, res.Recovered = r.avail.RecoveryAfter(spec.FaultAt)
 	}
@@ -252,7 +286,7 @@ func (r *chaosRun) nodeConfig(id wire.NodeID) core.Config {
 }
 
 func (r *chaosRun) newStore(id wire.NodeID) *kvstore.Store {
-	st := kvstore.NewLogged()
+	st := kvstore.NewShardedLogged(r.spec.StoreShards)
 	r.stores[id] = st
 	return st
 }

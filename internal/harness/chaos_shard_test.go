@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"testing"
+
+	"canopus/internal/wire"
+)
+
+// TestShardedStoreChaosDeterminism runs the chaos scenario catalog with
+// sharded replica stores and pins two invariants of the sharded state
+// machine:
+//
+//  1. Sharding is protocol-invisible: a run differing only in shard
+//     count replays with identical event counts, commit digests and
+//     (shard-count-independent) state digests.
+//  2. Replica equality: replicas with equal shard counts that finished
+//     at the same committed cycle — and were never crash-restarted, so
+//     their apply logs cover the same prefix — hold identical
+//     LogLen/LogDigest, and all same-position replicas agree on
+//     StateDigest.
+func TestShardedStoreChaosDeterminism(t *testing.T) {
+	scenarios := Scenarios(23)
+	if testing.Short() {
+		scenarios = []Scenario{ScenarioMinorityCrash(23), ScenarioRepresentativeCrashMidCycle(23)}
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			flatSpec := sc.Spec
+			flatSpec.StoreShards = 1
+			shardSpec := sc.Spec
+			shardSpec.StoreShards = 4
+
+			flat := RunChaos(flatSpec)
+			sharded := RunChaos(shardSpec)
+
+			if !sharded.Linearizable {
+				t.Fatalf("sharded run history not linearizable (%d ops)", len(sharded.History))
+			}
+			if flat.Events != sharded.Events || flat.Commits != sharded.Commits ||
+				flat.CommitDigest != sharded.CommitDigest {
+				t.Fatalf("sharding changed protocol behavior: events %d/%d commits %d/%d digest %x/%x",
+					flat.Events, sharded.Events, flat.Commits, sharded.Commits,
+					flat.CommitDigest, sharded.CommitDigest)
+			}
+			if flat.StateDigest != sharded.StateDigest {
+				t.Fatalf("StateDigest depends on shard count: %x vs %x", flat.StateDigest, sharded.StateDigest)
+			}
+
+			restarted := map[wire.NodeID]bool{}
+			for _, c := range sc.Spec.Faults.Crashes {
+				restarted[c.Node] = true
+			}
+			byCycle := map[uint64]ReplicaState{}
+			for _, rep := range sharded.Replicas {
+				ref, ok := byCycle[rep.Committed]
+				if !ok {
+					byCycle[rep.Committed] = rep
+					continue
+				}
+				if rep.StateDigest != ref.StateDigest {
+					t.Fatalf("replicas %v and %v at cycle %d disagree on state: %x vs %x",
+						ref.Node, rep.Node, rep.Committed, ref.StateDigest, rep.StateDigest)
+				}
+				// Log digests only compare between never-restarted
+				// replicas: a rejoined node's log starts from a snapshot
+				// install, not the historical write sequence.
+				if !restarted[rep.Node] && !restarted[ref.Node] &&
+					(rep.LogDigest != ref.LogDigest || rep.LogLen != ref.LogLen) {
+					t.Fatalf("replicas %v and %v at cycle %d disagree on apply log: %d/%x vs %d/%x",
+						ref.Node, rep.Node, rep.Committed, ref.LogLen, ref.LogDigest, rep.LogLen, rep.LogDigest)
+				}
+			}
+
+			// Replaying the sharded spec must be bit-identical, per-replica
+			// digests included.
+			again := RunChaos(shardSpec)
+			if len(again.Replicas) != len(sharded.Replicas) {
+				t.Fatalf("replay replica count %d != %d", len(again.Replicas), len(sharded.Replicas))
+			}
+			for i := range sharded.Replicas {
+				if again.Replicas[i] != sharded.Replicas[i] {
+					t.Fatalf("replay diverged at replica %d: %+v vs %+v",
+						i, again.Replicas[i], sharded.Replicas[i])
+				}
+			}
+		})
+	}
+}

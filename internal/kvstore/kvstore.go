@@ -3,6 +3,17 @@
 // to small values (the paper's workload uses 16-byte key-value pairs),
 // plus an optional commit log that tests use to prove all replicas
 // applied the same sequence.
+//
+// The store is sharded: keys partition across N shards by key hash, and
+// every operation touches exactly one shard. Operations on different
+// shards are safe to run concurrently — the commit executor in
+// internal/core exploits this to fan one committed cycle's bulk apply
+// across workers — while operations on one shard must be serialized by
+// the caller. With equal shard counts, replicas that apply the same
+// write sequence hold equal LogDigest/StateDigest values: the per-shard
+// order-sensitive digests are combined deterministically, and a shard's
+// digest depends only on the writes routed to it, which the committed
+// total order fixes identically on every replica.
 package kvstore
 
 import (
@@ -13,97 +24,182 @@ import (
 	"canopus/internal/wire"
 )
 
-// Store implements core.StateMachine. It is not concurrency-safe: each
-// protocol node owns one Store and drives it from its own event context.
-type Store struct {
+// shard is one partition of the store: a private map plus its slice of
+// the order-sensitive commit log.
+type shard struct {
 	data map[uint64][]byte
 
-	// recordLog keeps an order-sensitive digest of applied writes so
-	// tests can assert replica equality cheaply.
-	recordLog bool
 	logLen    uint64
 	logDigest uint64
 }
 
-// New creates an empty store.
-func New() *Store {
-	return &Store{data: make(map[uint64][]byte)}
+// Store implements core.StateMachine. Each protocol node owns one Store;
+// concurrent use is only permitted across distinct shards (see the
+// package comment).
+type Store struct {
+	shards []shard
+	mask   uint64 // len(shards) - 1; shard count is a power of two
+
+	// recordLog keeps an order-sensitive digest of applied writes so
+	// tests can assert replica equality cheaply.
+	recordLog bool
 }
 
-// NewLogged creates a store that maintains an apply-order digest.
-func NewLogged() *Store {
-	s := New()
+// New creates an empty single-shard store.
+func New() *Store { return NewSharded(1) }
+
+// NewSharded creates an empty store with n shards (rounded up to a power
+// of two, minimum 1). Replica-equality digests are only comparable
+// between stores with equal shard counts.
+func NewSharded(n int) *Store {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Store{shards: make([]shard, size), mask: uint64(size - 1)}
+	for i := range s.shards {
+		s.shards[i].data = make(map[uint64][]byte)
+	}
+	return s
+}
+
+// NewLogged creates a single-shard store that maintains an apply-order
+// digest.
+func NewLogged() *Store { return NewShardedLogged(1) }
+
+// NewShardedLogged creates an n-shard store that maintains per-shard
+// apply-order digests.
+func NewShardedLogged(n int) *Store {
+	s := NewSharded(n)
 	s.recordLog = true
 	return s
 }
 
+// NumShards returns the shard count (a power of two).
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard index owning key. The hash is a fixed
+// multiplicative mix so every replica routes identically.
+func (s *Store) ShardOf(key uint64) int {
+	if s.mask == 0 {
+		return 0
+	}
+	h := key * 0x9E3779B97F4A7C15
+	return int((h >> 32) & s.mask)
+}
+
 // ApplyWrite implements core.StateMachine. OpDelete requests remove the
-// key; anything else stores the value.
+// key; anything else stores the value. Concurrent calls are permitted
+// only for keys in distinct shards.
 func (s *Store) ApplyWrite(req *wire.Request) {
+	sh := &s.shards[s.ShardOf(req.Key)]
 	if req.Op == wire.OpDelete {
-		delete(s.data, req.Key)
+		delete(sh.data, req.Key)
 	} else {
 		v := make([]byte, len(req.Val))
 		copy(v, req.Val)
-		s.data[req.Key] = v
+		sh.data[req.Key] = v
 	}
 	if s.recordLog {
-		s.logLen++
+		sh.logLen++
 		h := fnv.New64a()
 		var buf [8*4 + 1]byte
-		binary.LittleEndian.PutUint64(buf[0:], s.logDigest)
+		binary.LittleEndian.PutUint64(buf[0:], sh.logDigest)
 		binary.LittleEndian.PutUint64(buf[8:], req.Client)
 		binary.LittleEndian.PutUint64(buf[16:], req.Seq)
 		binary.LittleEndian.PutUint64(buf[24:], req.Key)
 		buf[32] = uint8(req.Op)
 		h.Write(buf[:])
 		h.Write(req.Val)
-		s.logDigest = h.Sum64()
+		sh.logDigest = h.Sum64()
 	}
 }
 
-// Read implements core.StateMachine.
-func (s *Store) Read(key uint64) []byte { return s.data[key] }
+// Read implements core.StateMachine. Concurrent calls are permitted only
+// against shards no writer is touching.
+func (s *Store) Read(key uint64) []byte {
+	return s.shards[s.ShardOf(key)].data[key]
+}
 
 // Len returns the number of keys present.
-func (s *Store) Len() int { return len(s.data) }
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].data)
+	}
+	return n
+}
 
 // LogLen returns the number of writes applied (when logging).
-func (s *Store) LogLen() uint64 { return s.logLen }
+func (s *Store) LogLen() uint64 {
+	var n uint64
+	for i := range s.shards {
+		n += s.shards[i].logLen
+	}
+	return n
+}
 
-// LogDigest returns the order-sensitive digest of applied writes.
-// Two replicas with equal digests applied identical write sequences.
-func (s *Store) LogDigest() uint64 { return s.logDigest }
+// LogDigest returns the order-sensitive digest of applied writes. Two
+// replicas with equal shard counts and equal digests applied write
+// sequences that agree within every shard — and since a key's shard is a
+// pure function of the key, replicas applying the same total order
+// always agree. Single-shard stores expose the raw shard digest
+// (backward compatible); sharded stores fold the per-shard digests in
+// shard order.
+func (s *Store) LogDigest() uint64 {
+	if len(s.shards) == 1 {
+		return s.shards[0].logDigest
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := range s.shards {
+		binary.LittleEndian.PutUint64(buf[0:], s.shards[i].logLen)
+		binary.LittleEndian.PutUint64(buf[8:], s.shards[i].logDigest)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// sortedKeys collects every key across all shards, sorted.
+func (s *Store) sortedKeys() []uint64 {
+	n := s.Len()
+	keys := make([]uint64, 0, n)
+	for i := range s.shards {
+		for k := range s.shards[i].data {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // Snapshot implements core.StateMachine: a deterministic rebuild script
 // for the current contents (apply order irrelevant; one write per key).
+// Values are copied — the script must stay valid while it is in flight
+// to a joiner even if the live store keeps applying writes.
 func (s *Store) Snapshot() []wire.Request {
-	keys := make([]uint64, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys := s.sortedKeys()
 	out := make([]wire.Request, 0, len(keys))
+	var arena []byte
 	for _, k := range keys {
-		out = append(out, wire.Request{Op: wire.OpWrite, Key: k, Val: s.data[k]})
+		v := s.Read(k)
+		arena = append(arena, v...)
+		out = append(out, wire.Request{Op: wire.OpWrite, Key: k, Val: arena[len(arena)-len(v):]})
 	}
 	return out
 }
 
 // StateDigest returns an order-insensitive digest of current contents,
-// for comparing replica states regardless of how they were reached.
+// for comparing replica states regardless of how they were reached (it
+// is also shard-count independent).
 func (s *Store) StateDigest() uint64 {
-	keys := make([]uint64, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys := s.sortedKeys()
 	h := fnv.New64a()
 	var buf [8]byte
 	for _, k := range keys {
 		binary.LittleEndian.PutUint64(buf[:], k)
 		h.Write(buf[:])
-		h.Write(s.data[k])
+		h.Write(s.Read(k))
 	}
 	return h.Sum64()
 }

@@ -8,6 +8,7 @@ package livecluster
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"canopus/internal/core"
@@ -25,18 +26,50 @@ type Config struct {
 	// nodes in one super-leaf.
 	SuperLeaves [][]wire.NodeID
 	// Node is the per-node protocol configuration template (Tree and
-	// Self are set by the cluster).
+	// Self are set by the cluster). Node.ApplyWorkers == 0 selects the
+	// live default — the PARALLEL commit pipeline, sized to the host
+	// (min(4, GOMAXPROCS) apply workers); set it negative to force the
+	// serial in-turn commit path instead. (The simulator keeps serial as
+	// its default: deterministic replay requires it. Live nodes have no
+	// such constraint, and parallel apply is the production
+	// configuration.)
 	Node core.Config
+	// StoreShards is the kvstore shard count per node (rounded up to a
+	// power of two). 0 selects the default (8); shards let the commit
+	// executor fan one cycle's bulk apply across workers.
+	StoreShards int
 	// Seed randomizes proposal numbers per node.
 	Seed int64
 	// LoggedStores gives every node an apply-order-logging store
-	// (kvstore.NewLogged) so tests can assert replica equality and
+	// (kvstore.NewShardedLogged) so tests can assert replica equality and
 	// exactly-once application; off by default — the digest costs a hash
 	// per mutation on the benchmarked hot path.
 	LoggedStores bool
 	// Logf receives transport log lines; default discards them (loopback
 	// teardown noise is not interesting).
 	Logf func(format string, args ...interface{})
+}
+
+// ResolveApplyWorkers maps the user-facing apply-worker knob (a config
+// field or a command-line flag) to a core.Config.ApplyWorkers value: 0
+// selects the live default — the parallel pipeline sized to the host,
+// min(4, GOMAXPROCS) workers — and a negative value selects the serial
+// in-turn commit path. canopus-server and Start share this policy.
+func ResolveApplyWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if n < 0 {
+		return 0 // explicit serial mode
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Cluster is a running loopback deployment.
@@ -90,13 +123,18 @@ func Start(cfg Config) (*Cluster, error) {
 		peers[wire.NodeID(i)] = r.Addr().String()
 		c.runners = append(c.runners, r)
 	}
+	shards := cfg.StoreShards
+	if shards <= 0 {
+		shards = 8
+	}
 	for i := 0; i < n; i++ {
 		nodeCfg := cfg.Node
 		nodeCfg.Tree = tree
 		nodeCfg.Self = wire.NodeID(i)
-		st := kvstore.New()
+		nodeCfg.ApplyWorkers = ResolveApplyWorkers(nodeCfg.ApplyWorkers)
+		st := kvstore.NewSharded(shards)
 		if cfg.LoggedStores {
-			st = kvstore.NewLogged()
+			st = kvstore.NewShardedLogged(shards)
 		}
 		node := core.NewNode(nodeCfg, st, core.Callbacks{})
 		c.stores = append(c.stores, st)
@@ -130,7 +168,23 @@ func (c *Cluster) ClientAddr(i int) string { return c.ports[i].Addr() }
 func (c *Cluster) Node(i int) *core.Node { return c.nodes[i] }
 
 // Store returns node i's local replica state (for tests and tooling).
+// With the parallel commit pipeline the apply stage owns the store;
+// foreign reads are only coherent through InspectStore.
 func (c *Cluster) Store(i int) *kvstore.Store { return c.stores[i] }
+
+// InspectStore runs fn against node i's replica state with the apply
+// pipeline quiesced: every cycle ordered at the time of the call has
+// been applied, and no apply runs concurrently with fn. Tests use it to
+// assert replica equality and exactly-once application regardless of
+// the commit-pipeline mode. fn must not submit operations or block on
+// cluster progress.
+func (c *Cluster) InspectStore(i int, fn func(st *kvstore.Store)) {
+	if c.nodes[i].ParallelApply() {
+		c.nodes[i].InspectApplied(func() { fn(c.stores[i]) })
+		return
+	}
+	c.runners[i].Invoke(func() { fn(c.stores[i]) })
+}
 
 // Port returns node i's client port.
 func (c *Cluster) Port(i int) *ClientPort { return c.ports[i] }
@@ -140,10 +194,11 @@ func (c *Cluster) Runner(i int) *transport.Runner { return c.runners[i] }
 
 // Submit asynchronously executes one keyed operation at node's replica,
 // implementing the canopus.Cluster interface over the same reply fan-out
-// the socket clients use. done runs inside the node's machine turn (it
-// must not block) with the read value (nil for mutations and misses) and
-// whether the operation was served; ok=false means the node is draining,
-// stalled or crashed.
+// the socket clients use. done runs from the node's execution context —
+// the apply executor in the default parallel mode, the machine turn in
+// serial mode — and must not block; it receives the read value (nil for
+// mutations and misses) and whether the operation was served; ok=false
+// means the node is draining, stalled or crashed.
 func (c *Cluster) Submit(node int, op wire.Op, key uint64, val []byte, done func(val []byte, ok bool)) {
 	c.ports[node].SubmitLocal(op, key, val, done)
 }
@@ -165,8 +220,8 @@ func (c *Cluster) RegisterSession(node int, done func(id uint64, ok bool)) {
 // implementing the canopus.SessionCluster interface: a mutation carrying
 // a (session, seq) that already committed — a retry after a lost reply —
 // completes with the cached result instead of applying twice. done runs
-// from the node's machine turn; ok=false means the node is draining,
-// stalled, crashed, or the session has expired.
+// from the node's execution context (see Submit); ok=false means the
+// node is draining, stalled, crashed, or the session has expired.
 func (c *Cluster) SubmitSession(node int, session, seq uint64, op wire.Op, key uint64, val []byte, done func(val []byte, ok bool)) {
 	c.ports[node].SubmitSessionLocal(session, seq, op, key, val, done)
 }
@@ -186,6 +241,10 @@ func (c *Cluster) Close() error {
 func (c *Cluster) Crash(i int) {
 	c.ports[i].Abort()
 	c.runners[i].Close()
+	// The transport is closed (no further machine turns); release the
+	// node's apply executor. Queued cycles finish applying first, so a
+	// post-mortem Store inspection still sees everything ordered here.
+	c.nodes[i].Close()
 }
 
 // Stop shuts the deployment down gracefully: drain every client port
@@ -208,5 +267,8 @@ func (c *Cluster) Stop(drain time.Duration) bool {
 func (c *Cluster) kill() {
 	for _, r := range c.runners {
 		r.Close()
+	}
+	for _, n := range c.nodes {
+		n.Close()
 	}
 }

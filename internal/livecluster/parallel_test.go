@@ -1,0 +1,230 @@
+package livecluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"canopus/client"
+	"canopus/internal/core"
+	"canopus/internal/kvstore"
+	"canopus/internal/workload"
+)
+
+// driveMixed pushes a seeded mixed workload (reads, writes, deletes,
+// weak-consistency reads) through every node of the cluster and waits
+// for completion.
+func driveMixed(t *testing.T, c *Cluster, perClient int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for n := 0; n < c.NumNodes(); n++ {
+		cl := dialClient(t, c, n)
+		defer cl.Close()
+		wg.Add(1)
+		go func(n int, cl *client.Client) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				key := uint64((i*7 + n*13) % 64)
+				var f *client.Future
+				switch i % 5 {
+				case 0, 1:
+					f = cl.PutAsync(key, []byte{byte(n), byte(i), byte(i >> 8)})
+				case 2:
+					f = cl.DeleteAsync(key)
+				case 3:
+					f = cl.GetAsync(key)
+				default:
+					f = cl.GetAsync(key, client.WithConsistency(client.Stale))
+				}
+				if i%8 == 7 { // keep a bounded pipeline
+					f.Wait(t.Context())
+				}
+			}
+		}(n, cl)
+	}
+	wg.Wait()
+}
+
+// TestParallelReplicaEquality is the live acceptance test for the
+// parallel commit pipeline: a cluster running the sharded store with
+// background apply executors serves a mixed workload from every node,
+// and after a drain every replica holds an identical apply log and
+// state (digest equality across replicas with equal shard counts).
+func TestParallelReplicaEquality(t *testing.T) {
+	c, err := Start(Config{
+		Nodes: 3,
+		Node: core.Config{
+			CycleInterval: 2 * time.Millisecond,
+			TickInterval:  2 * time.Millisecond,
+			ApplyWorkers:  4, // force multi-worker fan-out even on 1-CPU hosts
+		},
+		StoreShards:  8,
+		Seed:         31,
+		LoggedStores: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+	for i := 0; i < c.NumNodes(); i++ {
+		if !c.Node(i).ParallelApply() {
+			t.Fatalf("node %d is not running the parallel pipeline", i)
+		}
+	}
+
+	driveMixed(t, c, 400)
+
+	// Wait until every node has ordered AND applied the same cycle, then
+	// compare digests under the apply stage's own serialization.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		high := uint64(0)
+		for i := 0; i < c.NumNodes(); i++ {
+			if o := c.Node(i).Ordered(); o > high {
+				high = o
+			}
+		}
+		caughtUp := true
+		for i := 0; i < c.NumNodes(); i++ {
+			c.Node(i).DrainApply()
+			if c.Node(i).Committed() < high {
+				caughtUp = false
+			}
+		}
+		if caughtUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replicas never converged on a committed cycle")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	type digest struct {
+		logLen, logDigest, stateDigest uint64
+	}
+	var ref digest
+	for i := 0; i < c.NumNodes(); i++ {
+		var d digest
+		c.InspectStore(i, func(st *kvstore.Store) {
+			if st.NumShards() != 8 {
+				t.Errorf("node %d store has %d shards, want 8", i, st.NumShards())
+			}
+			d = digest{st.LogLen(), st.LogDigest(), st.StateDigest()}
+		})
+		if i == 0 {
+			ref = d
+			if ref.logLen == 0 {
+				t.Fatal("reference replica applied nothing")
+			}
+			continue
+		}
+		if d != ref {
+			t.Fatalf("replica %d diverged: %+v vs %+v", i, d, ref)
+		}
+	}
+}
+
+// TestParallelWatermarks pins the ordered-vs-applied watermark contract
+// under live load: Ordered() never trails Committed(), and a DrainApply
+// converges them.
+func TestParallelWatermarks(t *testing.T) {
+	c, err := Start(Config{
+		Nodes: 3,
+		Node: core.Config{
+			CycleInterval: 2 * time.Millisecond,
+			TickInterval:  2 * time.Millisecond,
+		},
+		Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+
+	stop := make(chan struct{})
+	var violations int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < c.NumNodes(); i++ {
+				n := c.Node(i)
+				// Load order matters: a commit between the two loads can
+				// only make Ordered read higher, never lower.
+				applied := n.Committed()
+				if n.Ordered() < applied {
+					violations++
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	conns := make([]workload.Doer, c.NumNodes())
+	for i := range conns {
+		cl := dialClient(t, c, i)
+		defer cl.Close()
+		conns[i] = doerAdapter{cl}
+	}
+	res := workload.RunLive(workload.LiveConfig{
+		Concurrency: 16, Duration: 500 * time.Millisecond, WriteRatio: 0.5, Seed: 5,
+	}, conns)
+	close(stop)
+	wg.Wait()
+	if res.Failed != 0 || res.Lost != 0 {
+		t.Fatalf("workload failed=%d lost=%d", res.Failed, res.Lost)
+	}
+	if violations != 0 {
+		t.Fatalf("observed %d Ordered() < Committed() violations", violations)
+	}
+	for i := 0; i < c.NumNodes(); i++ {
+		c.Node(i).DrainApply()
+		if o, a := c.Node(i).Ordered(), c.Node(i).Committed(); a < o {
+			t.Fatalf("node %d: applied %d trails ordered %d after drain", i, a, o)
+		}
+	}
+}
+
+// TestSerialModeStillServes pins the ApplyWorkers escape hatch: a
+// negative value selects the historical in-turn commit path, and the
+// cluster serves a full workload with replies accounted for.
+func TestSerialModeStillServes(t *testing.T) {
+	c, err := Start(Config{
+		Nodes: 3,
+		Node: core.Config{
+			CycleInterval: 2 * time.Millisecond,
+			TickInterval:  2 * time.Millisecond,
+			ApplyWorkers:  -1,
+		},
+		Seed: 35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop(5 * time.Second)
+	for i := 0; i < c.NumNodes(); i++ {
+		if c.Node(i).ParallelApply() {
+			t.Fatalf("node %d runs the parallel pipeline despite ApplyWorkers=-1", i)
+		}
+	}
+	conns := make([]workload.Doer, c.NumNodes())
+	for i := range conns {
+		cl := dialClient(t, c, i)
+		defer cl.Close()
+		conns[i] = doerAdapter{cl}
+	}
+	res := workload.RunLive(workload.LiveConfig{
+		Concurrency: 8, Duration: 300 * time.Millisecond, WriteRatio: 0.2, Seed: 9,
+	}, conns)
+	if res.Completed != res.Offered || res.Failed != 0 || res.Lost != 0 {
+		t.Fatalf("serial mode lost replies: offered %d completed %d failed %d lost %d",
+			res.Offered, res.Completed, res.Failed, res.Lost)
+	}
+}

@@ -39,11 +39,14 @@ const (
 // and Stale reads are answered from the node's committed state
 // (core.Node.ReadLocal) without starting or riding a consensus cycle.
 //
-// Replies are fanned out batch-aware: the port owns the node's
-// OnReplyBatch callback, so one committed cycle costs one pass over its
-// completions, appended into per-connection output buffers flushed by
-// per-connection writers — the consensus turn never blocks on a slow
-// client socket.
+// Replies are fanned out batch-aware and off the consensus turn: the
+// port owns the node's OnReplyBatch callback — which, with the parallel
+// commit pipeline (core.Config.ApplyWorkers), fires on the node's apply
+// executor rather than inside the machine turn — and one committed cycle
+// costs one pass over its completion records, encoded into
+// per-connection output buffers (pooled) that per-connection writer
+// goroutines flush. Neither the reply encode nor the socket write ever
+// holds the node's machine lock.
 type ClientPort struct {
 	runner *transport.Runner
 	node   *core.Node
@@ -61,9 +64,12 @@ type ClientPort struct {
 	// fault tests use to force the commit-race retry window.
 	dropReplies atomic.Bool
 
-	// mu guards conns; pending maps inside each conn are guarded by the
-	// runner's machine lock (inserted under Invoke, consumed under the
-	// node's reply callback).
+	// mu guards conns, every conn's pending map and seq counter,
+	// sessPending, and batch aggregates. It is the port's own lock —
+	// deliberately NOT the runner's machine lock — so the reply fan-out
+	// (running on the node's apply executor in parallel mode) and the
+	// submit paths (running inside machine turns) synchronize without
+	// serializing against consensus.
 	mu     sync.Mutex
 	nextID uint64
 	conns  map[uint64]*clientConn
@@ -71,8 +77,7 @@ type ClientPort struct {
 
 	// sessPending routes session-scoped submissions back to their
 	// serving connection: replies arrive keyed by the replicated
-	// (session, seq) identity, not the connection. Guarded by the runner
-	// lock, like the per-conn pending maps.
+	// (session, seq) identity, not the connection. Guarded by mu.
 	sessPending map[sessKey]sessEntry
 
 	writers sync.WaitGroup
@@ -99,8 +104,9 @@ type pendingEntry struct {
 }
 
 // batchAgg accumulates one v2 batch frame's per-op results; the response
-// is pushed when the last sub-op completes. Guarded by the runner lock,
-// like the pending maps feeding it.
+// is pushed when the last sub-op completes. Guarded by the port mutex,
+// like the pending maps feeding it. Aggregates and their result slices
+// are pooled — recycled the moment the response frame is encoded.
 type batchAgg struct {
 	id        uint64
 	remaining int
@@ -108,12 +114,32 @@ type batchAgg struct {
 	results   []wire.ClientResult
 }
 
+// aggPool recycles batch aggregates across frames.
+var aggPool = sync.Pool{New: func() any { return new(batchAgg) }}
+
+func newBatchAgg(id uint64, n int) *batchAgg {
+	agg := aggPool.Get().(*batchAgg)
+	agg.id, agg.remaining, agg.cycle = id, n, 0
+	if cap(agg.results) < n {
+		agg.results = make([]wire.ClientResult, n)
+	} else {
+		agg.results = agg.results[:n]
+		clear(agg.results)
+	}
+	return agg
+}
+
+func freeBatchAgg(agg *batchAgg) {
+	clear(agg.results)
+	aggPool.Put(agg)
+}
+
 type clientConn struct {
 	id   uint64
 	conn net.Conn // nil for the SubmitLocal pseudo-connection
 
 	// pending maps request Seq -> entry; seq is the per-connection
-	// submission counter. Both are guarded by the runner lock.
+	// submission counter. Both are guarded by the port mutex.
 	pending map[uint64]pendingEntry
 	seq     uint64
 
@@ -231,14 +257,12 @@ func (p *ClientPort) teardown(cc *clientConn) {
 	p.waitIdle(cc, 5*time.Second)
 	p.mu.Lock()
 	delete(p.conns, cc.id)
+	if n := len(cc.pending); n > 0 {
+		p.outstanding.Add(int64(-n))
+	}
+	cc.pending = nil
+	p.dropSessPendingLocked(cc)
 	p.mu.Unlock()
-	p.runner.Invoke(func() {
-		if n := len(cc.pending); n > 0 {
-			p.outstanding.Add(int64(-n))
-			cc.pending = nil
-		}
-		p.dropSessPending(cc)
-	})
 	cc.outMu.Lock()
 	cc.closing = true
 	cc.outMu.Unlock()
@@ -306,7 +330,10 @@ func (cc *clientConn) push(render func(b []byte) []byte) {
 
 // completeEntry delivers one completed consensus operation to its
 // destination: local callback, batch slot, or an encoded single-op
-// response. Runs inside the machine turn (runner lock held).
+// response. Runs with the port mutex held — on the node's apply executor
+// in parallel mode, inside the machine turn in serial mode. The value is
+// encoded (or handed to the done callback) before returning: it may
+// alias store state that the next cycle's apply overwrites.
 func (p *ClientPort) completeEntry(cc *clientConn, entry pendingEntry, op wire.Op, val []byte) {
 	cycle := p.node.Committed()
 	switch {
@@ -338,12 +365,15 @@ func (p *ClientPort) completeEntry(cc *clientConn, entry pendingEntry, op wire.O
 }
 
 // completeBatchOp fills one slot of a v2 batch and pushes the aggregate
-// response when the batch is complete. Runs under the runner lock.
+// response when the batch is complete. Runs with the port mutex held.
 func (p *ClientPort) completeBatchOp(cc *clientConn, agg *batchAgg, idx int, status, code uint8, val []byte, cycle uint64) {
 	if status == wire.ClientStatusOK && val != nil {
+		// A batch slot may outlive this completion callback (the frame
+		// encodes when its LAST slot fills, possibly cycles later), and
+		// reply values are only valid during the callback — copy.
 		v := make([]byte, len(val))
 		copy(v, val)
-		val = v // vals from the reply batch are only valid during the callback
+		val = v
 	}
 	agg.results[idx] = wire.ClientResult{Status: status, Code: code, Val: val}
 	if cycle > agg.cycle {
@@ -352,14 +382,20 @@ func (p *ClientPort) completeBatchOp(cc *clientConn, agg *batchAgg, idx int, sta
 	agg.remaining--
 	p.outstanding.Add(-1)
 	if agg.remaining == 0 {
+		// Encode now, inside this call: result values may alias store
+		// state (or stack-scoped error strings) that are only stable for
+		// the duration of the completion callback.
 		resp := wire.ClientResponseV2{ID: agg.id, Batch: true, Cycle: agg.cycle, Results: agg.results}
 		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+		freeBatchAgg(agg)
 	}
 }
 
-// onReplyBatch is the node's completion callback: it runs inside the
-// machine turn and fans one batch of completions out to the owning
-// connections' buffers (no socket writes on this path).
+// onReplyBatch is the node's completion callback: it fans one committed
+// cycle's completion records out to the owning connections' buffers (no
+// socket writes on this path). With the parallel commit pipeline it runs
+// on the node's apply executor — the machine lock is NOT held, which is
+// the point: reply materialization no longer steals consensus time.
 func (p *ClientPort) onReplyBatch(reqs []wire.Request, vals [][]byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -398,8 +434,11 @@ func (p *ClientPort) onReplyBatch(reqs []wire.Request, vals [][]byte) {
 
 // onSessionReject is the node's expired-session callback: the op was
 // deterministically NOT applied; surface CodeSessionExpired instead of a
-// completion. Runs inside the machine turn.
+// completion. Runs inside the machine turn (order resolution is always
+// serial).
 func (p *ClientPort) onSessionReject(req *wire.Request) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	k := sessKey{req.Client, req.Seq}
 	se, ok := p.sessPending[k]
 	if !ok {
@@ -421,11 +460,11 @@ func (p *ClientPort) onSessionReject(req *wire.Request) {
 	}
 }
 
-// putSessPending registers one session-scoped submission, retiring any
-// stale entry for the same (session, seq) — a retry looping back to this
-// node before its first submission's bookkeeping was torn down. Runs
-// under the runner lock; owns the outstanding increment.
-func (p *ClientPort) putSessPending(k sessKey, se sessEntry) {
+// putSessPendingLocked registers one session-scoped submission, retiring
+// any stale entry for the same (session, seq) — a retry looping back to
+// this node before its first submission's bookkeeping was torn down.
+// Runs with the port mutex held; owns the outstanding increment.
+func (p *ClientPort) putSessPendingLocked(k sessKey, se sessEntry) {
 	if old, ok := p.sessPending[k]; ok {
 		p.outstanding.Add(-1)
 		if old.e.done != nil {
@@ -436,9 +475,9 @@ func (p *ClientPort) putSessPending(k sessKey, se sessEntry) {
 	p.outstanding.Add(1)
 }
 
-// dropSessPending retires every session-scoped entry bound to one (dead)
-// connection. Runs under the runner lock.
-func (p *ClientPort) dropSessPending(cc *clientConn) {
+// dropSessPendingLocked retires every session-scoped entry bound to one
+// (dead) connection. Runs with the port mutex held.
+func (p *ClientPort) dropSessPendingLocked(cc *clientConn) {
 	for k, se := range p.sessPending {
 		if se.cc == cc {
 			delete(p.sessPending, k)
@@ -486,6 +525,23 @@ func (p *ClientPort) rejectBatch(cc *clientConn, id uint64, code uint8) {
 	cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
 }
 
+// track registers one submission in the connection's pending map and
+// returns its per-connection sequence number. It reports ok=false when
+// the connection has been torn down concurrently.
+func (p *ClientPort) track(cc *clientConn, entry pendingEntry) (uint64, bool) {
+	p.mu.Lock()
+	if cc.pending == nil {
+		p.mu.Unlock()
+		return 0, false
+	}
+	cc.seq++
+	seq := cc.seq
+	cc.pending[seq] = entry
+	p.mu.Unlock()
+	p.outstanding.Add(1)
+	return seq, true
+}
+
 // submit hands a group of parsed v1/text requests to the node in one
 // machine turn, registering each for reply routing.
 func (p *ClientPort) submit(cc *clientConn, group []wire.ClientRequest, mode uint8) {
@@ -496,9 +552,6 @@ func (p *ClientPort) submit(cc *clientConn, group []wire.ClientRequest, mode uin
 		return
 	}
 	p.runner.Invoke(func() {
-		if cc.pending == nil {
-			return // torn down concurrently
-		}
 		stalled := p.node.Stalled()
 		for i := range group {
 			q := &group[i]
@@ -506,11 +559,12 @@ func (p *ClientPort) submit(cc *clientConn, group []wire.ClientRequest, mode uin
 				p.reject(cc, mode, q.ID, wire.CodeStalled, "node stalled")
 				continue
 			}
-			cc.seq++
-			cc.pending[cc.seq] = pendingEntry{id: q.ID, mode: mode}
-			p.outstanding.Add(1)
+			seq, ok := p.track(cc, pendingEntry{id: q.ID, mode: mode})
+			if !ok {
+				return // torn down concurrently
+			}
 			p.node.Submit(wire.Request{
-				Client: cc.id, Seq: cc.seq, Op: q.Op, Key: q.Key, Val: q.Val,
+				Client: cc.id, Seq: seq, Op: q.Op, Key: q.Key, Val: q.Val,
 			})
 		}
 	})
@@ -532,9 +586,6 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 		return
 	}
 	p.runner.Invoke(func() {
-		if cc.pending == nil {
-			return // torn down concurrently
-		}
 		for i := range group {
 			q := &group[i]
 			switch {
@@ -573,25 +624,28 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 				// Session-scoped mutation: the replicated (session, seq)
 				// identity travels into consensus, so the apply-path
 				// dedup table recognizes a retried committed op.
-				p.putSessPending(sessKey{q.Session, q.Seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2}})
+				p.mu.Lock()
+				p.putSessPendingLocked(sessKey{q.Session, q.Seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2}})
+				p.mu.Unlock()
 				p.node.Submit(wire.Request{
 					Client: q.Session, Seq: q.Seq, Op: op.Op, Key: op.Key, Val: op.Val,
 				})
 				continue
 			}
-			cc.seq++
-			cc.pending[cc.seq] = pendingEntry{id: q.ID, mode: modeV2}
-			p.outstanding.Add(1)
+			seq, ok := p.track(cc, pendingEntry{id: q.ID, mode: modeV2})
+			if !ok {
+				return // torn down concurrently
+			}
 			p.node.Submit(wire.Request{
-				Client: cc.id, Seq: cc.seq, Op: op.Op, Key: op.Key, Val: op.Val,
+				Client: cc.id, Seq: seq, Op: op.Op, Key: op.Key, Val: op.Val,
 			})
 		}
 	})
 }
 
 // registerSession proposes a fresh replicated session and answers with
-// its 8-byte ID once the registration commits. Runs under the runner
-// lock.
+// its 8-byte ID once the registration commits. Runs inside the machine
+// turn.
 func (p *ClientPort) registerSession(cc *clientConn, id uint64) {
 	p.outstanding.Add(1)
 	p.node.RegisterSession(func(session uint64, ok bool) {
@@ -612,7 +666,7 @@ func (p *ClientPort) registerSession(cc *clientConn, id uint64) {
 }
 
 // expireSession proposes reclaiming a session and acknowledges once the
-// expiry commits. Runs under the runner lock.
+// expiry commits. Runs inside the machine turn.
 func (p *ClientPort) expireSession(cc *clientConn, id, session uint64) {
 	p.outstanding.Add(1)
 	p.node.ExpireSession(session, func(ok bool) {
@@ -635,23 +689,28 @@ func (p *ClientPort) expireSession(cc *clientConn, id, session uint64) {
 const maxMinCycleAhead = 1 << 16
 
 // minCycleSane validates a deferred read's target cycle against the
-// bound. Runs under the runner lock.
+// bound.
 func (p *ClientPort) minCycleSane(minCycle uint64) bool {
 	return minCycle <= p.node.Committed()+maxMinCycleAhead
 }
 
 // trackedReadLocal runs one committed-state read with the outstanding /
 // deferred-read accounting shared by the single-op and batch paths.
-// complete runs under the runner lock with the op's status, value and
-// serving cycle (status Err means the read was abandoned: node shutting
-// down, crashed, or stalled below the awaited cycle) and is responsible
-// for the matching outstanding decrement.
+// complete runs with the port mutex NOT held — on the apply executor in
+// parallel mode, under the machine turn in serial mode — with the op's
+// status, value and serving cycle (status Err means the read was
+// abandoned: node shutting down, crashed, or stalled below the awaited
+// cycle) and is responsible for the matching outstanding decrement.
 func (p *ClientPort) trackedReadLocal(key, minCycle uint64, complete func(status uint8, val []byte, cycle uint64)) {
 	p.outstanding.Add(1)
-	fired := false
-	var wasDeferred bool // written after ReadLocal returns; read only at commit time, both under the runner lock
+	// Whether this read will park is the executor's decision in parallel
+	// mode; the committed watermark is the best (conservative) estimate,
+	// and the completion settles the account using the same flag.
+	deferred := minCycle > p.node.Committed()
+	if deferred {
+		p.deferredLocal.Add(1)
+	}
 	p.node.ReadLocal(key, minCycle, func(val []byte, cycle uint64, ok bool) {
-		fired = true
 		status := wire.ClientStatusOK
 		switch {
 		case !ok:
@@ -660,18 +719,14 @@ func (p *ClientPort) trackedReadLocal(key, minCycle uint64, complete func(status
 			status = wire.ClientStatusNil
 		}
 		complete(status, val, cycle)
-		if wasDeferred {
+		if deferred {
 			p.deferredLocal.Add(-1)
 		}
 	})
-	if !fired {
-		wasDeferred = true
-		p.deferredLocal.Add(1)
-	}
 }
 
 // localRead serves one non-linearizable single-op read from committed
-// state. Runs under the runner lock.
+// state.
 func (p *ClientPort) localRead(cc *clientConn, id uint64, key, minCycle uint64) {
 	p.trackedReadLocal(key, minCycle, func(status uint8, val []byte, cycle uint64) {
 		resp := wire.ClientResponseV2{ID: id, Status: status, Cycle: cycle, Val: val}
@@ -689,9 +744,9 @@ func (p *ClientPort) localRead(cc *clientConn, id uint64, key, minCycle uint64) 
 // response goes out when the last slot fills. In a session batch the
 // frame's mutating ops carry session seqs q.Seq, q.Seq+1, ... in frame
 // order (reads consume none), mirroring the client's assignment. Runs
-// under the runner lock.
+// inside the machine turn.
 func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
-	agg := &batchAgg{id: q.ID, remaining: len(q.Ops), results: make([]wire.ClientResult, len(q.Ops))}
+	agg := newBatchAgg(q.ID, len(q.Ops))
 	stalled := p.node.Stalled()
 	sessSeq := q.Seq
 	for i := range q.Ops {
@@ -699,7 +754,9 @@ func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 		if op.Op == wire.OpRead && q.Consistency != wire.Linearizable {
 			if !p.minCycleSane(q.MinCycle) {
 				p.outstanding.Add(1) // completeBatchOp undoes it
+				p.mu.Lock()
 				p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, wire.CodeBadRequest, []byte("minCycle too far ahead"), 0)
+				p.mu.Unlock()
 				continue
 			}
 			idx := i
@@ -708,29 +765,36 @@ func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 				if status == wire.ClientStatusErr {
 					code = wire.CodeDraining
 				}
+				p.mu.Lock()
 				p.completeBatchOp(cc, agg, idx, status, code, val, cycle)
+				p.mu.Unlock()
 			})
 			continue
 		}
 		if stalled {
 			p.outstanding.Add(1) // completeBatchOp undoes it; keeps one accounting path
+			p.mu.Lock()
 			p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, wire.CodeStalled, []byte("node stalled"), 0)
+			p.mu.Unlock()
 			continue
 		}
 		if q.Session != 0 && op.Op.Mutates() {
 			seq := sessSeq
 			sessSeq++
-			p.putSessPending(sessKey{q.Session, seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2, agg: agg, idx: i}})
+			p.mu.Lock()
+			p.putSessPendingLocked(sessKey{q.Session, seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2, agg: agg, idx: i}})
+			p.mu.Unlock()
 			p.node.Submit(wire.Request{
 				Client: q.Session, Seq: seq, Op: op.Op, Key: op.Key, Val: op.Val,
 			})
 			continue
 		}
-		cc.seq++
-		cc.pending[cc.seq] = pendingEntry{id: q.ID, mode: modeV2, agg: agg, idx: i}
-		p.outstanding.Add(1)
+		seq, ok := p.track(cc, pendingEntry{id: q.ID, mode: modeV2, agg: agg, idx: i})
+		if !ok {
+			return // torn down concurrently; teardown retired the accounting
+		}
 		p.node.Submit(wire.Request{
-			Client: cc.id, Seq: cc.seq, Op: op.Op, Key: op.Key, Val: op.Val,
+			Client: cc.id, Seq: seq, Op: op.Op, Key: op.Key, Val: op.Val,
 		})
 	}
 }
@@ -738,10 +802,11 @@ func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 // SubmitLocal injects one operation directly into the node — no socket,
 // no frame encoding — while sharing the port's reply fan-out, drain
 // rejection and outstanding accounting with socket clients. done is
-// invoked from the node's machine turn (so it must not block) with the
-// read value and whether the operation was served; ok=false means the
-// port is draining or the node has stalled. This is the backend path of
-// the public canopus.Cluster interface.
+// invoked from the node's execution context (machine turn in serial
+// mode, apply executor in parallel mode — it must not block either way)
+// with the read value and whether the operation was served; ok=false
+// means the port is draining or the node has stalled. This is the
+// backend path of the public canopus.Cluster interface.
 func (p *ClientPort) SubmitLocal(op wire.Op, key uint64, val []byte, done func(val []byte, ok bool)) {
 	if p.draining.Load() {
 		done(nil, false)
@@ -749,14 +814,16 @@ func (p *ClientPort) SubmitLocal(op wire.Op, key uint64, val []byte, done func(v
 	}
 	cc := p.local()
 	p.runner.Invoke(func() {
-		if cc.pending == nil || p.node.Stalled() {
+		if p.node.Stalled() {
 			done(nil, false)
 			return
 		}
-		cc.seq++
-		cc.pending[cc.seq] = pendingEntry{done: done}
-		p.outstanding.Add(1)
-		p.node.Submit(wire.Request{Client: cc.id, Seq: cc.seq, Op: op, Key: key, Val: val})
+		seq, ok := p.track(cc, pendingEntry{done: done})
+		if !ok {
+			done(nil, false)
+			return
+		}
+		p.node.Submit(wire.Request{Client: cc.id, Seq: seq, Op: op, Key: key, Val: val})
 	})
 }
 
@@ -782,8 +849,8 @@ func (p *ClientPort) RegisterLocal(done func(id uint64, ok bool)) {
 // the node, sharing the session reply routing with socket clients: a
 // mutation whose (session, seq) already committed completes with the
 // cached reply instead of applying twice. done runs from the node's
-// machine turn; ok=false means draining, stalled, crashed — or the
-// session expired.
+// execution context (see SubmitLocal); ok=false means draining, stalled,
+// crashed — or the session expired.
 func (p *ClientPort) SubmitSessionLocal(session, seq uint64, op wire.Op, key uint64, val []byte, done func(val []byte, ok bool)) {
 	if p.draining.Load() {
 		done(nil, false)
@@ -791,19 +858,28 @@ func (p *ClientPort) SubmitSessionLocal(session, seq uint64, op wire.Op, key uin
 	}
 	cc := p.local()
 	p.runner.Invoke(func() {
-		if cc.pending == nil || p.node.Stalled() {
+		if p.node.Stalled() {
 			done(nil, false)
 			return
 		}
 		if !op.Mutates() {
 			// Reads are idempotent: no dedup identity needed.
-			cc.seq++
-			cc.pending[cc.seq] = pendingEntry{done: done}
-			p.outstanding.Add(1)
-			p.node.Submit(wire.Request{Client: cc.id, Seq: cc.seq, Op: op, Key: key, Val: val})
+			seq, ok := p.track(cc, pendingEntry{done: done})
+			if !ok {
+				done(nil, false)
+				return
+			}
+			p.node.Submit(wire.Request{Client: cc.id, Seq: seq, Op: op, Key: key, Val: val})
 			return
 		}
-		p.putSessPending(sessKey{session, seq}, sessEntry{cc: cc, e: pendingEntry{done: done}})
+		p.mu.Lock()
+		if cc.pending == nil {
+			p.mu.Unlock()
+			done(nil, false)
+			return
+		}
+		p.putSessPendingLocked(sessKey{session, seq}, sessEntry{cc: cc, e: pendingEntry{done: done}})
+		p.mu.Unlock()
 		p.node.Submit(wire.Request{Client: session, Seq: seq, Op: op, Key: key, Val: val})
 	})
 }
@@ -812,15 +888,19 @@ func (p *ClientPort) SubmitSessionLocal(session, seq uint64, op wire.Op, key uin
 // frames already buffered are batched into a single submit turn.
 func (p *ClientPort) handleBinary(cc *clientConn, br *bufio.Reader) {
 	var hdr [4]byte
-	var payload []byte // reused; ParseClientRequest copies what it keeps
+	var payload []byte // reused; parsed payloads copy into the group arena
 	group := make([]wire.ClientRequest, 0, maxGroup)
 	for {
 		group = group[:0]
+		// One value arena per accepted group: every parsed payload is
+		// copied into it once, and the arena travels into consensus with
+		// the requests (it is NOT reused across groups).
+		var arena []byte
 		// Block for the first request of the group.
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		q, err := readBinaryRequest(br, hdr, &payload)
+		q, err := readBinaryRequest(br, hdr, &payload, &arena)
 		if err != nil {
 			return
 		}
@@ -838,7 +918,7 @@ func (p *ClientPort) handleBinary(cc *clientConn, br *bufio.Reader) {
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
 				return
 			}
-			q, err := readBinaryRequest(br, hdr, &payload)
+			q, err := readBinaryRequest(br, hdr, &payload, &arena)
 			if err != nil {
 				return
 			}
@@ -849,21 +929,20 @@ func (p *ClientPort) handleBinary(cc *clientConn, br *bufio.Reader) {
 }
 
 // handleV2 runs the pipelined binary protocol v2, with the same
-// group-per-turn batching as v1.
+// group-per-turn batching and per-group value arena as v1.
 func (p *ClientPort) handleV2(cc *clientConn, br *bufio.Reader) {
 	var hdr [4]byte
 	var payload []byte
 	group := make([]wire.ClientRequestV2, 0, maxGroup)
 	for {
 		group = group[:0]
+		var arena []byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		q, err := readV2Request(br, hdr, &payload)
-		if err != nil {
+		if err := readV2Request(br, hdr, &payload, &arena, appendV2Slot(&group)); err != nil {
 			return
 		}
-		group = append(group, q)
 		for len(group) < maxGroup && br.Buffered() >= 4 {
 			peek, _ := br.Peek(4)
 			n, err := wire.ClientFrameLen([4]byte(peek))
@@ -876,30 +955,42 @@ func (p *ClientPort) handleV2(cc *clientConn, br *bufio.Reader) {
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
 				return
 			}
-			q, err := readV2Request(br, hdr, &payload)
-			if err != nil {
+			if err := readV2Request(br, hdr, &payload, &arena, appendV2Slot(&group)); err != nil {
 				return
 			}
-			group = append(group, q)
 		}
 		p.submitV2(cc, group)
 	}
 }
 
-func readBinaryRequest(br *bufio.Reader, hdr [4]byte, scratch *[]byte) (wire.ClientRequest, error) {
+// appendV2Slot extends the group by one reusable slot and returns it.
+// The slot keeps its Ops backing array across groups, so steady-state
+// parsing allocates nothing per request.
+func appendV2Slot(group *[]wire.ClientRequestV2) *wire.ClientRequestV2 {
+	g := *group
+	if len(g) < cap(g) {
+		g = g[:len(g)+1]
+	} else {
+		g = append(g, wire.ClientRequestV2{})
+	}
+	*group = g
+	return &g[len(g)-1]
+}
+
+func readBinaryRequest(br *bufio.Reader, hdr [4]byte, scratch, arena *[]byte) (wire.ClientRequest, error) {
 	payload, err := readFrame(br, hdr, scratch)
 	if err != nil {
 		return wire.ClientRequest{}, err
 	}
-	return wire.ParseClientRequest(payload)
+	return wire.ParseClientRequestArena(payload, arena)
 }
 
-func readV2Request(br *bufio.Reader, hdr [4]byte, scratch *[]byte) (wire.ClientRequestV2, error) {
+func readV2Request(br *bufio.Reader, hdr [4]byte, scratch, arena *[]byte, q *wire.ClientRequestV2) error {
 	payload, err := readFrame(br, hdr, scratch)
 	if err != nil {
-		return wire.ClientRequestV2{}, err
+		return err
 	}
-	return wire.ParseClientRequestV2(payload)
+	return wire.ParseClientRequestV2Into(payload, q, arena)
 }
 
 func readFrame(br *bufio.Reader, hdr [4]byte, scratch *[]byte) ([]byte, error) {
@@ -922,8 +1013,9 @@ func readFrame(br *bufio.Reader, hdr [4]byte, scratch *[]byte) ([]byte, error) {
 func (p *ClientPort) waitIdle(cc *clientConn, timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	for {
-		var n int
-		p.runner.Invoke(func() { n = len(cc.pending) })
+		p.mu.Lock()
+		n := len(cc.pending)
+		p.mu.Unlock()
 		if n == 0 || time.Now().After(deadline) {
 			return
 		}
@@ -1017,6 +1109,11 @@ func (p *ClientPort) Stop(drain time.Duration) bool {
 			p.node.FailLocalReads()
 			p.node.FailSessionWaiters()
 		})
+		// Parked reads fail on the apply executor in parallel mode; give
+		// the failure a moment to propagate through the accounting.
+		for p.outstanding.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
 		if p.outstanding.Load() > 0 {
 			drained = false
 		}
@@ -1028,7 +1125,7 @@ func (p *ClientPort) Stop(drain time.Duration) bool {
 	loc := p.loc
 	p.mu.Unlock()
 	if loc != nil {
-		p.runner.Invoke(func() { p.failPendingLocked(loc) })
+		p.failPending(loc)
 	}
 	p.mu.Lock()
 	conns := make([]*clientConn, 0, len(p.conns))
@@ -1091,26 +1188,27 @@ func (p *ClientPort) Abort() {
 	p.runner.Invoke(func() {
 		p.node.FailLocalReads()
 		p.node.FailSessionWaiters()
-		for _, cc := range conns {
-			p.failPendingLocked(cc)
-		}
 	})
+	for _, cc := range conns {
+		p.failPending(cc)
+	}
 }
 
-// failPendingLocked retires every pending entry of one connection,
-// completing local done callbacks with ok=false (the Cluster.Submit
-// contract: done always fires). Runs under the runner lock.
-func (p *ClientPort) failPendingLocked(cc *clientConn) {
-	p.dropSessPending(cc)
+// failPending retires every pending entry of one connection, completing
+// local done callbacks with ok=false (the Cluster.Submit contract: done
+// always fires).
+func (p *ClientPort) failPending(cc *clientConn) {
+	p.mu.Lock()
+	p.dropSessPendingLocked(cc)
 	if len(cc.pending) == 0 {
-		if cc.pending != nil {
-			cc.pending = nil
-		}
+		cc.pending = nil
+		p.mu.Unlock()
 		return
 	}
 	p.outstanding.Add(int64(-len(cc.pending)))
 	pending := cc.pending
 	cc.pending = nil
+	p.mu.Unlock()
 	for _, entry := range pending {
 		if entry.done != nil {
 			entry.done(nil, false)

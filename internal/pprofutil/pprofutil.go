@@ -1,0 +1,50 @@
+// Package pprofutil is the shared -cpuprofile/-memprofile plumbing for
+// this repository's command-line binaries: one call at startup, one
+// deferred stop, identical semantics everywhere.
+package pprofutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) paths and
+// returns a stop function to defer: it stops the CPU profile and writes
+// the allocation profile (after a GC, so live objects are settled).
+// Errors opening or starting a profile are returned immediately; errors
+// during stop are reported to stderr — by then the process is exiting
+// and the run's real work already succeeded.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprofutil:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "pprofutil:", err)
+		}
+	}, nil
+}

@@ -70,6 +70,7 @@ type Runner struct {
 type peerConn struct {
 	mu          sync.Mutex
 	queue       [][]byte
+	spare       [][]byte // drained queue backing awaiting reuse
 	queuedBytes int
 	inflight    int // bytes taken off the queue but not yet written
 	dropped     uint64
@@ -288,6 +289,11 @@ func (r *Runner) flushTurn() {
 			}
 			continue
 		}
+		if pc.queue == nil && pc.spare != nil {
+			// Reuse the backing array the writer just drained instead of
+			// growing a fresh queue every turn.
+			pc.queue, pc.spare = pc.spare[:0], nil
+		}
 		pc.queue = append(pc.queue, buf)
 		pc.queuedBytes += len(buf)
 		pc.mu.Unlock()
@@ -325,6 +331,7 @@ func (r *Runner) peer(to wire.NodeID) *peerConn {
 func (r *Runner) writeLoop(to wire.NodeID, pc *peerConn) {
 	var conn net.Conn
 	var lastDialFail time.Time
+	var scratch net.Buffers // reused vectored-write header array
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -344,9 +351,14 @@ func (r *Runner) writeLoop(to wire.NodeID, pc *peerConn) {
 			if len(batch) == 0 {
 				break
 			}
-			conn = r.writeBatch(to, conn, batch, &lastDialFail)
+			conn = r.writeBatch(conn, to, batch, &scratch, &lastDialFail)
 			pc.mu.Lock()
 			pc.inflight = 0
+			if pc.spare == nil {
+				// Hand the drained backing array back for the next turn.
+				clear(batch)
+				pc.spare = batch[:0]
+			}
 			pc.mu.Unlock()
 		}
 	}
@@ -354,8 +366,11 @@ func (r *Runner) writeLoop(to wire.NodeID, pc *peerConn) {
 
 // writeBatch writes one batch of turn buffers to the peer, dialing if
 // needed, and returns the (possibly new or closed) connection. Buffers
-// are returned to the encode pool afterwards regardless of outcome.
-func (r *Runner) writeBatch(to wire.NodeID, conn net.Conn, batch [][]byte, lastDialFail *time.Time) net.Conn {
+// are returned to the encode pool afterwards regardless of outcome; the
+// batch slice itself is the caller's to recycle. scratch is the reused
+// net.Buffers header array (WriteTo consumes the elements, so the batch
+// slice cannot be handed to it directly).
+func (r *Runner) writeBatch(conn net.Conn, to wire.NodeID, batch [][]byte, scratch *net.Buffers, lastDialFail *time.Time) net.Conn {
 	defer func() {
 		for _, b := range batch {
 			wire.EncodePool.Put(b)
@@ -377,8 +392,8 @@ func (r *Runner) writeBatch(to wire.NodeID, conn net.Conn, batch [][]byte, lastD
 		conn = c
 	}
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	bufs := make(net.Buffers, len(batch))
-	copy(bufs, batch)
+	bufs := append((*scratch)[:0], batch...)
+	*scratch = bufs[:0] // keep the original header; WriteTo consumes its copy
 	if _, err := bufs.WriteTo(conn); err != nil {
 		conn.Close()
 		return nil

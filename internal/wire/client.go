@@ -80,12 +80,21 @@ func AppendClientRequest(b []byte, q *ClientRequest) []byte {
 // ParseClientRequest decodes one request payload (the bytes after the
 // length prefix).
 func ParseClientRequest(payload []byte) (ClientRequest, error) {
+	return ParseClientRequestArena(payload, nil)
+}
+
+// ParseClientRequestArena is ParseClientRequest with the value copied
+// into *arena (when non-nil) instead of a per-request allocation: the
+// server's submit path shares one arena across an accepted group, so
+// payload copies cost one allocation per group, not one per request.
+// The arena must not be reused while any parsed value is still alive.
+func ParseClientRequestArena(payload []byte, arena *[]byte) (ClientRequest, error) {
 	r := &reader{b: payload}
 	var q ClientRequest
 	q.ID = r.u64()
 	q.Op = Op(r.u8())
 	q.Key = r.u64()
-	q.Val = r.bytes()
+	q.Val = r.bytesArena(arena)
 	if r.err != nil || r.off != len(payload) {
 		return ClientRequest{}, fmt.Errorf("%w: request (%d bytes)", ErrClientFrame, len(payload))
 	}
@@ -357,8 +366,23 @@ func AppendClientRequestV2(b []byte, q *ClientRequestV2) []byte {
 
 // ParseClientRequestV2 decodes one v2 request payload.
 func ParseClientRequestV2(payload []byte) (ClientRequestV2, error) {
-	r := &reader{b: payload}
 	var q ClientRequestV2
+	if err := ParseClientRequestV2Into(payload, &q, nil); err != nil {
+		return ClientRequestV2{}, err
+	}
+	return q, nil
+}
+
+// ParseClientRequestV2Into decodes one v2 request payload into *q,
+// reusing q's Ops backing array when its capacity suffices, and copying
+// values into *arena (when non-nil) instead of per-value allocations —
+// the server's submit path shares one arena per accepted group. On
+// error *q is left zeroed. The arena must not be reused while any
+// parsed value is still alive.
+func ParseClientRequestV2Into(payload []byte, q *ClientRequestV2, arena *[]byte) error {
+	ops := q.Ops[:0]
+	*q = ClientRequestV2{}
+	r := &reader{b: payload}
 	q.ID = r.u64()
 	kind := r.u8()
 	switch kind {
@@ -372,8 +396,8 @@ func ParseClientRequestV2(payload []byte) (ClientRequestV2, error) {
 			q.Seq = r.u64()
 		}
 		op.Key = r.u64()
-		op.Val = r.bytes()
-		q.Ops = []ClientOp{op}
+		op.Val = r.bytesArena(arena)
+		q.Ops = append(ops, op)
 	case v2KindBatch, v2KindSessionBatch:
 		q.Batch = true
 		q.Consistency = Consistency(r.u8())
@@ -384,26 +408,32 @@ func ParseClientRequestV2(payload []byte) (ClientRequestV2, error) {
 		}
 		count := r.count(v2ReqElemFixed)
 		if count == 0 && r.err == nil {
-			return ClientRequestV2{}, fmt.Errorf("%w: empty batch", ErrClientFrame)
+			*q = ClientRequestV2{}
+			return fmt.Errorf("%w: empty batch", ErrClientFrame)
 		}
-		q.Ops = make([]ClientOp, 0, count)
+		if cap(ops) < count {
+			ops = make([]ClientOp, 0, count)
+		}
 		for i := 0; i < count; i++ {
 			var op ClientOp
 			op.Op = Op(r.u8())
 			op.Key = r.u64()
-			op.Val = r.bytes()
-			q.Ops = append(q.Ops, op)
+			op.Val = r.bytesArena(arena)
+			ops = append(ops, op)
 		}
+		q.Ops = ops
 	case v2KindRegister:
 		q.Register = true
 	case v2KindExpire:
 		q.Expire = true
 		q.Session = r.u64()
 	default:
-		return ClientRequestV2{}, fmt.Errorf("%w: unknown v2 frame kind %d", ErrClientFrame, kind)
+		*q = ClientRequestV2{}
+		return fmt.Errorf("%w: unknown v2 frame kind %d", ErrClientFrame, kind)
 	}
 	if r.err != nil || r.off != len(payload) {
-		return ClientRequestV2{}, fmt.Errorf("%w: v2 request (%d bytes)", ErrClientFrame, len(payload))
+		*q = ClientRequestV2{}
+		return fmt.Errorf("%w: v2 request (%d bytes)", ErrClientFrame, len(payload))
 	}
 	// Session frame shapes require a well-formed session ID: zero would
 	// re-encode as the sessionless shape (breaking decode∘encode
@@ -412,17 +442,23 @@ func ParseClientRequestV2(payload []byte) (ClientRequestV2, error) {
 	// client inject a raw Request.Client identity that bypasses the
 	// dedup table and collides with connection-scoped reply routing.
 	if (kind == v2KindSessionOp || kind == v2KindSessionBatch || kind == v2KindExpire) && !IsSessionID(q.Session) {
-		return ClientRequestV2{}, fmt.Errorf("%w: invalid session ID %#x", ErrClientFrame, q.Session)
+		err := fmt.Errorf("%w: invalid session ID %#x", ErrClientFrame, q.Session)
+		*q = ClientRequestV2{}
+		return err
 	}
 	if q.Consistency > Stale {
-		return ClientRequestV2{}, fmt.Errorf("%w: unknown consistency %d", ErrClientFrame, uint8(q.Consistency))
+		err := fmt.Errorf("%w: unknown consistency %d", ErrClientFrame, uint8(q.Consistency))
+		*q = ClientRequestV2{}
+		return err
 	}
 	for i := range q.Ops {
 		if !validOp(q.Ops[i].Op) {
-			return ClientRequestV2{}, fmt.Errorf("%w: unknown op %d", ErrClientFrame, uint8(q.Ops[i].Op))
+			err := fmt.Errorf("%w: unknown op %d", ErrClientFrame, uint8(q.Ops[i].Op))
+			*q = ClientRequestV2{}
+			return err
 		}
 	}
-	return q, nil
+	return nil
 }
 
 // AppendClientResponseV2 appends resp as a length-prefixed v2 frame to b.

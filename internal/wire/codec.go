@@ -132,6 +132,15 @@ func (r *reader) str() string {
 }
 
 func (r *reader) bytes() []byte {
+	return r.bytesArena(nil)
+}
+
+// bytesArena reads a length-prefixed byte string, copying it into *arena
+// (when non-nil) instead of a dedicated allocation. Growth of the arena
+// leaves previously returned slices pointing into the old backing array,
+// which stays valid — callers just must not recycle an arena while any
+// slice carved from it is alive.
+func (r *reader) bytesArena(arena *[]byte) []byte {
 	n := int(r.u32())
 	if r.err != nil || r.off+n > len(r.b) {
 		r.fail()
@@ -140,8 +149,15 @@ func (r *reader) bytes() []byte {
 	if n == 0 {
 		return nil
 	}
-	v := make([]byte, n)
-	copy(v, r.b[r.off:])
+	var v []byte
+	if arena != nil {
+		a := append(*arena, r.b[r.off:r.off+n]...)
+		*arena = a
+		v = a[len(a)-n:]
+	} else {
+		v = make([]byte, n)
+		copy(v, r.b[r.off:])
+	}
 	r.off += n
 	return v
 }

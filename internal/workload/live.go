@@ -157,6 +157,11 @@ func runClosed(cfg LiveConfig, conns []Doer) *LiveResult {
 			conn := conns[w%len(conns)]
 			val := make([]byte, cfg.ValueBytes)
 			ch := make(chan bool, 1)
+			// One completion callback per worker, not per request: with
+			// one outstanding op per worker the channel uniquely pairs
+			// request and reply, and the measured allocs-per-request
+			// budget stays free of driver closures.
+			done := func(ok bool) { ch <- ok }
 			timer := time.NewTimer(time.Hour)
 			timer.Stop()
 			defer timer.Stop()
@@ -175,7 +180,7 @@ func runClosed(cfg LiveConfig, conns []Doer) *LiveResult {
 				if measured {
 					offered.Add(1)
 				}
-				conn.Do(op, key, v, func(ok bool) { ch <- ok })
+				conn.Do(op, key, v, done)
 				var ok bool
 				timer.Reset(cfg.DrainTimeout)
 				select {
