@@ -38,6 +38,7 @@ func main() {
 	quick := flag.Bool("quick", false, "short windows and coarse search (CI mode)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	jsonOut := flag.String("json", "", "also write metrics as JSON to this path (live only)")
+	dataDir := flag.String("data-dir", "", "run the live cluster durably under this directory (live only; default: in-memory)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (pprof evidence for perf work)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this path on exit")
 	flag.Parse()
@@ -49,7 +50,7 @@ func main() {
 	}
 	defer stopProfiles()
 
-	o := &harness.Options{Quick: *quick, Seed: *seed, Out: os.Stdout, JSONOut: *jsonOut}
+	o := &harness.Options{Quick: *quick, Seed: *seed, Out: os.Stdout, JSONOut: *jsonOut, DataDir: *dataDir}
 	runs := map[string]func(*harness.Options){
 		"table1": harness.Table1,
 		"fig4a":  harness.Fig4a,

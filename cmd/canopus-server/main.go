@@ -33,6 +33,7 @@ import (
 	"canopus/internal/lot"
 	"canopus/internal/pprofutil"
 	"canopus/internal/transport"
+	"canopus/internal/wal"
 	"canopus/internal/wire"
 )
 
@@ -44,6 +45,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound for in-flight client requests")
 	applyWorkers := flag.Int("apply-workers", 0, "commit-apply workers: 0 = auto (min(4, GOMAXPROCS), parallel pipeline), <0 = serial in-turn apply")
 	shards := flag.Int("shards", 8, "replica store shard count (rounded up to a power of two)")
+	dataDir := flag.String("data-dir", "", "durable storage directory: group-commit WAL + snapshots, recovered at boot (default: in-memory only)")
+	snapshotCycles := flag.Int("snapshot-cycles", 0, "snapshot cadence in committed cycles (0 = default, <0 = disable periodic snapshots)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (stopped at graceful shutdown)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this path at graceful shutdown")
 	flag.Parse()
@@ -93,18 +96,53 @@ func main() {
 	if err != nil {
 		log.Fatal("canopus-server: ", err)
 	}
-	node := core.NewNode(core.Config{
+	st := kvstore.NewSharded(*shards)
+	nodeCfg := core.Config{
 		Tree: tree, Self: self,
 		ApplyWorkers: livecluster.ResolveApplyWorkers(*applyWorkers),
-	}, kvstore.NewSharded(*shards), core.Callbacks{})
+	}
+	var mgr *wal.Manager
+	if *dataDir != "" {
+		mgr, err = wal.Open(wal.Options{Dir: *dataDir, Store: st, SnapshotCycles: *snapshotCycles})
+		if err != nil {
+			log.Fatal("canopus-server: ", err)
+		}
+		// Closed after the node (LIFO defers): the apply executor must
+		// flush its last durability batch first.
+		defer func() {
+			if err := mgr.Close(); err != nil {
+				log.Printf("node %v: wal close: %v", self, err)
+			}
+		}()
+		nodeCfg.Durability = mgr
+	}
+	node := core.NewNode(nodeCfg, st, core.Callbacks{})
 	defer node.Close()
 
+	// Bind the client address before recovery (a restarting node owns its
+	// advertised endpoint immediately) but accept only after recovery has
+	// replayed the log — no client ever reads mid-recovery state.
 	var port *livecluster.ClientPort
 	if *clientAddr != "" {
 		port, err = livecluster.NewClientPort(runner, node, *clientAddr)
 		if err != nil {
 			log.Fatal("canopus-server: ", err)
 		}
+		port.SetDigestFunc(livecluster.DigestSource(runner, node, st))
+	}
+
+	if mgr != nil {
+		info, err := mgr.Recover(node)
+		if err != nil {
+			log.Fatal("canopus-server: recovery: ", err)
+		}
+		if info.Durable > 0 {
+			log.Printf("node %v: recovered to cycle %d from %s (snapshot at cycle %d, %d WAL records replayed)",
+				self, info.Durable, *dataDir, info.SnapshotCycle, info.Replayed)
+		}
+	}
+	if port != nil {
+		port.AcceptClients()
 		log.Printf("node %v: client API on %s (text + binary)", self, port.Addr())
 	}
 

@@ -52,9 +52,18 @@ func (n *Node) commit(c *cycle) {
 	n.collectDeferredReads(c.id, plan)
 
 	if n.exec != nil {
+		if n.cfg.Durability != nil {
+			plan.root = root
+		}
 		n.exec.submitPlan(plan)
 	} else {
 		n.execPlanOps(plan)
+		// Serial mode logs and syncs inside the turn, one cycle per Sync
+		// (simulations run on an in-memory FS; live serial mode trades
+		// fsync batching for the lease fast path that forces this mode).
+		if n.appendDurable(c.id, root) {
+			n.syncDurable()
+		}
 		n.deliverPlan(plan)
 		n.runLocalReads()
 		n.freePlan(plan)
@@ -236,6 +245,7 @@ func (n *Node) freePlan(p *applyPlan) {
 	clear(p.comps)
 	clear(p.vals)
 	p.ops, p.comps, p.vals = p.ops[:0], p.comps[:0], p.vals[:0]
+	p.root = nil
 	if set := p.set; set != nil {
 		p.set = nil
 		clear(set.reqs)

@@ -91,6 +91,20 @@ type Config struct {
 	// disables idle reclamation.
 	SessionIdleCycles int
 
+	// Durability, when non-nil, receives every committed cycle's root
+	// proposal for write-ahead logging (the internal/wal manager
+	// implements it). In parallel mode (ApplyWorkers >= 1) appends happen
+	// on the commit executor and Sync is called once per drained command
+	// batch — group commit: one fsync covers every cycle the executor
+	// found queued, and those cycles' client replies are withheld until
+	// the Sync returns. In serial mode append+Sync run inside the machine
+	// turn, one cycle per Sync (virtual-time simulations use an in-memory
+	// FS, so this stays cheap and deterministic). A durability error is
+	// fail-stop for the log: it is recorded (Node.DurabilityError), no
+	// further appends are attempted, and the node keeps serving from
+	// memory.
+	Durability Durable
+
 	// ApplyWorkers selects the commit pipeline mode (see exec.go).
 	//
 	// 0 (default): serial — a committed cycle's writes apply and its
@@ -139,6 +153,19 @@ func (c *Config) fill() {
 // retention is how many committed cycles' states a node keeps to serve
 // late fetches (see Node.recent).
 func (c *Config) retention() uint64 { return uint64(c.MaxInFlight) + 16 }
+
+// Durable is the write-ahead persistence hook the commit pipeline feeds
+// (see Config.Durability). AppendCommit receives committed cycles
+// strictly in cycle order with the cycle's root proposal — the total
+// order every replica resolved — which must not be retained beyond the
+// call unless encoded. Sync makes every appended record durable;
+// replies for the covered cycles are released only after it returns.
+// Both are called from one goroutine at a time (the machine turn in
+// serial mode, the commit executor in parallel mode).
+type Durable interface {
+	AppendCommit(cycle uint64, root *wire.Proposal) error
+	Sync() error
+}
 
 // StateMachine is the replicated application state Canopus drives. The
 // kvstore package provides the standard implementation; ZKCanopus plugs

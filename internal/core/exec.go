@@ -68,6 +68,11 @@ type applyPlan struct {
 	// set is the cycle's own request set, recycled once the plan is done
 	// (its reqs back the ops/comps entries until then).
 	set *ownSet
+	// root is the cycle's committed root proposal, set only when the node
+	// has a Durability hook: the executor logs it before releasing the
+	// plan's replies. Roots are retained by Node.recent and never pooled,
+	// so the pointer stays valid for the plan's lifetime.
+	root *wire.Proposal
 }
 
 // fanoutThreshold is the minimum op count worth spreading across
@@ -89,6 +94,12 @@ type executor struct {
 	closed bool
 
 	parked []localRead // committed-state reads awaiting their min cycle
+
+	// durPending are applied-but-unsynced plans: their cycles' records
+	// sit in the WAL buffer, and their replies are withheld until the
+	// batch's single Sync — the group commit. Only used with a
+	// Durability hook.
+	durPending []*applyPlan
 
 	cur  *applyPlan      // plan being fanned out (set before waking workers)
 	wake []chan struct{} // one doorbell per extra worker
@@ -222,6 +233,7 @@ func (e *executor) run() {
 		for _, c := range queue {
 			e.handle(c)
 		}
+		e.flushDurable()
 		if closed {
 			e.mu.Lock()
 			rest := e.queue
@@ -230,6 +242,7 @@ func (e *executor) run() {
 			for _, c := range rest {
 				e.handle(c)
 			}
+			e.flushDurable()
 			for _, lr := range e.parked {
 				lr.fn(nil, e.n.applied.Load(), false)
 			}
@@ -247,6 +260,14 @@ func (e *executor) handle(c execCmd) {
 	case cmdPlan:
 		e.apply(c.plan)
 		e.n.applied.Store(c.plan.cycle)
+		if e.n.appendDurable(c.plan.cycle, c.plan.root) {
+			// Group commit: the record is buffered; replies wait for the
+			// batch's Sync. Parked reads do not — they observe the applied
+			// watermark, which durability never gates.
+			e.durPending = append(e.durPending, c.plan)
+			e.serveParked()
+			return
+		}
 		e.n.deliverPlan(c.plan)
 		e.serveParked()
 		e.n.freePlan(c.plan)
@@ -282,6 +303,24 @@ func (e *executor) call(fn func()) {
 		return
 	}
 	<-ch
+}
+
+// flushDurable ends one group commit: a single Sync covers every plan
+// appended since the last flush, then their replies go out in cycle
+// order. Called at the end of each drained command batch, so the fsync
+// cadence self-clocks — a slow disk makes batches (and the cycles per
+// fsync) larger instead of queueing fsyncs.
+func (e *executor) flushDurable() {
+	if len(e.durPending) == 0 {
+		return
+	}
+	e.n.syncDurable()
+	for _, p := range e.durPending {
+		e.n.deliverPlan(p)
+		e.n.freePlan(p)
+	}
+	clear(e.durPending)
+	e.durPending = e.durPending[:0]
 }
 
 // serveParked completes parked reads whose minimum cycle has applied.

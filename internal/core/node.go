@@ -136,9 +136,17 @@ type Node struct {
 	// committed cycle (see ReadLocal); served at commit boundaries.
 	localReads []localRead
 
-	stalled        bool
-	rejoin         bool
-	joinSeq        int
+	stalled bool
+	rejoin  bool
+	joinSeq int
+	// recovered marks a node restarted from durable state (see
+	// recovery.go): it enables the root catch-up path that closes the
+	// watermark gap against peers after a full-cluster restart.
+	recovered bool
+	// durFailed latches after the first Durability error (fail-stop
+	// logging); durErr holds that error for external observers.
+	durFailed      bool
+	durErr         atomic.Value
 	lastTick       time.Duration
 	lastCycleStart time.Duration
 	nextCycleAt    time.Duration // phase-anchored cycle timer target

@@ -464,6 +464,12 @@ func (n *Node) onFetchResponse(p *wire.Proposal) {
 	if p.VNode == "" || p.Cycle <= n.committed {
 		return
 	}
+	if p.VNode == n.rootVNode() {
+		// Root states are never fetched by the normal rounds — this is a
+		// recovery catch-up response (see recovery.go).
+		n.onRootState(p)
+		return
+	}
 	if p.Cycle > n.started {
 		n.tryStartCycles(p.Cycle)
 	}
@@ -489,7 +495,20 @@ func (n *Node) retryFetches() {
 	liveRep := n.liveRepresentative() // once per pass, not per cycle
 	for k := n.committed + 1; k <= n.started; k++ {
 		c, ok := n.cycles[k]
-		if !ok || !c.started || c.complete || c.round < 2 {
+		if !ok || !c.started || c.complete {
+			continue
+		}
+		if n.recovered && k == n.committed+1 && c.round <= 1 &&
+			now-c.startedAt > 2*n.cfg.FetchTimeout {
+			// Root catch-up (recovery.go): round 1 cannot complete when
+			// peers are already past this cycle — fetch the committed
+			// root instead. Re-sends ride the normal deadline rotation.
+			root := n.rootVNode()
+			if dl, armed := c.fetchDeadline[root]; !armed || now >= dl {
+				n.sendFetch(c, root)
+			}
+		}
+		if c.round < 2 {
 			continue
 		}
 		// Sorted iteration keeps retry order (and thus the whole

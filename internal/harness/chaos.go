@@ -15,6 +15,7 @@ import (
 	"canopus/internal/lot"
 	"canopus/internal/metrics"
 	"canopus/internal/netsim"
+	"canopus/internal/wal"
 	"canopus/internal/wire"
 )
 
@@ -62,6 +63,20 @@ type ChaosSpec struct {
 	// and replicas with equal shard counts at equal commit positions hold
 	// equal log digests.
 	StoreShards int
+
+	// Durable gives every node a storage engine (internal/wal) over a
+	// per-node in-memory disk that survives in-sim restarts: crashed
+	// nodes with a RestartAt come back by recovering their snapshot + WAL
+	// instead of re-entering through the join protocol. Designed for
+	// power-loss plans — every node crashed and restarted — which is the
+	// only crash shape the cold-start recovery path claims (a single node
+	// restarting into a live cluster must still join: its peers committed
+	// its Leave).
+	Durable bool
+	// SnapshotCycles is the durable snapshot cadence (wal default when
+	// 0); small values make restarts recover snapshot + WAL tail rather
+	// than pure replay.
+	SnapshotCycles int
 
 	Seed     int64
 	Duration time.Duration // virtual run length (default 5s)
@@ -163,6 +178,7 @@ type chaosRun struct {
 	tree    *lot.Tree
 	nodes   []*core.Node
 	stores  []*kvstore.Store
+	disks   []*wal.MemFS // per-node durable disks (Durable only)
 	clients []*chaosClient
 
 	history  []lincheck.Op
@@ -200,14 +216,33 @@ func RunChaos(spec ChaosSpec) ChaosResult {
 	r.ref = referenceNode(n, spec.Faults)
 	r.nodes = make([]*core.Node, n)
 	r.stores = make([]*kvstore.Store, n)
+	if spec.Durable {
+		r.disks = make([]*wal.MemFS, n)
+		for i := range r.disks {
+			r.disks[i] = wal.NewMemFS()
+		}
+	}
 	for i := 0; i < n; i++ {
 		id := wire.NodeID(i)
-		node := core.NewNode(r.nodeConfig(id), r.newStore(id), r.callbacks(id))
+		var node *core.Node
+		if spec.Durable {
+			node = r.newDurableNode(id)
+		} else {
+			node = core.NewNode(r.nodeConfig(id), r.newStore(id), r.callbacks(id))
+		}
 		r.nodes[i] = node
 		r.runner.Register(id, node)
 	}
 
 	r.runner.InstallFaults(spec.Faults, func(id wire.NodeID) engine.Machine {
+		if spec.Durable {
+			// Power loss: the replacement recovers from its own disk —
+			// snapshot restore plus WAL replay — and closes any remaining
+			// gap to its peers through root catch-up.
+			node := r.newDurableNode(id)
+			r.nodes[id] = node
+			return node
+		}
 		// State loss: the replacement machine starts from an empty store
 		// and recovers through the §4.6 join protocol's state transfer.
 		node := core.NewJoiner(r.nodeConfig(id), r.newStore(id), r.callbacks(id))
@@ -261,7 +296,9 @@ func RunChaos(spec ChaosSpec) ChaosResult {
 }
 
 // referenceNode picks the lowest node the plan never crashes; its commit
-// log and store anchor the run's digests and availability.
+// log and store anchor the run's digests and availability. When the plan
+// crashes every node (a full-cluster power loss), the anchor is the
+// lowest node it restarts — the one that finishes the run alive.
 func referenceNode(n int, plan netsim.FaultPlan) wire.NodeID {
 	for i := 0; i < n; i++ {
 		crashed := false
@@ -275,7 +312,35 @@ func referenceNode(n int, plan netsim.FaultPlan) wire.NodeID {
 			return wire.NodeID(i)
 		}
 	}
-	panic("chaos: fault plan crashes every node; no reference replica")
+	for i := 0; i < n; i++ {
+		for _, c := range plan.Crashes {
+			if int(c.Node) == i && c.RestartAt > 0 {
+				return wire.NodeID(i)
+			}
+		}
+	}
+	panic("chaos: fault plan crashes every node and restarts none; no reference replica")
+}
+
+// newDurableNode builds node id's store and storage engine over its
+// persistent in-sim disk, recovering whatever an earlier incarnation made
+// durable — used at boot (empty disk: recovery is a no-op) and by the
+// restart factory after a power loss. The sim runs the serial commit
+// path, so every cycle appends and fsyncs inside its machine turn and the
+// durable watermark equals the committed watermark at any crash instant.
+func (r *chaosRun) newDurableNode(id wire.NodeID) *core.Node {
+	st := r.newStore(id)
+	mgr, err := wal.Open(wal.Options{FS: r.disks[id], Store: st, SnapshotCycles: r.spec.SnapshotCycles})
+	if err != nil {
+		panic(fmt.Sprintf("chaos: node %d durability: %v", id, err))
+	}
+	cfg := r.nodeConfig(id)
+	cfg.Durability = mgr
+	node := core.NewNode(cfg, st, r.callbacks(id))
+	if _, err := mgr.Recover(node); err != nil {
+		panic(fmt.Sprintf("chaos: node %d recovery: %v", id, err))
+	}
+	return node
 }
 
 func (r *chaosRun) nodeConfig(id wire.NodeID) core.Config {

@@ -18,6 +18,12 @@ type Options struct {
 	// JSONOut, when non-empty, makes experiments that support it (Live)
 	// also write their metrics as JSON to this path.
 	JSONOut string
+	// DataDir, when non-empty, runs the live cluster with the durable
+	// storage engine under this directory (one subdirectory per cluster
+	// shape and node) — the measured path then includes WAL appends and
+	// fsync-gated replies, for checking durability against the committed
+	// in-memory baseline.
+	DataDir string
 }
 
 func (o *Options) windows() (warm, measure time.Duration) {

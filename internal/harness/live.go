@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -64,7 +65,7 @@ func Live(o *Options) {
 	liveMetrics := map[string]float64{}
 
 	for si, shape := range shapes {
-		cluster, err := livecluster.Start(livecluster.Config{
+		liveCfg := livecluster.Config{
 			SuperLeaves: shape.sls,
 			Node: core.Config{
 				CycleInterval: 2 * time.Millisecond,
@@ -72,7 +73,11 @@ func Live(o *Options) {
 				MaxBatch:      4096,
 			},
 			Seed: o.Seed,
-		})
+		}
+		if o.DataDir != "" {
+			liveCfg.DataDir = filepath.Join(o.DataDir, fmt.Sprintf("shape-%d", si))
+		}
+		cluster, err := livecluster.Start(liveCfg)
 		if err != nil {
 			fail("live: start %s: %v", shape.label, err)
 		}

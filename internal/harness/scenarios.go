@@ -27,6 +27,9 @@ import (
 //     than the flap period.
 //   - rolling-restarts: nodes crash with total state loss and rejoin
 //     through the §4.6 join protocol, one after another.
+//   - power-loss-durable: every node crashes at the same instant and
+//     restarts from its durable state (group-commit WAL + snapshots);
+//     the cluster resumes committing where it left off.
 //
 // Every scenario's history must check out linearizable, and replaying
 // the same seed + plan must reproduce the commit log bit-identically.
@@ -167,6 +170,35 @@ func ScenarioRollingRestarts(seed int64) Scenario {
 	}
 }
 
+// ScenarioPowerLoss crashes all six nodes at the same instant — a
+// full-cluster power loss — and restarts them from their per-node
+// durable disks, slightly staggered so replicas come back at different
+// WAL watermarks and exercise root catch-up. The tight snapshot cadence
+// makes each restart recover a snapshot baseline plus a WAL tail rather
+// than pure replay. Commits must resume after the outage and the
+// completed-operation history must stay linearizable across it.
+func ScenarioPowerLoss(seed int64) Scenario {
+	plan := netsim.FaultPlan{}
+	for i := 0; i < 6; i++ {
+		plan.Crashes = append(plan.Crashes, netsim.CrashFault{
+			At: 2 * time.Second, Node: wire.NodeID(i),
+			RestartAt: time.Duration(3500+100*i) * time.Millisecond,
+		})
+	}
+	return Scenario{
+		Name: "power-loss-durable",
+		Spec: ChaosSpec{
+			Groups: 2, PerGroup: 3, Seed: seed,
+			Duration:       8 * time.Second,
+			FaultAt:        2 * time.Second,
+			Durable:        true,
+			SnapshotCycles: 8,
+			Node:           core.Config{FetchTimeout: 50 * time.Millisecond},
+			Faults:         plan,
+		},
+	}
+}
+
 // Scenarios returns the full catalog at one seed.
 func Scenarios(seed int64) []Scenario {
 	return []Scenario{
@@ -175,5 +207,6 @@ func Scenarios(seed int64) []Scenario {
 		ScenarioWANPartitionHeal(seed),
 		ScenarioFlappingLink(seed),
 		ScenarioRollingRestarts(seed),
+		ScenarioPowerLoss(seed),
 	}
 }

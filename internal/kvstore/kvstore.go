@@ -18,6 +18,7 @@ package kvstore
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"sort"
 
@@ -187,6 +188,61 @@ func (s *Store) Snapshot() []wire.Request {
 		out = append(out, wire.Request{Op: wire.OpWrite, Key: k, Val: arena[len(arena)-len(v):]})
 	}
 	return out
+}
+
+// ShardState is one shard's durable image: its slice of the
+// order-sensitive commit log plus its contents in sorted-key order. The
+// wal snapshot writer serializes these section by section.
+type ShardState struct {
+	LogLen    uint64
+	LogDigest uint64
+	Keys      []uint64
+	Vals      [][]byte
+}
+
+// SnapshotShards renders every shard's durable image, values copied.
+// Like Snapshot, the result stays valid while later writes apply.
+func (s *Store) SnapshotShards() []ShardState {
+	out := make([]ShardState, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		st := &out[i]
+		st.LogLen, st.LogDigest = sh.logLen, sh.logDigest
+		st.Keys = make([]uint64, 0, len(sh.data))
+		for k := range sh.data {
+			st.Keys = append(st.Keys, k)
+		}
+		sort.Slice(st.Keys, func(a, b int) bool { return st.Keys[a] < st.Keys[b] })
+		st.Vals = make([][]byte, len(st.Keys))
+		var arena []byte
+		for j, k := range st.Keys {
+			v := sh.data[k]
+			arena = append(arena, v...)
+			st.Vals[j] = arena[len(arena)-len(v):]
+		}
+	}
+	return out
+}
+
+// RestoreShards replaces the store's contents with a snapshot image. The
+// shard count must match the one the image was taken with — per-shard
+// log digests are running chains and cannot be re-partitioned.
+func (s *Store) RestoreShards(states []ShardState) error {
+	if len(states) != len(s.shards) {
+		return fmt.Errorf("kvstore: snapshot has %d shards, store has %d", len(states), len(s.shards))
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		st := &states[i]
+		sh.data = make(map[uint64][]byte, len(st.Keys))
+		for j, k := range st.Keys {
+			v := make([]byte, len(st.Vals[j]))
+			copy(v, st.Vals[j])
+			sh.data[k] = v
+		}
+		sh.logLen, sh.logDigest = st.LogLen, st.LogDigest
+	}
+	return nil
 }
 
 // StateDigest returns an order-insensitive digest of current contents,

@@ -8,6 +8,7 @@ package livecluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"canopus/internal/kvstore"
 	"canopus/internal/lot"
 	"canopus/internal/transport"
+	"canopus/internal/wal"
 	"canopus/internal/wire"
 )
 
@@ -48,6 +50,18 @@ type Config struct {
 	// Logf receives transport log lines; default discards them (loopback
 	// teardown noise is not interesting).
 	Logf func(format string, args ...interface{})
+	// DataDir, when set, gives every node a durable storage engine
+	// (internal/wal): a group-commit WAL plus periodic snapshots under
+	// DataDir/node-<id>, recovered from at Start before the node joins
+	// consensus or accepts clients.
+	DataDir string
+	// DataFS overrides the per-node durability filesystem (tests use
+	// wal.MemFS to model a disk surviving a restart without touching the
+	// host). Non-nil enables durability even with an empty DataDir.
+	DataFS func(i int) wal.FS
+	// SnapshotCycles is the snapshot cadence in committed cycles
+	// (wal.Options.SnapshotCycles; 0 selects the wal default).
+	SnapshotCycles int
 }
 
 // ResolveApplyWorkers maps the user-facing apply-worker knob (a config
@@ -79,6 +93,7 @@ type Cluster struct {
 	nodes   []*core.Node
 	stores  []*kvstore.Store
 	ports   []*ClientPort
+	mgrs    []*wal.Manager // nil entries when durability is off
 }
 
 // Start boots the deployment: listeners first (so every node knows every
@@ -127,6 +142,7 @@ func Start(cfg Config) (*Cluster, error) {
 	if shards <= 0 {
 		shards = 8
 	}
+	durable := cfg.DataDir != "" || cfg.DataFS != nil
 	for i := 0; i < n; i++ {
 		nodeCfg := cfg.Node
 		nodeCfg.Tree = tree
@@ -136,14 +152,43 @@ func Start(cfg Config) (*Cluster, error) {
 		if cfg.LoggedStores {
 			st = kvstore.NewShardedLogged(shards)
 		}
+		var mgr *wal.Manager
+		if durable {
+			opts := wal.Options{Store: st, SnapshotCycles: cfg.SnapshotCycles}
+			if cfg.DataFS != nil {
+				opts.FS = cfg.DataFS(i)
+			} else {
+				opts.Dir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i))
+			}
+			var err error
+			if mgr, err = wal.Open(opts); err != nil {
+				c.kill()
+				return nil, fmt.Errorf("livecluster: node %d durability: %w", i, err)
+			}
+			nodeCfg.Durability = mgr
+		}
 		node := core.NewNode(nodeCfg, st, core.Callbacks{})
 		c.stores = append(c.stores, st)
 		c.nodes = append(c.nodes, node)
+		c.mgrs = append(c.mgrs, mgr)
+		if mgr != nil {
+			// Recover before Attach (Init) and before the port accepts:
+			// the node rejoins consensus and serves clients only from its
+			// replayed state.
+			if info, err := mgr.Recover(node); err != nil {
+				c.kill()
+				return nil, fmt.Errorf("livecluster: node %d recovery: %w", i, err)
+			} else if info.Durable > 0 {
+				logf("livecluster: node %d recovered to cycle %d (snapshot %d + %d replayed)",
+					i, info.Durable, info.SnapshotCycle, info.Replayed)
+			}
+		}
 		port, err := NewClientPort(c.runners[i], node, "127.0.0.1:0")
 		if err != nil {
 			c.kill()
 			return nil, err
 		}
+		port.SetDigestFunc(DigestSource(c.runners[i], node, st))
 		c.ports = append(c.ports, port)
 	}
 	// Attach only after every client port exists, so no node commits
@@ -154,6 +199,7 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < n; i++ {
 		go c.runners[i].Serve(nil)
+		c.ports[i].AcceptClients()
 	}
 	return c, nil
 }
@@ -188,6 +234,10 @@ func (c *Cluster) InspectStore(i int, fn func(st *kvstore.Store)) {
 
 // Port returns node i's client port.
 func (c *Cluster) Port(i int) *ClientPort { return c.ports[i] }
+
+// Durability returns node i's storage engine (nil when the cluster runs
+// without DataDir/DataFS).
+func (c *Cluster) Durability(i int) *wal.Manager { return c.mgrs[i] }
 
 // Runner returns node i's transport runner.
 func (c *Cluster) Runner(i int) *transport.Runner { return c.runners[i] }
@@ -270,5 +320,12 @@ func (c *Cluster) kill() {
 	}
 	for _, n := range c.nodes {
 		n.Close()
+	}
+	// Node.Close released each apply executor (flushing its durability
+	// batch), so the managers can close their segments cleanly.
+	for _, m := range c.mgrs {
+		if m != nil {
+			m.Close()
+		}
 	}
 }

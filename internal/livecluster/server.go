@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"canopus/internal/core"
+	"canopus/internal/kvstore"
 	"canopus/internal/transport"
 	"canopus/internal/wire"
 )
@@ -80,6 +81,11 @@ type ClientPort struct {
 	// (session, seq) identity, not the connection. Guarded by mu.
 	sessPending map[sessKey]sessEntry
 
+	// digest backs the text protocol's DIGEST command (set before
+	// AcceptClients; nil disables the command).
+	digest func() (cycle, state, log uint64)
+
+	accept  sync.Once
 	writers sync.WaitGroup
 }
 
@@ -149,8 +155,13 @@ type clientConn struct {
 	closing bool
 }
 
-// NewClientPort starts serving the client protocol for node on addr
-// (e.g. "127.0.0.1:0"). It installs itself as the node's reply callback.
+// NewClientPort binds the client protocol for node on addr (e.g.
+// "127.0.0.1:0") and installs itself as the node's reply callback. The
+// port does NOT accept connections yet: call AcceptClients once the node
+// is ready to serve — in particular, after crash recovery has replayed
+// the WAL. Binding early and accepting late means a restarting server
+// owns its advertised address immediately without ever exposing
+// mid-recovery state to a client.
 func NewClientPort(runner *transport.Runner, node *core.Node, addr string) (*ClientPort, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -175,9 +186,20 @@ func NewClientPort(runner *transport.Runner, node *core.Node, addr string) (*Cli
 	p.conns[p.loc.id] = p.loc
 	node.SetOnReplyBatch(p.onReplyBatch)
 	node.SetOnSessionReject(p.onSessionReject)
-	go p.acceptLoop()
 	return p, nil
 }
+
+// AcceptClients starts accepting client connections. Idempotent; see
+// NewClientPort for why accepting is separate from binding.
+func (p *ClientPort) AcceptClients() {
+	p.accept.Do(func() { go p.acceptLoop() })
+}
+
+// SetDigestFunc installs the source of the text protocol's DIGEST
+// command: a coherent (committed cycle, state digest, log digest)
+// snapshot of the node's replica. Set it before AcceptClients; a port
+// without one rejects the command.
+func (p *ClientPort) SetDigestFunc(fn func() (cycle, state, log uint64)) { p.digest = fn }
 
 // Addr returns the bound client address.
 func (p *ClientPort) Addr() string { return p.ln.Addr().String() }
@@ -1067,6 +1089,21 @@ func (p *ClientPort) handleText(cc *clientConn, br *bufio.Reader) {
 				continue
 			}
 			q = wire.ClientRequest{Op: wire.OpDelete, Key: k}
+		case "DIGEST":
+			// Replica identity check, used by the durability smoke test:
+			// answer with the committed cycle and the replica's state and
+			// log digests. The preceding waitIdle already ordered this
+			// after every earlier command's (fsync-gated) reply, so the
+			// digest covers everything this connection was acked for.
+			if p.digest == nil {
+				p.reject(cc, modeText, 0, wire.CodeBadRequest, "digest not enabled")
+				continue
+			}
+			cycle, state, logd := p.digest()
+			cc.push(func(b []byte) []byte {
+				return fmt.Appendf(b, "DIGEST %d %016x %016x\n", cycle, state, logd)
+			})
+			continue
 		case "QUIT":
 			return
 		default:
@@ -1191,6 +1228,26 @@ func (p *ClientPort) Abort() {
 	})
 	for _, cc := range conns {
 		p.failPending(cc)
+	}
+}
+
+// DigestSource builds a SetDigestFunc source for one node: it reads the
+// replica with the apply pipeline quiesced (InspectApplied in parallel
+// mode, a machine turn in serial mode), so the digest is a consistent
+// cut at a cycle boundary. Cluster.Start and canopus-server share it.
+func DigestSource(runner *transport.Runner, node *core.Node, st *kvstore.Store) func() (uint64, uint64, uint64) {
+	return func() (cycle, state, logd uint64) {
+		read := func() {
+			cycle = node.Committed()
+			state = st.StateDigest()
+			logd = st.LogDigest()
+		}
+		if node.ParallelApply() {
+			node.InspectApplied(read)
+		} else {
+			runner.Invoke(read)
+		}
+		return
 	}
 }
 

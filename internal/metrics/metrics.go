@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -245,6 +246,28 @@ func (a *Availability) RecoveryAfter(t time.Duration) (time.Duration, bool) {
 	}
 	return 0, false
 }
+
+// Counter is a concurrency-safe monotone event counter. The durability
+// subsystem uses counters for fsync and group-commit accounting, where
+// the writer (the commit executor) and readers (stats scrapers) run on
+// different goroutines.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a concurrency-safe instantaneous value (last group-commit
+// batch size, durable-cycle watermark, ...).
+type Gauge struct{ v atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n uint64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() uint64 { return g.v.Load() }
 
 // Throughput converts a request count over a window into requests/second.
 func Throughput(count uint64, window time.Duration) float64 {

@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+
+	"canopus/internal/wire"
+)
+
+// Log format. A segment file is
+//
+//	[u32 magic "CWAL"][u32 version]
+//	record*
+//
+// and each record is
+//
+//	[u32 payloadLen][u32 crc32c][u64 cycle][payload]
+//
+// where payload is the wire encoding of the cycle's committed root
+// proposal (the codec the transport already fuzzes) and the CRC covers
+// cycle and payload. Segments are named wal-<first cycle, hex>.log, so
+// the directory listing orders them by cycle and a segment's reach is
+// bounded by its successor's name — which is what lets snapshotting
+// delete whole prefix segments without reading them.
+//
+// Torn writes: scanning stops at the first record that fails its length,
+// CRC or decode check. In the newest segment that is the recover-to-
+// prefix contract (a crash mid-append loses only the unsynced suffix,
+// which no client was ever acked for — replies wait for Sync). In any
+// older segment it is mid-log corruption and recovery fails loudly.
+
+const (
+	segMagic      uint32 = 0x4C415743 // "CWAL"
+	segVersion    uint32 = 1
+	segHeaderSize        = 8
+	recHeaderSize        = 16
+	segPrefix            = "wal-"
+	segSuffix            = ".log"
+
+	// defaultSegmentBytes rotates segments at 64 MiB.
+	defaultSegmentBytes = 64 << 20
+)
+
+// ErrCorrupt reports a segment whose byte stream stops making sense —
+// a torn tail, a flipped bit, or a foreign payload.
+var ErrCorrupt = errors.New("wal: corrupt segment")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func segName(cycle uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, cycle, segSuffix)
+}
+
+// parseSegName extracts the first-cycle from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := name[len(segPrefix) : len(name)-len(segSuffix)]
+	cycle, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return cycle, true
+}
+
+// ScanSegment walks one segment's bytes, invoking fn for every intact
+// record in order, and returns a non-nil error (wrapping ErrCorrupt) if
+// the scan ended anywhere but a clean record boundary. It never panics
+// on arbitrary input — the FuzzWALReplay contract.
+func ScanSegment(data []byte, fn func(cycle uint64, root *wire.Proposal) error) error {
+	if len(data) < segHeaderSize {
+		return fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data); magic != segMagic {
+		return fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != segVersion {
+		return fmt.Errorf("%w: unknown version %d", ErrCorrupt, v)
+	}
+	rest := data[segHeaderSize:]
+	for len(rest) > 0 {
+		if len(rest) < recHeaderSize {
+			return fmt.Errorf("%w: torn record header (%d bytes)", ErrCorrupt, len(rest))
+		}
+		payloadLen := binary.LittleEndian.Uint32(rest)
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if uint64(payloadLen) > uint64(len(rest)-recHeaderSize) {
+			return fmt.Errorf("%w: torn record payload (%d of %d bytes)", ErrCorrupt, len(rest)-recHeaderSize, payloadLen)
+		}
+		end := recHeaderSize + int(payloadLen)
+		if crc32.Checksum(rest[8:end], crcTable) != crc {
+			return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		cycle := binary.LittleEndian.Uint64(rest[8:])
+		msg, n, err := wire.Decode(rest[recHeaderSize:end])
+		if err != nil || n != int(payloadLen) {
+			return fmt.Errorf("%w: undecodable record for cycle %d", ErrCorrupt, cycle)
+		}
+		root, ok := msg.(*wire.Proposal)
+		if !ok {
+			return fmt.Errorf("%w: record for cycle %d is not a proposal", ErrCorrupt, cycle)
+		}
+		if err := fn(cycle, root); err != nil {
+			return err
+		}
+		rest = rest[end:]
+	}
+	return nil
+}
+
+// logWriter appends framed records to the current segment through a
+// buffered writer; Sync flushes and fsyncs — the group-commit boundary.
+type logWriter struct {
+	fs      FS
+	f       File
+	bw      *bufio.Writer
+	size    int
+	limit   int
+	scratch []byte
+}
+
+func newLogWriter(fs FS, segmentBytes int) *logWriter {
+	if segmentBytes <= 0 {
+		segmentBytes = defaultSegmentBytes
+	}
+	return &logWriter{fs: fs, limit: segmentBytes}
+}
+
+func (w *logWriter) append(cycle uint64, root *wire.Proposal) error {
+	if w.f == nil || w.size >= w.limit {
+		if err := w.rotate(cycle); err != nil {
+			return err
+		}
+	}
+	b := append(w.scratch[:0], 0, 0, 0, 0, 0, 0, 0, 0) // len + crc, patched below
+	b = binary.LittleEndian.AppendUint64(b, cycle)
+	b = root.AppendTo(b)
+	binary.LittleEndian.PutUint32(b, uint32(len(b)-recHeaderSize))
+	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(b[8:], crcTable))
+	w.scratch = b
+	if _, err := w.bw.Write(b); err != nil {
+		return err
+	}
+	w.size += len(b)
+	return nil
+}
+
+// rotate closes the current segment (synced, so a prefix segment is
+// always whole) and starts wal-<cycle>.log.
+func (w *logWriter) rotate(cycle uint64) error {
+	if w.f != nil {
+		if err := w.sync(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		w.f, w.bw = nil, nil
+	}
+	f, err := w.fs.Create(segName(cycle))
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriter(f)
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	w.size = segHeaderSize
+	return nil
+}
+
+func (w *logWriter) sync() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *logWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.sync(); err != nil {
+		return err
+	}
+	err := w.f.Close()
+	w.f, w.bw = nil, nil
+	return err
+}
