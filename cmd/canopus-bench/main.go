@@ -50,7 +50,12 @@ func main() {
 	}
 	defer stopProfiles()
 
-	o := &harness.Options{Quick: *quick, Seed: *seed, Out: os.Stdout, JSONOut: *jsonOut, DataDir: *dataDir}
+	o := harness.NewOptions(
+		harness.WithQuick(*quick),
+		harness.WithSeed(*seed),
+		harness.WithJSONOut(*jsonOut),
+		harness.WithDataDir(*dataDir),
+	)
 	runs := map[string]func(*harness.Options){
 		"table1": harness.Table1,
 		"fig4a":  harness.Fig4a,

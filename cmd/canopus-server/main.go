@@ -18,7 +18,9 @@
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -27,10 +29,12 @@ import (
 	"syscall"
 	"time"
 
+	"canopus/internal/adminsrv"
 	"canopus/internal/core"
 	"canopus/internal/kvstore"
 	"canopus/internal/livecluster"
 	"canopus/internal/lot"
+	"canopus/internal/metrics"
 	"canopus/internal/pprofutil"
 	"canopus/internal/transport"
 	"canopus/internal/wal"
@@ -42,6 +46,8 @@ func main() {
 	peersFlag := flag.String("peers", "", "comma-separated peer addresses, index = node ID")
 	slFlag := flag.String("superleaves", "", "semicolon-separated super-leaves of comma-separated node IDs (default: all in one)")
 	clientAddr := flag.String("client", "", "client-facing listen address (default: none)")
+	adminAddr := flag.String("admin-addr", "", "HTTP admin gateway listen address: /metrics, /healthz, /status, POST /snapshot (default: none)")
+	adminChaos := flag.Bool("admin-chaos", false, "enable the gateway's POST /chaos fault-injection verb (game-days only)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound for in-flight client requests")
 	applyWorkers := flag.Int("apply-workers", 0, "commit-apply workers: 0 = auto (min(4, GOMAXPROCS), parallel pipeline), <0 = serial in-turn apply")
 	shards := flag.Int("shards", 8, "replica store shard count (rounded up to a power of two)")
@@ -131,6 +137,43 @@ func main() {
 		port.SetDigestFunc(livecluster.DigestSource(runner, node, st))
 	}
 
+	// The admin gateway binds AND serves before recovery — one notch
+	// earlier than the client port's accept — so /healthz reports
+	// "recovering" during WAL replay instead of connection-refused.
+	// /status and /metrics are live throughout; the Status document
+	// carries only the phase until SetPhase("ok").
+	var adm *adminsrv.Server
+	if *adminAddr != "" {
+		reg := metrics.NewRegistry()
+		nodeLabel := metrics.Label{Key: "node", Value: strconv.Itoa(*id)}
+		node.RegisterMetrics(reg, nodeLabel)
+		runner.RegisterMetrics(reg, nodeLabel)
+		if port != nil {
+			port.RegisterMetrics(reg, nodeLabel)
+		}
+		if mgr != nil {
+			mgr.RegisterMetrics(reg, nodeLabel)
+		}
+		cfg := adminsrv.Config{
+			Registry: reg,
+			Node:     int32(self),
+			Status:   livecluster.StatusSource(runner, node, st, mgr),
+		}
+		if mgr != nil {
+			walMgr := mgr
+			cfg.Snapshot = func() error { walMgr.RequestSnapshot(); return nil }
+		}
+		if *adminChaos {
+			cfg.Chaos = chaosActions(self, port)
+		}
+		adm, err = adminsrv.Listen(*adminAddr, cfg)
+		if err != nil {
+			log.Fatal("canopus-server: ", err)
+		}
+		defer adm.Close()
+		log.Printf("node %v: admin gateway on %s (chaos %v)", self, adm.Addr(), *adminChaos)
+	}
+
 	if mgr != nil {
 		info, err := mgr.Recover(node)
 		if err != nil {
@@ -144,6 +187,9 @@ func main() {
 	if port != nil {
 		port.AcceptClients()
 		log.Printf("node %v: client API on %s (text + binary)", self, port.Addr())
+	}
+	if adm != nil {
+		adm.SetPhase("ok")
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -168,4 +214,32 @@ func main() {
 		self, peers[self], tree.SuperLeafOf(self), tree.NumSuperLeaves(), tree.Height)
 	runner.Serve(node)
 	log.Printf("node %v: shut down", self)
+}
+
+// chaosActions maps POST /chaos actions onto live fault injection. The
+// verbs mirror what the in-process fault tests do: drop-replies opens
+// the committed-but-unacknowledged reply-loss window, serve-replies
+// closes it, kill crash-stops the process (exit 137, as SIGKILL would)
+// after a short delay so the HTTP response gets out first.
+func chaosActions(self wire.NodeID, port *livecluster.ClientPort) func(string) error {
+	return func(action string) error {
+		switch action {
+		case "drop-replies":
+			if port == nil {
+				return errors.New("no client port")
+			}
+			port.SetDropReplies(true)
+		case "serve-replies":
+			if port == nil {
+				return errors.New("no client port")
+			}
+			port.SetDropReplies(false)
+		case "kill":
+			log.Printf("node %v: chaos kill requested", self)
+			time.AfterFunc(100*time.Millisecond, func() { os.Exit(137) })
+		default:
+			return fmt.Errorf("unknown chaos action %q (want drop-replies, serve-replies or kill)", action)
+		}
+		return nil
+	}
 }

@@ -1,10 +1,17 @@
 // Command durability-smoke is the CI crash-recovery gate for the
 // durable storage engine. It boots a three-node loopback cluster of real
-// canopus-server processes with -data-dir, drives client load over the
-// text protocol, captures the replicas' agreed state digest, SIGKILLs
-// every process (no drain, no graceful close — a power cut), restarts
-// the cluster from the same data directories, and fails unless the
-// recovered replicas converge to the exact pre-kill digest.
+// canopus-server processes with -data-dir and -admin-addr, drives client
+// load over the text protocol, captures the replicas' agreed state
+// digest through the admin gateway, SIGKILLs every process (no drain, no
+// graceful close — a power cut), restarts the cluster from the same data
+// directories, and fails unless the recovered replicas converge to the
+// exact pre-kill digest.
+//
+// Along the way it doubles as the operations-plane gate: before the kill
+// it scrapes every node's /metrics and /status (full instrument
+// inventory, fsyncs observed, durable watermark advancing), and after
+// recovery it asserts the applied watermarks re-converge at or above the
+// pre-kill durable cycle.
 //
 //	durability-smoke -server ./bin/canopus-server [-ops 300] [-timeout 60s]
 //
@@ -13,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,7 +29,10 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
+
+	"canopus/admin"
 )
 
 const nodes = 3
@@ -47,9 +58,14 @@ func main() {
 
 	peerAddrs := reservePorts(nodes)
 	clientAddrs := reservePorts(nodes)
+	adminAddrs := reservePorts(nodes)
 	peers := peerAddrs[0]
 	for _, a := range peerAddrs[1:] {
 		peers += "," + a
+	}
+	admins := make([]*admin.Client, nodes)
+	for i := range admins {
+		admins[i] = admin.New(adminAddrs[i])
 	}
 
 	start := func(i int) *exec.Cmd {
@@ -57,6 +73,7 @@ func main() {
 			"-id", strconv.Itoa(i),
 			"-peers", peers,
 			"-client", clientAddrs[i],
+			"-admin-addr", adminAddrs[i],
 			"-data-dir", filepath.Join(root, fmt.Sprintf("node-%d", i)),
 			"-snapshot-cycles", strconv.Itoa(*snapshotCycles),
 		)
@@ -80,11 +97,7 @@ func main() {
 		}
 	}()
 
-	for i, addr := range clientAddrs {
-		if err := waitReachable(addr, *timeout); err != nil {
-			log.Fatalf("durability-smoke: node %d client port: %v", i, err)
-		}
-	}
+	waitAllHealthy(admins, *timeout)
 	log.Printf("durability-smoke: cluster up, driving %d PUTs", *ops)
 
 	// Drive pipelined text-protocol load, spread across all three nodes.
@@ -98,15 +111,37 @@ func main() {
 	}
 
 	// The replicas quiesce to one identity (laggards finish the last
-	// cycles); capture it.
-	before, err := converge(clientAddrs, *timeout)
+	// cycles); capture it through the admin gateway.
+	before, err := converge(admins, *timeout)
 	if err != nil {
 		log.Fatal("durability-smoke: pre-kill digests: ", err)
 	}
-	log.Printf("durability-smoke: pre-kill state digest %016x", before)
-	if before == 0 {
+	log.Printf("durability-smoke: pre-kill state digest %016x", before.State)
+	if before.State == 0 {
 		log.Fatal("durability-smoke: pre-kill digest is zero; load did not apply")
 	}
+
+	// The text DIGEST verb is a shim over the same DigestSource the
+	// gateway serves; one raw-socket check keeps the shim honest.
+	if state, err := textDigest(clientAddrs[0]); err != nil {
+		log.Fatal("durability-smoke: text DIGEST shim: ", err)
+	} else if state != before.State {
+		log.Fatalf("durability-smoke: text DIGEST %016x disagrees with admin digest %016x", state, before.State)
+	}
+
+	// Operations-plane gate: every node's /metrics must expose the full
+	// instrument inventory, and /status must show durable progress.
+	if err := scrapeCheck(admins); err != nil {
+		log.Fatal("durability-smoke: pre-kill metrics scrape: ", err)
+	}
+	preDurable, err := minDurableCycle(admins)
+	if err != nil {
+		log.Fatal("durability-smoke: pre-kill status: ", err)
+	}
+	if preDurable == 0 {
+		log.Fatal("durability-smoke: fsync-gated load left durable cycle at 0")
+	}
+	log.Printf("durability-smoke: metrics + status healthy, min durable cycle %d", preDurable)
 
 	// Power cut: SIGKILL, no warning. Buffered WAL bytes past the last
 	// fsync are gone; acked writes must not be.
@@ -121,20 +156,23 @@ func main() {
 	for i := range procs {
 		procs[i] = start(i)
 	}
-	for i, addr := range clientAddrs {
-		if err := waitReachable(addr, *timeout); err != nil {
-			log.Fatalf("durability-smoke: node %d client port after restart: %v", i, err)
-		}
-	}
+	waitAllHealthy(admins, *timeout)
 
-	after, err := converge(clientAddrs, *timeout)
+	after, err := converge(admins, *timeout)
 	if err != nil {
 		log.Fatal("durability-smoke: post-restart digests: ", err)
 	}
-	if after != before {
-		log.Fatalf("durability-smoke: FAIL: recovered state digest %016x != pre-kill %016x", after, before)
+	if after.State != before.State {
+		log.Fatalf("durability-smoke: FAIL: recovered state digest %016x != pre-kill %016x", after.State, before.State)
 	}
-	log.Printf("durability-smoke: PASS: recovered state digest %016x matches pre-kill", after)
+
+	// Recovery replays the WAL to at least the pre-kill durable cycle, so
+	// every replica's applied watermark must come back at or above it —
+	// and, at quiesce, within one convergence window of each other.
+	if err := watermarksConverged(admins, preDurable, *timeout); err != nil {
+		log.Fatal("durability-smoke: post-recovery watermarks: ", err)
+	}
+	log.Printf("durability-smoke: PASS: recovered state digest %016x matches pre-kill; watermarks re-converged", after.State)
 }
 
 // reservePorts binds n loopback listeners to pick free ports, then
@@ -152,18 +190,25 @@ func reservePorts(n int) []string {
 	return addrs
 }
 
-func waitReachable(addr string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
-		if err == nil {
-			conn.Close()
-			return nil
+// waitAllHealthy polls every admin gateway until /healthz reports ok.
+// The gateway binds before WAL replay starts, so during recovery this
+// sees 503 "recovering" rather than connection-refused — and "ok" means
+// the client port is accepting too.
+func waitAllHealthy(admins []*admin.Client, timeout time.Duration) {
+	for i, cl := range admins {
+		deadline := time.Now().Add(timeout)
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			h, err := cl.Health(ctx)
+			cancel()
+			if err == nil && h.Status == "ok" {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("durability-smoke: node %d not healthy after %v (status %q, err %v)", i, timeout, h.Status, err)
+			}
+			time.Sleep(50 * time.Millisecond)
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("not reachable after %v: %v", timeout, err)
-		}
-		time.Sleep(50 * time.Millisecond)
 	}
 }
 
@@ -196,57 +241,188 @@ func drive(addr string, node, n int) error {
 	return nil
 }
 
-// digest asks one node for its replica identity.
-func digest(addr string) (cycle, state uint64, err error) {
+// textDigest asks one node for its state digest over the legacy text
+// protocol.
+func textDigest(addr string) (uint64, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return 0, 0, err
+		return 0, err
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
 	if _, err := fmt.Fprintf(conn, "DIGEST\n"); err != nil {
-		return 0, 0, err
+		return 0, err
 	}
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
-		return 0, 0, err
+		return 0, err
 	}
-	var logd uint64
+	var cycle, state, logd uint64
 	if _, err := fmt.Sscanf(line, "DIGEST %d %x %x", &cycle, &state, &logd); err != nil {
-		return 0, 0, fmt.Errorf("reply %q: %w", line, err)
+		return 0, fmt.Errorf("reply %q: %w", line, err)
 	}
-	return cycle, state, nil
+	return state, nil
 }
 
 // converge polls every node until all report the same state digest, and
 // returns it.
-func converge(addrs []string, timeout time.Duration) (uint64, error) {
+func converge(admins []*admin.Client, timeout time.Duration) (admin.Digest, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		states := make([]uint64, len(addrs))
+		digests := make([]admin.Digest, len(admins))
 		ok := true
-		for i, addr := range addrs {
-			_, state, err := digest(addr)
+		for i, cl := range admins {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			d, err := cl.Digest(ctx)
+			cancel()
 			if err != nil {
 				ok = false
 				break
 			}
-			states[i] = state
+			digests[i] = d
 		}
 		if ok {
 			same := true
-			for _, s := range states[1:] {
-				if s != states[0] {
+			for _, d := range digests[1:] {
+				if d.State != digests[0].State {
 					same = false
 					break
 				}
 			}
 			if same {
-				return states[0], nil
+				return digests[0], nil
 			}
 		}
 		if time.Now().After(deadline) {
-			return 0, fmt.Errorf("replicas did not converge in %v (states %x)", timeout, states)
+			return admin.Digest{}, fmt.Errorf("replicas did not converge in %v (%+v)", timeout, digests)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// instrumentPrefixes are the four subsystems the gateway must cover.
+var instrumentPrefixes = []string{
+	"canopus_core_", "canopus_transport_", "canopus_wal_", "canopus_client_",
+}
+
+// scrapeCheck asserts each node's /metrics exposes the operations-plane
+// inventory: at least 12 distinct instrument families spanning all four
+// subsystem prefixes, with WAL fsyncs actually observed.
+func scrapeCheck(admins []*admin.Client) error {
+	for i, cl := range admins {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		series, err := cl.Metrics(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		families := map[string]bool{}
+		covered := map[string]bool{}
+		var fsyncs float64
+		for key, v := range series {
+			name := key
+			if j := strings.IndexByte(name, '{'); j >= 0 {
+				name = name[:j]
+			}
+			if !strings.HasPrefix(name, "canopus_") {
+				continue
+			}
+			families[name] = true
+			for _, p := range instrumentPrefixes {
+				if strings.HasPrefix(name, p) {
+					covered[p] = true
+				}
+			}
+			if name == "canopus_wal_fsyncs_total" {
+				fsyncs += v
+			}
+		}
+		if len(families) < 12 {
+			return fmt.Errorf("node %d: only %d instrument families exposed, want >= 12", i, len(families))
+		}
+		if len(covered) != len(instrumentPrefixes) {
+			return fmt.Errorf("node %d: instrument families cover %d/%d subsystems", i, len(covered), len(instrumentPrefixes))
+		}
+		if fsyncs == 0 {
+			return fmt.Errorf("node %d: canopus_wal_fsyncs_total is 0 after fsync-gated load", i)
+		}
+	}
+	return nil
+}
+
+// minDurableCycle reads /status on every node and returns the smallest
+// durable cycle.
+func minDurableCycle(admins []*admin.Client) (uint64, error) {
+	min := ^uint64(0)
+	for i, cl := range admins {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		st, err := cl.Status(ctx)
+		cancel()
+		if err != nil {
+			return 0, fmt.Errorf("node %d: %w", i, err)
+		}
+		if st.Durability == nil {
+			return 0, fmt.Errorf("node %d: /status has no durability section", i)
+		}
+		if st.Durability.DurableCycle < min {
+			min = st.Durability.DurableCycle
+		}
+	}
+	return min, nil
+}
+
+// watermarksConverged polls the canopus_core_cycle_applied gauge on
+// every node until each is at or above floor and all sit within one
+// convergence window (cycles advance continuously, so exact equality at
+// a sampled instant is not expected).
+func watermarksConverged(admins []*admin.Client, floor uint64, timeout time.Duration) error {
+	const window = 64
+	deadline := time.Now().Add(timeout)
+	var last []float64
+	for {
+		applied := make([]float64, len(admins))
+		ok := true
+		for i, cl := range admins {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			series, err := cl.Metrics(ctx)
+			cancel()
+			if err != nil {
+				ok = false
+				break
+			}
+			found := false
+			for key, v := range series {
+				name := key
+				if j := strings.IndexByte(name, '{'); j >= 0 {
+					name = name[:j]
+				}
+				if name == "canopus_core_cycle_applied" {
+					applied[i] = v
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("node %d: canopus_core_cycle_applied missing from /metrics", i)
+			}
+		}
+		if ok {
+			last = applied
+			lo, hi := applied[0], applied[0]
+			for _, v := range applied[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if lo >= float64(floor) && hi-lo <= window {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("applied watermarks did not re-converge above cycle %d in %v (last %v)", floor, timeout, last)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}

@@ -33,6 +33,7 @@ func (n *Node) commit(c *cycle) {
 	root := c.states[n.tree.Height]
 	n.committed = c.id
 	n.orderedW.Store(c.id)
+	n.stats.cycleCommits.Add(1)
 	if n.exec == nil {
 		// Serial mode: the whole commit happens inside this turn, so the
 		// applied watermark advances with the ordered one and observers

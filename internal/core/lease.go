@@ -120,6 +120,7 @@ func (n *Node) applyLeases(cyc uint64, reqs []wire.LeaseRequest) {
 			delete(n.leaseHolder, key)
 		}
 	}
+	n.stats.leasesActive.Store(uint64(len(n.leases)))
 }
 
 // revokeLeases expires every lease whose holder left the membership in
@@ -156,6 +157,7 @@ func (n *Node) revokeLeases(cyc uint64, updates []wire.MemberUpdate) {
 		}
 		delete(n.leaseHolder, key)
 	}
+	n.stats.leasesActive.Store(uint64(len(n.leases)))
 }
 
 // Deferred reads parked behind a cycle's commit are collected into that

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"canopus/internal/metrics"
+)
+
+// nodeStats are the node's always-on operational counters: atomic
+// increments at protocol events, cheap enough to maintain unconditionally
+// (simulations included), readable from any goroutine. RegisterMetrics
+// exports them; nothing on the hot path ever looks an instrument up by
+// name or allocates for one.
+type nodeStats struct {
+	// cycleStarts counts startCycle calls; with cycleCommits and the
+	// run's wall time it gives the cycle rate.
+	cycleStarts  atomic.Uint64
+	cycleCommits atomic.Uint64
+	// fetchRetries counts cross-super-leaf fetches re-issued after a
+	// timeout (§4.6's emulator rotation) — the live signal that a remote
+	// super-leaf is slow or partitioned.
+	fetchRetries atomic.Uint64
+	// stalls counts transitions into the §6 stalled state.
+	stalls atomic.Uint64
+	// replayed counts cycles re-committed from the WAL during recovery.
+	replayed atomic.Uint64
+	// leasesActive mirrors len(n.leases) (machine-turn state) at every
+	// lease-table mutation so observers need no lock.
+	leasesActive atomic.Uint64
+}
+
+// depth reports the apply executor's command backlog (plans and reads
+// accepted but not yet picked up); 0 in serial mode.
+func (e *executor) depth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// RegisterMetrics exports the node's operational instruments into reg
+// under the canopus_core_* names, each carrying the given constant
+// labels. All instruments are sampled views over state the node already
+// maintains (atomic watermarks and counters), so registration adds
+// nothing to any hot path. Safe to call with a nil registry.
+func (n *Node) RegisterMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	reg.CounterFunc("canopus_core_cycles_started_total",
+		"Consensus cycles this node has started.",
+		n.stats.cycleStarts.Load, labels...)
+	reg.CounterFunc("canopus_core_cycles_committed_total",
+		"Consensus cycles whose total order this node has resolved.",
+		n.stats.cycleCommits.Load, labels...)
+	reg.GaugeFunc("canopus_core_cycle_ordered",
+		"Ordered watermark: highest cycle with a resolved total order.",
+		func() float64 { return float64(n.Ordered()) }, labels...)
+	reg.GaugeFunc("canopus_core_cycle_applied",
+		"Applied watermark: highest cycle visible in committed state.",
+		func() float64 { return float64(n.Committed()) }, labels...)
+	reg.GaugeFunc("canopus_core_apply_lag_cycles",
+		"Commit-pipeline depth: ordered watermark minus applied watermark.",
+		func() float64 { return float64(n.Ordered() - n.Committed()) }, labels...)
+	reg.GaugeFunc("canopus_core_apply_queue_depth",
+		"Apply-executor commands accepted but not yet picked up (0 in serial mode).",
+		func() float64 {
+			if n.exec == nil {
+				return 0
+			}
+			return float64(n.exec.depth())
+		}, labels...)
+	reg.GaugeFunc("canopus_core_sessions_active",
+		"Replicated client sessions in the dedup table.",
+		func() float64 { return float64(n.sessions.Occupancy()) }, labels...)
+	reg.GaugeFunc("canopus_core_leases_active",
+		"Keys with an active write lease (§7.2).",
+		func() float64 { return float64(n.stats.leasesActive.Load()) }, labels...)
+	reg.CounterFunc("canopus_core_fetch_retries_total",
+		"Cross-super-leaf fetches re-issued after a timeout (§4.6 emulator rotation).",
+		n.stats.fetchRetries.Load, labels...)
+	reg.CounterFunc("canopus_core_stalls_total",
+		"Transitions into the stalled state (§6).",
+		n.stats.stalls.Load, labels...)
+	reg.CounterFunc("canopus_core_replayed_cycles_total",
+		"Cycles re-committed from the WAL during crash recovery.",
+		n.stats.replayed.Load, labels...)
+}

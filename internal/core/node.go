@@ -136,6 +136,10 @@ type Node struct {
 	// committed cycle (see ReadLocal); served at commit boundaries.
 	localReads []localRead
 
+	// stats are the always-on operational counters the admin gateway
+	// exports (see metrics.go).
+	stats nodeStats
+
 	stalled bool
 	rejoin  bool
 	joinSeq int
@@ -542,6 +546,7 @@ func (n *Node) canStart(k uint64) bool {
 func (n *Node) startCycle(k uint64) {
 	c := n.ensureCycle(k)
 	n.started = k
+	n.stats.cycleStarts.Add(1)
 	c.started = true
 	c.round = 1
 	c.startedAt = n.env.Now()

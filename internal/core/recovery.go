@@ -79,6 +79,7 @@ func (n *Node) ReplayCommit(cycle uint64, root *wire.Proposal) error {
 		delete(n.recent, old)
 	}
 	n.recovered = true
+	n.stats.replayed.Add(1)
 	return nil
 }
 

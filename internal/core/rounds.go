@@ -67,6 +67,7 @@ func (n *Node) onPeerFailed(peer wire.NodeID) {
 		// of the rack considers us dead. Crash-stop semantics forbid
 		// continuing; halt until restarted through the join protocol.
 		n.stalled = true
+		n.stats.stalls.Add(1)
 		n.FailLocalReads() // their awaited cycles will not commit here
 		n.FailSessionWaiters()
 		if n.cbs.OnStall != nil {
@@ -91,6 +92,7 @@ func (n *Node) onPeerFailed(peer wire.NodeID) {
 	}
 	if live < len(n.tree.SuperLeaf(n.sl).Members)/2+1 {
 		n.stalled = true
+		n.stats.stalls.Add(1)
 		n.FailLocalReads() // their awaited cycles will not commit here
 		n.FailSessionWaiters()
 		if n.cbs.OnStall != nil {
@@ -413,6 +415,9 @@ func (n *Node) sendFetch(c *cycle, u string) {
 	}
 	attempt := c.fetchAttempt[u]
 	c.fetchAttempt[u] = attempt + 1
+	if attempt > 0 {
+		n.stats.fetchRetries.Add(1)
+	}
 	// Spread first attempts across emulators so a popular vnode's load
 	// is balanced, deterministically per (cycle, vnode, node).
 	idx := (attempt + int(c.id) + int(n.cfg.Self)) % len(ems)

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"canopus/internal/metrics"
@@ -10,7 +11,9 @@ import (
 
 // Options tunes experiment execution. Quick mode shortens measurement
 // windows and search resolution for CI-speed runs; full mode matches the
-// documented EXPERIMENTS.md results.
+// documented EXPERIMENTS.md results. Build one with NewOptions; every
+// experiment entry point (Fig4a…Fig7, Table1, Live) takes this single
+// surface.
 type Options struct {
 	Quick bool
 	Seed  int64
@@ -24,7 +27,43 @@ type Options struct {
 	// fsync-gated replies, for checking durability against the committed
 	// in-memory baseline.
 	DataDir string
+	// Registry, when non-nil, receives the instruments of experiments
+	// that run real nodes (Live wires it into its headline cluster
+	// shape), letting drivers attribute throughput to pipeline stages
+	// and serve the run's /metrics.
+	Registry *metrics.Registry
 }
+
+// Option mutates Options; see NewOptions.
+type Option func(*Options)
+
+// NewOptions builds the experiment configuration. Defaults: full (not
+// quick) runs, seed 1, output to os.Stdout.
+func NewOptions(opts ...Option) *Options {
+	o := &Options{Seed: 1, Out: os.Stdout}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// WithQuick selects CI-speed windows and search resolution.
+func WithQuick(quick bool) Option { return func(o *Options) { o.Quick = quick } }
+
+// WithSeed sets the workload seed.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithOutput directs the experiment's table output.
+func WithOutput(w io.Writer) Option { return func(o *Options) { o.Out = w } }
+
+// WithJSONOut also writes supported experiments' metrics as JSON here.
+func WithJSONOut(path string) Option { return func(o *Options) { o.JSONOut = path } }
+
+// WithDataDir runs live clusters durably under this directory.
+func WithDataDir(dir string) Option { return func(o *Options) { o.DataDir = dir } }
+
+// WithRegistry exports real-node experiment instruments into reg.
+func WithRegistry(reg *metrics.Registry) Option { return func(o *Options) { o.Registry = reg } }
 
 func (o *Options) windows() (warm, measure time.Duration) {
 	if o.Quick {
@@ -95,7 +134,7 @@ func Fig4aResults(o *Options) map[string]map[int]Result {
 		out[row.label] = make(map[int]Result)
 		for _, perRack := range Fig4Sizes {
 			spec := fig4Spec(o, row, perRack)
-			out[row.label][perRack] = MaxThroughput(spec, SingleDCThreshold, 100_000, o.bisections())
+			out[row.label][perRack] = Search{Spec: spec, Start: 100_000, Bisections: o.bisections()}.Max()
 		}
 	}
 	return out
@@ -126,9 +165,8 @@ func Fig4b(o *Options) {
 	for _, row := range fig4Rows() {
 		cells := []string{row.label}
 		for _, perRack := range Fig4Sizes {
-			spec := fig4Spec(o, row, perRack)
-			max := MaxThroughput(spec, SingleDCThreshold, 100_000, o.bisections())
-			at70 := CompletionAt70(spec, max)
+			search := Search{Spec: fig4Spec(o, row, perRack), Start: 100_000, Bisections: o.bisections()}
+			at70 := search.At70(search.Max())
 			cells = append(cells, ms(at70.Median))
 		}
 		tbl.Add(cells...)
@@ -149,7 +187,7 @@ func Fig5(o *Options) {
 				System: sys, Groups: 3, PerGroup: perRack, WriteRatio: 0.2,
 				Seed: o.Seed + 1, Warmup: warm, Measure: measure,
 			}
-			curve := LatencyCurve(spec, 25_000, 2, SingleDCThreshold, 10)
+			curve := Sweep{Spec: spec, Start: 25_000, Stop: SingleDCThreshold, MaxPoints: 10}.Curve()
 			fmt.Fprintf(o.Out, "%s:\n", sys)
 			tbl := &metrics.Table{Header: []string{"offered/s", "throughput/s", "median ms"}}
 			for _, p := range curve {
@@ -184,7 +222,7 @@ func Fig6(o *Options) {
 		fmt.Fprintf(o.Out, "\n--- %d datacenters (%d nodes) ---\n", dcs, dcs*3)
 		for _, sys := range []System{Canopus, EPaxos} {
 			spec := fig6Spec(o, sys, dcs, 0.2)
-			curve := LatencyCurve(spec, 50_000, 2, 4*MaxRTT(dcs), 12)
+			curve := Sweep{Spec: spec, Start: 50_000, Stop: 4 * MaxRTT(dcs)}.Curve()
 			base := curve[0].Median
 			knee := Knee(curve, base+base/2)
 			fmt.Fprintf(o.Out, "%s (base median %s ms, knee at 1.5x base: %s req/s):\n",
@@ -213,7 +251,7 @@ func Fig7(o *Options) {
 	}
 	for _, s := range series {
 		spec := fig6Spec(o, s.sys, 3, s.ratio)
-		curve := LatencyCurve(spec, 50_000, 2, 4*MaxRTT(3), 12)
+		curve := Sweep{Spec: spec, Start: 50_000, Stop: 4 * MaxRTT(3)}.Curve()
 		knee := Knee(curve, curve[0].Median+curve[0].Median/2)
 		fmt.Fprintf(o.Out, "\n%s (knee: %s req/s):\n", s.label, metrics.FormatRate(knee.Throughput))
 		tbl := &metrics.Table{Header: []string{"offered/s", "throughput/s", "median ms"}}

@@ -65,6 +65,14 @@ func Live(o *Options) {
 	liveMetrics := map[string]float64{}
 
 	for si, shape := range shapes {
+		// Each shape gets a fresh registry: instrument registration is
+		// idempotent per (name, labels), so reusing one registry across
+		// shapes would pin the sampled closures to the first shape's
+		// nodes. The caller's registry observes the headline shape.
+		reg := metrics.NewRegistry()
+		if si == 0 && o.Registry != nil {
+			reg = o.Registry
+		}
 		liveCfg := livecluster.Config{
 			SuperLeaves: shape.sls,
 			Node: core.Config{
@@ -72,7 +80,8 @@ func Live(o *Options) {
 				TickInterval:  2 * time.Millisecond,
 				MaxBatch:      4096,
 			},
-			Seed: o.Seed,
+			Seed:    o.Seed,
+			Metrics: reg,
 		}
 		if o.DataDir != "" {
 			liveCfg.DataDir = filepath.Join(o.DataDir, fmt.Sprintf("shape-%d", si))
@@ -140,6 +149,17 @@ func Live(o *Options) {
 			liveMetrics["open_throughput_req_s"] = open.Throughput()
 			liveMetrics["open_p99_ms"] = msFloat(open.All().Quantile(0.99))
 			liveMetrics["allocs_per_request"] = allocsPerReq
+			// Stage attribution from the registry (summed over nodes):
+			// how much consensus, transport and durability work the run's
+			// requests cost. Informational — benchdiff gates only its
+			// schedule-anchored keys.
+			liveMetrics["stage_cycles_committed"] = sumFamily(reg, "canopus_core_cycles_committed_total")
+			liveMetrics["stage_client_requests"] = sumFamily(reg, "canopus_client_requests_total")
+			liveMetrics["stage_transport_writes"] = sumFamily(reg, "canopus_transport_writes_total")
+			liveMetrics["stage_transport_sent_mb"] = sumFamily(reg, "canopus_transport_sent_bytes_total") / (1 << 20)
+			if o.DataDir != "" {
+				liveMetrics["stage_wal_fsyncs"] = sumFamily(reg, "canopus_wal_fsyncs_total")
+			}
 		}
 	}
 
@@ -189,6 +209,18 @@ func addRow(tbl *metrics.Table, label, mode string, res *workload.LiveResult, al
 }
 
 func msFloat(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// sumFamily folds one metric family's series (all nodes) into a single
+// number.
+func sumFamily(reg *metrics.Registry, name string) float64 {
+	var total float64
+	reg.Each(func(n string, _ []metrics.Label, v float64) {
+		if n == name {
+			total += v
+		}
+	})
+	return total
+}
 
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)

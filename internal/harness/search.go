@@ -21,18 +21,39 @@ func acceptable(r Result, threshold time.Duration) bool {
 	return r.Throughput >= 0.8*r.Offered
 }
 
-// MaxThroughput searches for the saturation point of a deployment:
-// geometric ramp from start, then bisection. It returns the last
-// sustainable result. bisections=4 gives ~6% resolution.
-func MaxThroughput(spec Spec, threshold time.Duration, start float64, bisections int) Result {
-	if start <= 0 {
-		start = 25_000
+// Search is the saturation-point search over one deployment: geometric
+// ramp from Start, then bisection, against the Threshold saturation
+// criterion. The zero value of every optional field selects the
+// methodology default.
+type Search struct {
+	Spec Spec
+	// Threshold is the saturation criterion (default SingleDCThreshold).
+	Threshold time.Duration
+	// Start is the first offered rate (default 25k/s).
+	Start float64
+	// Bisections refines the ramp's bracket; 4 (the default) gives ~6%
+	// resolution.
+	Bisections int
+}
+
+// Max returns the last sustainable result of the search.
+func (s Search) Max() Result {
+	threshold := s.Threshold
+	if threshold <= 0 {
+		threshold = SingleDCThreshold
+	}
+	rate := s.Start
+	if rate <= 0 {
+		rate = 25_000
+	}
+	bisections := s.Bisections
+	if bisections <= 0 {
+		bisections = 4
 	}
 	lo := Result{}
-	rate := start
 	var hi float64
 	for i := 0; i < 24; i++ {
-		r := Run(spec, rate)
+		r := Run(s.Spec, rate)
 		if acceptable(r, threshold) {
 			lo = r
 			rate *= 2
@@ -46,7 +67,7 @@ func MaxThroughput(spec Spec, threshold time.Duration, start float64, bisections
 	}
 	for i := 0; i < bisections; i++ {
 		mid := (lo.Offered + hi) / 2
-		r := Run(spec, mid)
+		r := Run(s.Spec, mid)
 		if acceptable(r, threshold) {
 			lo = r
 		} else {
@@ -56,11 +77,11 @@ func MaxThroughput(spec Spec, threshold time.Duration, start float64, bisections
 	return lo
 }
 
-// CompletionAt70 reruns the deployment at 70% of the given maximum and
-// returns that run (the paper's representative operating point for
+// At70 reruns the deployment at 70% of the given maximum and returns
+// that run (the paper's representative operating point for
 // completion-time reporting).
-func CompletionAt70(spec Spec, max Result) Result {
-	return Run(spec, 0.7*max.Offered)
+func (s Search) At70(max Result) Result {
+	return Run(s.Spec, 0.7*max.Offered)
 }
 
 // CurvePoint is one (throughput, latency) sample of a latency curve.
@@ -70,16 +91,41 @@ type CurvePoint struct {
 	Median     time.Duration
 }
 
-// LatencyCurve sweeps offered rates geometrically from start, recording
-// (throughput, median completion) points until median exceeds stop or
-// the system falls behind, mirroring the paper's Figures 5–7.
-func LatencyCurve(spec Spec, start, factor float64, stop time.Duration, maxPoints int) []CurvePoint {
+// Sweep is the latency-curve sweep mirroring the paper's Figures 5–7:
+// offered rates grow geometrically from Start by Factor, recording
+// (throughput, median completion) points until the median exceeds Stop,
+// the system falls behind, or MaxPoints samples are taken.
+type Sweep struct {
+	Spec Spec
+	// Start is the first offered rate (default 25k/s).
+	Start float64
+	// Factor is the geometric rate multiplier (default 2).
+	Factor float64
+	// Stop ends the sweep once the median completion exceeds it.
+	Stop time.Duration
+	// MaxPoints bounds the curve length (default 12).
+	MaxPoints int
+}
+
+// Curve runs the sweep and returns its samples.
+func (s Sweep) Curve() []CurvePoint {
+	rate := s.Start
+	if rate <= 0 {
+		rate = 25_000
+	}
+	factor := s.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	maxPoints := s.MaxPoints
+	if maxPoints <= 0 {
+		maxPoints = 12
+	}
 	var out []CurvePoint
-	rate := start
 	for i := 0; i < maxPoints; i++ {
-		r := Run(spec, rate)
+		r := Run(s.Spec, rate)
 		out = append(out, CurvePoint{Offered: rate, Throughput: r.Throughput, Median: r.Median})
-		if r.Median > stop || r.Median == 0 || r.Throughput < 0.8*rate {
+		if r.Median > s.Stop || r.Median == 0 || r.Throughput < 0.8*rate {
 			break
 		}
 		rate *= factor

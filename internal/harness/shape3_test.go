@@ -24,10 +24,10 @@ func TestShapeFig5(t *testing.T) {
 		}
 		return
 	}
-	zk := MaxThroughput(Spec{System: Zab, Groups: 3, PerGroup: 9, WriteRatio: 0.2,
-		Seed: 5, Warmup: warm, Measure: meas}, SingleDCThreshold, 25_000, 3)
-	zkc := MaxThroughput(Spec{System: ZKCanopus, Groups: 3, PerGroup: 9, WriteRatio: 0.2,
-		Seed: 5, Warmup: warm, Measure: meas}, SingleDCThreshold, 25_000, 3)
+	zk := Search{Spec: Spec{System: Zab, Groups: 3, PerGroup: 9, WriteRatio: 0.2,
+		Seed: 5, Warmup: warm, Measure: meas}, Bisections: 3}.Max()
+	zkc := Search{Spec: Spec{System: ZKCanopus, Groups: 3, PerGroup: 9, WriteRatio: 0.2,
+		Seed: 5, Warmup: warm, Measure: meas}, Bisections: 3}.Max()
 	t.Logf("fig5 27n: ZooKeeper=%.0f ZKCanopus=%.0f ratio=%.1fx", zk.Throughput, zkc.Throughput, zkc.Throughput/zk.Throughput)
 	if zkc.Throughput < 5*zk.Throughput {
 		t.Errorf("ZKCanopus should be >>8x ZooKeeper at 27 nodes read-heavy")

@@ -17,10 +17,10 @@ func TestShapeFig4a(t *testing.T) {
 		bisections = 1
 	}
 	run := func(sys System, perRack int, ratio float64, batch time.Duration) Result {
-		return MaxThroughput(Spec{
+		return Search{Spec: Spec{
 			System: sys, Groups: 3, PerGroup: perRack, WriteRatio: ratio,
 			EPaxosBatch: batch, Seed: 5, Warmup: warm, Measure: meas,
-		}, SingleDCThreshold, 100_000, bisections)
+		}, Start: 100_000, Bisections: bisections}.Max()
 	}
 	c27 := run(Canopus, 9, 0.2, 0)
 	e27 := run(EPaxos, 9, 0.2, 5*time.Millisecond)

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"canopus/internal/wire"
 )
@@ -46,6 +47,9 @@ type sessionEntry struct {
 // table and drives it from its own event context.
 type SessionTable struct {
 	sessions map[uint64]*sessionEntry
+	// occ mirrors len(sessions) so metrics scrapers on other goroutines
+	// can read the occupancy without synchronizing with the owner.
+	occ atomic.Int64
 }
 
 // NewSessionTable creates an empty table.
@@ -60,10 +64,19 @@ func (t *SessionTable) Register(id, cycle uint64) {
 		return
 	}
 	t.sessions[id] = &sessionEntry{low: 1, applied: make(map[uint64][]byte), lastActive: cycle}
+	t.occ.Store(int64(len(t.sessions)))
 }
 
 // Expire removes a session and its dedup state.
-func (t *SessionTable) Expire(id uint64) { delete(t.sessions, id) }
+func (t *SessionTable) Expire(id uint64) {
+	delete(t.sessions, id)
+	t.occ.Store(int64(len(t.sessions)))
+}
+
+// Occupancy returns the number of registered sessions. Unlike Len it is
+// safe to call from any goroutine (it reads an atomic mirror), which is
+// what the metrics registry samples at scrape time.
+func (t *SessionTable) Occupancy() int64 { return t.occ.Load() }
 
 // Has reports whether a session is registered.
 func (t *SessionTable) Has(id uint64) bool {
@@ -207,4 +220,5 @@ func (t *SessionTable) Restore(states []wire.SessionState) {
 		}
 		t.sessions[st.ID] = e
 	}
+	t.occ.Store(int64(len(t.sessions)))
 }

@@ -10,11 +10,14 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"time"
 
+	"canopus/internal/adminsrv"
 	"canopus/internal/core"
 	"canopus/internal/kvstore"
 	"canopus/internal/lot"
+	"canopus/internal/metrics"
 	"canopus/internal/transport"
 	"canopus/internal/wal"
 	"canopus/internal/wire"
@@ -62,6 +65,15 @@ type Config struct {
 	// SnapshotCycles is the snapshot cadence in committed cycles
 	// (wal.Options.SnapshotCycles; 0 selects the wal default).
 	SnapshotCycles int
+	// Metrics, when set, receives every node's instruments (labeled
+	// node="<i>") — core watermarks, transport counters, WAL durability,
+	// client-port traffic. The bench harness reads it to attribute
+	// throughput to a pipeline stage.
+	Metrics *metrics.Registry
+	// Admin gives every node an HTTP admin gateway on a loopback
+	// ephemeral port (see AdminAddr), serving the shared Metrics registry
+	// (or a private one when Metrics is nil) plus /status and /healthz.
+	Admin bool
 }
 
 // ResolveApplyWorkers maps the user-facing apply-worker knob (a config
@@ -94,6 +106,8 @@ type Cluster struct {
 	stores  []*kvstore.Store
 	ports   []*ClientPort
 	mgrs    []*wal.Manager // nil entries when durability is off
+	reg     *metrics.Registry
+	admins  []*adminsrv.Server // nil (or nil entries) when Admin is off
 }
 
 // Start boots the deployment: listeners first (so every node knows every
@@ -126,7 +140,12 @@ func Start(cfg Config) (*Cluster, error) {
 		logf = func(string, ...interface{}) {}
 	}
 
-	c := &Cluster{Tree: tree}
+	c := &Cluster{Tree: tree, reg: cfg.Metrics}
+	if c.reg == nil && cfg.Admin {
+		// Gateways without a caller-supplied registry still serve a
+		// fully-instrumented /metrics.
+		c.reg = metrics.NewRegistry()
+	}
 	peers := make(map[wire.NodeID]string, n)
 	for i := 0; i < n; i++ {
 		r, err := transport.NewRunner(wire.NodeID(i), "127.0.0.1:0", peers, cfg.Seed)
@@ -190,6 +209,28 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		port.SetDigestFunc(DigestSource(c.runners[i], node, st))
 		c.ports = append(c.ports, port)
+		if c.reg != nil {
+			nodeLabel := metrics.Label{Key: "node", Value: strconv.Itoa(i)}
+			node.RegisterMetrics(c.reg, nodeLabel)
+			c.runners[i].RegisterMetrics(c.reg, nodeLabel)
+			port.RegisterMetrics(c.reg, nodeLabel)
+			if mgr != nil {
+				mgr.RegisterMetrics(c.reg, nodeLabel)
+			}
+		}
+		if cfg.Admin {
+			srv, err := adminsrv.Listen("127.0.0.1:0", adminsrv.Config{
+				Registry: c.reg,
+				Node:     int32(i),
+				Status:   StatusSource(c.runners[i], node, st, mgr),
+				Snapshot: snapshotVerb(mgr),
+			})
+			if err != nil {
+				c.kill()
+				return nil, fmt.Errorf("livecluster: node %d admin: %w", i, err)
+			}
+			c.admins = append(c.admins, srv)
+		}
 	}
 	// Attach only after every client port exists, so no node commits
 	// into a nil reply callback — and synchronously, so Submit works the
@@ -201,7 +242,22 @@ func Start(cfg Config) (*Cluster, error) {
 		go c.runners[i].Serve(nil)
 		c.ports[i].AcceptClients()
 	}
+	for _, srv := range c.admins {
+		srv.SetPhase("ok")
+	}
 	return c, nil
+}
+
+// snapshotVerb adapts an optional WAL manager to the gateway's POST
+// /snapshot hook (nil manager disables the verb).
+func snapshotVerb(mgr *wal.Manager) func() error {
+	if mgr == nil {
+		return nil
+	}
+	return func() error {
+		mgr.RequestSnapshot()
+		return nil
+	}
 }
 
 // NumNodes returns the deployment size.
@@ -241,6 +297,20 @@ func (c *Cluster) Durability(i int) *wal.Manager { return c.mgrs[i] }
 
 // Runner returns node i's transport runner.
 func (c *Cluster) Runner(i int) *transport.Runner { return c.runners[i] }
+
+// AdminAddr returns node i's admin-gateway address, or "" when the
+// cluster was started without Config.Admin.
+func (c *Cluster) AdminAddr(i int) string {
+	if len(c.admins) == 0 {
+		return ""
+	}
+	return c.admins[i].Addr()
+}
+
+// Registry returns the cluster's metrics registry: Config.Metrics when
+// one was supplied, the private gateway registry under Config.Admin, nil
+// otherwise.
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
 
 // Submit asynchronously executes one keyed operation at node's replica,
 // implementing the canopus.Cluster interface over the same reply fan-out
@@ -315,6 +385,9 @@ func (c *Cluster) Stop(drain time.Duration) bool {
 }
 
 func (c *Cluster) kill() {
+	for _, srv := range c.admins {
+		srv.Close()
+	}
 	for _, r := range c.runners {
 		r.Close()
 	}

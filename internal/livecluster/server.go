@@ -12,9 +12,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"canopus/admin"
 	"canopus/internal/core"
 	"canopus/internal/kvstore"
+	"canopus/internal/metrics"
 	"canopus/internal/transport"
+	"canopus/internal/wal"
 	"canopus/internal/wire"
 )
 
@@ -85,8 +88,20 @@ type ClientPort struct {
 	// AcceptClients; nil disables the command).
 	digest func() (cycle, state, log uint64)
 
+	// stats are the port's operational counters (see RegisterMetrics);
+	// the in-flight gauge is the outstanding counter above.
+	stats portStats
+
 	accept  sync.Once
 	writers sync.WaitGroup
+}
+
+// portStats counts client-facing work: accepted sockets, admitted
+// requests, and replies lost to fault injection or departed connections.
+type portStats struct {
+	conns    atomic.Uint64 // sockets accepted
+	requests atomic.Uint64 // requests admitted (tracked as outstanding)
+	dropped  atomic.Uint64 // reply buffers discarded instead of delivered
 }
 
 // sessKey identifies one in-flight session-scoped operation.
@@ -211,8 +226,47 @@ func (p *ClientPort) Addr() string { return p.ln.Addr().String() }
 // unacknowledged window that forces a client retry of a committed op.
 func (p *ClientPort) DropReplies() { p.dropReplies.Store(true) }
 
+// SetDropReplies switches reply-loss fault injection on or off at
+// runtime — the admin gateway's /chaos verb uses the off switch to end a
+// game-day that DropReplies started.
+func (p *ClientPort) SetDropReplies(on bool) { p.dropReplies.Store(on) }
+
 // Outstanding returns the number of accepted, not-yet-answered requests.
 func (p *ClientPort) Outstanding() int64 { return p.outstanding.Load() }
+
+// admitRequest counts one accepted request into the outstanding gauge
+// and the running total. Every submit path admits through here; the
+// completion paths undo only the gauge.
+func (p *ClientPort) admitRequest() {
+	p.outstanding.Add(1)
+	p.stats.requests.Add(1)
+}
+
+// RegisterMetrics exports the client port's instruments into reg under
+// the canopus_client_* names with the given constant labels. Safe on a
+// nil registry.
+func (p *ClientPort) RegisterMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	reg.GaugeFunc("canopus_client_connections",
+		"Open client connections.",
+		func() float64 {
+			p.mu.Lock()
+			n := len(p.conns) - 1 // exclude the SubmitLocal pseudo-connection
+			p.mu.Unlock()
+			return float64(n)
+		}, labels...)
+	reg.CounterFunc("canopus_client_connections_total",
+		"Client connections accepted.",
+		p.stats.conns.Load, labels...)
+	reg.GaugeFunc("canopus_client_inflight_requests",
+		"Accepted, not-yet-answered client requests.",
+		func() float64 { return float64(p.outstanding.Load()) }, labels...)
+	reg.CounterFunc("canopus_client_requests_total",
+		"Client requests admitted.",
+		p.stats.requests.Load, labels...)
+	reg.CounterFunc("canopus_client_replies_dropped_total",
+		"Reply buffers discarded (fault injection or departed connection).",
+		p.stats.dropped.Load, labels...)
+}
 
 func (p *ClientPort) newConn(conn net.Conn) *clientConn {
 	p.mu.Lock()
@@ -225,6 +279,7 @@ func (p *ClientPort) newConn(conn net.Conn) *clientConn {
 		wake:    make(chan struct{}, 1),
 	}
 	p.conns[cc.id] = cc
+	p.stats.conns.Add(1)
 	return cc
 }
 
@@ -317,6 +372,7 @@ func (p *ClientPort) writeLoop(cc *clientConn) {
 				// committed and left the pending set) but never reaches
 				// the client — the reply-loss crash window, made
 				// deterministic for tests.
+				p.stats.dropped.Add(1)
 				wire.EncodePool.Put(buf)
 				continue
 			}
@@ -438,6 +494,7 @@ func (p *ClientPort) onReplyBatch(reqs []wire.Request, vals [][]byte) {
 		}
 		cc, ok := p.conns[req.Client]
 		if !ok {
+			p.stats.dropped.Add(1)
 			continue // connection gone; reply dropped
 		}
 		entry, ok := cc.pending[req.Seq]
@@ -494,7 +551,7 @@ func (p *ClientPort) putSessPendingLocked(k sessKey, se sessEntry) {
 		}
 	}
 	p.sessPending[k] = se
-	p.outstanding.Add(1)
+	p.admitRequest()
 }
 
 // dropSessPendingLocked retires every session-scoped entry bound to one
@@ -560,7 +617,7 @@ func (p *ClientPort) track(cc *clientConn, entry pendingEntry) (uint64, bool) {
 	seq := cc.seq
 	cc.pending[seq] = entry
 	p.mu.Unlock()
-	p.outstanding.Add(1)
+	p.admitRequest()
 	return seq, true
 }
 
@@ -669,7 +726,7 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 // its 8-byte ID once the registration commits. Runs inside the machine
 // turn.
 func (p *ClientPort) registerSession(cc *clientConn, id uint64) {
-	p.outstanding.Add(1)
+	p.admitRequest()
 	p.node.RegisterSession(func(session uint64, ok bool) {
 		if !ok {
 			// Could not commit here (stall / shutdown): retryable
@@ -690,7 +747,7 @@ func (p *ClientPort) registerSession(cc *clientConn, id uint64) {
 // expireSession proposes reclaiming a session and acknowledges once the
 // expiry commits. Runs inside the machine turn.
 func (p *ClientPort) expireSession(cc *clientConn, id, session uint64) {
-	p.outstanding.Add(1)
+	p.admitRequest()
 	p.node.ExpireSession(session, func(ok bool) {
 		if !ok {
 			p.reject(cc, modeV2, id, wire.CodeDraining, "cannot expire session")
@@ -724,7 +781,7 @@ func (p *ClientPort) minCycleSane(minCycle uint64) bool {
 // abandoned: node shutting down, crashed, or stalled below the awaited
 // cycle) and is responsible for the matching outstanding decrement.
 func (p *ClientPort) trackedReadLocal(key, minCycle uint64, complete func(status uint8, val []byte, cycle uint64)) {
-	p.outstanding.Add(1)
+	p.admitRequest()
 	// Whether this read will park is the executor's decision in parallel
 	// mode; the committed watermark is the best (conservative) estimate,
 	// and the completion settles the account using the same flag.
@@ -775,7 +832,7 @@ func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 		op := &q.Ops[i]
 		if op.Op == wire.OpRead && q.Consistency != wire.Linearizable {
 			if !p.minCycleSane(q.MinCycle) {
-				p.outstanding.Add(1) // completeBatchOp undoes it
+				p.admitRequest() // completeBatchOp undoes it
 				p.mu.Lock()
 				p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, wire.CodeBadRequest, []byte("minCycle too far ahead"), 0)
 				p.mu.Unlock()
@@ -794,7 +851,7 @@ func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 			continue
 		}
 		if stalled {
-			p.outstanding.Add(1) // completeBatchOp undoes it; keeps one accounting path
+			p.admitRequest() // completeBatchOp undoes it; keeps one accounting path
 			p.mu.Lock()
 			p.completeBatchOp(cc, agg, i, wire.ClientStatusErr, wire.CodeStalled, []byte("node stalled"), 0)
 			p.mu.Unlock()
@@ -859,7 +916,7 @@ func (p *ClientPort) RegisterLocal(done func(id uint64, ok bool)) {
 		return
 	}
 	p.runner.Invoke(func() {
-		p.outstanding.Add(1)
+		p.admitRequest()
 		p.node.RegisterSession(func(id uint64, ok bool) {
 			done(id, ok)
 			p.outstanding.Add(-1)
@@ -1248,6 +1305,51 @@ func DigestSource(runner *transport.Runner, node *core.Node, st *kvstore.Store) 
 			runner.Invoke(read)
 		}
 		return
+	}
+}
+
+// StatusSource builds the admin gateway's /status document source for
+// one node, layered over the same quiesced read DigestSource uses so the
+// (applied, digest) pair is a consistent cut. Membership and cycle
+// watermarks are read inside a machine turn, where the view is stable.
+// dur may be nil (no WAL). Cluster.Start and canopus-server share it.
+func StatusSource(runner *transport.Runner, node *core.Node, st *kvstore.Store, dur *wal.Manager) func() admin.Status {
+	digest := DigestSource(runner, node, st)
+	return func() admin.Status {
+		var s admin.Status
+		cycle, state, logd := digest()
+		s.Applied = cycle
+		s.StateDigest = fmt.Sprintf("%016x", state)
+		s.LogDigest = fmt.Sprintf("%016x", logd)
+		runner.Invoke(func() {
+			s.Node = int32(node.ID())
+			s.Started = node.Started()
+			s.Ordered = node.Ordered()
+			s.Stalled = node.Stalled()
+			view := node.View()
+			tree := view.Tree()
+			for i := 0; i < tree.NumSuperLeaves(); i++ {
+				sl := admin.SuperLeaf{Index: i, Failed: view.SuperLeafFailed(i)}
+				for _, m := range view.Members(i) {
+					sl.Members = append(sl.Members, int32(m))
+					if view.Alive(m) {
+						sl.Alive = append(sl.Alive, int32(m))
+					}
+				}
+				s.Membership = append(s.Membership, sl)
+			}
+		})
+		if dur != nil {
+			ds := dur.Stats()
+			s.Durability = &admin.Durability{
+				DurableCycle:  ds.DurableCycle,
+				Syncs:         ds.Syncs,
+				SyncedRecords: ds.SyncedRecords,
+				LastBatch:     ds.LastBatch,
+				Snapshots:     ds.Snapshots,
+			}
+		}
+		return s
 	}
 }
 

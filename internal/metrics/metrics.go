@@ -1,7 +1,9 @@
-// Package metrics provides the small set of measurement tools the
-// benchmark harness needs: log-bucketed latency histograms and windowed
-// throughput counters. Everything is allocation-light so measurement does
-// not perturb simulations.
+// Package metrics provides the measurement tools the benchmark harness
+// needs — log-bucketed latency histograms and windowed throughput
+// counters — and, on top of the same primitives, the named-instrument
+// Registry the operations plane exports through the admin gateway's
+// /metrics endpoint (see registry.go). Everything is allocation-light so
+// measurement does not perturb simulations or the live hot path.
 package metrics
 
 import (

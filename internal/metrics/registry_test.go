@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentIncrements drives one counter, one gauge and one
+// histogram from many goroutines while a scraper renders the exposition
+// — the -race build proves the hot path and the scrape path never need
+// the callers to synchronize.
+func TestRegistryConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops", Label{Key: "node", Value: "0"})
+	g := r.Gauge("test_depth", "depth")
+	h := r.Histogram("test_latency_seconds", "latency")
+
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				g.Set(uint64(i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestRegistryIdempotentRegistration proves registering the same (name,
+// labels) twice returns the same instrument, whatever the label order.
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "", Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	b := r.Counter("test_total", "", Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	if a != b {
+		t.Fatal("same name+labels registered twice returned distinct counters")
+	}
+	a.Add(3)
+	if b.Load() != 3 {
+		t.Fatal("instruments not shared")
+	}
+}
+
+// TestRegistryExpositionGolden pins the Prometheus text format: HELP and
+// TYPE headers, label rendering and escaping, counter/gauge lines, and
+// the histogram's cumulative buckets with _sum/_count.
+func TestRegistryExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("canopus_cycles_total", "Committed cycles.", Label{Key: "node", Value: "0"})
+	c.Add(42)
+	g := r.Gauge("canopus_lag", "Apply lag.")
+	g.Set(3)
+	r.GaugeFunc("canopus_temp", "Sampled.", func() float64 { return 1.5 })
+	h := r.Histogram("canopus_fsync_seconds", "Fsync latency.", Label{Key: "node", Value: `a"b\c`})
+	h.Observe(20 * time.Microsecond) // first bucket (le=1e-05 is 10µs, so this lands in 2.5e-05)
+	h.Observe(10 * time.Second)      // beyond the last bound: +Inf only
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	want := []string{
+		"# HELP canopus_cycles_total Committed cycles.\n# TYPE canopus_cycles_total counter\ncanopus_cycles_total{node=\"0\"} 42\n",
+		"# TYPE canopus_lag gauge\ncanopus_lag 3\n",
+		"canopus_temp 1.5\n",
+		"# TYPE canopus_fsync_seconds histogram\n",
+		`canopus_fsync_seconds_bucket{node="a\"b\\c",le="1e-05"} 0` + "\n",
+		`canopus_fsync_seconds_bucket{node="a\"b\\c",le="2.5e-05"} 1` + "\n",
+		`canopus_fsync_seconds_bucket{node="a\"b\\c",le="+Inf"} 2` + "\n",
+		`canopus_fsync_seconds_sum{node="a\"b\\c"} 10.00002` + "\n",
+		`canopus_fsync_seconds_count{node="a\"b\\c"} 2` + "\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Fatalf("exposition missing %q in:\n%s", w, got)
+		}
+	}
+}
+
+// TestRegistryCardinalityGuard proves one metric name cannot grow an
+// unbounded number of label sets: past the cap, registration returns a
+// detached (but usable) instrument and the drop is itself counted.
+func TestRegistryCardinalityGuard(t *testing.T) {
+	r := NewRegistry()
+	var last *Counter
+	for i := 0; i < maxSeriesPerFamily+10; i++ {
+		last = r.Counter("test_total", "", Label{Key: "i", Value: strings.Repeat("x", i+1)})
+		last.Add(1) // detached instruments must still be safe to use
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if n := strings.Count(got, "test_total{"); n != maxSeriesPerFamily {
+		t.Fatalf("exposed %d series, want cap %d", n, maxSeriesPerFamily)
+	}
+	if !strings.Contains(got, "canopus_metrics_dropped_series_total 10") {
+		t.Fatalf("dropped-series self-metric missing in:\n%s", got)
+	}
+}
+
+// TestRegistryNilSafe proves the nil registry contract: constructors
+// return working detached instruments and exports are no-ops.
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "").Add(1)
+	r.Gauge("x", "").Set(1)
+	r.Histogram("x_seconds", "").Observe(time.Millisecond)
+	r.CounterFunc("y_total", "", func() uint64 { return 0 })
+	r.GaugeFunc("y", "", func() float64 { return 0 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", sb.String(), err)
+	}
+	r.Each(func(string, []Label, float64) { t.Fatal("nil registry has series") })
+}

@@ -21,9 +21,11 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"canopus/internal/engine"
+	"canopus/internal/metrics"
 	"canopus/internal/wire"
 )
 
@@ -61,8 +63,45 @@ type Runner struct {
 	done     chan struct{}
 	closed   bool
 
+	// stats are the transport's operational counters, updated with
+	// atomics from the turn path and the writer/reader goroutines and
+	// exported through RegisterMetrics.
+	stats runnerStats
+
 	// Logf logs transport-level events; defaults to log.Printf.
 	Logf func(format string, args ...interface{})
+}
+
+// runnerStats counts transport work across all peers. Everything is
+// atomic: flushTurn runs under the machine lock, but writers and readers
+// are per-connection goroutines.
+type runnerStats struct {
+	turnBufs atomic.Uint64 // coalesced turn buffers handed to writers
+	drops    atomic.Uint64 // turn buffers dropped to backlog caps
+	writes   atomic.Uint64 // vectored batch writes issued
+	bytesOut atomic.Uint64 // payload bytes written to peers
+	bytesIn  atomic.Uint64 // frame bytes (header+body) read from peers
+}
+
+// RegisterMetrics exports the transport's counters into reg under the
+// canopus_transport_* names with the given constant labels. Safe on a
+// nil registry.
+func (r *Runner) RegisterMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	reg.CounterFunc("canopus_transport_turn_buffers_total",
+		"Coalesced turn buffers handed to peer writers.",
+		r.stats.turnBufs.Load, labels...)
+	reg.CounterFunc("canopus_transport_dropped_buffers_total",
+		"Turn buffers dropped because a peer's backlog cap was hit.",
+		r.stats.drops.Load, labels...)
+	reg.CounterFunc("canopus_transport_writes_total",
+		"Vectored batch writes to peers (one syscall per drained queue).",
+		r.stats.writes.Load, labels...)
+	reg.CounterFunc("canopus_transport_sent_bytes_total",
+		"Bytes written to peer connections.",
+		r.stats.bytesOut.Load, labels...)
+	reg.CounterFunc("canopus_transport_received_bytes_total",
+		"Frame bytes (header and body) read from peer connections.",
+		r.stats.bytesIn.Load, labels...)
 }
 
 // peerConn is the outbound state for one peer: a queue of coalesced turn
@@ -280,6 +319,7 @@ func (r *Runner) flushTurn() {
 			pc.dropped++
 			n := pc.dropped
 			pc.mu.Unlock()
+			r.stats.drops.Add(1)
 			wire.EncodePool.Put(buf)
 			// Log at power-of-two counts: recurring congestion episodes
 			// stay visible without flooding the log.
@@ -297,6 +337,7 @@ func (r *Runner) flushTurn() {
 		pc.queue = append(pc.queue, buf)
 		pc.queuedBytes += len(buf)
 		pc.mu.Unlock()
+		r.stats.turnBufs.Add(1)
 		select {
 		case pc.wake <- struct{}{}:
 		default:
@@ -394,10 +435,13 @@ func (r *Runner) writeBatch(conn net.Conn, to wire.NodeID, batch [][]byte, scrat
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	bufs := append((*scratch)[:0], batch...)
 	*scratch = bufs[:0] // keep the original header; WriteTo consumes its copy
-	if _, err := bufs.WriteTo(conn); err != nil {
+	n, err := bufs.WriteTo(conn)
+	r.stats.bytesOut.Add(uint64(n))
+	if err != nil {
 		conn.Close()
 		return nil
 	}
+	r.stats.writes.Add(1)
 	return conn
 }
 
@@ -429,6 +473,7 @@ func (r *Runner) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
+		r.stats.bytesIn.Add(uint64(8 + size))
 		msg, _, err := wire.Decode(body)
 		if err != nil {
 			r.Logf("transport: decode from %v: %v", from, err)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
+	"time"
 
 	"canopus/internal/core"
 	"canopus/internal/kvstore"
@@ -36,10 +38,17 @@ type Manager struct {
 	firstAppend uint64 // first cycle ever appended by this process (0 = none yet)
 
 	durable   metrics.Gauge // last fsynced cycle
+	appends   metrics.Counter
 	syncs     metrics.Counter
 	synced    metrics.Counter // records covered by syncs
 	lastBatch metrics.Gauge   // cycles covered by the most recent Sync
 	snapshots metrics.Counter
+	fsync     metrics.LatencyHistogram
+	snapCycG  metrics.Gauge // atomic mirror of snapCycle for scrapers
+	// snapReq is the admin gateway's snapshot trigger: POST /snapshot
+	// sets it from an HTTP goroutine; the next Sync (on the durability
+	// goroutine, where snapshots are legal) consumes it.
+	snapReq atomic.Bool
 }
 
 var _ core.Durable = (*Manager)(nil)
@@ -99,6 +108,7 @@ func (m *Manager) AppendCommit(cycle uint64, root *wire.Proposal) error {
 	}
 	m.appended = cycle
 	m.pending++
+	m.appends.Add(1)
 	return nil
 }
 
@@ -107,9 +117,11 @@ func (m *Manager) AppendCommit(cycle uint64, root *wire.Proposal) error {
 // same goroutine the applies ran on, so the store read is coherent with
 // the appended watermark.
 func (m *Manager) Sync() error {
+	start := time.Now()
 	if err := m.log.sync(); err != nil {
 		return err
 	}
+	m.fsync.Observe(time.Since(start))
 	m.durable.Set(m.appended)
 	m.syncs.Add(1)
 	m.synced.Add(m.pending)
@@ -124,6 +136,9 @@ func (m *Manager) Sync() error {
 func (m *Manager) shouldSnapshot() bool {
 	if m.appended == 0 {
 		return false
+	}
+	if m.snapReq.Load() {
+		return true
 	}
 	if !m.haveSnap && m.firstAppend > 1 {
 		// The node started mid-stream (join-protocol state transfer, or
@@ -144,10 +159,18 @@ func (m *Manager) snapshot() error {
 		return err
 	}
 	m.snapCycle, m.haveSnap = cycle, true
+	m.snapCycG.Set(cycle)
 	m.snapshots.Add(1)
+	m.snapReq.Store(false)
 	m.truncate(cycle)
 	return nil
 }
+
+// RequestSnapshot asks for a snapshot at the next group commit. Safe
+// from any goroutine (the admin gateway calls it from HTTP handlers);
+// the snapshot itself still runs on the durability goroutine, where the
+// store read is coherent with the appended watermark.
+func (m *Manager) RequestSnapshot() { m.snapReq.Store(true) }
 
 // truncate removes snapshots older than the previous one and log
 // segments every record of which is at or below the snapshot cycle. A
@@ -208,6 +231,46 @@ func (m *Manager) Stats() Stats {
 
 // DurableCycle returns the last fsynced cycle; safe from any goroutine.
 func (m *Manager) DurableCycle() uint64 { return m.durable.Load() }
+
+// RegisterMetrics exports the durability instruments into reg under the
+// canopus_wal_* names with the given constant labels. Everything sampled
+// is already atomic, so registration costs the durability goroutine
+// nothing. Safe on a nil registry.
+func (m *Manager) RegisterMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	reg.CounterFunc("canopus_wal_appends_total",
+		"Committed cycle roots framed into the log.",
+		m.appends.Load, labels...)
+	reg.GaugeFunc("canopus_wal_durable_cycle",
+		"Last fsynced cycle (the durability watermark).",
+		func() float64 { return float64(m.durable.Load()) }, labels...)
+	reg.CounterFunc("canopus_wal_fsyncs_total",
+		"Group commits issued (one fsync each).",
+		m.syncs.Load, labels...)
+	reg.CounterFunc("canopus_wal_synced_records_total",
+		"Cycles made durable across all group commits.",
+		m.synced.Load, labels...)
+	reg.GaugeFunc("canopus_wal_group_commit_batch",
+		"Cycles covered by the most recent fsync.",
+		func() float64 { return float64(m.lastBatch.Load()) }, labels...)
+	reg.AttachHistogram("canopus_wal_fsync_seconds",
+		"Latency of the group-commit fsync.",
+		&m.fsync, labels...)
+	reg.CounterFunc("canopus_wal_snapshots_total",
+		"Snapshots published.",
+		m.snapshots.Load, labels...)
+	reg.GaugeFunc("canopus_wal_snapshot_cycle",
+		"Cycle of the newest on-disk snapshot (0 = none).",
+		func() float64 { return float64(m.snapCycG.Load()) }, labels...)
+	reg.GaugeFunc("canopus_wal_snapshot_age_cycles",
+		"Durable cycles accumulated since the newest snapshot (replay cost bound).",
+		func() float64 {
+			d, s := m.durable.Load(), m.snapCycG.Load()
+			if d <= s {
+				return 0
+			}
+			return float64(d - s)
+		}, labels...)
+}
 
 // RecoveryInfo summarizes what Recover rebuilt.
 type RecoveryInfo struct {
@@ -273,6 +336,7 @@ func (m *Manager) Recover(n *core.Node) (RecoveryInfo, error) {
 		m.shadow.Restore(snap.Sessions)
 		base = snap.Cycle
 		m.snapCycle, m.haveSnap = base, true
+		m.snapCycG.Set(base)
 		info.SnapshotCycle = base
 		break
 	}
