@@ -56,6 +56,9 @@ type Status struct {
 	Ordered uint64 `json:"ordered_cycle"`
 	Applied uint64 `json:"applied_cycle"`
 	Stalled bool   `json:"stalled"`
+	// Watchers counts the live watch registrations on the node's event
+	// hub (0 when the event plane is disabled).
+	Watchers int `json:"watchers,omitempty"`
 	// StateDigest and LogDigest are coherent with Applied: all three are
 	// read at one commit boundary.
 	StateDigest string      `json:"state_digest"`

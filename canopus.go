@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"canopus/internal/core"
+	"canopus/internal/events"
 	"canopus/internal/kvstore"
 	"canopus/internal/lot"
 	"canopus/internal/netsim"
@@ -58,9 +59,57 @@ const (
 	OpWrite = wire.OpWrite
 	// OpDelete marks a key removal.
 	OpDelete = wire.OpDelete
+	// OpTxn marks a guarded multi-op transaction (body in Request.Val).
+	OpTxn = wire.OpTxn
 	// NoNode is the "no node" sentinel.
 	NoNode = wire.NoNode
 )
+
+// Event-plane types: the committed change stream and the guarded
+// transaction vocabulary, shared by both backends and canopus/recipes.
+type (
+	// Event is one committed key change (a put with its value, or a
+	// delete with a nil value).
+	Event = wire.Event
+	// Txn is a guarded atomic multi-op transaction body.
+	Txn = wire.Txn
+	// TxnGuard is one transaction precondition.
+	TxnGuard = wire.TxnGuard
+	// TxnOp is one transaction write or delete.
+	TxnOp = wire.TxnOp
+	// TxnResult is a transaction's committed-order verdict.
+	TxnResult = wire.TxnResult
+	// WatchSpec selects the keys a watch observes and its resume cycle.
+	WatchSpec = events.Spec
+	// WatchSink consumes one watch's notifications; see events.Sink for
+	// the no-blocking and overflow contract.
+	WatchSink = events.Sink
+	// WatchNotification is one delivery to a WatchSink.
+	WatchNotification = events.Notification
+	// EventHub fans one node's committed change stream out to watchers.
+	EventHub = events.Hub
+)
+
+// Transaction guard kinds.
+const (
+	// GuardValueEq passes iff the key's value is byte-equal to the
+	// guard's (nil means "key is absent").
+	GuardValueEq = wire.GuardValueEq
+	// GuardCycleLE passes iff the key's last-modified cycle is at most
+	// the guard's.
+	GuardCycleLE = wire.GuardCycleLE
+)
+
+// ErrWatchOverflow reports a watch that cannot be (or stay) gap-free;
+// see events.ErrWatchOverflow.
+var ErrWatchOverflow = events.ErrWatchOverflow
+
+// AppendTxn appends the wire encoding of t to b — the body an OpTxn
+// request (or EventCluster.SubmitTxn) carries.
+func AppendTxn(b []byte, t *Txn) []byte { return wire.AppendTxn(b, t) }
+
+// ParseTxnResult decodes the verdict an OpTxn completion returns.
+func ParseTxnResult(b []byte) (TxnResult, error) { return wire.ParseTxnResult(b) }
 
 // Core protocol types.
 type (
@@ -182,6 +231,7 @@ type SimCluster struct {
 	Tree   *Tree
 	nodes  []*Node
 	stores []*Store
+	hubs   []*EventHub
 
 	onReply map[NodeID]func(req *Request, val []byte)
 	// dones routes driverClient completions back to Submit callbacks;
@@ -214,6 +264,7 @@ const (
 	queuedSubmit  uint8 = iota // plain Submit
 	queuedReg                  // RegisterSession
 	queuedSession              // SubmitSession
+	queuedCall                 // Invoke
 )
 
 // queuedOp is one Submit/RegisterSession/SubmitSession awaiting
@@ -230,6 +281,8 @@ type queuedOp struct {
 	seq     uint64
 	done    func(val []byte, ok bool)
 	regDone func(id uint64, ok bool)
+	fn      func() // queuedCall body
+	drop    func() // queuedCall shutdown notice
 }
 
 // fail honors the done contract on a shutdown path.
@@ -238,6 +291,10 @@ func (q *queuedOp) fail() {
 	case q.kind == queuedReg:
 		if q.regDone != nil {
 			q.regDone(0, false)
+		}
+	case q.kind == queuedCall:
+		if q.drop != nil {
+			q.drop()
 		}
 	default:
 		if q.done != nil {
@@ -249,6 +306,8 @@ func (q *queuedOp) fail() {
 // inject runs in the simulation context.
 func (q *queuedOp) inject(c *SimCluster) {
 	switch q.kind {
+	case queuedCall:
+		q.fn()
 	case queuedReg:
 		c.registerNow(q.node, q.regDone)
 	case queuedSession:
@@ -311,8 +370,11 @@ func NewSimCluster(opts SimOptions) (*SimCluster, error) {
 		st := kvstore.New()
 		n := core.NewNode(cfg, st, Callbacks{})
 		c.installDispatcher(NodeID(i), n)
+		hub := events.NewHub(events.Options{})
+		n.SetOnEvents(hub.Publish)
 		c.nodes = append(c.nodes, n)
 		c.stores = append(c.stores, st)
+		c.hubs = append(c.hubs, hub)
 		runner.Register(NodeID(i), n)
 	}
 	return c, nil
@@ -509,6 +571,22 @@ func (c *SimCluster) submitSessionNow(node int, session, seq uint64, op Op, key 
 // drive it through Submit.
 func (c *SimCluster) Endpoint(node int) string { return "" }
 
+// Invoke runs fn in the simulation context and returns once it has run:
+// immediately on an event-loop-mode cluster, through the pump queue in
+// serve mode so fn never races concurrently-advancing virtual time. It
+// reports whether fn ran (false only when the cluster closed first).
+// Use it to inject faults or inspect node state while the cluster is
+// being driven from other goroutines.
+func (c *SimCluster) Invoke(fn func()) bool {
+	ran := make(chan bool, 1)
+	c.dispatch(queuedOp{
+		kind: queuedCall,
+		fn:   func() { fn(); ran <- true },
+		drop: func() { ran <- false },
+	})
+	return <-ran
+}
+
 // Serve switches the cluster into wall-clock mode: a background pump
 // continuously advances virtual time and drains queued Submit calls, so
 // the deployment behaves like a (very fast) live cluster to concurrent
@@ -631,8 +709,45 @@ func (c *SimCluster) RestartAsJoiner(id NodeID) *Node {
 	st := kvstore.New()
 	n := core.NewJoiner(cfg, st, Callbacks{})
 	c.installDispatcher(id, n)
+	// A fresh hub for the rejoined node: its first published cycle marks
+	// everything before it evicted, so watches cannot resume across the
+	// crash with a silent gap.
+	hub := events.NewHub(events.Options{})
+	n.SetOnEvents(hub.Publish)
 	c.nodes[id] = n
 	c.stores[id] = st
+	c.hubs[id] = hub
 	c.Runner.Restart(id, n)
 	return n
+}
+
+// Hub returns node id's event hub.
+func (c *SimCluster) Hub(id NodeID) *EventHub { return c.hubs[id] }
+
+// Watch registers a watch on node's event hub, implementing the
+// EventCluster interface. The sink runs in the simulation context and
+// must not block; see events.Hub.Watch for the resume and overflow
+// contract.
+func (c *SimCluster) Watch(node int, spec WatchSpec, sink WatchSink) (uint64, error) {
+	return c.hubs[node].Watch(spec, sink)
+}
+
+// Unwatch cancels a watch registered through Watch.
+func (c *SimCluster) Unwatch(node int, id uint64) {
+	c.hubs[node].Cancel(id)
+}
+
+// SubmitTxn executes one multi-op transaction at node's replica,
+// implementing the EventCluster interface. body is the encoded
+// transaction (AppendTxn); done receives the encoded TxnResult. A
+// non-zero session makes the txn exactly-once across retries via the
+// replicated (session, seq) identity; session 0 submits at-most-once
+// under the driver identity. done runs from the simulation context and
+// must not block.
+func (c *SimCluster) SubmitTxn(node int, session, seq uint64, body []byte, done func(val []byte, ok bool)) {
+	if session == 0 {
+		c.dispatch(queuedOp{kind: queuedSubmit, node: node, op: OpTxn, val: body, done: done})
+		return
+	}
+	c.dispatch(queuedOp{kind: queuedSession, node: node, session: session, seq: seq, op: OpTxn, val: body, done: done})
 }

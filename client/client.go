@@ -1,7 +1,7 @@
 // Package client is the public Canopus client: a typed, context-aware
-// key-value API over the binary client protocol v2, with per-request
-// read-consistency levels and automatic failover across cluster
-// endpoints.
+// key-value API over the binary client protocol v3, with per-request
+// read-consistency levels, multi-op transactions (Txn), ordered change
+// watches (Watch), and automatic failover across cluster endpoints.
 //
 // A Client connects to one endpoint at a time (every Canopus replica
 // holds the full state, so any node serves any request) and pipelines
@@ -113,6 +113,12 @@ var (
 	// and does not see this error. Later mutations transparently run
 	// under a fresh session either way.
 	ErrSessionExpired = errors.New("canopus/client: session expired")
+	// ErrWatchOverflow reports a watch that could not stay gap-free: its
+	// resume point aged out of the server's event history, or the
+	// consumer fell too far behind (server push budget or the local
+	// channel) and was dropped. The watch is dead; the only correct
+	// recovery is to re-read current state and start a fresh watch.
+	ErrWatchOverflow = errors.New("canopus/client: watch overflowed")
 )
 
 // Op is one keyed operation.
@@ -209,6 +215,13 @@ type Client struct {
 	regMu   sync.Mutex
 	regWait []*pendingOp
 	regBusy bool
+
+	// Watch registry: client-assigned watch ID -> live watch. EVENT
+	// frames dispatch through it; connection failures re-register every
+	// affected watch from its resume point.
+	watchMu  sync.Mutex
+	watches  map[uint64]*Watch
+	watchCtr uint64
 }
 
 // New validates cfg and returns a Client. Connections are established
@@ -239,6 +252,15 @@ func (c *Client) Close() error {
 	}
 	for _, o := range old {
 		o.fail(ErrClosed)
+	}
+	c.watchMu.Lock()
+	ws := make([]*Watch, 0, len(c.watches))
+	for _, w := range c.watches {
+		ws = append(ws, w)
+	}
+	c.watchMu.Unlock()
+	for _, w := range ws {
+		c.failWatch(w, ErrClosed)
 	}
 	return nil
 }
@@ -274,6 +296,25 @@ func (c *Client) EndSession(ctx context.Context) error {
 	c.start(&pendingOp{expire: true, session: sess, fn: f.complete})
 	_, err := f.Wait(ctx)
 	return err
+}
+
+// EnsureSession returns the client's replicated session ID, registering
+// one through consensus first if none exists. Coordination recipes use
+// it to learn the identity that owns their ephemeral keys before the
+// first mutation would have registered it implicitly.
+func (c *Client) EnsureSession(ctx context.Context) (uint64, error) {
+	for {
+		if sess := c.session.Load(); sess != 0 {
+			return sess, nil
+		}
+		f := newFuture(c.cfg.RequestTimeout)
+		if !c.parkForSession(&pendingOp{ensure: true, fn: f.complete}) {
+			continue // a session appeared concurrently; re-read it
+		}
+		if _, err := f.Wait(ctx); err != nil {
+			return 0, err
+		}
+	}
 }
 
 // Option tweaks one operation built by the sync/async helpers.
@@ -433,6 +474,13 @@ func (c *Client) asyncBatch(ops []Op, f *Future) {
 // is what the server-side dedup recognizes). The first mutation parks
 // while a session registration round-trips through consensus.
 func (c *Client) start(p *pendingOp) error {
+	if p.ensure {
+		// EnsureSession sentinel: it only ever parks behind the session
+		// registration; once restarted (the session exists) it completes
+		// without touching the wire.
+		p.complete(Result{}, nil)
+		return nil
+	}
 	if p.session == 0 && p.needsSession() {
 		// Loop until bound or parked: parkForSession refusing (a session
 		// exists under its lock) and the session expiring again can

@@ -17,15 +17,21 @@ import (
 // — for mutations — the replicated session identity assigned at first
 // send and kept across retries (the server-side dedup key).
 type pendingOp struct {
-	op       Op
-	batch    []Op // non-nil: encode as a multi-op frame
-	register bool // session-register frame
-	expire   bool // session-expire frame
-	session  uint64
-	seq      uint64 // first mutating op's session seq
-	fn       func(Result, error)
-	okFn     func(ok bool) // success-only completion (AsyncOk); fn is nil
-	retried  bool
+	op        Op
+	batch     []Op   // non-nil: encode as a multi-op frame
+	txn       *Txn   // non-nil: encode as a v3 transaction frame
+	wreg      *Watch // non-nil: v3 watch-registration frame
+	wsince    uint64 // wreg: SinceCycle for this (re)registration
+	unwatch   bool   // v3 watch-cancel frame (unwatchID carries the watch)
+	unwatchID uint64
+	register  bool // session-register frame
+	expire    bool // session-expire frame
+	ensure    bool // EnsureSession sentinel: parks for registration, never hits the wire
+	session   uint64
+	seq       uint64 // first mutating op's session seq
+	fn        func(Result, error)
+	okFn      func(ok bool) // success-only completion (AsyncOk); fn is nil
+	retried   bool
 }
 
 // complete delivers the operation's outcome to whichever completion
@@ -41,8 +47,13 @@ func (p *pendingOp) complete(res Result, err error) {
 // needsSession reports whether p must be bound to a replicated session
 // before it can go on the wire (it carries at least one mutation).
 func (p *pendingOp) needsSession() bool {
-	if p.register || p.expire {
+	if p.register || p.expire || p.ensure || p.wreg != nil || p.unwatch {
 		return false
+	}
+	if p.txn != nil {
+		// Transactions always bind: the (session, seq) identity is what
+		// makes the commit/abort verdict exactly-once across failover.
+		return true
 	}
 	if p.batch != nil {
 		for i := range p.batch {
@@ -55,10 +66,11 @@ func (p *pendingOp) needsSession() bool {
 	return p.op.Kind.Mutates()
 }
 
-// conn is one pipelined protocol-v2 connection. Writes from concurrent
+// conn is one pipelined protocol-v3 connection. Writes from concurrent
 // goroutines are coalesced into single syscalls by a flusher goroutine;
 // responses are correlated by ID on the reader goroutine, mirroring the
-// server side.
+// server side. Server-push EVENT frames correlate by watch ID instead
+// and dispatch to the client's watch registry.
 type conn struct {
 	cl *Client
 	nc net.Conn
@@ -76,7 +88,7 @@ type conn struct {
 	done chan struct{}
 }
 
-// dialConn connects to one endpoint and starts the v2 preamble and the
+// dialConn connects to one endpoint and starts the v3 preamble and the
 // reader/writer goroutines.
 func dialConn(cl *Client, addr string, timeout time.Duration) (*conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
@@ -86,7 +98,7 @@ func dialConn(cl *Client, addr string, timeout time.Duration) (*conn, error) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	if _, err := nc.Write(wire.ClientMagicV2[:]); err != nil {
+	if _, err := nc.Write(wire.ClientMagicV3[:]); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("canopus/client: preamble %s: %w", addr, err)
 	}
@@ -124,6 +136,22 @@ func (cn *conn) enqueue(p *pendingOp) bool {
 		q.Register = true
 	case p.expire:
 		q.Expire, q.Session = true, p.session
+	case p.txn != nil:
+		q.Txn = true
+		q.Session, q.Seq = p.session, p.seq
+		q.TxnGuards, q.TxnOps = p.txn.guards, p.txn.ops
+	case p.wreg != nil:
+		q.Watch = true
+		q.WatchID = p.wreg.id
+		q.WatchKey, q.PrefixBits = p.wreg.key, p.wreg.bits
+		q.SinceCycle = p.wsince
+		// From here on, only events arriving on THIS connection belong to
+		// the watch: a retired predecessor still draining replies must not
+		// interleave its stale pushes with the new registration's replay.
+		p.wreg.setConn(cn)
+	case p.unwatch:
+		q.Unwatch = true
+		q.WatchID = p.unwatchID
 	case p.batch != nil:
 		q.Batch = true
 		q.Consistency, q.MinCycle = cn.cl.readLevel(batchReadLevel(p.batch))
@@ -143,7 +171,7 @@ func (cn *conn) enqueue(p *pendingOp) bool {
 	if cn.out == nil {
 		cn.out = wire.EncodePool.Get(64 + len(p.op.Val))
 	}
-	cn.out = wire.AppendClientRequestV2(cn.out, &q)
+	cn.out = wire.AppendClientRequestV3(cn.out, &q)
 	cn.outMu.Unlock()
 	select {
 	case cn.wake <- struct{}{}:
@@ -232,10 +260,17 @@ func (cn *conn) readLoop() {
 			cn.fail(err)
 			return
 		}
-		resp, err := wire.ParseClientResponseV2(payload)
+		resp, err := wire.ParseClientResponseV3(payload)
 		if err != nil {
 			cn.fail(err)
 			return
+		}
+		if resp.Event {
+			// Server push: correlated by watch ID, never in the pending
+			// map. Event values were copied out of the read buffer by the
+			// parser, so they survive the buffer's reuse.
+			cn.cl.dispatchEvent(cn, &resp)
+			continue
 		}
 		cn.mu.Lock()
 		p, ok := cn.pending[resp.ID]
@@ -275,6 +310,7 @@ func (cn *conn) maybeRelease() {
 	close(cn.done)
 	cn.nc.Close()
 	cn.cl.dropOld(cn)
+	cn.cl.rewatch(cn)
 }
 
 // deliver maps one v2 response onto its pending operation.
@@ -400,6 +436,7 @@ func (cn *conn) fail(cause error) {
 		pend = append(pend, pending[id])
 	}
 	cn.cl.onConnFailure(cn, pend, cause)
+	cn.cl.rewatch(cn)
 }
 
 func retryableCode(code uint8) bool {
@@ -410,6 +447,8 @@ func rejectionError(code uint8, reason []byte) error {
 	switch {
 	case code == wire.CodeSessionExpired:
 		return ErrSessionExpired
+	case code == wire.CodeWatchOverflow:
+		return ErrWatchOverflow
 	case code == wire.CodeDraining:
 		return fmt.Errorf("%w: server draining", ErrRejected)
 	case code == wire.CodeStalled:

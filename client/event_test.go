@@ -1,0 +1,253 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"canopus/client"
+	"canopus/internal/core"
+	"canopus/internal/livecluster"
+)
+
+func startEventCluster(t *testing.T, nodes int) (*livecluster.Cluster, *client.Client) {
+	t.Helper()
+	c, err := livecluster.Start(livecluster.Config{
+		Nodes: nodes,
+		Node:  core.Config{CycleInterval: 2 * time.Millisecond, TickInterval: time.Millisecond},
+		Seed:  23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Stop(5 * time.Second) })
+	eps := make([]string, nodes)
+	for i := range eps {
+		eps[i] = c.ClientAddr(i)
+	}
+	cl, err := client.New(client.Config{Endpoints: eps, RequestTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return c, cl
+}
+
+func TestTxnCommitAndAbort(t *testing.T) {
+	_, cl := startEventCluster(t, 3)
+	ctx := context.Background()
+	if err := cl.Put(ctx, 1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cl.Txn(ctx, client.NewTxn().IfValueEq(1, []byte("a")).Put(2, []byte("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.FailedGuard != -1 || res.Cycle == 0 {
+		t.Fatalf("commit verdict = %+v", res)
+	}
+	if val, err := cl.Get(ctx, 2); err != nil || string(val) != "b" {
+		t.Fatalf("key 2 = %q, %v after committed txn", val, err)
+	}
+
+	// First failing guard aborts the whole txn and is reported by index.
+	res, err = cl.Txn(ctx, client.NewTxn().
+		IfValueEq(1, []byte("a")). // holds
+		IfAbsent(2).               // fails: key 2 = "b"
+		Put(3, []byte("never")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed || res.FailedGuard != 1 {
+		t.Fatalf("abort verdict = %+v, want FailedGuard 1", res)
+	}
+	if _, err := cl.Get(ctx, 3); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("key 3 = %v after aborted txn, want ErrNotFound", err)
+	}
+
+	// Optimistic version check: nothing touched key 1 since its write
+	// cycle, so IfCycleLE at the current cycle holds.
+	res, err = cl.Txn(ctx, client.NewTxn().IfCycleLE(1, cl.LastCycle()).Delete(2))
+	if err != nil || !res.Committed {
+		t.Fatalf("IfCycleLE txn = %+v, %v", res, err)
+	}
+	if _, err := cl.Get(ctx, 2); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("key 2 survived committed delete: %v", err)
+	}
+}
+
+func TestWatchDeliversCommittedChanges(t *testing.T) {
+	_, cl := startEventCluster(t, 3)
+	ctx := context.Background()
+
+	w, err := cl.Watch(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := cl.Put(ctx, 7, []byte(fmt.Sprintf("seq-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		// Unrelated keys must not reach an exact-key watch.
+		if err := cl.Put(ctx, 8, []byte("noise")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Delete(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []client.Event
+	var lastCycle uint64
+	deadline := time.After(10 * time.Second)
+	for len(got) < n+1 {
+		select {
+		case we, ok := <-w.Events():
+			if !ok {
+				t.Fatalf("watch died early: %v (got %d events)", w.Err(), len(got))
+			}
+			if we.Cycle <= lastCycle {
+				t.Fatalf("cycle %d after %d: order violated", we.Cycle, lastCycle)
+			}
+			lastCycle = we.Cycle
+			got = append(got, we.Events...)
+		case <-deadline:
+			t.Fatalf("timed out with %d of %d events", len(got), n+1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		e := got[i]
+		if e.Kind != client.OpPut || e.Key != 7 || string(e.Val) != fmt.Sprintf("seq-%d", i) {
+			t.Fatalf("event %d = {%v %d %q}", i, e.Kind, e.Key, e.Val)
+		}
+	}
+	if e := got[n]; e.Kind != client.OpDelete || e.Key != 7 || e.Val != nil {
+		t.Fatalf("final event = {%v %d %q}, want delete of key 7", e.Kind, e.Key, e.Val)
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for range w.Events() {
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err after Close = %v, want nil", err)
+	}
+}
+
+// TestWatchResumeAcrossCrash is the event-plane acceptance test: a
+// watch established through one node keeps its exactly-once, gap-free,
+// commit-cycle-ordered guarantee when that node crashes mid-stream —
+// the client re-registers on a surviving replica, resuming from the
+// last delivered cycle, and the replica's retained history bridges the
+// failover seam.
+func TestWatchResumeAcrossCrash(t *testing.T) {
+	c, cl := startEventCluster(t, 3)
+	ctx := context.Background()
+
+	w, err := cl.Watch(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n/2; i++ {
+		if err := cl.Put(ctx, 5, []byte(fmt.Sprintf("seq-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The client dialed endpoints[0] first; crash it under the live
+	// watch and keep writing through the survivors.
+	c.Crash(0)
+	for i := n / 2; i < n; i++ {
+		if err := cl.Put(ctx, 5, []byte(fmt.Sprintf("seq-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got []string
+	var lastCycle uint64
+	deadline := time.After(15 * time.Second)
+	for len(got) < n {
+		select {
+		case we, ok := <-w.Events():
+			if !ok {
+				t.Fatalf("watch died: %v (delivered %d of %d)", w.Err(), len(got), n)
+			}
+			if we.Cycle <= lastCycle {
+				t.Fatalf("cycle %d after %d: duplicate or reordered delivery across failover", we.Cycle, lastCycle)
+			}
+			lastCycle = we.Cycle
+			for _, e := range we.Events {
+				got = append(got, string(e.Val))
+			}
+		case <-deadline:
+			t.Fatalf("timed out with %d of %d events after crash", len(got), n)
+		}
+	}
+	for i, v := range got {
+		if want := fmt.Sprintf("seq-%d", i); v != want {
+			t.Fatalf("event %d = %q, want %q (gap or duplicate across failover)", i, v, want)
+		}
+	}
+	if fo := cl.Stats().Failovers; fo < 1 {
+		t.Fatalf("failovers = %d, want at least 1 (crash went unnoticed?)", fo)
+	}
+	w.Close()
+}
+
+func TestWatchPrefixAndBufferOverflow(t *testing.T) {
+	_, cl := startEventCluster(t, 1)
+	ctx := context.Background()
+
+	// A prefix watch over the whole keyspace with a one-cycle buffer and
+	// no consumer must die with ErrWatchOverflow instead of blocking the
+	// delivery path or dropping silently.
+	w, err := cl.Watch(ctx, 0, client.WithPrefix(0), client.WithBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := cl.Put(ctx, uint64(100+i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		w.Events() // drain nothing: we want the buffer to fill
+		select {
+		case <-deadline:
+			t.Fatal("watch never overflowed a full, unconsumed buffer")
+		default:
+		}
+		if errors.Is(w.Err(), client.ErrWatchOverflow) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The channel is closed after the overflow; buffered events drain.
+	for range w.Events() {
+	}
+}
+
+func TestEnsureSession(t *testing.T) {
+	_, cl := startEventCluster(t, 1)
+	ctx := context.Background()
+	if got := cl.SessionID(); got != 0 {
+		t.Fatalf("fresh client SessionID = %d, want 0", got)
+	}
+	sess, err := cl.EnsureSession(ctx)
+	if err != nil || sess == 0 {
+		t.Fatalf("EnsureSession = %d, %v", sess, err)
+	}
+	if got := cl.SessionID(); got != sess {
+		t.Fatalf("SessionID = %d after EnsureSession %d", got, sess)
+	}
+	again, err := cl.EnsureSession(ctx)
+	if err != nil || again != sess {
+		t.Fatalf("second EnsureSession = %d, %v, want %d", again, err, sess)
+	}
+}

@@ -58,12 +58,34 @@ type SessionCluster interface {
 	SubmitSession(node int, session, seq uint64, op Op, key uint64, val []byte, done func(val []byte, ok bool))
 }
 
+// EventCluster extends SessionCluster with the event plane: guarded
+// multi-op transactions and ordered change watches. Both backends
+// implement it; canopus/recipes builds its coordination primitives
+// (mutex, election, counters, barriers) on this surface, so the same
+// recipe code runs on the simulator and on a live deployment.
+type EventCluster interface {
+	SessionCluster
+	// SubmitTxn executes one encoded transaction (AppendTxn) at node's
+	// replica. done follows the Submit contract and receives the encoded
+	// TxnResult (ParseTxnResult). A non-zero session makes the txn
+	// exactly-once across retries; session 0 submits at-most-once.
+	SubmitTxn(node int, session, seq uint64, body []byte, done func(val []byte, ok bool))
+	// Watch registers a change watch on node's event hub. The sink runs
+	// on the backend's execution context and must not block; see
+	// events.Hub.Watch for the resume and overflow contract.
+	Watch(node int, spec WatchSpec, sink WatchSink) (uint64, error)
+	// Unwatch cancels a watch registered through Watch.
+	Unwatch(node int, id uint64)
+}
+
 // Interface conformance: both backends stay behind the one API.
 var (
 	_ Cluster        = (*SimCluster)(nil)
 	_ Cluster        = (*LiveCluster)(nil)
 	_ SessionCluster = (*SimCluster)(nil)
 	_ SessionCluster = (*LiveCluster)(nil)
+	_ EventCluster   = (*SimCluster)(nil)
+	_ EventCluster   = (*LiveCluster)(nil)
 )
 
 // NodeConn adapts one node of a Cluster to the asynchronous Do shape

@@ -31,6 +31,7 @@ import (
 
 	"canopus/internal/harness"
 	"canopus/internal/pprofutil"
+	"canopus/internal/workload"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	jsonOut := flag.String("json", "", "also write metrics as JSON to this path (live only)")
 	dataDir := flag.String("data-dir", "", "run the live cluster durably under this directory (live only; default: in-memory)")
+	keyDist := flag.String("key-dist", "uniform", "key popularity distribution: uniform|zipf (live only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (pprof evidence for perf work)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this path on exit")
 	flag.Parse()
@@ -50,11 +52,18 @@ func main() {
 	}
 	defer stopProfiles()
 
+	switch workload.KeyDist(*keyDist) {
+	case workload.DistUniform, workload.DistZipf:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -key-dist %q (want uniform|zipf)\n", *keyDist)
+		os.Exit(2)
+	}
 	o := harness.NewOptions(
 		harness.WithQuick(*quick),
 		harness.WithSeed(*seed),
 		harness.WithJSONOut(*jsonOut),
 		harness.WithDataDir(*dataDir),
+		harness.WithKeyDist(workload.KeyDist(*keyDist)),
 	)
 	runs := map[string]func(*harness.Options){
 		"table1": harness.Table1,

@@ -31,6 +31,7 @@ import (
 
 	"canopus/internal/adminsrv"
 	"canopus/internal/core"
+	"canopus/internal/events"
 	"canopus/internal/kvstore"
 	"canopus/internal/livecluster"
 	"canopus/internal/lot"
@@ -125,6 +126,13 @@ func main() {
 	node := core.NewNode(nodeCfg, st, core.Callbacks{})
 	defer node.Close()
 
+	// The event hub feeds protocol v3 watches from the committed apply
+	// stream. Recovery replay does not publish events; its cycles land as
+	// a gap the hub treats as evicted history, so no watch can resume
+	// across state it never saw.
+	hub := events.NewHub(events.Options{})
+	node.SetOnEvents(hub.Publish)
+
 	// Bind the client address before recovery (a restarting node owns its
 	// advertised endpoint immediately) but accept only after recovery has
 	// replayed the log — no client ever reads mid-recovery state.
@@ -135,6 +143,7 @@ func main() {
 			log.Fatal("canopus-server: ", err)
 		}
 		port.SetDigestFunc(livecluster.DigestSource(runner, node, st))
+		port.SetHub(hub)
 	}
 
 	// The admin gateway binds AND serves before recovery — one notch
@@ -154,10 +163,11 @@ func main() {
 		if mgr != nil {
 			mgr.RegisterMetrics(reg, nodeLabel)
 		}
+		hub.RegisterMetrics(reg, nodeLabel)
 		cfg := adminsrv.Config{
 			Registry: reg,
 			Node:     int32(self),
-			Status:   livecluster.StatusSource(runner, node, st, mgr),
+			Status:   livecluster.StatusSource(runner, node, st, mgr, hub),
 		}
 		if mgr != nil {
 			walMgr := mgr

@@ -1,68 +1,102 @@
-// Coordination: a distributed lock service on ZKCanopus — ZooKeeper's
-// data model with Zab replaced by Canopus (paper §8.1.2). Three
-// contenders race to acquire a lock with Create (create-if-absent); the
-// linearizable Get that Canopus provides makes acquire-then-verify
-// correct without sync() calls.
+// Coordination: the classic lock-service workload built on
+// canopus/recipes — distributed mutexes, counters, leader election and
+// barriers assembled from the event plane's primitives (guarded
+// transactions, ordered watches, replicated sessions). The cluster here
+// is the in-process simulator in serve mode; the identical recipe code
+// drives a live TCP deployment through recipes.FromClient.
 package main
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"canopus"
+	"canopus/recipes"
 )
 
 func main() {
-	cluster := canopus.MustCoordCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	cluster := canopus.MustSimCluster(canopus.SimOptions{Racks: 2, NodesPerRack: 3})
+	cluster.Serve()
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
-	const lock = "/locks/leader"
-	contenders := []canopus.NodeID{0, 2, 4}
-	winners := map[canopus.NodeID]bool{}
+	const (
+		lockKey    = 1 // the mutex everyone contends on
+		counterKey = 2 // bumped only inside the critical section
+		leaderKey  = 3 // the election post
+		doneKey    = 4 // the finishing barrier
+	)
+	nodes := []int{0, 2, 4}
 
-	for _, id := range contenders {
-		id := id
-		me := []byte(fmt.Sprintf("node-%d", id))
-		srv := cluster.Server(id)
-		cluster.At(time.Millisecond, func() {
-			// Try to take the lock; then verify with a linearizable read.
-			srv.Create(lock, me, func(*canopus.ZNode) {
-				srv.Get(lock, func(n *canopus.ZNode) {
-					if n != nil && string(n.Data) == string(me) {
-						winners[id] = true
-						fmt.Printf("node %v acquired %s\n", id, lock)
-					} else {
-						holder := "nobody"
-						if n != nil {
-							holder = string(n.Data)
-						}
-						fmt.Printf("node %v lost the race (%s holds it)\n", id, holder)
-					}
-				})
-			})
-		})
+	// Mutual exclusion: each contender takes the lock, bumps a
+	// replicated counter in its critical section, and releases. The
+	// guarded CAS admits one holder per vacancy, so no increment is
+	// ever lost.
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		b := recipes.FromCluster(cluster, node)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := recipes.NewMutex(b, lockKey)
+			if err := m.Lock(ctx); err != nil {
+				panic(err)
+			}
+			turn, err := recipes.NewCounter(b, counterKey).Add(ctx, 1)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("node %d took the lock (turn %d)\n", node, turn)
+			if err := m.Unlock(ctx); err != nil {
+				panic(err)
+			}
+		}()
 	}
-	cluster.RunUntil(500 * time.Millisecond)
-	fmt.Printf("winners: %d (must be exactly 1)\n", len(winners))
-
-	// The winner releases with a conditional delete; then a config watch
-	// fires on the next update.
-	var winner canopus.NodeID
-	for id := range winners {
-		winner = id
+	wg.Wait()
+	total, err := recipes.NewCounter(recipes.FromCluster(cluster, 5), counterKey).Value(ctx)
+	if err != nil {
+		panic(err)
 	}
-	srv := cluster.Server(winner)
-	cluster.At(600*time.Millisecond, func() {
-		cluster.TreeOf(5).Watch("/config/limit", func(n *canopus.ZNode) {
-			fmt.Printf("node 5 watch: /config/limit -> %q\n", n.Data)
-		})
-		srv.DeleteIfValue(lock, []byte(fmt.Sprintf("node-%d", winner)), func(*canopus.ZNode) {
-			fmt.Printf("node %v released %s\n", winner, lock)
-		})
-		srv.Set("/config/limit", []byte("100"), nil)
-	})
-	cluster.RunUntil(1200 * time.Millisecond)
+	fmt.Printf("critical-section turns: %d (must be %d)\n", total, len(nodes))
 
-	if n := cluster.TreeOf(0).GetLocal(lock); n == nil {
-		fmt.Println("lock is free again")
+	// Leader election: alice wins the vacant post, bob campaigns and
+	// blocks, and alice's resignation hands over. A crashed leader hands
+	// over the same way — its ephemeral claim dies with its session.
+	alice := recipes.NewElection(recipes.FromCluster(cluster, 0), leaderKey, []byte("alice"))
+	bob := recipes.NewElection(recipes.FromCluster(cluster, 3), leaderKey, []byte("bob"))
+	if err := alice.Campaign(ctx); err != nil {
+		panic(err)
 	}
+	fmt.Println("alice leads")
+	elected := make(chan error, 1)
+	go func() { elected <- bob.Campaign(ctx) }()
+	if err := alice.Resign(ctx); err != nil {
+		panic(err)
+	}
+	if err := <-elected; err != nil {
+		panic(err)
+	}
+	fmt.Println("alice resigned; bob leads")
+
+	// Barrier: three parties rendezvous; nobody proceeds until the last
+	// one arrives.
+	done := make(chan struct{})
+	for i, node := range nodes {
+		bar := recipes.NewBarrier(recipes.FromCluster(cluster, node), doneKey, len(nodes))
+		delay := time.Duration(i) * 10 * time.Millisecond
+		go func() {
+			time.Sleep(delay)
+			if err := bar.Arrive(ctx); err != nil {
+				panic(err)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range nodes {
+		<-done
+	}
+	fmt.Println("all parties passed the barrier")
 }

@@ -46,6 +46,7 @@ func (n *Node) commit(c *cycle) {
 
 	n.applySessions(c.id, root.Sessions)
 	plan := n.resolveOrder(c.id, root.Batches)
+	plan.expired = append(plan.expired, n.expiredScratch...)
 	n.applyMembership(c.id, root.Updates)
 	n.applyLeases(c.id, root.Leases)
 	n.revokeLeases(c.id, root.Updates)
@@ -119,6 +120,12 @@ func (n *Node) resolveOrder(cyc uint64, order []*wire.Batch) *applyPlan {
 					}
 					n.sessions.Record(req.Client, req.Seq, nil)
 				}
+				if req.Op == wire.OpTxn {
+					// Every replica evaluates remote transactions at apply
+					// time and records the result: the session table is
+					// replicated state, and a failover retry may land here.
+					plan.hasTxn = true
+				}
 				plan.ops = append(plan.ops, planOp{req: req, comp: -1})
 			}
 		}
@@ -173,6 +180,36 @@ func (n *Node) resolveOwnSet(cyc uint64, set *ownSet, plan *applyPlan) {
 			if n.sm != nil {
 				plan.ops = append(plan.ops, planOp{req: req, comp: int32(len(plan.comps) - 1)})
 			}
+		case wire.OpTxn:
+			if wire.IsSessionID(req.Client) {
+				_, verdict := n.sessions.Begin(req.Client, req.Seq, cyc)
+				switch verdict {
+				case kvstore.SessionUnknown:
+					if n.cbs.OnSessionReject != nil {
+						n.cbs.OnSessionReject(req)
+					}
+					continue
+				case kvstore.SessionDuplicate:
+					// The original's result resolves at apply time (its own
+					// plan has applied by then — strict cycle order), from
+					// the compaction-surviving txn slot.
+					plan.comps = append(plan.comps, *req)
+					plan.vals = append(plan.vals, nil)
+					if n.sm != nil {
+						plan.ops = append(plan.ops, planOp{req: req, comp: int32(len(plan.comps) - 1), dup: true})
+						plan.hasTxn = true
+					}
+					continue
+				default:
+					n.sessions.Record(req.Client, req.Seq, nil)
+				}
+			}
+			plan.comps = append(plan.comps, *req)
+			plan.vals = append(plan.vals, nil)
+			if n.sm != nil {
+				plan.ops = append(plan.ops, planOp{req: req, comp: int32(len(plan.comps) - 1)})
+				plan.hasTxn = true
+			}
 		}
 	}
 }
@@ -203,7 +240,8 @@ func (n *Node) execPlanOps(p *applyPlan) {
 	if n.sm == nil {
 		return
 	}
-	applyShardSlice(n.sm, p, nil, 0, 0)
+	n.applyShardSlice(p, nil, 0, 0)
+	n.applyExpiry(p)
 }
 
 // deliverPlan materializes one plan's completion records through the
@@ -212,6 +250,13 @@ func (n *Node) execPlanOps(p *applyPlan) {
 // off the machine lock — OnReplyBatch consumers must synchronize their
 // own state and must consume the value slices during the call.
 func (n *Node) deliverPlan(p *applyPlan) {
+	if n.cbs.OnEvents != nil && !p.snapshot {
+		// The event plane's single choke point: every committed cycle's
+		// events publish here, after apply (and after the group commit's
+		// Sync when durable), in cycle order, before the cycle's replies.
+		n.buildPlanEvents(p)
+		n.cbs.OnEvents(p.cycle, p.events)
+	}
 	if len(p.comps) == 0 {
 		return
 	}
@@ -247,6 +292,13 @@ func (n *Node) freePlan(p *applyPlan) {
 	clear(p.vals)
 	p.ops, p.comps, p.vals = p.ops[:0], p.comps[:0], p.vals[:0]
 	p.root = nil
+	p.hasTxn, p.snapshot = false, false
+	clear(p.outcomes)
+	clear(p.txnEvents)
+	clear(p.events)
+	p.outcomes, p.txnEvents, p.events = p.outcomes[:0], p.txnEvents[:0], p.events[:0]
+	p.expired, p.expiredKeys = p.expired[:0], p.expiredKeys[:0]
+	p.evArena = p.evArena[:0]
 	if set := p.set; set != nil {
 		p.set = nil
 		clear(set.reqs)

@@ -185,6 +185,28 @@ type StateMachine interface {
 	Snapshot() []wire.Request
 }
 
+// TxnMachine is optionally implemented by StateMachines that support
+// the event plane: per-key modification-cycle metadata (backing
+// GuardCycleLE transactions), session-owned ephemeral keys, and the
+// metadata-stamping write path. kvstore.Store implements it. When the
+// node's StateMachine is a TxnMachine, every committed write goes
+// through ApplyWriteAt (so modification cycles stay current) and
+// multi-op transactions become available; otherwise transactions abort
+// deterministically on every replica.
+type TxnMachine interface {
+	StateMachine
+	// ApplyWriteAt is ApplyWrite plus metadata: the write is recorded as
+	// of the given commit cycle, and a non-zero owner binds the key to
+	// that session (ephemeral).
+	ApplyWriteAt(req *wire.Request, cycle, owner uint64)
+	// ModCycle returns the commit cycle that last wrote key (0 when
+	// absent or untracked).
+	ModCycle(key uint64) uint64
+	// ExpireOwned deletes every key owned by the given session,
+	// returning the deleted keys sorted ascending.
+	ExpireOwned(owner uint64) []uint64
+}
+
 // Callbacks are optional observation hooks.
 type Callbacks struct {
 	// OnCommit fires when a cycle commits, with the cycle's total order.
@@ -208,6 +230,17 @@ type Callbacks struct {
 	// OnStall fires once when the node detects its super-leaf has failed
 	// (too few live members) and the consensus process halts (§6).
 	OnStall func()
+	// OnEvents fires once per committed cycle, after the cycle's writes
+	// have applied (and, with a Durability hook, after they are durable),
+	// with the cycle's key-change events in committed total order:
+	// plain writes and deletes, committed transaction ops, and the
+	// automatic deletions of an expired session's ephemeral keys. Cycles
+	// with no events still fire (evs empty or nil) so consumers can
+	// advance their cycle watermark. The slice and the value bytes it
+	// references are only valid during the call. In serial mode it fires
+	// inside the machine turn; with ApplyWorkers > 0 it fires on the
+	// node's apply executor, before the cycle's reply batch.
+	OnEvents func(cycle uint64, evs []wire.Event)
 	// OnSessionReject fires, at apply time, for an own-set mutation whose
 	// session is not in the replicated table (expired or never
 	// registered): the op was NOT applied, deterministically on every

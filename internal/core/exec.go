@@ -50,7 +50,11 @@ type ShardedMachine interface {
 // in the plan's completion value slot comp.
 type planOp struct {
 	req  *wire.Request
-	comp int32 // completion-value index for reads; -1 for writes
+	comp int32 // completion-value index for reads/txns; -1 for writes
+	// dup marks a duplicate transaction whose result resolves at apply
+	// time from the session table (the original applied in an earlier
+	// plan, and plans apply strictly in cycle order).
+	dup bool
 }
 
 // applyPlan is one committed cycle's apply-stage work order, produced by
@@ -73,6 +77,33 @@ type applyPlan struct {
 	// plan's replies. Roots are retained by Node.recent and never pooled,
 	// so the pointer stays valid for the plan's lifetime.
 	root *wire.Proposal
+
+	// hasTxn marks a plan carrying transaction ops: it applies serially
+	// (guards read cross-shard state, so no worker fan-out).
+	hasTxn bool
+	// snapshot marks a synthetic join-install plan: each op's Seq/Client
+	// carry the key's last-modified cycle and owner session, installed
+	// via ApplyWriteAt, and the plan emits no events.
+	snapshot bool
+	// expired are the sessions this cycle's boundary expired; the apply
+	// tail deletes their ephemeral keys (filling expiredKeys).
+	expired     []uint64
+	expiredKeys []uint64
+	// outcomes records each non-duplicate transaction's verdict in apply
+	// order; committed ops' events sit in txnEvents[start:start+count]
+	// with values copied into evArena (decode scratch does not survive).
+	outcomes  []txnOutcome
+	txnEvents []wire.Event
+	evArena   []byte
+	// events is the cycle's key-change event list in committed total
+	// order, built by buildPlanEvents just before delivery.
+	events []wire.Event
+}
+
+// txnOutcome is one evaluated transaction's verdict within a plan.
+type txnOutcome struct {
+	committed    bool
+	start, count int32 // committed ops' slice of plan.txnEvents
 }
 
 // fanoutThreshold is the minimum op count worth spreading across
@@ -341,44 +372,61 @@ func (e *executor) serveParked() {
 }
 
 // apply executes one plan's operations, fanning across workers by shard
-// when the cycle is large enough to pay for the barrier.
+// when the cycle is large enough to pay for the barrier. Transaction
+// and snapshot-install plans always apply serially: guards read
+// cross-shard state, and installs carry per-op metadata.
 func (e *executor) apply(p *applyPlan) {
-	if e.workers <= 1 || e.shard == nil || len(p.ops) < fanoutThreshold {
-		applyShardSlice(e.sm, p, nil, 0, 0)
-		return
+	if e.workers <= 1 || e.shard == nil || p.hasTxn || p.snapshot || len(p.ops) < fanoutThreshold {
+		e.n.applyShardSlice(p, nil, 0, 0)
+	} else {
+		e.cur = p
+		e.wg.Add(e.workers - 1)
+		for _, ch := range e.wake {
+			ch <- struct{}{}
+		}
+		e.n.applyShardSlice(p, e.shard, e.workers, 0)
+		e.wg.Wait()
+		e.cur = nil
 	}
-	e.cur = p
-	e.wg.Add(e.workers - 1)
-	for _, ch := range e.wake {
-		ch <- struct{}{}
-	}
-	applyShardSlice(e.sm, p, e.shard, e.workers, 0)
-	e.wg.Wait()
-	e.cur = nil
+	e.n.applyExpiry(p)
 }
 
 // worker is one extra apply worker: it owns the shards with
 // ShardOf(key) % workers == w.
 func (e *executor) worker(w int, wake chan struct{}) {
 	for range wake {
-		applyShardSlice(e.sm, e.cur, e.shard, e.workers, w)
+		e.n.applyShardSlice(e.cur, e.shard, e.workers, w)
 		e.wg.Done()
 	}
 }
 
 // applyShardSlice applies the plan operations owned by worker w (all of
 // them when workers == 0): writes mutate the store, reads record their
-// value into the plan's completion slot. In-shard order follows the
-// committed total order because ops is walked front to back.
-func applyShardSlice(sm StateMachine, p *applyPlan, shard ShardedMachine, workers, w int) {
-	for _, op := range p.ops {
+// value into the plan's completion slot, transactions evaluate their
+// guards against applied state (serial plans only — see apply). In-shard
+// order follows the committed total order because ops is walked front to
+// back.
+func (n *Node) applyShardSlice(p *applyPlan, shard ShardedMachine, workers, w int) {
+	for i := range p.ops {
+		op := &p.ops[i]
+		if op.req.Op == wire.OpTxn {
+			// Only reached with workers == 0 (txn plans force serial).
+			n.applyTxnOp(p, op)
+			continue
+		}
 		if workers > 0 && shard.ShardOf(op.req.Key)%workers != w {
 			continue
 		}
 		if op.comp >= 0 {
-			p.vals[op.comp] = sm.Read(op.req.Key)
+			p.vals[op.comp] = n.sm.Read(op.req.Key)
+		} else if n.tm != nil {
+			if p.snapshot {
+				n.tm.ApplyWriteAt(op.req, op.req.Seq, op.req.Client)
+			} else {
+				n.tm.ApplyWriteAt(op.req, p.cycle, 0)
+			}
 		} else {
-			sm.ApplyWrite(op.req)
+			n.sm.ApplyWrite(op.req)
 		}
 	}
 }

@@ -43,18 +43,24 @@ func TestApplyShardSliceEquivalence(t *testing.T) {
 		return plan, reqs
 	}
 
+	tree, err := lot.New(lot.Config{SuperLeaves: [][]wire.NodeID{{0, 1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	serialStore := kvstore.NewShardedLogged(shards)
+	serialNode := NewNode(Config{Tree: tree, Self: 0}, serialStore, Callbacks{})
 	serialPlan, _ := mkPlan()
-	applyShardSlice(serialStore, serialPlan, nil, 0, 0)
+	serialNode.applyShardSlice(serialPlan, nil, 0, 0)
 
 	for _, workers := range []int{2, 3, 8} {
 		st := kvstore.NewShardedLogged(shards)
+		node := NewNode(Config{Tree: tree, Self: 0}, st, Callbacks{})
 		plan, _ := mkPlan()
 		// Sequentially run each worker's partition — the executor runs
 		// them concurrently, which is safe because partitions touch
 		// disjoint shards; equivalence is a property of the partition.
 		for w := 0; w < workers; w++ {
-			applyShardSlice(st, plan, st, workers, w)
+			node.applyShardSlice(plan, st, workers, w)
 		}
 		if st.StateDigest() != serialStore.StateDigest() {
 			t.Fatalf("workers=%d: state digest %x != serial %x", workers, st.StateDigest(), serialStore.StateDigest())

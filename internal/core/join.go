@@ -148,14 +148,24 @@ func (n *Node) onJoinReply(m *wire.JoinReply) {
 	// rides the apply stage as a synthetic plan so it serializes with any
 	// committed-state reads already routed through the executor; the
 	// applied watermark advances to StartCycle when it lands.
+	// Snapshot entries smuggle each key's last-modified cycle and owner
+	// session in Seq/Client (see kvstore.Store.Snapshot): a TxnMachine
+	// installs them through ApplyWriteAt so the joiner's event-plane
+	// metadata matches every replica that never crashed.
 	if n.exec != nil {
 		plan := n.newPlan(m.StartCycle)
+		plan.snapshot = true
 		for i := range m.Snapshot {
 			plan.ops = append(plan.ops, planOp{req: &m.Snapshot[i], comp: -1})
 		}
 		n.exec.submitPlan(plan)
 	} else {
-		if n.sm != nil {
+		if n.tm != nil {
+			for i := range m.Snapshot {
+				req := &m.Snapshot[i]
+				n.tm.ApplyWriteAt(req, req.Seq, req.Client)
+			}
+		} else if n.sm != nil {
 			for i := range m.Snapshot {
 				n.sm.ApplyWrite(&m.Snapshot[i])
 			}

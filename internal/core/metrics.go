@@ -27,6 +27,10 @@ type nodeStats struct {
 	// leasesActive mirrors len(n.leases) (machine-turn state) at every
 	// lease-table mutation so observers need no lock.
 	leasesActive atomic.Uint64
+	// txnCommits/txnAborts count evaluated transactions by verdict
+	// (duplicates resolve from cache and count nothing).
+	txnCommits atomic.Uint64
+	txnAborts  atomic.Uint64
 }
 
 // depth reports the apply executor's command backlog (plans and reads
@@ -81,4 +85,10 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry, labels ...metrics.Label) {
 	reg.CounterFunc("canopus_core_replayed_cycles_total",
 		"Cycles re-committed from the WAL during crash recovery.",
 		n.stats.replayed.Load, labels...)
+	reg.CounterFunc("canopus_core_txn_commits_total",
+		"Transactions whose guards all held (applied atomically).",
+		n.stats.txnCommits.Load, labels...)
+	reg.CounterFunc("canopus_core_txn_aborts_total",
+		"Transactions aborted by a failing guard (nothing applied).",
+		n.stats.txnAborts.Load, labels...)
 }

@@ -73,7 +73,10 @@ type Node struct {
 	sl   int
 	bc   broadcast.Broadcaster
 	sm   StateMachine
-	cbs  Callbacks
+	// tm is sm's TxnMachine facet when it has one (cached assertion):
+	// enables transactions, key metadata, and ephemeral-key expiry.
+	tm  TxnMachine
+	cbs Callbacks
 
 	closedPeers map[wire.NodeID]bool
 
@@ -111,9 +114,13 @@ type Node struct {
 	// this node's local proposal/notification bookkeeping.
 	sessions        *kvstore.SessionTable
 	pendingSessions []wire.SessionUpdate
-	regWaiters      map[uint64]func(id uint64, ok bool)
-	expWaiters      map[uint64][]func(ok bool)
-	expireProposed  map[uint64]bool
+	// expiredScratch collects the session IDs each commit's boundary
+	// expired (applySessions resets and fills it; the cycle's plan takes
+	// a copy so the apply tail can delete their ephemeral keys).
+	expiredScratch []uint64
+	regWaiters     map[uint64]func(id uint64, ok bool)
+	expWaiters     map[uint64][]func(ok bool)
+	expireProposed map[uint64]bool
 
 	pendingUpdates []wire.MemberUpdate
 	// stallAfter, when non-zero, blocks starting cycles beyond it until
@@ -214,6 +221,9 @@ func NewNode(cfg Config, sm StateMachine, cbs Callbacks) *Node {
 		leaseHolder:    make(map[uint64]wire.NodeID),
 		heldWrites:     make(map[uint64][]heldWrite),
 		deferredReads:  make(map[uint64][]deferredRead),
+	}
+	if tm, ok := sm.(TxnMachine); ok {
+		n.tm = tm
 	}
 	if cfg.ApplyWorkers > 0 {
 		n.exec = newExecutor(n, cfg.ApplyWorkers)
@@ -762,3 +772,8 @@ func (n *Node) SetOnCommit(fn func(cycle uint64, order []*wire.Batch)) { n.cbs.O
 // SetOnSessionReject installs or replaces the expired-session callback
 // (see Callbacks.OnSessionReject).
 func (n *Node) SetOnSessionReject(fn func(req *wire.Request)) { n.cbs.OnSessionReject = fn }
+
+// SetOnEvents installs or replaces the per-cycle key-change event
+// callback (see Callbacks.OnEvents). Install before driving the node:
+// with ApplyWorkers > 0 the callback fires on the apply executor.
+func (n *Node) SetOnEvents(fn func(cycle uint64, evs []wire.Event)) { n.cbs.OnEvents = fn }

@@ -64,6 +64,7 @@ func (n *Node) ReplayCommit(cycle uint64, root *wire.Proposal) error {
 	}
 	n.applySessions(cycle, root.Sessions)
 	plan := n.resolveOrder(cycle, root.Batches)
+	plan.expired = append(plan.expired, n.expiredScratch...)
 	n.gcSessions(cycle)
 	n.committed = cycle
 	n.started = cycle

@@ -96,9 +96,11 @@ func (n *Node) Sessions() *kvstore.SessionTable { return n.sessions }
 // replicated table. Applied before the cycle's request order, so a
 // registration and the session's first mutations may share a cycle.
 func (n *Node) applySessions(cyc uint64, updates []wire.SessionUpdate) {
+	n.expiredScratch = n.expiredScratch[:0]
 	for _, u := range updates {
 		if u.Expire {
 			n.sessions.Expire(u.ID)
+			n.expiredScratch = append(n.expiredScratch, u.ID)
 			delete(n.expireProposed, u.ID)
 			if dones := n.expWaiters[u.ID]; dones != nil {
 				delete(n.expWaiters, u.ID)

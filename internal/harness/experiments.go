@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"canopus/internal/metrics"
+	"canopus/internal/workload"
 )
 
 // Options tunes experiment execution. Quick mode shortens measurement
@@ -32,6 +33,10 @@ type Options struct {
 	// shape), letting drivers attribute throughput to pipeline stages
 	// and serve the run's /metrics.
 	Registry *metrics.Registry
+	// KeyDist selects the live workload's key popularity distribution
+	// (workload.DistUniform when empty; workload.DistZipf for the
+	// contended hot-key shape).
+	KeyDist workload.KeyDist
 }
 
 // Option mutates Options; see NewOptions.
@@ -64,6 +69,9 @@ func WithDataDir(dir string) Option { return func(o *Options) { o.DataDir = dir 
 
 // WithRegistry exports real-node experiment instruments into reg.
 func WithRegistry(reg *metrics.Registry) Option { return func(o *Options) { o.Registry = reg } }
+
+// WithKeyDist selects the live workload's key distribution.
+func WithKeyDist(d workload.KeyDist) Option { return func(o *Options) { o.KeyDist = d } }
 
 func (o *Options) windows() (warm, measure time.Duration) {
 	if o.Quick {

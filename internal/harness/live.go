@@ -102,6 +102,7 @@ func Live(o *Options) {
 			Concurrency: closedWorkers,
 			Duration:    warm,
 			WriteRatio:  0.2,
+			KeyDist:     o.KeyDist,
 			Seed:        o.Seed + 7,
 		}, conns)
 		var before, after runtime.MemStats
@@ -111,6 +112,7 @@ func Live(o *Options) {
 			Concurrency: closedWorkers,
 			Duration:    dur - warm,
 			WriteRatio:  0.2,
+			KeyDist:     o.KeyDist,
 			Seed:        o.Seed,
 		}, conns)
 		runtime.ReadMemStats(&after)
@@ -127,6 +129,7 @@ func Live(o *Options) {
 			Duration:   dur,
 			Warmup:     warm,
 			WriteRatio: 0.2,
+			KeyDist:    o.KeyDist,
 			Seed:       o.Seed + 1,
 		}, conns)
 		if open.Lost != 0 || open.Failed != 0 {

@@ -30,6 +30,12 @@ import (
 type shard struct {
 	data map[uint64][]byte
 
+	// Event-plane metadata (see meta.go): per-key last-modified cycle
+	// and owning session, plus the owner -> keys index driving
+	// ephemeral-key expiry. Both are nil until first used.
+	meta  map[uint64]keyMeta
+	owned map[uint64]map[uint64]struct{}
+
 	logLen    uint64
 	logDigest uint64
 }
@@ -177,7 +183,11 @@ func (s *Store) sortedKeys() []uint64 {
 // Snapshot implements core.StateMachine: a deterministic rebuild script
 // for the current contents (apply order irrelevant; one write per key).
 // Values are copied — the script must stay valid while it is in flight
-// to a joiner even if the live store keeps applying writes.
+// to a joiner even if the live store keeps applying writes. Each
+// entry's Client/Seq fields smuggle the key's owner session and
+// last-modified cycle so a joiner rebuilds the event-plane metadata
+// (core installs scripts through ApplyWriteAt(req, req.Seq,
+// req.Client)).
 func (s *Store) Snapshot() []wire.Request {
 	keys := s.sortedKeys()
 	out := make([]wire.Request, 0, len(keys))
@@ -185,7 +195,11 @@ func (s *Store) Snapshot() []wire.Request {
 	for _, k := range keys {
 		v := s.Read(k)
 		arena = append(arena, v...)
-		out = append(out, wire.Request{Op: wire.OpWrite, Key: k, Val: arena[len(arena)-len(v):]})
+		m := s.shards[s.ShardOf(k)].meta[k]
+		out = append(out, wire.Request{
+			Client: m.owner, Seq: m.cycle,
+			Op: wire.OpWrite, Key: k, Val: arena[len(arena)-len(v):],
+		})
 	}
 	return out
 }
@@ -198,6 +212,10 @@ type ShardState struct {
 	LogDigest uint64
 	Keys      []uint64
 	Vals      [][]byte
+	// Cycles and Owners align with Keys: each key's last-modified commit
+	// cycle and owning session (both zero for pre-event-plane images).
+	Cycles []uint64
+	Owners []uint64
 }
 
 // SnapshotShards renders every shard's durable image, values copied.
@@ -214,11 +232,15 @@ func (s *Store) SnapshotShards() []ShardState {
 		}
 		sort.Slice(st.Keys, func(a, b int) bool { return st.Keys[a] < st.Keys[b] })
 		st.Vals = make([][]byte, len(st.Keys))
+		st.Cycles = make([]uint64, len(st.Keys))
+		st.Owners = make([]uint64, len(st.Keys))
 		var arena []byte
 		for j, k := range st.Keys {
 			v := sh.data[k]
 			arena = append(arena, v...)
 			st.Vals[j] = arena[len(arena)-len(v):]
+			m := sh.meta[k]
+			st.Cycles[j], st.Owners[j] = m.cycle, m.owner
 		}
 	}
 	return out
@@ -235,10 +257,27 @@ func (s *Store) RestoreShards(states []ShardState) error {
 		sh := &s.shards[i]
 		st := &states[i]
 		sh.data = make(map[uint64][]byte, len(st.Keys))
+		sh.meta, sh.owned = nil, nil
 		for j, k := range st.Keys {
 			v := make([]byte, len(st.Vals[j]))
 			copy(v, st.Vals[j])
 			sh.data[k] = v
+			var m keyMeta
+			if j < len(st.Cycles) {
+				m.cycle = st.Cycles[j]
+			}
+			if j < len(st.Owners) {
+				m.owner = st.Owners[j]
+			}
+			if m != (keyMeta{}) {
+				if sh.meta == nil {
+					sh.meta = make(map[uint64]keyMeta, len(st.Keys))
+				}
+				sh.meta[k] = m
+				if m.owner != 0 {
+					sh.attachOwner(m.owner, k)
+				}
+			}
 		}
 		sh.logLen, sh.logDigest = st.LogLen, st.LogDigest
 	}

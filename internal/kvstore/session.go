@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"canopus/internal/wire"
@@ -37,15 +38,23 @@ type sessionEntry struct {
 	max        uint64            // highest applied seq
 	applied    map[uint64][]byte // applied seqs >= low -> cached reply
 	lastActive uint64            // commit cycle of the last mutation (or registration)
+	// The most recent transaction's (seq, result), surviving floor
+	// compaction: unlike a plain mutation's bare ack, a retried txn must
+	// learn whether the original committed or aborted even after its seq
+	// compacted away. Only the latest txn per session is retained.
+	txnSeq uint64
+	txnVal []byte
 }
 
 // SessionTable is the replicated client-session dedup table: session
 // registrations, expiries, and per-mutation classification all happen at
 // commit boundaries in the committed total order, so every replica holds
 // an identical table (the same invariant as the membership view and the
-// lease table). It is not concurrency-safe: each protocol node owns one
-// table and drives it from its own event context.
+// lease table). A mutex makes it safe to drive from two contexts at
+// once: the machine turn classifies (Begin/Record) while the commit
+// executor records and looks up transaction results at apply time.
 type SessionTable struct {
+	mu       sync.Mutex
 	sessions map[uint64]*sessionEntry
 	// occ mirrors len(sessions) so metrics scrapers on other goroutines
 	// can read the occupancy without synchronizing with the owner.
@@ -60,6 +69,8 @@ func NewSessionTable() *SessionTable {
 // Register adds a session at commit cycle. Re-registering an existing ID
 // is a no-op (a duplicate registration proposal).
 func (t *SessionTable) Register(id, cycle uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, ok := t.sessions[id]; ok {
 		return
 	}
@@ -69,6 +80,8 @@ func (t *SessionTable) Register(id, cycle uint64) {
 
 // Expire removes a session and its dedup state.
 func (t *SessionTable) Expire(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	delete(t.sessions, id)
 	t.occ.Store(int64(len(t.sessions)))
 }
@@ -80,12 +93,18 @@ func (t *SessionTable) Occupancy() int64 { return t.occ.Load() }
 
 // Has reports whether a session is registered.
 func (t *SessionTable) Has(id uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	_, ok := t.sessions[id]
 	return ok
 }
 
 // Len returns the number of registered sessions.
-func (t *SessionTable) Len() int { return len(t.sessions) }
+func (t *SessionTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}
 
 // Begin classifies one committed mutation (session id, seq) at commit
 // cycle, refreshing the session's activity clock. On SessionDuplicate
@@ -93,6 +112,8 @@ func (t *SessionTable) Len() int { return len(t.sessions) }
 // below the floor — for the KV state machine every mutation's reply is a
 // bare acknowledgement anyway).
 func (t *SessionTable) Begin(id, seq, cycle uint64) (cached []byte, verdict SessionVerdict) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	e := t.sessions[id]
 	if e == nil {
 		return nil, SessionUnknown
@@ -112,6 +133,12 @@ func (t *SessionTable) Begin(id, seq, cycle uint64) (cached []byte, verdict Sess
 // contiguously applied seqs, and past SessionWindow outstanding entries
 // it is forced forward.
 func (t *SessionTable) Record(id, seq uint64, val []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.record(id, seq, val)
+}
+
+func (t *SessionTable) record(id, seq uint64, val []byte) {
 	e := t.sessions[id]
 	if e == nil {
 		return
@@ -151,9 +178,50 @@ func (t *SessionTable) Record(id, seq uint64, val []byte) {
 	}
 }
 
+// RecordTxn records a transaction's result bytes for (session, seq):
+// the regular dedup Record plus the compaction-surviving latest-txn
+// slot. Safe to call from the apply context while the machine turn
+// classifies other requests.
+func (t *SessionTable) RecordTxn(id, seq uint64, val []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.sessions[id]
+	if e == nil {
+		return
+	}
+	if seq >= e.low {
+		t.record(id, seq, val)
+	}
+	if seq >= e.txnSeq {
+		v := make([]byte, len(val))
+		copy(v, val)
+		e.txnSeq, e.txnVal = seq, v
+	}
+}
+
+// CachedTxn returns the recorded result of txn (session, seq), or nil
+// when it was never recorded or has been displaced by a later txn.
+func (t *SessionTable) CachedTxn(id, seq uint64) []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.sessions[id]
+	if e == nil {
+		return nil
+	}
+	if v, ok := e.applied[seq]; ok && v != nil {
+		return v
+	}
+	if seq == e.txnSeq {
+		return e.txnVal
+	}
+	return nil
+}
+
 // IdleBefore returns (sorted, for replayable traces) the sessions whose
 // last activity is at or before the given cycle — the idle-GC scan.
 func (t *SessionTable) IdleBefore(cycle uint64) []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var ids []uint64
 	for id, e := range t.sessions {
 		if e.lastActive <= cycle {
@@ -165,8 +233,12 @@ func (t *SessionTable) IdleBefore(cycle uint64) []uint64 {
 }
 
 // Snapshot renders the table for a join-protocol state transfer,
-// deterministically ordered.
+// deterministically ordered. The latest-txn slot rides along as an
+// Applied entry (possibly below the floor), so a joiner can still
+// answer a retried txn with the original outcome.
 func (t *SessionTable) Snapshot() []wire.SessionState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.sessions) == 0 {
 		return nil
 	}
@@ -179,15 +251,26 @@ func (t *SessionTable) Snapshot() []wire.SessionState {
 	for _, id := range ids {
 		e := t.sessions[id]
 		st := wire.SessionState{ID: id, Low: e.low, LastActive: e.lastActive}
-		if len(e.applied) > 0 {
-			seqs := make([]uint64, 0, len(e.applied))
+		stickyTxn := e.txnSeq > 0
+		if _, ok := e.applied[e.txnSeq]; ok {
+			stickyTxn = false
+		}
+		if len(e.applied) > 0 || stickyTxn {
+			seqs := make([]uint64, 0, len(e.applied)+1)
 			for s := range e.applied {
 				seqs = append(seqs, s)
+			}
+			if stickyTxn {
+				seqs = append(seqs, e.txnSeq)
 			}
 			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 			st.Applied = make([]wire.SessionReply, 0, len(seqs))
 			for _, s := range seqs {
-				st.Applied = append(st.Applied, wire.SessionReply{Seq: s, Val: e.applied[s]})
+				v := e.applied[s]
+				if stickyTxn && s == e.txnSeq {
+					v = e.txnVal
+				}
+				st.Applied = append(st.Applied, wire.SessionReply{Seq: s, Val: v})
 			}
 		}
 		out = append(out, st)
@@ -198,6 +281,8 @@ func (t *SessionTable) Snapshot() []wire.SessionState {
 // Restore replaces the table's contents with a snapshot (the join
 // protocol's state install).
 func (t *SessionTable) Restore(states []wire.SessionState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.sessions = make(map[uint64]*sessionEntry, len(states))
 	for i := range states {
 		st := &states[i]

@@ -15,6 +15,7 @@ import (
 
 	"canopus/internal/adminsrv"
 	"canopus/internal/core"
+	"canopus/internal/events"
 	"canopus/internal/kvstore"
 	"canopus/internal/lot"
 	"canopus/internal/metrics"
@@ -105,6 +106,7 @@ type Cluster struct {
 	nodes   []*core.Node
 	stores  []*kvstore.Store
 	ports   []*ClientPort
+	hubs    []*events.Hub
 	mgrs    []*wal.Manager // nil entries when durability is off
 	reg     *metrics.Registry
 	admins  []*adminsrv.Server // nil (or nil entries) when Admin is off
@@ -209,11 +211,20 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		port.SetDigestFunc(DigestSource(c.runners[i], node, st))
 		c.ports = append(c.ports, port)
+		// The event hub attaches at the node's recovered watermark:
+		// replayed cycles predate its view (their events never fired), so
+		// the floor gates any resume into them. Wired before Attach so no
+		// committed cycle can slip past the publish callback.
+		hub := events.NewHub(events.Options{Floor: node.Committed()})
+		node.SetOnEvents(hub.Publish)
+		port.SetHub(hub)
+		c.hubs = append(c.hubs, hub)
 		if c.reg != nil {
 			nodeLabel := metrics.Label{Key: "node", Value: strconv.Itoa(i)}
 			node.RegisterMetrics(c.reg, nodeLabel)
 			c.runners[i].RegisterMetrics(c.reg, nodeLabel)
 			port.RegisterMetrics(c.reg, nodeLabel)
+			hub.RegisterMetrics(c.reg, nodeLabel)
 			if mgr != nil {
 				mgr.RegisterMetrics(c.reg, nodeLabel)
 			}
@@ -222,7 +233,7 @@ func Start(cfg Config) (*Cluster, error) {
 			srv, err := adminsrv.Listen("127.0.0.1:0", adminsrv.Config{
 				Registry: c.reg,
 				Node:     int32(i),
-				Status:   StatusSource(c.runners[i], node, st, mgr),
+				Status:   StatusSource(c.runners[i], node, st, mgr, hub),
 				Snapshot: snapshotVerb(mgr),
 			})
 			if err != nil {
@@ -344,6 +355,33 @@ func (c *Cluster) RegisterSession(node int, done func(id uint64, ok bool)) {
 // node is draining, stalled, crashed, or the session has expired.
 func (c *Cluster) SubmitSession(node int, session, seq uint64, op wire.Op, key uint64, val []byte, done func(val []byte, ok bool)) {
 	c.ports[node].SubmitSessionLocal(session, seq, op, key, val, done)
+}
+
+// SubmitTxn executes one multi-op transaction at node's replica,
+// implementing the canopus.EventCluster interface. body is the encoded
+// transaction (wire.AppendTxn); done receives the encoded
+// wire.TxnResult. A non-zero session makes the txn exactly-once across
+// retries via the replicated (session, seq) identity; session 0 submits
+// at-most-once. done runs from the node's execution context (see
+// Submit) and must not block.
+func (c *Cluster) SubmitTxn(node int, session, seq uint64, body []byte, done func(val []byte, ok bool)) {
+	c.ports[node].SubmitSessionLocal(session, seq, wire.OpTxn, 0, body, done)
+}
+
+// Hub returns node i's event hub.
+func (c *Cluster) Hub(i int) *events.Hub { return c.hubs[i] }
+
+// Watch registers a watch on node's event hub, implementing the
+// canopus.EventCluster interface. The sink runs on the node's apply
+// executor and must not block; see events.Hub.Watch for the resume and
+// overflow contract.
+func (c *Cluster) Watch(node int, spec events.Spec, sink events.Sink) (uint64, error) {
+	return c.hubs[node].Watch(spec, sink)
+}
+
+// Unwatch cancels a watch registered through Watch.
+func (c *Cluster) Unwatch(node int, id uint64) {
+	c.hubs[node].Cancel(id)
 }
 
 // Close implements the canopus.Cluster lifecycle: a bounded graceful

@@ -14,6 +14,7 @@ import (
 
 	"canopus/admin"
 	"canopus/internal/core"
+	"canopus/internal/events"
 	"canopus/internal/kvstore"
 	"canopus/internal/metrics"
 	"canopus/internal/transport"
@@ -43,6 +44,14 @@ const (
 // and Stale reads are answered from the node's committed state
 // (core.Node.ReadLocal) without starting or riding a consensus cycle.
 //
+// Protocol v3 is v2 plus the event plane: WATCH/UNWATCH registration
+// frames, server-push EVENT frames fed by the node's event hub
+// (internal/events), and multi-op TXN frames that ride consensus as one
+// wire.OpTxn request. Watch registration and cancellation never enter a
+// machine turn — the hub has its own lock — and event fan-out runs on
+// the hub's Publish caller (the apply executor), writing only to
+// per-connection output buffers.
+//
 // Replies are fanned out batch-aware and off the consensus turn: the
 // port owns the node's OnReplyBatch callback — which, with the parallel
 // commit pipeline (core.Config.ApplyWorkers), fires on the node's apply
@@ -55,6 +64,11 @@ type ClientPort struct {
 	runner *transport.Runner
 	node   *core.Node
 	ln     net.Listener
+
+	// hub is the node's event hub; nil disables the v3 watch surface
+	// (WATCH frames are rejected, TXN frames still work). Set before
+	// AcceptClients.
+	hub *events.Hub
 
 	draining    atomic.Bool
 	outstanding atomic.Int64 // accepted-but-unanswered requests
@@ -164,6 +178,13 @@ type clientConn struct {
 	pending map[uint64]pendingEntry
 	seq     uint64
 
+	// watches maps the client-chosen watch ID to the hub's registration
+	// ID (v3 connections only; nil until the first WATCH). Guarded by
+	// the port mutex. Entries can go stale when the hub overflows a
+	// watch — its sink may not take the port mutex — which is harmless:
+	// hub.Cancel is idempotent.
+	watches map[uint64]uint64
+
 	outMu   sync.Mutex
 	out     []byte // encoded responses awaiting flush
 	wake    chan struct{}
@@ -215,6 +236,13 @@ func (p *ClientPort) AcceptClients() {
 // snapshot of the node's replica. Set it before AcceptClients; a port
 // without one rejects the command.
 func (p *ClientPort) SetDigestFunc(fn func() (cycle, state, log uint64)) { p.digest = fn }
+
+// SetHub installs the node's event hub, enabling the v3 watch surface.
+// Set it before AcceptClients; without one, WATCH frames are rejected.
+func (p *ClientPort) SetHub(h *events.Hub) { p.hub = h }
+
+// Hub returns the installed event hub (nil when watches are disabled).
+func (p *ClientPort) Hub() *events.Hub { return p.hub }
 
 // Addr returns the bound client address.
 func (p *ClientPort) Addr() string { return p.ln.Addr().String() }
@@ -319,6 +347,8 @@ func (p *ClientPort) handle(cc *clientConn) {
 			p.handleBinary(cc, br)
 		case wire.ClientMagicV2:
 			p.handleV2(cc, br)
+		case wire.ClientMagicV3:
+			p.handleV3(cc, br)
 		}
 		return
 	}
@@ -331,6 +361,10 @@ func (p *ClientPort) handle(cc *clientConn) {
 // are flushed before the writer closes the socket (a client that sends
 // GET then QUIT still gets its value).
 func (p *ClientPort) teardown(cc *clientConn) {
+	// Watches die with the read side: no one is left to UNWATCH, and the
+	// writer is about to close, so stop the event flow now rather than
+	// letting every future cycle render frames nobody will read.
+	p.dropWatches(cc)
 	p.waitIdle(cc, 5*time.Second)
 	p.mu.Lock()
 	delete(p.conns, cc.id)
@@ -406,6 +440,38 @@ func (cc *clientConn) push(render func(b []byte) []byte) {
 	}
 }
 
+// watchOutBudget bounds the unflushed response bytes a connection may
+// accumulate before its watches count as overflowed: a client that
+// stops reading loses its watches, not the server its memory.
+const watchOutBudget = 1 << 20
+
+// pushBudget appends like push but refuses — without appending — when
+// the unflushed buffer already exceeds budget, reporting false.
+// Terminal frames are exempt: an overflow notice must reach the client
+// even though the buffer is exactly what overflowed. A closing
+// connection also reports false.
+func (cc *clientConn) pushBudget(render func(b []byte) []byte, budget int, terminal bool) bool {
+	cc.outMu.Lock()
+	if cc.closing {
+		cc.outMu.Unlock()
+		return false
+	}
+	if !terminal && len(cc.out) > budget {
+		cc.outMu.Unlock()
+		return false
+	}
+	if cc.out == nil {
+		cc.out = wire.EncodePool.Get(256)
+	}
+	cc.out = render(cc.out)
+	cc.outMu.Unlock()
+	select {
+	case cc.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
 // completeEntry delivers one completed consensus operation to its
 // destination: local callback, batch slot, or an encoded single-op
 // response. Runs with the port mutex held — on the node's apply executor
@@ -430,6 +496,12 @@ func (p *ClientPort) completeEntry(cc *clientConn, entry pendingEntry, op wire.O
 		resp := wire.ClientResponseV2{ID: entry.id, Status: wire.ClientStatusOK, Cycle: cycle, Val: val}
 		if op == wire.OpRead && val == nil {
 			resp.Status = wire.ClientStatusNil
+		}
+		if op == wire.OpTxn && val == nil {
+			// Duplicate txn whose recorded result was displaced by a later
+			// txn on the same session: the outcome is unknowable here, so
+			// say that instead of guessing — the client must re-read state.
+			resp.Status, resp.Val = wire.ClientStatusErr, []byte("txn result displaced")
 		}
 		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
 	default: // modeV1
@@ -674,6 +746,9 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 			case q.Expire:
 				p.expireSession(cc, q.ID, q.Session)
 				continue
+			case q.Txn:
+				p.submitTxn(cc, q)
+				continue
 			}
 			if q.Batch {
 				if len(q.Ops) > wire.MaxBatchOps {
@@ -878,6 +953,139 @@ func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 	}
 }
 
+// submitTxn hands one parsed v3 transaction frame to the node: the body
+// re-encodes into a fresh buffer (the parsed guards/ops alias the read
+// loop's arena, which dies with the group) and rides consensus as a
+// single wire.OpTxn request. With a session the replicated (session,
+// seq) identity makes the txn exactly-once across failover, like any
+// session mutation; without one it submits at-most-once under the
+// connection identity. Runs inside the machine turn.
+func (p *ClientPort) submitTxn(cc *clientConn, q *wire.ClientRequestV2) {
+	if p.node.Stalled() {
+		p.reject(cc, modeV2, q.ID, wire.CodeStalled, "node stalled")
+		return
+	}
+	body := wire.AppendTxn(nil, &wire.Txn{Guards: q.TxnGuards, Ops: q.TxnOps})
+	if q.Session != 0 {
+		p.mu.Lock()
+		p.putSessPendingLocked(sessKey{q.Session, q.Seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2}})
+		p.mu.Unlock()
+		p.node.Submit(wire.Request{Client: q.Session, Seq: q.Seq, Op: wire.OpTxn, Val: body})
+		return
+	}
+	seq, ok := p.track(cc, pendingEntry{id: q.ID, mode: modeV2})
+	if !ok {
+		return // torn down concurrently
+	}
+	p.node.Submit(wire.Request{Client: cc.id, Seq: seq, Op: wire.OpTxn, Val: body})
+}
+
+// handleWatch registers one watch on the node's event hub. It runs on
+// the connection's read goroutine, never inside a machine turn: the hub
+// has its own lock, so registration — including the history replay for
+// a resuming watch — costs consensus nothing. Replayed EVENT frames are
+// buffered before the OK ack is, so on the wire the client sees replay,
+// then ack, then live pushes, with no seam.
+//
+// A WATCH reusing a live client watch ID replaces that registration —
+// the reconnect-and-resume path — and the ack's Cycle is the hub's
+// watermark at registration: the feed is complete from that cycle
+// (exclusive) on, which is exactly the resume point a client should
+// carry into a failover.
+func (p *ClientPort) handleWatch(cc *clientConn, q *wire.ClientRequestV2) {
+	if p.hub == nil {
+		p.reject(cc, modeV2, q.ID, wire.CodeBadRequest, "watches not enabled")
+		return
+	}
+	if p.draining.Load() {
+		p.reject(cc, modeV2, q.ID, wire.CodeDraining, "draining")
+		return
+	}
+	p.mu.Lock()
+	if cc.pending == nil {
+		p.mu.Unlock()
+		return // torn down concurrently
+	}
+	if cc.watches == nil {
+		cc.watches = make(map[uint64]uint64)
+	}
+	old, replaced := cc.watches[q.WatchID]
+	delete(cc.watches, q.WatchID)
+	p.mu.Unlock()
+	if replaced {
+		p.hub.Cancel(old)
+	}
+	spec := events.Spec{Key: q.WatchKey, PrefixBits: q.PrefixBits, SinceCycle: q.SinceCycle}
+	hubID, err := p.hub.Watch(spec, p.watchSink(cc, q.WatchID))
+	if err != nil {
+		// Resume point already evicted (or the replay itself overflowed):
+		// the feed cannot be gap-free. The client must re-read state.
+		p.reject(cc, modeV2, q.ID, wire.CodeWatchOverflow, "watch resume point evicted")
+		return
+	}
+	p.mu.Lock()
+	if cc.pending == nil {
+		p.mu.Unlock()
+		p.hub.Cancel(hubID)
+		return
+	}
+	cc.watches[q.WatchID] = hubID
+	p.mu.Unlock()
+	resp := wire.ClientResponseV2{ID: q.ID, Status: wire.ClientStatusOK, Cycle: p.hub.LastCycle()}
+	cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+}
+
+// handleUnwatch cancels one watch. Idempotent — cancelling an unknown
+// or already-overflowed watch still acks, so client and server never
+// deadlock over who forgot whom. Runs on the read goroutine.
+func (p *ClientPort) handleUnwatch(cc *clientConn, q *wire.ClientRequestV2) {
+	p.mu.Lock()
+	hubID, ok := cc.watches[q.WatchID]
+	delete(cc.watches, q.WatchID)
+	p.mu.Unlock()
+	if ok && p.hub != nil {
+		p.hub.Cancel(hubID)
+	}
+	resp := wire.ClientResponseV2{ID: q.ID, Status: wire.ClientStatusOK}
+	cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
+}
+
+// watchSink builds the hub sink feeding one connection's watch: each
+// notification encodes as a server-push EVENT frame (ID = the client's
+// watch ID) into the connection's output buffer. It runs under the hub
+// mutex on the apply executor, so it must not block and must NOT take
+// the port mutex (the submit paths hold it while calling into the hub).
+// The buffer budget turns a non-reading client into a watch overflow;
+// the terminal overflow notice itself bypasses the budget.
+func (p *ClientPort) watchSink(cc *clientConn, watchID uint64) events.Sink {
+	return func(n events.Notification) bool {
+		resp := wire.ClientResponseV2{ID: watchID, Event: true, Cycle: n.Cycle,
+			Overflow: n.Overflow, Events: n.Events}
+		return cc.pushBudget(func(b []byte) []byte {
+			return wire.AppendClientResponseV3(b, &resp)
+		}, watchOutBudget, n.Overflow)
+	}
+}
+
+// dropWatches cancels every hub registration of one connection:
+// collect under the port mutex, cancel outside it (port mutex → hub
+// mutex is the allowed order, but shorter critical sections win).
+func (p *ClientPort) dropWatches(cc *clientConn) {
+	if p.hub == nil {
+		return
+	}
+	p.mu.Lock()
+	ids := make([]uint64, 0, len(cc.watches))
+	for _, hubID := range cc.watches {
+		ids = append(ids, hubID)
+	}
+	cc.watches = nil
+	p.mu.Unlock()
+	for _, id := range ids {
+		p.hub.Cancel(id)
+	}
+}
+
 // SubmitLocal injects one operation directly into the node — no socket,
 // no frame encoding — while sharing the port's reply fan-out, drain
 // rejection and outstanding accounting with socket clients. done is
@@ -1042,6 +1250,70 @@ func (p *ClientPort) handleV2(cc *clientConn, br *bufio.Reader) {
 	}
 }
 
+// handleV3 runs the pipelined binary protocol v3: v2's group-per-turn
+// batching with the v3 parser on top. Completion entries reuse modeV2 —
+// every non-event v3 response is bit-identical to its v2 encoding.
+func (p *ClientPort) handleV3(cc *clientConn, br *bufio.Reader) {
+	var hdr [4]byte
+	var payload []byte
+	group := make([]wire.ClientRequestV2, 0, maxGroup)
+	for {
+		group = group[:0]
+		var arena []byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		if err := readV3Request(br, hdr, &payload, &arena, appendV2Slot(&group)); err != nil {
+			return
+		}
+		for len(group) < maxGroup && br.Buffered() >= 4 {
+			peek, _ := br.Peek(4)
+			n, err := wire.ClientFrameLen([4]byte(peek))
+			if err != nil {
+				return
+			}
+			if br.Buffered() < 4+n {
+				break
+			}
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			if err := readV3Request(br, hdr, &payload, &arena, appendV2Slot(&group)); err != nil {
+				return
+			}
+		}
+		p.submitV3(cc, group)
+	}
+}
+
+// submitV3 dispatches one v3 group in frame order: WATCH and UNWATCH
+// are handled right here on the read goroutine (the hub has its own
+// lock; no machine turn involved), and the contiguous runs between them
+// — v2 shapes plus TXN frames — go through submitV2's single-turn
+// batching unchanged.
+func (p *ClientPort) submitV3(cc *clientConn, group []wire.ClientRequestV2) {
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			p.submitV2(cc, group[start:end])
+		}
+	}
+	for i := range group {
+		q := &group[i]
+		if !q.Watch && !q.Unwatch {
+			continue
+		}
+		flush(i)
+		start = i + 1
+		if q.Watch {
+			p.handleWatch(cc, q)
+		} else {
+			p.handleUnwatch(cc, q)
+		}
+	}
+	flush(len(group))
+}
+
 // appendV2Slot extends the group by one reusable slot and returns it.
 // The slot keeps its Ops backing array across groups, so steady-state
 // parsing allocates nothing per request.
@@ -1070,6 +1342,14 @@ func readV2Request(br *bufio.Reader, hdr [4]byte, scratch, arena *[]byte, q *wir
 		return err
 	}
 	return wire.ParseClientRequestV2Into(payload, q, arena)
+}
+
+func readV3Request(br *bufio.Reader, hdr [4]byte, scratch, arena *[]byte, q *wire.ClientRequestV2) error {
+	payload, err := readFrame(br, hdr, scratch)
+	if err != nil {
+		return err
+	}
+	return wire.ParseClientRequestV3Into(payload, q, arena)
 }
 
 func readFrame(br *bufio.Reader, hdr [4]byte, scratch *[]byte) ([]byte, error) {
@@ -1228,6 +1508,7 @@ func (p *ClientPort) Stop(drain time.Duration) bool {
 	}
 	p.mu.Unlock()
 	for _, cc := range conns {
+		p.dropWatches(cc)
 		cc.outMu.Lock()
 		cc.closing = true
 		cc.outMu.Unlock()
@@ -1264,6 +1545,7 @@ func (p *ClientPort) Abort() {
 	}
 	p.mu.Unlock()
 	for _, cc := range conns {
+		p.dropWatches(cc)
 		cc.outMu.Lock()
 		cc.closing = true
 		cc.outMu.Unlock()
@@ -1312,8 +1594,9 @@ func DigestSource(runner *transport.Runner, node *core.Node, st *kvstore.Store) 
 // one node, layered over the same quiesced read DigestSource uses so the
 // (applied, digest) pair is a consistent cut. Membership and cycle
 // watermarks are read inside a machine turn, where the view is stable.
-// dur may be nil (no WAL). Cluster.Start and canopus-server share it.
-func StatusSource(runner *transport.Runner, node *core.Node, st *kvstore.Store, dur *wal.Manager) func() admin.Status {
+// dur may be nil (no WAL), hub may be nil (no event plane).
+// Cluster.Start and canopus-server share it.
+func StatusSource(runner *transport.Runner, node *core.Node, st *kvstore.Store, dur *wal.Manager, hub *events.Hub) func() admin.Status {
 	digest := DigestSource(runner, node, st)
 	return func() admin.Status {
 		var s admin.Status
@@ -1321,6 +1604,9 @@ func StatusSource(runner *transport.Runner, node *core.Node, st *kvstore.Store, 
 		s.Applied = cycle
 		s.StateDigest = fmt.Sprintf("%016x", state)
 		s.LogDigest = fmt.Sprintf("%016x", logd)
+		if hub != nil {
+			s.Watchers = hub.Active()
+		}
 		runner.Invoke(func() {
 			s.Node = int32(node.ID())
 			s.Started = node.Started()

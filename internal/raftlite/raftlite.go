@@ -229,6 +229,18 @@ func (r *Raft) Tick() {
 		if now >= r.nextHeartbeat {
 			r.replicateAll()
 		}
+		if len(r.cfg.Peers) == 1 && r.commit < r.LastIndex() {
+			// A single-member group has no follower replies to drive the
+			// commit index, and Propose deliberately commits only up to
+			// the previously matched index: delivering an entry inside
+			// its own Propose would re-enter the owner mid-broadcast.
+			// The tick completes the deferred half — match the log and
+			// commit whatever is pending. Without it, a proposer that
+			// fills its pipeline between ticks deadlocks: no further
+			// Propose arrives, and nothing else advances the commit.
+			r.matchIndex[r.cfg.Self] = r.LastIndex()
+			r.advanceCommit()
+		}
 	default:
 		if now >= r.electionDeadline {
 			r.startElection()

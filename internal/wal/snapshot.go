@@ -24,7 +24,8 @@ import (
 // buffering the whole image. Section payloads:
 //
 //	shard:   [u64 logLen][u64 logDigest][u32 numKeys]
-//	         numKeys × [u64 key][u32 valLen][val]      (keys sorted)
+//	         numKeys × [u64 key][u32 valLen][val][u64 modCycle][u64 owner]
+//	         (keys sorted; version 1 omits modCycle/owner)
 //	session: [u32 count] count × session state
 //	trailer: [u64 stateDigest][u64 logDigest]
 //
@@ -34,7 +35,7 @@ import (
 
 const (
 	snapMagic      uint32 = 0x504E5343 // "CSNP"
-	snapVersion    uint32 = 1
+	snapVersion    uint32 = 2          // writes v2; v1 images (no key metadata) still load
 	snapHeaderSize        = 16
 	snapPrefix            = "snap-"
 	snapSuffix            = ".snap"
@@ -106,6 +107,15 @@ func writeSnapshot(fs FS, cycle uint64, shards []kvstore.ShardState, sessions []
 			payload = binary.LittleEndian.AppendUint64(payload, k)
 			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(sh.Vals[j])))
 			payload = append(payload, sh.Vals[j]...)
+			var cycle, owner uint64
+			if j < len(sh.Cycles) {
+				cycle = sh.Cycles[j]
+			}
+			if j < len(sh.Owners) {
+				owner = sh.Owners[j]
+			}
+			payload = binary.LittleEndian.AppendUint64(payload, cycle)
+			payload = binary.LittleEndian.AppendUint64(payload, owner)
 		}
 		section = appendSection(section[:0], payload)
 		if _, err := f.Write(section); err != nil {
@@ -215,10 +225,12 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if magic != snapMagic {
 		return nil, fmt.Errorf("%w: bad snapshot magic %#x", ErrCorrupt, magic)
 	}
-	if v, err := r.u32(); err != nil {
+	version, err := r.u32()
+	if err != nil {
 		return nil, err
-	} else if v != snapVersion {
-		return nil, fmt.Errorf("%w: unknown snapshot version %d", ErrCorrupt, v)
+	}
+	if version != 1 && version != snapVersion {
+		return nil, fmt.Errorf("%w: unknown snapshot version %d", ErrCorrupt, version)
 	}
 	snap := &Snapshot{}
 	if snap.Cycle, err = r.u64(); err != nil {
@@ -250,11 +262,19 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		if uint64(numKeys) > uint64(len(s.b)/12)+1 {
+		perKeyMin := 12
+		if version >= 2 {
+			perKeyMin = 28 // key + len + modCycle + owner
+		}
+		if uint64(numKeys) > uint64(len(s.b)/perKeyMin)+1 {
 			return nil, fmt.Errorf("%w: implausible key count %d", ErrCorrupt, numKeys)
 		}
 		sh.Keys = make([]uint64, numKeys)
 		sh.Vals = make([][]byte, numKeys)
+		// Allocated for v1 too (left zero) so a decoded image re-encodes
+		// to an equal image regardless of source version.
+		sh.Cycles = make([]uint64, numKeys)
+		sh.Owners = make([]uint64, numKeys)
 		for j := range sh.Keys {
 			if sh.Keys[j], err = s.u64(); err != nil {
 				return nil, err
@@ -265,6 +285,14 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 			}
 			if sh.Vals[j], err = s.take(int(vlen)); err != nil {
 				return nil, err
+			}
+			if version >= 2 {
+				if sh.Cycles[j], err = s.u64(); err != nil {
+					return nil, err
+				}
+				if sh.Owners[j], err = s.u64(); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

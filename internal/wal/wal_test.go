@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -426,5 +427,95 @@ func TestRecoverRejectsShardMismatch(t *testing.T) {
 	node := core.NewNode(core.Config{Tree: testTree(t), Self: 0}, st2, core.Callbacks{})
 	if _, err := mgr2.Recover(node); err == nil {
 		t.Fatal("recovery accepted a snapshot with a different shard count")
+	}
+}
+
+// TestSnapshotKeyMetadata checks the v2 container carries each key's
+// last-modified cycle and owner session through a restore.
+func TestSnapshotKeyMetadata(t *testing.T) {
+	st := kvstore.NewShardedLogged(2)
+	owner := wire.SessionIDBit | 9
+	for i := uint64(0); i < 8; i++ {
+		req := w(1, i+1, i, fmt.Sprintf("meta-%d", i))
+		own := uint64(0)
+		if i%2 == 0 {
+			own = owner
+		}
+		st.ApplyWriteAt(&req, 100+i, own)
+	}
+	fs := NewMemFS()
+	if err := writeSnapshot(fs, 8, st.SnapshotShards(), nil, st.StateDigest(), st.LogDigest()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeSnapshot(readAll(t, fs, snapName(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := kvstore.NewShardedLogged(2)
+	if err := st2.RestoreShards(snap.Shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if got := st2.ModCycle(i); got != 100+i {
+			t.Fatalf("key %d: mod cycle %d, want %d", i, got, 100+i)
+		}
+		wantOwner := uint64(0)
+		if i%2 == 0 {
+			wantOwner = owner
+		}
+		if got := st2.OwnerOf(i); got != wantOwner {
+			t.Fatalf("key %d: owner %#x, want %#x", i, got, wantOwner)
+		}
+	}
+	if got := st2.ExpireOwned(owner); len(got) != 4 {
+		t.Fatalf("expire deleted %d keys, want 4", len(got))
+	}
+}
+
+// TestSnapshotV1Compat hand-builds a version-1 container (no per-key
+// metadata) and checks it still decodes, with zero metadata.
+func TestSnapshotV1Compat(t *testing.T) {
+	st := kvstore.NewShardedLogged(1)
+	req := w(3, 1, 42, "legacy")
+	st.ApplyWrite(&req)
+	shards := st.SnapshotShards()
+
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, snapMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, 1) // version 1
+	buf = binary.LittleEndian.AppendUint64(buf, 5) // cycle
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(shards)))
+	var payload []byte
+	for i := range shards {
+		sh := &shards[i]
+		payload = payload[:0]
+		payload = binary.LittleEndian.AppendUint64(payload, sh.LogLen)
+		payload = binary.LittleEndian.AppendUint64(payload, sh.LogDigest)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(sh.Keys)))
+		for j, k := range sh.Keys {
+			payload = binary.LittleEndian.AppendUint64(payload, k)
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(sh.Vals[j])))
+			payload = append(payload, sh.Vals[j]...)
+		}
+		buf = appendSection(buf, payload)
+	}
+	buf = appendSection(buf, binary.LittleEndian.AppendUint32(nil, 0)) // no sessions
+	payload = binary.LittleEndian.AppendUint64(payload[:0], st.StateDigest())
+	payload = binary.LittleEndian.AppendUint64(payload, st.LogDigest())
+	buf = appendSection(buf, payload)
+
+	snap, err := DecodeSnapshot(buf)
+	if err != nil {
+		t.Fatalf("v1 container rejected: %v", err)
+	}
+	st2 := kvstore.NewShardedLogged(1)
+	if err := st2.RestoreShards(snap.Shards); err != nil {
+		t.Fatal(err)
+	}
+	if string(st2.Read(42)) != "legacy" || st2.StateDigest() != st.StateDigest() {
+		t.Fatal("v1 restore diverges")
+	}
+	if st2.ModCycle(42) != 0 || st2.OwnerOf(42) != 0 {
+		t.Fatal("v1 restore invented key metadata")
 	}
 }

@@ -233,6 +233,7 @@ const (
 	CodeStalled        uint8 = 2 // node halted (§6); retry elsewhere
 	CodeBadRequest     uint8 = 3 // malformed or unsupported request
 	CodeSessionExpired uint8 = 4 // session unknown or reclaimed; not retryable
+	CodeWatchOverflow  uint8 = 5 // v3: watch resume point already evicted
 )
 
 // ClientOp is one keyed operation inside a v2 request.
@@ -259,6 +260,17 @@ type ClientRequestV2 struct {
 	Session     uint64
 	Seq         uint64
 	Ops         []ClientOp
+
+	// v3 extensions (frames a v2 parser rejects; see "Protocol v3").
+	Watch      bool   // watch-registration frame
+	Unwatch    bool   // watch-cancel frame
+	Txn        bool   // transaction frame (TxnGuards/TxnOps carry the body)
+	WatchID    uint64 // client-chosen watch identity, stable across reconnects
+	WatchKey   uint64 // watched key (or prefix value under PrefixBits)
+	PrefixBits uint8  // 64 = exact key, 0 = every key, n = top n key bits
+	SinceCycle uint64 // replay events from this commit cycle on (0 = live only)
+	TxnGuards  []TxnGuard
+	TxnOps     []TxnOp
 }
 
 // ClientResult is one operation's outcome inside a v2 batch response.
@@ -280,6 +292,12 @@ type ClientResponseV2 struct {
 	Cycle   uint64
 	Val     []byte
 	Results []ClientResult
+
+	// v3 extensions: server-push event frames. ID carries the watch ID,
+	// Cycle the commit cycle whose changes the frame delivers.
+	Event    bool
+	Overflow bool // watch killed: consumer too slow or resume point evicted
+	Events   []Event
 }
 
 const (
@@ -529,5 +547,210 @@ func ParseClientResponseV2(payload []byte) (ClientResponseV2, error) {
 			return ClientResponseV2{}, fmt.Errorf("%w: unknown status %d", ErrClientFrame, resp.Results[i].Status)
 		}
 	}
+	return resp, nil
+}
+
+// --- Protocol v3 ---
+//
+// Version 3 is a strict superset of v2: every v2 frame is valid and
+// byte-identical on a v3 connection, and three request kinds plus one
+// server-push response kind are added for the event plane. The 4th
+// magic byte selects the version (0x03).
+//
+//	v3 request payload (watch):
+//	  [u64 id][u8 kind=7][u64 watchID][u64 key][u8 prefixBits][u64 sinceCycle]
+//	v3 request payload (unwatch):
+//	  [u64 id][u8 kind=8][u64 watchID]
+//	v3 request payload (txn):
+//	  [u64 id][u8 kind=9][u64 session][u64 seq][txn body — see AppendTxn]
+//	v3 response payload (event, server push, no request correlation):
+//	  [u64 watchID][u8 kind=7][u8 flags][u64 cycle][u32 count]
+//	  count x ([u8 op][u64 key][u32 vlen][vlen bytes])
+//
+// A watch delivers every committed change matching (key, prefixBits) in
+// commit-cycle order, one event frame per cycle, gap-free: sinceCycle
+// asks the server to replay retained history first, which is how a
+// client resumes a watch after failing over to another replica. Flags
+// bit 0 marks the terminal overflow frame: the server evicted history
+// the watch still needed, or the connection could not keep up; the
+// watch is dead and the client must re-register (accepting the gap).
+//
+// A txn frame answers with a v2 single-op response whose value is the
+// encoded TxnResult. Session and seq make a txn exactly-once across
+// failover, exactly like a session mutation; session 0 submits the txn
+// without dedup (at-most-once).
+
+// ClientMagicV3 is the protocol-v3 connection preamble.
+var ClientMagicV3 = [4]byte{0xC4, 'N', 'P', 0x03}
+
+// v3 frame kinds (requests 7–9, response 7).
+const (
+	v3KindWatch   uint8 = 7
+	v3KindUnwatch uint8 = 8
+	v3KindTxn     uint8 = 9
+	v3KindEvent   uint8 = 7
+)
+
+const (
+	v3ReqWatchFixed   = 8 + 1 + 8 + 8 + 1 + 8 // id, kind, watchID, key, prefixBits, sinceCycle
+	v3ReqUnwatchFixed = 8 + 1 + 8             // id, kind, watchID
+	v3ReqTxnFixed     = 8 + 1 + 8 + 8         // id, kind, session, seq (+ txn body)
+	v3RespEventFixed  = 8 + 1 + 1 + 8 + 4     // watchID, kind, flags, cycle, count
+	v3RespEventElem   = 1 + 8 + 4             // op, key, vlen
+)
+
+const v3EventFlagOverflow uint8 = 1 << 0
+
+// AppendClientRequestV3 appends q as a length-prefixed v3 frame to b.
+// The v3 shapes (Watch / Unwatch / Txn) take precedence; any other
+// request encodes exactly as v2.
+func AppendClientRequestV3(b []byte, q *ClientRequestV2) []byte {
+	switch {
+	case q.Watch:
+		b = putU32(b, uint32(v3ReqWatchFixed))
+		b = putU64(b, q.ID)
+		b = putU8(b, v3KindWatch)
+		b = putU64(b, q.WatchID)
+		b = putU64(b, q.WatchKey)
+		b = putU8(b, q.PrefixBits)
+		return putU64(b, q.SinceCycle)
+	case q.Unwatch:
+		b = putU32(b, uint32(v3ReqUnwatchFixed))
+		b = putU64(b, q.ID)
+		b = putU8(b, v3KindUnwatch)
+		return putU64(b, q.WatchID)
+	case q.Txn:
+		t := Txn{Guards: q.TxnGuards, Ops: q.TxnOps}
+		b = putU32(b, uint32(v3ReqTxnFixed+TxnSize(&t)))
+		b = putU64(b, q.ID)
+		b = putU8(b, v3KindTxn)
+		b = putU64(b, q.Session)
+		b = putU64(b, q.Seq)
+		return AppendTxn(b, &t)
+	default:
+		return AppendClientRequestV2(b, q)
+	}
+}
+
+// ParseClientRequestV3Into decodes one v3 request payload into *q with
+// the same reuse and arena contract as ParseClientRequestV2Into. Every
+// v2 frame kind is accepted unchanged.
+func ParseClientRequestV3Into(payload []byte, q *ClientRequestV2, arena *[]byte) error {
+	if len(payload) < 9 || payload[8] < v3KindWatch {
+		return ParseClientRequestV2Into(payload, q, arena)
+	}
+	guards, tops := q.TxnGuards[:0], q.TxnOps[:0]
+	ops := q.Ops[:0]
+	*q = ClientRequestV2{}
+	r := &reader{b: payload}
+	q.ID = r.u64()
+	kind := r.u8()
+	switch kind {
+	case v3KindWatch:
+		q.Watch = true
+		q.WatchID = r.u64()
+		q.WatchKey = r.u64()
+		q.PrefixBits = r.u8()
+		q.SinceCycle = r.u64()
+		if r.err == nil && q.PrefixBits > 64 {
+			err := fmt.Errorf("%w: watch prefix bits %d", ErrClientFrame, q.PrefixBits)
+			*q = ClientRequestV2{}
+			return err
+		}
+	case v3KindUnwatch:
+		q.Unwatch = true
+		q.WatchID = r.u64()
+	case v3KindTxn:
+		q.Txn = true
+		q.Session = r.u64()
+		q.Seq = r.u64()
+		t := Txn{Guards: guards, Ops: tops}
+		if err := parseTxnBody(r, &t, arena); err != nil {
+			*q = ClientRequestV2{}
+			return err
+		}
+		q.TxnGuards, q.TxnOps = t.Guards, t.Ops
+		// A zero session submits without dedup; a non-zero one must be a
+		// committed registration, same rule as the v2 session frames.
+		if r.err == nil && q.Session != 0 && !IsSessionID(q.Session) {
+			err := fmt.Errorf("%w: invalid session ID %#x", ErrClientFrame, q.Session)
+			*q = ClientRequestV2{}
+			return err
+		}
+	default:
+		*q = ClientRequestV2{}
+		return fmt.Errorf("%w: unknown v3 frame kind %d", ErrClientFrame, kind)
+	}
+	if r.err != nil || r.off != len(payload) {
+		*q = ClientRequestV2{}
+		return fmt.Errorf("%w: v3 request (%d bytes)", ErrClientFrame, len(payload))
+	}
+	q.Ops = ops
+	return nil
+}
+
+// AppendClientResponseV3 appends resp as a length-prefixed v3 frame to
+// b: the event-push shape when Event is set, the v2 encoding otherwise.
+func AppendClientResponseV3(b []byte, resp *ClientResponseV2) []byte {
+	if !resp.Event {
+		return AppendClientResponseV2(b, resp)
+	}
+	n := v3RespEventFixed
+	for i := range resp.Events {
+		n += v3RespEventElem + len(resp.Events[i].Val)
+	}
+	b = putU32(b, uint32(n))
+	b = putU64(b, resp.ID)
+	b = putU8(b, v3KindEvent)
+	var flags uint8
+	if resp.Overflow {
+		flags |= v3EventFlagOverflow
+	}
+	b = putU8(b, flags)
+	b = putU64(b, resp.Cycle)
+	b = putU32(b, uint32(len(resp.Events)))
+	for i := range resp.Events {
+		e := &resp.Events[i]
+		b = putU8(b, uint8(e.Op))
+		b = putU64(b, e.Key)
+		b = putBytes(b, e.Val)
+	}
+	return b
+}
+
+// ParseClientResponseV3 decodes one v3 response payload. Every v2
+// response kind is accepted unchanged.
+func ParseClientResponseV3(payload []byte) (ClientResponseV2, error) {
+	if len(payload) < 9 || payload[8] != v3KindEvent {
+		return ParseClientResponseV2(payload)
+	}
+	r := &reader{b: payload}
+	var resp ClientResponseV2
+	resp.ID = r.u64()
+	r.u8() // kind, already sniffed
+	resp.Event = true
+	flags := r.u8()
+	resp.Cycle = r.u64()
+	count := r.count(v3RespEventElem)
+	if count > 0 && r.err == nil {
+		resp.Events = make([]Event, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		var e Event
+		e.Op = Op(r.u8())
+		e.Key = r.u64()
+		e.Val = r.bytes()
+		if r.err == nil && e.Op != OpWrite && e.Op != OpDelete {
+			return ClientResponseV2{}, fmt.Errorf("%w: event op %d", ErrClientFrame, uint8(e.Op))
+		}
+		resp.Events = append(resp.Events, e)
+	}
+	if r.err != nil || r.off != len(payload) {
+		return ClientResponseV2{}, fmt.Errorf("%w: v3 response (%d bytes)", ErrClientFrame, len(payload))
+	}
+	if flags&^v3EventFlagOverflow != 0 {
+		return ClientResponseV2{}, fmt.Errorf("%w: event flags %#x", ErrClientFrame, flags)
+	}
+	resp.Overflow = flags&v3EventFlagOverflow != 0
 	return resp, nil
 }

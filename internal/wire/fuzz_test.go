@@ -109,6 +109,14 @@ func FuzzClientCodec(f *testing.F) {
 		frame := AppendClientResponseV2(nil, &resp)
 		f.Add(frame[4:], false, true)
 	}
+	for _, q := range v3RequestsForTest() {
+		frame := AppendClientRequestV3(nil, &q)
+		f.Add(frame[4:], true, true)
+	}
+	for _, resp := range v3ResponsesForTest() {
+		frame := AppendClientResponseV3(nil, &resp)
+		f.Add(frame[4:], false, true)
+	}
 	f.Fuzz(func(t *testing.T, payload []byte, asRequest, v2 bool) {
 		switch {
 		case asRequest && !v2:
@@ -130,22 +138,55 @@ func FuzzClientCodec(f *testing.F) {
 				t.Fatalf("response re-encode mismatch")
 			}
 		case asRequest && v2:
+			// v3 is a strict superset of v2: any payload the v2 parser
+			// accepts must parse identically under v3 and re-encode to the
+			// same bytes (the cross-version round trip), and v3-only kinds
+			// must still be canonical under decode∘encode.
+			var q3 ClientRequestV2
+			err3 := ParseClientRequestV3Into(payload, &q3, nil)
 			q, err := ParseClientRequestV2(payload)
-			if err != nil {
-				return
-			}
-			frame := AppendClientRequestV2(nil, &q)
-			if !bytes.Equal(frame[4:], payload) {
-				t.Fatalf("v2 request re-encode mismatch")
+			if err == nil {
+				if err3 != nil {
+					t.Fatalf("v2-accepted request rejected by v3: %v", err3)
+				}
+				frame := AppendClientRequestV2(nil, &q)
+				if !bytes.Equal(frame[4:], payload) {
+					t.Fatalf("v2 request re-encode mismatch")
+				}
+				if v3 := AppendClientRequestV3(nil, &q3); !bytes.Equal(v3, frame) {
+					t.Fatalf("v2<->v3 request cross-version encode mismatch")
+				}
+			} else if err3 == nil {
+				if !q3.Watch && !q3.Unwatch && !q3.Txn {
+					t.Fatalf("v3 accepted a v2-shape frame v2 rejected")
+				}
+				frame := AppendClientRequestV3(nil, &q3)
+				if !bytes.Equal(frame[4:], payload) {
+					t.Fatalf("v3 request re-encode mismatch")
+				}
 			}
 		default:
+			resp3, err3 := ParseClientResponseV3(payload)
 			resp, err := ParseClientResponseV2(payload)
-			if err != nil {
-				return
-			}
-			frame := AppendClientResponseV2(nil, &resp)
-			if !bytes.Equal(frame[4:], payload) {
-				t.Fatalf("v2 response re-encode mismatch")
+			if err == nil {
+				if err3 != nil {
+					t.Fatalf("v2-accepted response rejected by v3: %v", err3)
+				}
+				frame := AppendClientResponseV2(nil, &resp)
+				if !bytes.Equal(frame[4:], payload) {
+					t.Fatalf("v2 response re-encode mismatch")
+				}
+				if v3 := AppendClientResponseV3(nil, &resp3); !bytes.Equal(v3, frame) {
+					t.Fatalf("v2<->v3 response cross-version encode mismatch")
+				}
+			} else if err3 == nil {
+				if !resp3.Event {
+					t.Fatalf("v3 accepted a v2-shape response v2 rejected")
+				}
+				frame := AppendClientResponseV3(nil, &resp3)
+				if !bytes.Equal(frame[4:], payload) {
+					t.Fatalf("v3 response re-encode mismatch")
+				}
 			}
 		}
 	})

@@ -1,0 +1,266 @@
+package wire
+
+import "fmt"
+
+// Multi-op transactions. A Txn is a set of guards plus a set of put /
+// delete operations encoded into a single OpTxn request's Val, so it
+// travels, orders, and dedups exactly like any other mutation. Because
+// every replica applies the committed cycle order serially and
+// identically, evaluating the guards against the store at apply time is
+// deterministic: either every replica applies all of the txn's ops
+// (inside one committed entry — no other request can interleave), or
+// every replica applies none of them.
+//
+//	txn body:
+//	  [u8 version=1]
+//	  [u32 nguards] nguards x ([u8 kind][u64 key][u64 cycle][u32 vlen|nil][vlen bytes])
+//	  [u32 nops]    nops x ([u8 op][u8 flags][u64 key][u32 vlen][vlen bytes])
+//	txn result:
+//	  [u8 committed][u32 failedGuard]
+//
+// A guard value length of 0xFFFFFFFF encodes nil ("key must be absent");
+// length 0 is an empty-but-present value. failedGuard is the index of
+// the first guard that failed, or 0xFFFFFFFF when the txn committed.
+
+// Guard kinds.
+const (
+	// GuardValueEq passes iff the key's current value is byte-equal to
+	// the guard's Val (nil Val: the key must be absent). Compare-and-swap
+	// is a ValueEq guard plus a put of the new value.
+	GuardValueEq uint8 = 1
+	// GuardCycleLE passes iff the key's last-modified commit cycle is at
+	// or below the guard's Cycle. A key never written (or deleted) has
+	// modification cycle 0 and passes every CycleLE guard.
+	GuardCycleLE uint8 = 2
+)
+
+// TxnFailedNone is the TxnResult.Failed value of a committed txn.
+const TxnFailedNone uint32 = ^uint32(0)
+
+// MaxTxnGuards and MaxTxnOps bound one transaction body.
+const (
+	MaxTxnGuards = 64
+	MaxTxnOps    = 64
+)
+
+const txnVersion uint8 = 1
+
+// txnNilVal is the on-wire value-length sentinel distinguishing a nil
+// guard value ("key absent") from an empty one.
+const txnNilVal = ^uint32(0)
+
+// TxnGuard is one transaction precondition.
+type TxnGuard struct {
+	Kind  uint8
+	Key   uint64
+	Cycle uint64 // GuardCycleLE bound; ignored for GuardValueEq
+	Val   []byte // GuardValueEq expected value; nil means "absent"
+}
+
+// TxnOp is one mutation inside a transaction: a put (OpWrite) or a
+// delete (OpDelete). Ephemeral puts bind the key to the writer's
+// session: when that session expires, the key is deleted automatically
+// in the expiring cycle — the mechanism behind lock auto-release.
+type TxnOp struct {
+	Op        Op
+	Key       uint64
+	Val       []byte
+	Ephemeral bool
+}
+
+// Txn is a guarded atomic multi-op transaction.
+type Txn struct {
+	Guards []TxnGuard
+	Ops    []TxnOp
+}
+
+// TxnResult is the outcome of a committed-order transaction: either all
+// ops applied (Committed, Failed == TxnFailedNone) or the index of the
+// first failing guard.
+type TxnResult struct {
+	Committed bool
+	Failed    uint32
+}
+
+const txnOpFlagEphemeral uint8 = 1 << 0
+
+// AppendTxn appends the txn body encoding of t to b (no length prefix;
+// the body is carried inside an OpTxn request's Val or a v3 txn frame).
+func AppendTxn(b []byte, t *Txn) []byte {
+	b = putU8(b, txnVersion)
+	b = putU32(b, uint32(len(t.Guards)))
+	for i := range t.Guards {
+		g := &t.Guards[i]
+		b = putU8(b, g.Kind)
+		b = putU64(b, g.Key)
+		b = putU64(b, g.Cycle)
+		if g.Val == nil {
+			b = putU32(b, txnNilVal)
+		} else {
+			b = putBytes(b, g.Val)
+		}
+	}
+	b = putU32(b, uint32(len(t.Ops)))
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		b = putU8(b, uint8(op.Op))
+		var flags uint8
+		if op.Ephemeral {
+			flags |= txnOpFlagEphemeral
+		}
+		b = putU8(b, flags)
+		b = putU64(b, op.Key)
+		b = putBytes(b, op.Val)
+	}
+	return b
+}
+
+// TxnSize returns len(AppendTxn(nil, t)).
+func TxnSize(t *Txn) int {
+	n := 1 + 4 + 4
+	for i := range t.Guards {
+		n += 1 + 8 + 8 + 4 + len(t.Guards[i].Val)
+	}
+	for i := range t.Ops {
+		n += 1 + 1 + 8 + 4 + len(t.Ops[i].Val)
+	}
+	return n
+}
+
+const (
+	txnGuardFixed = 1 + 8 + 8 + 4
+	txnOpFixed    = 1 + 1 + 8 + 4
+)
+
+// emptyGuardVal is the shared non-nil empty guard value.
+var emptyGuardVal = []byte{}
+
+// ParseTxn decodes a txn body. Guard and op values alias freshly
+// allocated storage; the body must consume the payload exactly.
+func ParseTxn(payload []byte) (Txn, error) {
+	var t Txn
+	r := &reader{b: payload}
+	if err := parseTxnBody(r, &t, nil); err != nil {
+		return Txn{}, err
+	}
+	if r.err != nil || r.off != len(payload) {
+		return Txn{}, fmt.Errorf("%w: txn body (%d bytes)", ErrClientFrame, len(payload))
+	}
+	return t, nil
+}
+
+// parseTxnBody decodes a txn body from r into t, reusing t's Guards/Ops
+// backing arrays when their capacity suffices and copying values into
+// *arena (when non-nil). Truncation latches in r.err; semantic
+// violations return an error directly. Callers must check r.err and
+// exact consumption.
+func parseTxnBody(r *reader, t *Txn, arena *[]byte) error {
+	guards, tops := t.Guards[:0], t.Ops[:0]
+	*t = Txn{}
+	if v := r.u8(); r.err == nil && v != txnVersion {
+		return fmt.Errorf("%w: txn version %d", ErrClientFrame, v)
+	}
+	nguards := r.count(txnGuardFixed)
+	if nguards > MaxTxnGuards {
+		return fmt.Errorf("%w: %d txn guards", ErrClientFrame, nguards)
+	}
+	if cap(guards) < nguards && r.err == nil {
+		guards = make([]TxnGuard, 0, nguards)
+	}
+	for i := 0; i < nguards; i++ {
+		var g TxnGuard
+		g.Kind = r.u8()
+		g.Key = r.u64()
+		g.Cycle = r.u64()
+		if n := r.u32(); r.err == nil {
+			switch n {
+			case txnNilVal:
+				g.Val = nil
+			case 0:
+				// Distinct from nil so decode∘encode stays canonical:
+				// nil re-encodes as the absent sentinel, empty as len 0.
+				g.Val = emptyGuardVal
+			default:
+				r.off -= 4
+				g.Val = r.bytesArena(arena)
+			}
+		}
+		if r.err == nil && g.Kind != GuardValueEq && g.Kind != GuardCycleLE {
+			return fmt.Errorf("%w: txn guard kind %d", ErrClientFrame, g.Kind)
+		}
+		guards = append(guards, g)
+	}
+	nops := r.count(txnOpFixed)
+	if nops > MaxTxnOps {
+		return fmt.Errorf("%w: %d txn ops", ErrClientFrame, nops)
+	}
+	if nops == 0 && r.err == nil {
+		return fmt.Errorf("%w: empty txn", ErrClientFrame)
+	}
+	if cap(tops) < nops && r.err == nil {
+		tops = make([]TxnOp, 0, nops)
+	}
+	for i := 0; i < nops; i++ {
+		var op TxnOp
+		op.Op = Op(r.u8())
+		flags := r.u8()
+		op.Key = r.u64()
+		op.Val = r.bytesArena(arena)
+		if r.err == nil {
+			if op.Op != OpWrite && op.Op != OpDelete {
+				return fmt.Errorf("%w: txn op %d", ErrClientFrame, uint8(op.Op))
+			}
+			if flags&^txnOpFlagEphemeral != 0 {
+				return fmt.Errorf("%w: txn op flags %#x", ErrClientFrame, flags)
+			}
+			op.Ephemeral = flags&txnOpFlagEphemeral != 0
+			if op.Ephemeral && op.Op != OpWrite {
+				return fmt.Errorf("%w: ephemeral txn delete", ErrClientFrame)
+			}
+		}
+		tops = append(tops, op)
+	}
+	if r.err != nil {
+		return nil
+	}
+	t.Guards, t.Ops = guards, tops
+	return nil
+}
+
+const txnResultSize = 1 + 4
+
+// AppendTxnResult appends the encoding of res to b.
+func AppendTxnResult(b []byte, res TxnResult) []byte {
+	committed := uint8(0)
+	if res.Committed {
+		committed = 1
+	}
+	b = putU8(b, committed)
+	return putU32(b, res.Failed)
+}
+
+// ParseTxnResult decodes a txn result (an OpTxn reply's value).
+func ParseTxnResult(payload []byte) (TxnResult, error) {
+	r := &reader{b: payload}
+	var res TxnResult
+	c := r.u8()
+	res.Failed = r.u32()
+	if r.err != nil || r.off != len(payload) || c > 1 {
+		return TxnResult{}, fmt.Errorf("%w: txn result (%d bytes)", ErrClientFrame, len(payload))
+	}
+	res.Committed = c == 1
+	if res.Committed != (res.Failed == TxnFailedNone) {
+		return TxnResult{}, fmt.Errorf("%w: inconsistent txn result", ErrClientFrame)
+	}
+	return res, nil
+}
+
+// Event is one key change observed on the apply stream: the mutation
+// that produced it (OpWrite or OpDelete) plus the key's new value.
+// Session-expiry deletions of ephemeral keys surface as OpDelete events
+// in the cycle that expired the owning session.
+type Event struct {
+	Op  Op
+	Key uint64
+	Val []byte // nil for deletes
+}

@@ -45,6 +45,12 @@ const (
 	// writes (they mutate replicated state); only the state machine
 	// treats them differently.
 	OpDelete
+	// OpTxn is a guarded multi-op transaction. The request's Val carries
+	// the encoded Txn body (see AppendTxn); Key is unused. A txn travels
+	// and orders exactly like a write — the committed cycle order makes
+	// it atomic for free — and its guards are evaluated against the
+	// store at apply time, identically on every replica.
+	OpTxn
 )
 
 func (o Op) String() string {
@@ -55,6 +61,8 @@ func (o Op) String() string {
 		return "write"
 	case OpDelete:
 		return "delete"
+	case OpTxn:
+		return "txn"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -62,7 +70,7 @@ func (o Op) String() string {
 
 // Mutates reports whether the operation changes replicated state (and
 // therefore must be disseminated and ordered by consensus).
-func (o Op) Mutates() bool { return o == OpWrite || o == OpDelete }
+func (o Op) Mutates() bool { return o == OpWrite || o == OpDelete || o == OpTxn }
 
 // Request is a single client key-value operation. The paper's workload
 // uses 16-byte key-value pairs: an 8-byte key plus an 8-byte value, which

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,34 @@ type Doer interface {
 	Do(op wire.Op, key uint64, val []byte, done func(ok bool))
 }
 
+// KeyDist selects how request keys are drawn from [0, Keys).
+type KeyDist string
+
+const (
+	// DistUniform draws keys uniformly — every key equally popular (the
+	// default, and the paper's measurement workload).
+	DistUniform KeyDist = "uniform"
+	// DistZipf draws keys Zipf-distributed (s=1.1, v=1): a few hot keys
+	// absorb most of the traffic, the contended shape caches and
+	// metadata stores see in production.
+	DistZipf KeyDist = "zipf"
+)
+
+// newKeyPicker returns the per-generator key source for cfg's
+// distribution. Each generator owns its rng, so pickers are not shared
+// across goroutines.
+func newKeyPicker(cfg *LiveConfig, rng *rand.Rand) func() uint64 {
+	switch cfg.KeyDist {
+	case DistUniform:
+		return func() uint64 { return rng.Uint64() % cfg.Keys }
+	case DistZipf:
+		z := rand.NewZipf(rng, 1.1, 1, cfg.Keys-1)
+		return z.Uint64
+	default:
+		panic(fmt.Sprintf("workload: unknown key distribution %q", cfg.KeyDist))
+	}
+}
+
 // LiveConfig parameterizes a live load run.
 type LiveConfig struct {
 	// OpenRate, when positive, selects open-loop generation at this many
@@ -44,6 +73,8 @@ type LiveConfig struct {
 	WriteRatio float64
 	// Keys is the key-space size (default 65536).
 	Keys uint64
+	// KeyDist is the key popularity distribution (default DistUniform).
+	KeyDist KeyDist
 	// ValueBytes is the write payload size (default 8: the paper's
 	// 16-byte key-value pairs).
 	ValueBytes int
@@ -66,6 +97,9 @@ func (c *LiveConfig) fill() {
 	}
 	if c.Keys == 0 {
 		c.Keys = 65536
+	}
+	if c.KeyDist == "" {
+		c.KeyDist = DistUniform
 	}
 	if c.ValueBytes == 0 {
 		c.ValueBytes = 8
@@ -154,6 +188,7 @@ func runClosed(cfg LiveConfig, conns []Doer) *LiveResult {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			pick := newKeyPicker(&cfg, rng)
 			conn := conns[w%len(conns)]
 			val := make([]byte, cfg.ValueBytes)
 			ch := make(chan bool, 1)
@@ -175,7 +210,7 @@ func runClosed(cfg LiveConfig, conns []Doer) *LiveResult {
 				if rng.Float64() < cfg.WriteRatio {
 					op, v = wire.OpWrite, val
 				}
-				key := rng.Uint64() % cfg.Keys
+				key := pick()
 				measured := !issued.Before(warmEnd)
 				if measured {
 					offered.Add(1)
@@ -222,6 +257,7 @@ func runOpen(cfg LiveConfig, conns []Doer) *LiveResult {
 	res := &LiveResult{}
 	rec := &liveRecorder{}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := newKeyPicker(&cfg, rng)
 	start := time.Now()
 	warmEnd := start.Add(cfg.Warmup)
 	end := start.Add(cfg.Duration)
@@ -245,7 +281,7 @@ func runOpen(cfg LiveConfig, conns []Doer) *LiveResult {
 			if rng.Float64() < cfg.WriteRatio {
 				op, v = wire.OpWrite, val
 			}
-			key := rng.Uint64() % cfg.Keys
+			key := pick()
 			issued := time.Now()
 			if measured {
 				offered.Add(1)

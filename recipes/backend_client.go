@@ -1,0 +1,111 @@
+package recipes
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"canopus"
+	"canopus/client"
+)
+
+// clientBackend adapts a canopus/client.Client — the live TCP path —
+// to the recipes Backend port. Transactions ride the client's
+// replicated session (exactly-once across failover), and watches are
+// the client's resume-by-cycle watches, so recipes inherit the
+// client's failover transparency.
+type clientBackend struct {
+	cl *client.Client
+}
+
+// FromClient builds a Backend over a connected client. The client's
+// replicated session is the recipes' ownership identity: everything a
+// Mutex or Election acquires through this backend is released when the
+// client's session ends (EndSession, Close, or idle expiry after a
+// crash).
+func FromClient(cl *client.Client) Backend {
+	return &clientBackend{cl: cl}
+}
+
+func (b *clientBackend) Get(ctx context.Context, key uint64) ([]byte, error) {
+	val, err := b.cl.Get(ctx, key)
+	if errors.Is(err, client.ErrNotFound) {
+		return nil, nil
+	}
+	return val, err
+}
+
+func (b *clientBackend) Txn(ctx context.Context, guards []TxnGuard, ops []TxnOp) (Verdict, error) {
+	t := client.NewTxn()
+	for _, g := range guards {
+		switch g.Kind {
+		case canopus.GuardValueEq:
+			t.IfValueEq(g.Key, g.Val)
+		case canopus.GuardCycleLE:
+			t.IfCycleLE(g.Key, g.Cycle)
+		default:
+			return Verdict{}, fmt.Errorf("recipes: unknown guard kind %d", g.Kind)
+		}
+	}
+	for _, op := range ops {
+		switch {
+		case op.Op == canopus.OpDelete:
+			t.Delete(op.Key)
+		case op.Ephemeral:
+			t.PutEphemeral(op.Key, op.Val)
+		default:
+			t.Put(op.Key, op.Val)
+		}
+	}
+	res, err := b.cl.Txn(ctx, t)
+	if errors.Is(err, client.ErrSessionExpired) {
+		// The final submission was not applied, but an earlier failover
+		// retry may have committed under the now-expired session. Map to
+		// the recipes' uncertainty sentinel; self-identifying recipes
+		// re-read the key and settle it.
+		return Verdict{}, fmt.Errorf("%w: %v", ErrUncertain, err)
+	}
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Committed: res.Committed, FailedGuard: res.FailedGuard}, nil
+}
+
+func (b *clientBackend) WatchKey(ctx context.Context, key uint64) (Waiter, error) {
+	w, err := b.cl.Watch(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	return &clientWaiter{w: w}, nil
+}
+
+func (b *clientBackend) SessionToken(ctx context.Context) ([]byte, error) {
+	sess, err := b.cl.EnsureSession(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return binary.BigEndian.AppendUint64(nil, sess), nil
+}
+
+type clientWaiter struct{ w *client.Watch }
+
+func (cw *clientWaiter) Wait(ctx context.Context) error {
+	select {
+	case _, ok := <-cw.w.Events():
+		if ok {
+			return nil
+		}
+		if err := cw.w.Err(); err != nil && !errors.Is(err, client.ErrWatchOverflow) {
+			return err
+		}
+		// Overflow just means "you fell behind": the caller re-reads
+		// committed state before deciding anything, so treat it as a
+		// wakeup.
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (cw *clientWaiter) Close() { cw.w.Close() }

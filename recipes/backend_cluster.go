@@ -1,0 +1,177 @@
+package recipes
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"canopus"
+)
+
+// clusterBackend adapts one node of an in-process canopus.EventCluster
+// (the simulator in Serve mode, or a live cluster driven locally) to
+// the recipes Backend port. It registers one replicated session lazily
+// and numbers its transactions from an atomic counter, so the same
+// exactly-once identity scheme the network client uses applies here.
+type clusterBackend struct {
+	c    canopus.EventCluster
+	node int
+
+	seq     atomic.Uint64
+	mu      sync.Mutex
+	session uint64
+}
+
+// FromCluster builds a Backend over node's replica of c. Each
+// FromCluster call owns a distinct replicated session: two backends on
+// the same node are two independent lock holders. The cluster must be
+// drivable from arbitrary goroutines (SimCluster requires Serve mode).
+func FromCluster(c canopus.EventCluster, node int) Backend {
+	return &clusterBackend{c: c, node: node}
+}
+
+func (b *clusterBackend) ensureSession(ctx context.Context) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.session != 0 {
+		return b.session, nil
+	}
+	type reg struct {
+		id uint64
+		ok bool
+	}
+	ch := make(chan reg, 1)
+	b.c.RegisterSession(b.node, func(id uint64, ok bool) {
+		ch <- reg{id, ok}
+	})
+	select {
+	case r := <-ch:
+		if !r.ok {
+			return 0, fmt.Errorf("%w: session registration failed", ErrUnavailable)
+		}
+		b.session = r.id
+		return r.id, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func (b *clusterBackend) Get(ctx context.Context, key uint64) ([]byte, error) {
+	type res struct {
+		val []byte
+		ok  bool
+	}
+	ch := make(chan res, 1)
+	b.c.Submit(b.node, canopus.OpRead, key, nil, func(val []byte, ok bool) {
+		// The value bytes are only valid during the callback.
+		ch <- res{append([]byte(nil), val...), ok}
+	})
+	select {
+	case r := <-ch:
+		if !r.ok {
+			return nil, fmt.Errorf("%w: read not served", ErrUnavailable)
+		}
+		if len(r.val) == 0 {
+			return nil, nil // absent (reads return nil for misses)
+		}
+		return r.val, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (b *clusterBackend) Txn(ctx context.Context, guards []TxnGuard, ops []TxnOp) (Verdict, error) {
+	body := canopus.AppendTxn(nil, &canopus.Txn{Guards: guards, Ops: ops})
+	// A rejected submission (node stalled, or the idle session expired
+	// and was reclaimed) was deterministically not applied anywhere, so
+	// one retry under a fresh session is always safe — including for
+	// non-idempotent payloads.
+	for attempt := 0; ; attempt++ {
+		sess, err := b.ensureSession(ctx)
+		if err != nil {
+			return Verdict{}, err
+		}
+		type res struct {
+			val []byte
+			ok  bool
+		}
+		ch := make(chan res, 1)
+		b.c.SubmitTxn(b.node, sess, b.seq.Add(1), body, func(val []byte, ok bool) {
+			ch <- res{append([]byte(nil), val...), ok}
+		})
+		select {
+		case r := <-ch:
+			if !r.ok {
+				if attempt == 0 {
+					b.mu.Lock()
+					if b.session == sess {
+						b.session = 0 // force re-registration
+					}
+					b.mu.Unlock()
+					continue
+				}
+				return Verdict{}, fmt.Errorf("%w: txn not served", ErrUnavailable)
+			}
+			w, err := canopus.ParseTxnResult(r.val)
+			if err != nil {
+				return Verdict{}, err
+			}
+			v := Verdict{Committed: w.Committed, FailedGuard: -1}
+			if !w.Committed {
+				v.FailedGuard = int(w.Failed)
+			}
+			return v, nil
+		case <-ctx.Done():
+			return Verdict{}, ctx.Err()
+		}
+	}
+}
+
+func (b *clusterBackend) WatchKey(ctx context.Context, key uint64) (Waiter, error) {
+	cw := &clusterWaiter{b: b, ch: make(chan struct{}, 1)}
+	id, err := b.c.Watch(b.node, canopus.WatchSpec{Key: key, PrefixBits: 64}, func(n canopus.WatchNotification) bool {
+		// Any notification — a matching change or the terminal overflow
+		// notice — is a wakeup; the recipes re-read committed state. The
+		// one-slot channel never blocks this sink (it runs on the node's
+		// apply path).
+		select {
+		case cw.ch <- struct{}{}:
+		default:
+		}
+		return true
+	})
+	if err != nil {
+		// The only registration failure is a resume overflow, which a
+		// live-only watch cannot hit; surface it anyway.
+		return nil, err
+	}
+	cw.id = id
+	return cw, nil
+}
+
+func (b *clusterBackend) SessionToken(ctx context.Context) ([]byte, error) {
+	sess, err := b.ensureSession(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return binary.BigEndian.AppendUint64(nil, sess), nil
+}
+
+type clusterWaiter struct {
+	b  *clusterBackend
+	id uint64
+	ch chan struct{}
+}
+
+func (cw *clusterWaiter) Wait(ctx context.Context) error {
+	select {
+	case <-cw.ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (cw *clusterWaiter) Close() { cw.b.c.Unwatch(cw.b.node, cw.id) }

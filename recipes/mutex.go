@@ -1,0 +1,167 @@
+package recipes
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Mutex is a distributed mutual-exclusion lock over one key. Acquiring
+// writes the holder's session token as an ephemeral value: exactly one
+// contender's compare-and-swap commits per vacancy, and a holder that
+// crashes (or loses its session) releases automatically when the
+// session idle-expires through consensus — the waiters' watches fire on
+// the expiry cycle's delete and the lock is re-acquired without any
+// operator action.
+//
+// A Mutex value is not tied to a goroutine; the usual discipline
+// applies (the locker unlocks). Lock is idempotent while held by the
+// same session.
+type Mutex struct {
+	b   Backend
+	key uint64
+
+	mu  sync.Mutex
+	tok []byte // token written by the last successful acquisition
+}
+
+// NewMutex returns a mutex over key on b. Distinct keys are independent
+// locks; all contenders must agree on the key.
+func NewMutex(b Backend, key uint64) *Mutex {
+	return &Mutex{b: b, key: key}
+}
+
+// setToken records the value this handle wrote into the key, so Unlock
+// guards on what was actually written even if the backend's session
+// (and thus SessionToken) was transparently replaced mid-acquisition.
+func (m *Mutex) setToken(tok []byte) {
+	m.mu.Lock()
+	m.tok = append(m.tok[:0], tok...)
+	m.mu.Unlock()
+}
+
+func (m *Mutex) token(ctx context.Context) ([]byte, error) {
+	m.mu.Lock()
+	tok := append([]byte(nil), m.tok...)
+	m.mu.Unlock()
+	if tok != nil {
+		return tok, nil
+	}
+	return m.b.SessionToken(ctx)
+}
+
+// Lock blocks until this backend's session holds the lock or ctx ends.
+func (m *Mutex) Lock(ctx context.Context) error {
+	for {
+		// Re-read the token every attempt: if the backend's session
+		// idle-expired while we waited, the replacement session is the
+		// identity that must own the acquisition.
+		token, err := m.b.SessionToken(ctx)
+		if err != nil {
+			return err
+		}
+		// Arm the watch before trying: a release committed in any cycle
+		// after this point is guaranteed to wake us.
+		w, err := m.b.WatchKey(ctx, m.key)
+		if err != nil {
+			return err
+		}
+		res, err := m.b.Txn(ctx,
+			[]TxnGuard{guardAbsent(m.key)},
+			[]TxnOp{putEphemeral(m.key, token)})
+		if err != nil && !errors.Is(err, ErrUncertain) {
+			w.Close()
+			return err
+		}
+		if err == nil && res.Committed {
+			w.Close()
+			m.setToken(token)
+			return nil
+		}
+		// Held — or (on ErrUncertain) possibly acquired by an earlier
+		// retry of our own transaction. The key's value settles it.
+		val, gerr := m.b.Get(ctx, m.key)
+		if gerr != nil {
+			w.Close()
+			return gerr
+		}
+		if bytes.Equal(val, token) {
+			w.Close()
+			m.setToken(token)
+			return nil
+		}
+		if val != nil {
+			// Someone else holds it; sleep until the key changes.
+			err = w.Wait(ctx)
+		} else {
+			err = ctx.Err() // vacant: retry the CAS immediately
+		}
+		w.Close()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// TryLock attempts one acquisition without waiting. It returns true
+// when this backend's session now holds (or already held) the lock.
+func (m *Mutex) TryLock(ctx context.Context) (bool, error) {
+	token, err := m.b.SessionToken(ctx)
+	if err != nil {
+		return false, err
+	}
+	res, err := m.b.Txn(ctx,
+		[]TxnGuard{guardAbsent(m.key)},
+		[]TxnOp{putEphemeral(m.key, token)})
+	if err != nil && !errors.Is(err, ErrUncertain) {
+		return false, err
+	}
+	if err == nil && res.Committed {
+		m.setToken(token)
+		return true, nil
+	}
+	val, gerr := m.b.Get(ctx, m.key)
+	if gerr != nil {
+		return false, gerr
+	}
+	if bytes.Equal(val, token) {
+		m.setToken(token)
+		return true, nil
+	}
+	return false, nil
+}
+
+// Unlock releases the lock. It fails with ErrNotHeld when this handle
+// does not hold it — never touching another contender's acquisition.
+func (m *Mutex) Unlock(ctx context.Context) error {
+	token, err := m.token(ctx)
+	if err != nil {
+		return err
+	}
+	for {
+		res, err := m.b.Txn(ctx,
+			[]TxnGuard{guardValueEq(m.key, token)},
+			[]TxnOp{del(m.key)})
+		if errors.Is(err, ErrUncertain) {
+			// An earlier retry of this delete may have committed. If the
+			// key no longer carries our token, the release happened (or
+			// expiry beat us to it) — either way the lock is not ours.
+			val, gerr := m.b.Get(ctx, m.key)
+			if gerr != nil {
+				return gerr
+			}
+			if bytes.Equal(val, token) {
+				continue // still held by us: the delete did not commit
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !res.Committed {
+			return ErrNotHeld
+		}
+		return nil
+	}
+}

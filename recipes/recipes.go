@@ -1,0 +1,122 @@
+// Package recipes builds classic distributed-coordination primitives —
+// mutual exclusion, leader election, counters and barriers — on the
+// Canopus event plane: guarded multi-op transactions, ordered change
+// watches, and replicated client sessions.
+//
+// Every recipe follows the same correctness pattern the globally
+// committed cycle order makes cheap:
+//
+//   - acquire/update is one guarded transaction (compare-and-swap
+//     against the committed state of a single cycle), so exactly one
+//     contender wins no matter how many race;
+//   - waiting is watch-before-retry: a watch on the contended key is
+//     registered *before* the transaction, so a release committed in
+//     any later cycle is guaranteed to wake the waiter — no polling, no
+//     lost-wakeup window;
+//   - ownership is written as an ephemeral value bound to the owner's
+//     replicated session, so a crashed owner releases automatically
+//     when its session idle-expires through consensus.
+//
+// Recipes are written against the small Backend port, with two
+// adapters: FromClient wraps a canopus/client.Client (live TCP
+// deployments), FromCluster wraps any canopus.EventCluster node (the
+// in-process simulator or a live cluster driven locally). The recipe
+// code is identical on both.
+package recipes
+
+import (
+	"context"
+	"errors"
+
+	"canopus"
+)
+
+// Transaction vocabulary, re-exported from the root package so recipe
+// backends can be implemented without reaching into internals.
+type (
+	// TxnGuard is one transaction precondition.
+	TxnGuard = canopus.TxnGuard
+	// TxnOp is one transaction write or delete.
+	TxnOp = canopus.TxnOp
+)
+
+// Guard and op constructors recipes build their transactions from.
+
+func guardAbsent(key uint64) TxnGuard {
+	return TxnGuard{Kind: canopus.GuardValueEq, Key: key}
+}
+
+func guardValueEq(key uint64, val []byte) TxnGuard {
+	return TxnGuard{Kind: canopus.GuardValueEq, Key: key, Val: val}
+}
+
+func putEphemeral(key uint64, val []byte) TxnOp {
+	return TxnOp{Op: canopus.OpWrite, Key: key, Val: val, Ephemeral: true}
+}
+
+func put(key uint64, val []byte) TxnOp {
+	return TxnOp{Op: canopus.OpWrite, Key: key, Val: val}
+}
+
+func del(key uint64) TxnOp {
+	return TxnOp{Op: canopus.OpDelete, Key: key}
+}
+
+// ErrNotHeld reports a release (Unlock, Resign) by a caller that does
+// not hold the lock or leadership — it was never acquired, was already
+// released, or was lost to session expiry.
+var ErrNotHeld = errors.New("recipes: not held")
+
+// ErrUnavailable reports that the backend could not serve the
+// operation (node crashed, stalled, draining, or session rejected).
+var ErrUnavailable = errors.New("recipes: backend unavailable")
+
+// ErrUncertain reports a transaction whose fate is unknowable: the final
+// submission was rejected, but an earlier one may have committed before
+// the backend's session expired (the dedup state that could tell is
+// gone). Recipes whose transactions are self-identifying — a lock
+// acquire writes the holder's token, so re-reading the key settles what
+// happened — recover from this internally. Recipes that are not
+// (Counter.Add: a retry after a silent commit would double-count)
+// surface it and let the caller decide.
+var ErrUncertain = errors.New("recipes: transaction outcome uncertain")
+
+// Verdict is a transaction's committed-order outcome.
+type Verdict struct {
+	// Committed reports that every guard held and all ops applied.
+	Committed bool
+	// FailedGuard is the index of the first guard that did not hold;
+	// -1 when Committed.
+	FailedGuard int
+}
+
+// Waiter is one armed change watch on a single key. It is registered
+// (and its resume point pinned) before the constructor returns, so a
+// change committed after construction is never missed.
+type Waiter interface {
+	// Wait blocks until the key changes in a cycle committed after the
+	// Waiter was armed, the watch dies (overflow — the caller re-checks
+	// state anyway), or ctx ends. A nil return means "re-examine the
+	// key"; it deliberately does not say what changed.
+	Wait(ctx context.Context) error
+	// Close releases the watch registration.
+	Close()
+}
+
+// Backend is the minimal coordination surface recipes run on: committed
+// reads, guarded transactions under a replicated session, and armed
+// change watches. Implementations: FromClient, FromCluster.
+type Backend interface {
+	// Get returns key's committed value, nil when the key is absent.
+	Get(ctx context.Context, key uint64) ([]byte, error)
+	// Txn executes one guarded transaction bound to the backend's
+	// replicated session (exactly-once across internal retries).
+	Txn(ctx context.Context, guards []TxnGuard, ops []TxnOp) (Verdict, error)
+	// WatchKey arms a change watch on key before returning.
+	WatchKey(ctx context.Context, key uint64) (Waiter, error)
+	// SessionToken returns a stable, deployment-unique byte identity
+	// derived from the backend's replicated session, registering the
+	// session first if needed. Recipes write it into lock and leader
+	// keys as the fencing value.
+	SessionToken(ctx context.Context) ([]byte, error)
+}
