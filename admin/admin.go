@@ -28,11 +28,16 @@ type Health struct {
 }
 
 // SuperLeaf is one super-leaf's membership in the node's current view.
+// Evicted marks a leaf whose membership the committed view saw go empty
+// (an eviction tombstone landing): it is excluded from the LOT merge
+// until a member rejoins. EvictedAt is the committing cycle.
 type SuperLeaf struct {
-	Index   int     `json:"index"`
-	Members []int32 `json:"members"`
-	Alive   []int32 `json:"alive"`
-	Failed  bool    `json:"failed"`
+	Index     int     `json:"index"`
+	Members   []int32 `json:"members"`
+	Alive     []int32 `json:"alive"`
+	Failed    bool    `json:"failed"`
+	Evicted   bool    `json:"evicted,omitempty"`
+	EvictedAt uint64  `json:"evicted_at,omitempty"`
 }
 
 // Durability is the /status durability block; absent when the node runs

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -47,7 +48,7 @@ func (n *Node) commit(c *cycle) {
 	n.applySessions(c.id, root.Sessions)
 	plan := n.resolveOrder(c.id, root.Batches)
 	plan.expired = append(plan.expired, n.expiredScratch...)
-	n.applyMembership(c.id, root.Updates)
+	joiners := n.applyMembership(c.id, root.Updates)
 	n.applyLeases(c.id, root.Leases)
 	n.revokeLeases(c.id, root.Updates)
 	n.gcSessions(c.id)
@@ -71,6 +72,16 @@ func (n *Node) commit(c *cycle) {
 		n.freePlan(plan)
 	}
 
+	// Join replies go out only after cycle c's own writes have reached
+	// the store (executed above in serial mode; submitted to the apply
+	// executor, which sendJoinReply drains, in parallel mode). A reply
+	// sent from applyMembership would snapshot the state as of c-1 while
+	// telling the joiner to resume at c+1, silently losing cycle c's
+	// writes on every rejoin.
+	for _, j := range joiners {
+		n.sendJoinReply(j, c.id)
+	}
+
 	if n.cbs.OnCommit != nil {
 		n.cbs.OnCommit(c.id, root.Batches)
 	}
@@ -78,9 +89,17 @@ func (n *Node) commit(c *cycle) {
 	delete(n.cycles, c.id)
 	delete(n.proposed, c.id)
 	n.recent[c.id] = c.states
+	if n.cfg.LeafTimeout > 0 && len(c.child) > 0 {
+		// Steal the cycle's fetched child states so eviction queries for
+		// gap cycles can be answered with the exact state this node merged
+		// (see Node.recentChild).
+		n.recentChild[c.id] = c.child
+		c.child = nil
+	}
 	n.freeCycle(c)
 	if old := c.id - n.retention(); old > 0 && old <= c.id {
 		delete(n.recent, old)
+		delete(n.recentChild, old)
 	}
 	if n.stallAfter != 0 && n.committed >= n.stallAfter {
 		n.stallAfter = 0
@@ -351,9 +370,9 @@ func (n *Node) runLocalReads() {
 // which is the invariant keeping emulation tables identical (§4.6).
 // Leaves apply before joins so a crash/rejoin pair in one cycle nets out
 // to a fresh incarnation.
-func (n *Node) applyMembership(cyc uint64, updates []wire.MemberUpdate) {
+func (n *Node) applyMembership(cyc uint64, updates []wire.MemberUpdate) (joiners []wire.NodeID) {
 	if len(updates) == 0 {
-		return
+		return nil
 	}
 	ordered := append([]wire.MemberUpdate(nil), updates...)
 	sort.SliceStable(ordered, func(i, j int) bool {
@@ -362,23 +381,116 @@ func (n *Node) applyMembership(cyc uint64, updates []wire.MemberUpdate) {
 		}
 		return ordered[i].Node < ordered[j].Node
 	})
-	for _, u := range ordered {
-		inOwnSL := n.tree.SuperLeafOf(u.Node) == n.sl
+	// Resurrect joins (cross-leaf sponsorships, see onJoinRequest) are
+	// only valid if the joiner's leaf is still empty when the update
+	// applies: the sponsor checked emptiness when it accepted the
+	// request, but another member's join may have committed in between,
+	// and seating this one anyway would add a member holding stale (zero)
+	// broadcast incarnations — a zombie the leaf's round 1 then waits on
+	// forever. The pre-cycle member counts decide, so every node voids
+	// exactly the same stale updates (the committed prefix, and therefore
+	// the pre-cycle view, is identical everywhere). Two resurrect joins
+	// landing in the SAME cycle both see a pre-cycle-empty leaf and both
+	// seat with all-zero incarnations, which is consistent.
+	//
+	// Voids are decided — and the voided sponsor's reply cancelled —
+	// BEFORE any update applies: when a stale resurrect join and a live
+	// member's valid join for the same node share a cycle, the valid
+	// entry must not trip the stale sponsor's reply guard (its reply
+	// would hand the joiner zero incarnations the leaf no longer runs).
+	var voided []bool
+	{
+		var preMembers map[int]int
+		for i, u := range ordered {
+			if u.Leave || !u.Resurrect {
+				continue
+			}
+			usl := n.tree.SuperLeafOf(u.Node)
+			if usl < 0 {
+				continue
+			}
+			if preMembers == nil {
+				preMembers = make(map[int]int)
+			}
+			if _, ok := preMembers[usl]; !ok {
+				preMembers[usl] = len(n.view.Members(usl))
+			}
+			if preMembers[usl] != 0 {
+				if voided == nil {
+					voided = make([]bool, len(ordered))
+				}
+				voided[i] = true
+				if s, ok := n.sponsoring[u.Node]; ok && s.resurrect && s.cycle == cyc {
+					delete(n.sponsoring, u.Node)
+				}
+			}
+		}
+	}
+	for i, u := range ordered {
+		if voided != nil && voided[i] {
+			// Stale resurrection (see above): no view change, no peer add,
+			// no reply. The joiner is still in its retry loop and will be
+			// sponsored by a now-live leaf member (a Leave+Join with
+			// properly bumped incarnations).
+			continue
+		}
+		usl := n.tree.SuperLeafOf(u.Node)
+		inOwnSL := usl == n.sl
 		if u.Leave {
+			// Leaf-death watermark: the cycle whose commit emptied a
+			// super-leaf's membership (an eviction tombstone landing) is
+			// when local tombstone substitution may begin (leaf.go). Only
+			// the non-empty -> empty transition records it — a redundant
+			// Leave against an already-empty leaf must not push the
+			// watermark forward.
+			before := n.cfg.LeafTimeout > 0 && usl >= 0 && len(n.view.Members(usl)) > 0
 			n.view.Apply([]wire.MemberUpdate{u})
+			if DebugHook != nil {
+				DebugHook(n.cfg.Self, "member-leave", cyc, fmt.Sprintf("%d", u.Node))
+			}
+			if before && len(n.view.Members(usl)) == 0 {
+				n.leafDeadAt[usl] = cyc
+				n.stats.leavesDead.Store(int64(len(n.leafDeadAt)))
+				if DebugHook != nil {
+					DebugHook(n.cfg.Self, "leaf-dead", cyc, fmt.Sprintf("sl%d", usl))
+				}
+			}
 			if inOwnSL && u.Node != n.cfg.Self {
 				n.bc.RemovePeer(u.Node)
 			}
 			continue
 		}
 		n.view.Apply([]wire.MemberUpdate{u})
+		if DebugHook != nil {
+			DebugHook(n.cfg.Self, "member-join", cyc, fmt.Sprintf("%d", u.Node))
+		}
+		if usl >= 0 {
+			if _, wasDead := n.leafDeadAt[usl]; wasDead {
+				// A member of an evicted leaf rejoined: re-admit the leaf
+				// to the merge (substitution stops; its states are fetched
+				// again).
+				delete(n.leafDeadAt, usl)
+				n.leafReadmitAt[usl] = n.env.Now()
+				n.stats.leafReadmissions.Add(1)
+				n.stats.leavesDead.Store(int64(len(n.leafDeadAt)))
+			}
+		}
 		if inOwnSL && u.Node != n.cfg.Self {
 			n.bc.AddPeer(u.Node)
 			delete(n.closedPeers, u.Node)
 		}
-		if k, ok := n.sponsoring[u.Node]; ok && k == cyc {
+		// Reply only when this node's own sponsorship kind matches the
+		// applied update: an own-leaf sponsor replies for a normal join
+		// (it holds the bumped broadcast incarnations), a cross-leaf
+		// sponsor only for an applied resurrection (the leaf was empty,
+		// so its all-zero incarnations are exactly right). A mismatched
+		// reply would hand the joiner incarnations the leaf doesn't run,
+		// wedging its round 1. The reply itself is deferred to the caller
+		// (commit) so the snapshot includes this cycle's writes.
+		if s, ok := n.sponsoring[u.Node]; ok && s.cycle == cyc && s.resurrect == u.Resurrect {
 			delete(n.sponsoring, u.Node)
-			n.sendJoinReply(u.Node, cyc)
+			joiners = append(joiners, u.Node)
 		}
 	}
+	return joiners
 }

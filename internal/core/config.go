@@ -105,6 +105,25 @@ type Config struct {
 	// memory.
 	Durability Durable
 
+	// LeafTimeout, when non-zero, arms super-leaf eviction (the RCanopus
+	// direction, see docs/ARCHITECTURE.md "Failure model"): a
+	// representative whose cross-leaf fetch has gone unanswered for this
+	// long past the cycle's start proposes evicting the silent leaf. A
+	// quorum of the surviving leaves (a majority counted over ALL static
+	// leaves) must seal the slot before a tombstone — the leaf's state
+	// replaced by Leave updates for its members — resolves the cycle;
+	// afterwards merges substitute the tombstone locally and consensus
+	// continues without the dead leaf until its members rejoin.
+	//
+	// Zero (the default) disables eviction entirely: a dead super-leaf
+	// stalls global consensus, the stock Canopus behaviour. Set it well
+	// above FetchTimeout and the worst-case WAN round-trip; a false
+	// suspicion costs an eviction plus re-join (an availability blip),
+	// never divergence. All nodes must configure the same LeafTimeout and
+	// MaxInFlight. Eviction assumes crash-stop or symmetric partitions
+	// (both sides unreachable) — the fault model netsim injects.
+	LeafTimeout time.Duration
+
 	// ApplyWorkers selects the commit pipeline mode (see exec.go).
 	//
 	// 0 (default): serial — a committed cycle's writes apply and its
@@ -230,6 +249,11 @@ type Callbacks struct {
 	// OnStall fires once when the node detects its super-leaf has failed
 	// (too few live members) and the consensus process halts (§6).
 	OnStall func()
+	// OnEvicted fires once when the node learns the rest of the cluster
+	// has evicted its super-leaf (an Evicted notice): its state is no
+	// longer part of consensus and it must restart through the join
+	// protocol. When unset, OnStall fires instead.
+	OnEvicted func()
 	// OnEvents fires once per committed cycle, after the cycle's writes
 	// have applied (and, with a Durability hook, after they are durable),
 	// with the cycle's key-change events in committed total order:

@@ -38,6 +38,9 @@ type clusterOpts struct {
 	cfg      Config
 	seed     int64
 	noClient bool
+	// onEvicted, when set, becomes each node's Callbacks.OnEvicted (the
+	// eviction tests restart the node through the join protocol from it).
+	onEvicted func(tc *testCluster, id wire.NodeID)
 }
 
 func newTestCluster(t *testing.T, o clusterOpts) *testCluster {
@@ -69,14 +72,18 @@ func newTestCluster(t *testing.T, o clusterOpts) *testCluster {
 		cfg.Tree = tree
 		cfg.Self = id
 		st := kvstore.NewLogged()
-		node := NewNode(cfg, st, Callbacks{
+		cbs := Callbacks{
 			OnReply: func(req *wire.Request, val []byte) {
 				tc.replies[id] = append(tc.replies[id], replyRec{req: *req, val: val, at: sim.Now()})
 			},
 			OnCommit: func(cycle uint64, order []*wire.Batch) {
 				tc.commits[id] = append(tc.commits[id], cycle)
 			},
-		})
+		}
+		if o.onEvicted != nil {
+			cbs.OnEvicted = func() { o.onEvicted(tc, id) }
+		}
+		node := NewNode(cfg, st, cbs)
 		tc.nodes = append(tc.nodes, node)
 		tc.stores = append(tc.stores, st)
 		runner.Register(id, node)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"canopus/internal/engine"
@@ -26,21 +27,51 @@ import (
 
 const joinRetryInterval = 200 * time.Millisecond
 
-// sendJoinRequest tries the next configured super-leaf peer.
+// sponsorship records an accepted JoinRequest on the sponsor: the cycle
+// whose membership update answers it (0 until one is proposed) and
+// whether the sponsorship was a cross-leaf resurrection. See the
+// Node.sponsoring field and applyMembership for the kind rules.
+type sponsorship struct {
+	cycle     uint64
+	resurrect bool
+}
+
+// sendJoinRequest tries the next peer, alternating deterministically
+// between own super-leaf members (the common restart; they hold the
+// broadcast incarnations) and cross-leaf nodes — the fallback that
+// resurrects a fully-dead (evicted) leaf, whose members can only be
+// sponsored from outside (see leaf.go). Alternating rather than
+// exhausting one list first keeps both paths fast: a joiner behind live
+// leafmates is picked up within two attempts instead of waiting out a
+// full lap of cross-leaf denials, and a dead leaf's first joiner reaches
+// an outside sponsor just as quickly.
 func (n *Node) sendJoinRequest() {
-	peers := n.tree.SuperLeaf(n.sl).Members
-	// Rotate deterministically through peers other than self.
-	var targets []wire.NodeID
-	for _, p := range peers {
+	var own, cross []wire.NodeID
+	for _, p := range n.tree.SuperLeaf(n.sl).Members {
 		if p != n.cfg.Self {
-			targets = append(targets, p)
+			own = append(own, p)
 		}
 	}
-	if len(targets) == 0 {
-		return // single-node super-leaf: nothing to rejoin
+	for _, p := range n.tree.AllNodes() {
+		if n.tree.SuperLeafOf(p) != n.sl {
+			cross = append(cross, p)
+		}
 	}
-	target := targets[n.joinSeq%len(targets)]
+	seq := n.joinSeq
 	n.joinSeq++
+	var target wire.NodeID
+	switch {
+	case len(own) == 0 && len(cross) == 0:
+		return // single-node cluster: nothing to rejoin
+	case len(own) == 0:
+		target = cross[seq%len(cross)]
+	case len(cross) == 0:
+		target = own[seq%len(own)]
+	case seq%2 == 0:
+		target = own[(seq/2)%len(own)]
+	default:
+		target = cross[(seq/2)%len(cross)]
+	}
 	n.env.Send(target, &wire.JoinRequest{From: n.cfg.Self})
 	n.env.After(joinRetryInterval, engine.Tag(tagJoinRetry, 0))
 }
@@ -50,20 +81,45 @@ func (n *Node) onJoinRequest(from wire.NodeID, m *wire.JoinRequest) {
 	if n.rejoin || n.stalled {
 		return // cannot sponsor while not participating
 	}
-	if m.From == n.cfg.Self || n.tree.SuperLeafOf(m.From) != n.sl {
-		return // only super-leaf peers sponsor a joiner
+	if m.From == n.cfg.Self {
+		return
+	}
+	resurrect := false
+	if joinerSL := n.tree.SuperLeafOf(m.From); joinerSL != n.sl {
+		if joinerSL < 0 {
+			return // not a configured node
+		}
+		// Cross-leaf sponsorship resurrects only a fully-empty (evicted)
+		// leaf: while any member of the joiner's leaf is alive in the
+		// view, only those peers may sponsor — they alone know the leaf's
+		// broadcast incarnation numbers, and a cross-leaf Join committing
+		// next to live members would hand the joiner stale (zero)
+		// incarnations for its broadcast groups. A fully-dead leaf
+		// restarts every group from incarnation zero with no survivors
+		// holding old state, so zeros are then exactly right. The update
+		// is flagged Resurrect so that, if another member's join commits
+		// first, this one is voided at apply time everywhere instead of
+		// seating a member the sponsor cannot actually brief (see
+		// applyMembership).
+		if len(n.view.Members(joinerSL)) > 0 {
+			return
+		}
+		resurrect = true
 	}
 	if _, already := n.sponsoring[m.From]; already {
 		return // join in flight; the joiner's retry changes nothing
 	}
-	n.sponsoring[m.From] = 0 // carrying cycle assigned at proposal time
+	n.sponsoring[m.From] = sponsorship{resurrect: resurrect} // carrying cycle assigned at proposal time
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "join-accept", 0, fmt.Sprintf("%d", m.From))
+	}
 	if n.view.Alive(m.From) && !n.closedPeers[m.From] {
 		// The previous incarnation never got a failure cut (e.g. the
 		// node restarted faster than detection): retire it first.
 		n.pendingUpdates = append(n.pendingUpdates, wire.MemberUpdate{Node: m.From, Leave: true})
 		n.onPeerFailedLocal(m.From)
 	}
-	n.pendingUpdates = append(n.pendingUpdates, wire.MemberUpdate{Node: m.From})
+	n.pendingUpdates = append(n.pendingUpdates, wire.MemberUpdate{Node: m.From, Resurrect: resurrect})
 	// Make sure a cycle carries the update promptly.
 	if n.started == n.committed {
 		n.tryStartCycles(n.started + 1)
@@ -104,6 +160,9 @@ func (n *Node) sendJoinReply(joiner wire.NodeID, cyc uint64) {
 		reply.Snapshot = n.sm.Snapshot()
 	}
 	reply.Sessions = n.sessions.Snapshot()
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "join-reply", cyc, fmt.Sprintf("%d", joiner))
+	}
 	n.env.Send(joiner, reply)
 }
 
@@ -124,7 +183,16 @@ func (n *Node) onJoinReply(m *wire.JoinReply) {
 	if !n.rejoin {
 		return // duplicate reply from a second sponsor attempt
 	}
+	if DebugHook != nil {
+		DebugHook(n.cfg.Self, "join-install", m.StartCycle, "")
+	}
 	n.rejoin = false
+	if n.cfg.LeafTimeout > 0 {
+		// Remotes that have not yet committed our Join still see us dead
+		// and answer our first messages with Evicted; absorb those for one
+		// leaf-timeout (see Node.evictGraceUntil).
+		n.evictGraceUntil = n.env.Now() + n.cfg.LeafTimeout
+	}
 	n.started = m.StartCycle
 	n.committed = m.StartCycle
 	n.orderedW.Store(m.StartCycle)

@@ -31,6 +31,17 @@ type nodeStats struct {
 	// (duplicates resolve from cache and count nothing).
 	txnCommits atomic.Uint64
 	txnAborts  atomic.Uint64
+	// leafEvictions counts eviction rounds this node resolved with a
+	// tombstone (leaf.go); leafReadmissions counts evicted leaves
+	// re-admitted by a member's rejoin.
+	leafEvictions    atomic.Uint64
+	leafReadmissions atomic.Uint64
+	// evictedSelf counts Evicted notices acted on (0 or 1 per process
+	// life: the node halts until restarted through the join protocol).
+	evictedSelf atomic.Uint64
+	// leavesDead mirrors len(n.leafDeadAt) — super-leaves currently
+	// excluded from the merge.
+	leavesDead atomic.Int64
 }
 
 // depth reports the apply executor's command backlog (plans and reads
@@ -91,4 +102,16 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry, labels ...metrics.Label) {
 	reg.CounterFunc("canopus_core_txn_aborts_total",
 		"Transactions aborted by a failing guard (nothing applied).",
 		n.stats.txnAborts.Load, labels...)
+	reg.CounterFunc("canopus_core_leaf_evictions_total",
+		"Super-leaf eviction rounds this node resolved with a tombstone.",
+		n.stats.leafEvictions.Load, labels...)
+	reg.CounterFunc("canopus_core_leaf_readmissions_total",
+		"Evicted super-leaves re-admitted by a member's rejoin.",
+		n.stats.leafReadmissions.Load, labels...)
+	reg.CounterFunc("canopus_core_evicted_self_total",
+		"Evicted notices this node acted on (halt until re-join).",
+		n.stats.evictedSelf.Load, labels...)
+	reg.GaugeFunc("canopus_core_leaves_dead",
+		"Super-leaves currently evicted from the merge in this node's view.",
+		func() float64 { return float64(n.stats.leavesDead.Load()) }, labels...)
 }

@@ -56,6 +56,14 @@ type cycle struct {
 	// message and replies ... only after computing the state").
 	waiting []pendingReq
 
+	// sealed marks vnode IDs this leaf has sealed for this cycle during
+	// an eviction round (see leaf.go): plain states for a sealed vnode
+	// are refused; only a Resolve-flagged proposal fills the slot.
+	sealed map[string]bool
+	// evict tracks eviction rounds this node initiated, per missing
+	// vnode.
+	evict map[string]*evictState
+
 	complete bool
 }
 
@@ -99,6 +107,25 @@ type Node struct {
 	// lagging super-leaves can still be answered (a super-leaf can trail
 	// the fastest one by up to the pipelining bound).
 	recent map[uint64][]*wire.Proposal
+	// recentChild retains committed cycles' fetched child states (the
+	// cycle's child map, stolen at commit) so eviction queries for gap
+	// cycles — cycles the dead leaf may already have served state for —
+	// can be answered with the exact state this node merged. Only
+	// maintained when LeafTimeout > 0; pruned with recent.
+	recentChild map[uint64]map[string]*wire.Proposal
+	// leafDeadAt records, per super-leaf ordinal, the commit cycle at
+	// which the view last saw the leaf's membership go empty (an eviction
+	// landing). Merges of cycles >= leafDeadAt+MaxInFlight substitute the
+	// tombstone locally without a new eviction round. Deleted when a
+	// member of the leaf rejoins.
+	leafDeadAt map[int]uint64
+	// leafReadmitAt records, per super-leaf ordinal, the local time at
+	// which the leaf was last re-admitted (leafDeadAt cleared by a
+	// committed rejoin). Eviction waits measure from the later of the
+	// cycle's start and this mark: cycles started while the leaf was
+	// dead would otherwise carry a long-expired startedAt and evict the
+	// rejoined leaf before it can serve a single state.
+	leafReadmitAt map[int]time.Duration
 
 	// Commit-pipeline watermarks (see exec.go). orderedW mirrors
 	// n.committed for lock-free observers; applied is the highest cycle
@@ -127,9 +154,13 @@ type Node struct {
 	// it commits: a join rode cycle stallAfter, and membership must be
 	// applied before anyone evaluates later round-1 completion sets.
 	stallAfter uint64
-	// sponsoring maps a joining node to the cycle carrying its join
-	// update (0 until the update is proposed).
-	sponsoring map[wire.NodeID]uint64
+	// sponsoring maps a joining node to this node's sponsorship: the
+	// cycle carrying a matching join update (0 until one is proposed)
+	// and whether the sponsorship was a cross-leaf resurrection. The
+	// kind matters: a resurrect sponsor must stay silent when an
+	// own-leaf member's join for the same node commits (and vice
+	// versa) — its reply would carry the wrong incarnations.
+	sponsoring map[wire.NodeID]sponsorship
 
 	// Lease state (§7.2).
 	pendingLeases  []wire.LeaseRequest
@@ -148,8 +179,19 @@ type Node struct {
 	stats nodeStats
 
 	stalled bool
-	rejoin  bool
-	joinSeq int
+	// evicted latches when the node learns (via a wire.Evicted notice)
+	// that the cluster removed its super-leaf: it behaves like stalled
+	// but fires Callbacks.OnEvicted so the operator restarts it through
+	// the join protocol.
+	evicted bool
+	// evictGraceUntil absorbs spurious Evicted notices right after a
+	// join: a remote whose view has not yet committed this node's Join
+	// still sees it dead and reflexively refuses its first fetches. Real
+	// evictions re-notify on every refused message, so compliance is
+	// only delayed by the grace, never lost.
+	evictGraceUntil time.Duration
+	rejoin          bool
+	joinSeq         int
 	// recovered marks a node restarted from durable state (see
 	// recovery.go): it enables the root catch-up path that closes the
 	// watermark gap against peers after a full-cluster restart.
@@ -215,7 +257,10 @@ func NewNode(cfg Config, sm StateMachine, cbs Callbacks) *Node {
 		proposed:       make(map[uint64]*ownSet),
 		cycles:         make(map[uint64]*cycle),
 		recent:         make(map[uint64][]*wire.Proposal),
-		sponsoring:     make(map[wire.NodeID]uint64),
+		recentChild:    make(map[uint64]map[string]*wire.Proposal),
+		leafDeadAt:     make(map[int]uint64),
+		leafReadmitAt:  make(map[int]time.Duration),
+		sponsoring:     make(map[wire.NodeID]sponsorship),
 		leaseRequested: make(map[uint64]bool),
 		leases:         make(map[uint64]uint64),
 		leaseHolder:    make(map[uint64]wire.NodeID),
@@ -324,9 +369,24 @@ func (n *Node) Recv(from wire.NodeID, m wire.Message) {
 	case *wire.JoinReply:
 		n.onJoinReply(v)
 		return
+	case *wire.Evicted:
+		// Must be handled before the stalled/rejoin drop: the notice is
+		// exactly what tells a stalled survivor to restart fresh.
+		n.onEvictedNotice(v)
+		return
 	}
 	if n.rejoin || n.stalled {
 		return // not participating; peers retry what matters
+	}
+	if n.cfg.LeafTimeout > 0 && n.view != nil && from != n.cfg.Self &&
+		n.tree.SuperLeafOf(from) >= 0 && !n.view.Alive(from) {
+		// Dead-in-view sender: an evicted leaf's member (possibly a healed
+		// partition minority, or a durable restart of the old incarnation)
+		// is still talking with pre-eviction state. Refusing it — and
+		// telling it why — is what keeps the evicted state from leaking
+		// back into consensus.
+		n.env.Send(from, &wire.Evicted{From: n.cfg.Self})
+		return
 	}
 	if n.bc != nil && n.bc.Handle(from, m) {
 		return
@@ -336,6 +396,10 @@ func (n *Node) Recv(from wire.NodeID, m wire.Message) {
 		n.onFetchResponse(v)
 	case *wire.ProposalRequest:
 		n.onProposalRequest(from, v)
+	case *wire.EvictQuery:
+		n.onEvictQuery(v)
+	case *wire.EvictPromise:
+		n.onEvictPromise(from, v)
 	}
 }
 
@@ -373,6 +437,7 @@ func (n *Node) tick() {
 	n.lastTick = n.env.Now()
 	n.bc.Tick()
 	n.retryFetches()
+	n.driveEvictions()
 }
 
 // onCycleTimer is the §7.1 pipelining trigger: an upper bound on the
@@ -638,15 +703,19 @@ func (n *Node) takeAccum() (*wire.Batch, *ownSet) {
 }
 
 // noteUpdates records join barriers for updates this node just proposed
-// (or saw proposed) in cycle k.
+// (or saw proposed) in cycle k. Any leaf's join arms the barrier: with
+// cross-leaf sponsorship (leaf.go) a Join may resurrect a remote leaf,
+// and round-1 completion sets everywhere must see the membership applied
+// before later cycles start.
 func (n *Node) noteUpdates(k uint64, updates []wire.MemberUpdate) {
 	for _, u := range updates {
-		if !u.Leave && n.tree.SuperLeafOf(u.Node) == n.sl {
+		if !u.Leave {
 			if n.stallAfter == 0 || k > n.stallAfter {
 				n.stallAfter = k
 			}
-			if cyc, ok := n.sponsoring[u.Node]; ok && cyc == 0 {
-				n.sponsoring[u.Node] = k
+			if s, ok := n.sponsoring[u.Node]; ok && s.cycle == 0 && s.resurrect == u.Resurrect {
+				s.cycle = k
+				n.sponsoring[u.Node] = s
 			}
 		}
 	}
@@ -670,6 +739,8 @@ func (n *Node) ensureCycle(k uint64) *cycle {
 			fetchAttempt:  c.fetchAttempt,
 			fetchDeadline: c.fetchDeadline,
 			rebroadcast:   c.rebroadcast,
+			sealed:        c.sealed,
+			evict:         c.evict,
 			waiting:       c.waiting[:0],
 		}
 	} else {
@@ -692,6 +763,8 @@ func (n *Node) freeCycle(c *cycle) {
 	clear(c.fetchAttempt)
 	clear(c.fetchDeadline)
 	clear(c.rebroadcast)
+	clear(c.sealed)
+	clear(c.evict)
 	c.states = nil
 	n.cycleFree = append(n.cycleFree, c)
 }

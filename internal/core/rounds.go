@@ -14,6 +14,13 @@ var DebugHook func(self wire.NodeID, event string, cycle uint64, detail string)
 // either a peer's round-1 proposal, or a representative's rebroadcast of
 // a fetched vnode state.
 func (n *Node) onDeliver(origin wire.NodeID, payload wire.Message) {
+	if seal, ok := payload.(*wire.LeafSeal); ok {
+		// An eviction round's seal (leaf.go): the shared delivery order
+		// decides, leaf-wide, whether it lands before or after the state
+		// it races.
+		n.onLeafSeal(origin, seal)
+		return
+	}
 	p, ok := payload.(*wire.Proposal)
 	if !ok {
 		return
@@ -50,10 +57,16 @@ func (n *Node) onDeliver(origin wire.NodeID, payload wire.Message) {
 	if _, dup := c.child[p.VNode]; dup {
 		return
 	}
+	if c.sealed[p.VNode] && !p.Resolve {
+		return // slot sealed by an eviction round; only a Resolve fills it
+	}
 	if c.child == nil {
 		c.child = make(map[string]*wire.Proposal)
 	}
 	c.child[p.VNode] = p
+	if c.evict[p.VNode] != nil {
+		n.checkEviction(c, p.VNode) // real state arrived: cancel the round
+	}
 	n.advance(c)
 }
 
@@ -406,12 +419,20 @@ func (n *Node) sendFetch(c *cycle, u string) {
 		DebugHook(n.cfg.Self, "fetch", c.id, u)
 	}
 	ems := n.view.Emulators(u)
-	if len(ems) == 0 {
-		return // all descendants dead: the consensus process stalls (§6)
-	}
 	if c.fetchAttempt == nil {
 		c.fetchAttempt = make(map[string]int)
 		c.fetchDeadline = make(map[string]time.Duration)
+	}
+	if len(ems) == 0 {
+		// All descendants dead in view: no one to ask — the consensus
+		// process stalls (§6) until eviction or substitution fills the
+		// slot. Still arm the retry deadline: if the leaf is readmitted
+		// before then, the next retry pass resumes fetching. Dropping
+		// the deadline here would leave the slot unfetchable for the
+		// cycle's whole life — a rejoined leaf would serve nothing and
+		// be evicted right back out.
+		c.fetchDeadline[u] = n.env.Now() + n.cfg.FetchTimeout
+		return
 	}
 	attempt := c.fetchAttempt[u]
 	c.fetchAttempt[u] = attempt + 1
@@ -481,6 +502,9 @@ func (n *Node) onFetchResponse(p *wire.Proposal) {
 	c := n.ensureCycle(p.Cycle)
 	if c.child[p.VNode] != nil || c.rebroadcast[p.VNode] {
 		return // a redundant fetch (or an earlier response) beat us to it
+	}
+	if c.sealed[p.VNode] && !p.Resolve {
+		return // slot sealed by an eviction round; only a Resolve passes
 	}
 	if c.rebroadcast == nil {
 		c.rebroadcast = make(map[string]bool)

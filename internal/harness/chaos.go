@@ -49,6 +49,14 @@ type ChaosSpec struct {
 	// crash or partition time). Zero disables the metric.
 	FaultAt time.Duration
 
+	// EvictRestartDelay is how long an evicted node (told so by an
+	// Evicted notice after its leaf was resolved dead — requires
+	// Node.LeafTimeout > 0) waits before restarting as a protocol-level
+	// joiner, modeling an operator bouncing the deposed rack. Defaults to
+	// 200ms when leaf eviction is enabled; negative disables the
+	// automatic restart (evicted nodes stay down).
+	EvictRestartDelay time.Duration
+
 	// Closed-loop client load.
 	Clients    int           // clients per node (default 2)
 	Keys       uint64        // key space size (default 128)
@@ -116,6 +124,9 @@ func (s *ChaosSpec) fill() {
 	if s.StoreShards <= 0 {
 		s.StoreShards = 1
 	}
+	if s.Node.LeafTimeout > 0 && s.EvictRestartDelay == 0 {
+		s.EvictRestartDelay = 200 * time.Millisecond
+	}
 }
 
 // ChaosResult is one chaos run's outcome.
@@ -135,6 +146,19 @@ type ChaosResult struct {
 	Recovery     time.Duration // first commit at/after FaultAt, minus FaultAt
 	Recovered    bool
 
+	// Windows is the per-window commit count over [0, Duration) at
+	// WindowSize granularity — the availability timeline. Tests assert
+	// outage shape against it: commits before the fault, a bounded gap
+	// while the dead leaf times out and is evicted, commits after.
+	Windows    []int
+	WindowSize time.Duration
+
+	// Evictions and Readmissions total the leaf evictions resolved and
+	// dead leaves readmitted, summed over replicas alive at the end of
+	// the run (LeafTimeout runs only; zero otherwise).
+	Evictions    uint64
+	Readmissions uint64
+
 	Events uint64 // simulation events (replay-identity indicator)
 
 	// Replicas is each replica's final commit position and digests
@@ -146,8 +170,14 @@ type ChaosResult struct {
 
 // ReplicaState is one replica's post-run position and digests.
 type ReplicaState struct {
-	Node        wire.NodeID
-	Committed   uint64
+	Node      wire.NodeID
+	Committed uint64
+	// Restarted reports the replica was replaced at least once during
+	// the run — by the fault plan (crash/power-loss restart) or by the
+	// eviction-restart path. A restarted replica's apply log starts at
+	// its recovery point (snapshot install or disk recovery), so log
+	// digests only compare between never-restarted replicas.
+	Restarted   bool
 	LogLen      uint64
 	LogDigest   uint64
 	StateDigest uint64
@@ -188,6 +218,7 @@ type chaosRun struct {
 	failed   int
 
 	ref          wire.NodeID
+	restarted    map[wire.NodeID]bool
 	avail        metrics.Availability
 	commits      uint64
 	commitDigest uint64
@@ -195,8 +226,14 @@ type chaosRun struct {
 
 // RunChaos executes one chaos experiment.
 func RunChaos(spec ChaosSpec) ChaosResult {
+	res, _ := runChaosInner(spec)
+	return res
+}
+
+// runChaosInner also returns the run's internals for test inspection.
+func runChaosInner(spec ChaosSpec) (ChaosResult, *chaosRun) {
 	spec.fill()
-	r := &chaosRun{spec: spec, keyCount: make(map[uint64]uint64)}
+	r := &chaosRun{spec: spec, keyCount: make(map[uint64]uint64), restarted: make(map[wire.NodeID]bool)}
 	r.sim = netsim.NewSim()
 
 	topo := buildTopo(Spec{MultiDC: spec.MultiDC, Groups: spec.Groups, PerGroup: spec.PerGroup, WANRTT: spec.WANRTT})
@@ -235,6 +272,7 @@ func RunChaos(spec ChaosSpec) ChaosResult {
 	}
 
 	r.runner.InstallFaults(spec.Faults, func(id wire.NodeID) engine.Machine {
+		r.restarted[id] = true
 		if spec.Durable {
 			// Power loss: the replacement recovers from its own disk —
 			// snapshot restore plus WAL replay — and closes any remaining
@@ -278,12 +316,22 @@ func RunChaos(spec ChaosSpec) ChaosResult {
 		StateDigest:  r.stores[r.ref].StateDigest(),
 		Availability: r.avail.Fraction(0, spec.Duration),
 		LongestStall: r.avail.LongestGap(0, spec.Duration),
+		Windows:      r.avail.WindowCounts(0, spec.Duration),
+		WindowSize:   100 * time.Millisecond,
 		Events:       r.sim.Steps(),
+	}
+	for i, node := range r.nodes {
+		if !r.runner.Alive(wire.NodeID(i)) {
+			continue
+		}
+		res.Evictions += node.LeafEvictions()
+		res.Readmissions += node.LeafReadmissions()
 	}
 	for i, node := range r.nodes {
 		res.Replicas = append(res.Replicas, ReplicaState{
 			Node:        wire.NodeID(i),
 			Committed:   node.Committed(),
+			Restarted:   r.restarted[wire.NodeID(i)],
 			LogLen:      r.stores[i].LogLen(),
 			LogDigest:   r.stores[i].LogDigest(),
 			StateDigest: r.stores[i].StateDigest(),
@@ -292,7 +340,7 @@ func RunChaos(spec ChaosSpec) ChaosResult {
 	if spec.FaultAt > 0 {
 		res.Recovery, res.Recovered = r.avail.RecoveryAfter(spec.FaultAt)
 	}
-	return res
+	return res, r
 }
 
 // referenceNode picks the lowest node the plan never crashes; its commit
@@ -360,6 +408,9 @@ func (r *chaosRun) callbacks(id wire.NodeID) core.Callbacks {
 	cbs := core.Callbacks{
 		OnReply: func(req *wire.Request, val []byte) { r.onReply(req, val) },
 	}
+	if r.spec.Node.LeafTimeout > 0 && r.spec.EvictRestartDelay > 0 {
+		cbs.OnEvicted = func() { r.onEvicted(id) }
+	}
 	if id == r.ref {
 		cbs.OnCommit = func(cycle uint64, order []*wire.Batch) {
 			r.commits = cycle
@@ -368,6 +419,27 @@ func (r *chaosRun) callbacks(id wire.NodeID) core.Callbacks {
 		}
 	}
 	return cbs
+}
+
+// onEvicted handles an Evicted notice at node id: the rest of the
+// cluster resolved its super-leaf dead and committed its Leave, so the
+// node can never make progress in this incarnation. After
+// EvictRestartDelay the harness bounces it into a fresh joiner —
+// deliberately including Durable runs: the committed Leave invalidates
+// the single-node cold-start recovery path, so an evicted node restarts
+// without its disk and re-enters through the §4.6 join protocol.
+func (r *chaosRun) onEvicted(id wire.NodeID) {
+	old := r.nodes[id]
+	r.sim.After(r.spec.EvictRestartDelay, func() {
+		if !r.runner.Alive(id) || r.nodes[id] != old {
+			return // crashed meanwhile, or a newer incarnation took over
+		}
+		r.runner.Crash(id)
+		r.restarted[id] = true
+		node := core.NewJoiner(r.nodeConfig(id), r.newStore(id), r.callbacks(id))
+		r.nodes[id] = node
+		r.runner.Restart(id, node)
+	})
 }
 
 // digestCommit folds one committed cycle into an order-sensitive digest.
@@ -523,7 +595,11 @@ func (r ChaosResult) String() string {
 	if r.Recovered {
 		rec = r.Recovery.Round(time.Millisecond).String()
 	}
-	return fmt.Sprintf("%s ops=%d failed=%d commits=%d avail=%.0f%% stall=%v recovery=%s",
+	s := fmt.Sprintf("%s ops=%d failed=%d commits=%d avail=%.0f%% stall=%v recovery=%s",
 		lin, r.OpsDone, r.OpsFailed, r.Commits, 100*r.Availability,
 		r.LongestStall.Round(time.Millisecond), rec)
+	if r.Evictions > 0 || r.Readmissions > 0 {
+		s += fmt.Sprintf(" evictions=%d readmissions=%d", r.Evictions, r.Readmissions)
+	}
+	return s
 }

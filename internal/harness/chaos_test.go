@@ -11,11 +11,11 @@ import (
 // TestScenarioCatalog runs every cataloged chaos scenario and checks the
 // three invariants all of them share: the system keeps (or resumes)
 // committing, the completed-operation history is linearizable, and the
-// run is reproducible. Under -short only the two cheapest scenarios run.
+// run is reproducible. Under -short only the QuickScenarios subset runs.
 func TestScenarioCatalog(t *testing.T) {
 	scenarios := Scenarios(11)
 	if testing.Short() {
-		scenarios = []Scenario{ScenarioMinorityCrash(11), ScenarioRepresentativeCrashMidCycle(11)}
+		scenarios = QuickScenarios(11)
 	}
 	for _, sc := range scenarios {
 		sc := sc

@@ -31,6 +31,26 @@ import (
 //     restarts from its durable state (group-commit WAL + snapshots);
 //     the cluster resumes committing where it left off.
 //
+// The leaf-eviction scenarios run with Node.LeafTimeout set, replacing
+// the stall-forever answer with the RCanopus-style degraded mode
+// (internal/core leaf.go): the survivors resolve the dead super-leaf's
+// slots to tombstones, commit its members' Leaves, and keep serving;
+// evicted nodes restart through the join protocol and re-admit the leaf:
+//
+//   - leaf-partition-evict: a whole super-leaf is cut off, evicted after
+//     LeafTimeout, and — once the partition heals — bounced back in as
+//     joiners.
+//   - leaf-majority-crash: a super-leaf loses its broadcast quorum; the
+//     stalled survivor is evicted with its leaf and everyone re-enters
+//     through the join protocol.
+//   - leaf-power-loss-durable: a whole rack loses power in a Durable
+//     deployment. The eviction invalidates the rack's cold-start recovery
+//     claim, so the restarted nodes recover their disks, learn they were
+//     evicted, and re-enter state-less through the join protocol.
+//   - geo-leaf-evict-readmit: five datacenters at mixed WAN latency
+//     classes (metro to transoceanic); the farthest DC is cut off,
+//     evicted across real geo delays, and readmitted after the heal.
+//
 // Every scenario's history must check out linearizable, and replaying
 // the same seed + plan must reproduce the commit log bit-identically.
 
@@ -199,6 +219,131 @@ func ScenarioPowerLoss(seed int64) Scenario {
 	}
 }
 
+// evictionNode is the protocol tuning the leaf scenarios share: leaf
+// eviction armed at 600ms (multiples of the broadcast failure-detection
+// settle time at the chaos default 1ms tick), fetch retries fast enough
+// to notice the dead leaf well inside that.
+func evictionNode() core.Config {
+	return core.Config{
+		LeafTimeout:  600 * time.Millisecond,
+		FetchTimeout: 100 * time.Millisecond,
+	}
+}
+
+// ScenarioLeafPartitionEvict cuts super-leaf 2 (of three racks) off for
+// two seconds. Commits stall when the cut leaf's branch state becomes
+// unreachable, resume once the survivors evict it (~LeafTimeout after
+// the cut), and return to full strength after the heal: the partitioned
+// nodes learn of their eviction from the dead-sender gate, restart as
+// joiners, and re-admit the leaf.
+func ScenarioLeafPartitionEvict(seed int64) Scenario {
+	leaf2, rest := ids(6, 7, 8), ids(0, 1, 2, 3, 4, 5)
+	return Scenario{
+		Name: "leaf-partition-evict",
+		Spec: ChaosSpec{
+			Groups: 3, PerGroup: 3, Seed: seed,
+			Duration: 7 * time.Second,
+			FaultAt:  1500 * time.Millisecond,
+			Node:     evictionNode(),
+			Faults: netsim.FaultPlan{
+				Partitions: []netsim.PartitionFault{
+					netsim.LeafPartition(1500*time.Millisecond, 3500*time.Millisecond, leaf2, rest),
+				},
+			},
+		},
+	}
+}
+
+// ScenarioLeafMajorityCrash crash-stops two of super-leaf 2's three
+// members: the leaf loses its reliable-broadcast quorum, so even the
+// surviving member can make no progress. The survivors' eviction round
+// commits the whole leaf's Leaves; the stalled survivor is told it was
+// evicted and bounces into a joiner, the crashed pair restart as joiners
+// at 4s, and the leaf is re-admitted.
+func ScenarioLeafMajorityCrash(seed int64) Scenario {
+	return Scenario{
+		Name: "leaf-majority-crash",
+		Spec: ChaosSpec{
+			Groups: 3, PerGroup: 3, Seed: seed,
+			Duration: 8 * time.Second,
+			FaultAt:  1500 * time.Millisecond,
+			Node:     evictionNode(),
+			Faults: netsim.FaultPlan{
+				Crashes: netsim.LeafMajorityCrash(1500*time.Millisecond, ids(6, 7, 8), 4*time.Second),
+			},
+		},
+	}
+}
+
+// ScenarioLeafPowerLossDurable kills a whole rack's power in a Durable
+// deployment. The cluster evicts the dark leaf and keeps committing, so
+// by the time the rack's nodes restart and recover their disks their
+// Leaves are long committed — the single-node cold-start recovery claim
+// no longer holds. They must discover the eviction (dead-sender gate),
+// discard the recovered state, and re-enter through the join protocol.
+func ScenarioLeafPowerLossDurable(seed int64) Scenario {
+	return Scenario{
+		Name: "leaf-power-loss-durable",
+		Spec: ChaosSpec{
+			Groups: 3, PerGroup: 3, Seed: seed,
+			Duration:       8 * time.Second,
+			FaultAt:        2 * time.Second,
+			Durable:        true,
+			SnapshotCycles: 8,
+			Node:           evictionNode(),
+			Faults: netsim.FaultPlan{
+				Crashes: netsim.LeafPowerLoss(2*time.Second, ids(6, 7, 8), 4*time.Second),
+			},
+		},
+	}
+}
+
+// ScenarioGeoLeafEvictReadmit is the geo-scale campaign: five
+// datacenters spanning the WAN latency classes (metro neighbor up to a
+// transoceanic site), one super-leaf each. The farthest DC is cut off
+// for three seconds; eviction quorum, tombstone resolution and
+// readmission all ride real continental round trips, so the timeout and
+// retry budgets are exercised at geo scale rather than LAN scale.
+func ScenarioGeoLeafEvictReadmit(seed int64) Scenario {
+	// GeoWANDelay yields one-way delays; doubling the class values makes
+	// the same max-of-classes construction yield the RTT matrix WANRTT
+	// expects (buildTopo halves it back).
+	rtt := netsim.GeoWANDelay([]time.Duration{
+		2 * netsim.MetroOneWay,
+		2 * netsim.MetroOneWay,
+		2 * netsim.RegionalOneWay,
+		2 * netsim.ContinentalOneWay,
+		2 * netsim.IntercontinentalOneWay,
+	})
+	dc4, rest := ids(12, 13, 14), ids(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+	return Scenario{
+		Name: "geo-leaf-evict-readmit",
+		Spec: ChaosSpec{
+			MultiDC: true, Groups: 5, PerGroup: 3, Seed: seed,
+			WANRTT:    rtt,
+			Duration:  12 * time.Second,
+			FaultAt:   2 * time.Second,
+			OpTimeout: 2 * time.Second,
+			// Timeout budgets scale with the intercontinental RTT
+			// (150ms): a pipelined cycle's commit latency is a few WAN
+			// round trips, so LeafTimeout must sit well above that or
+			// healthy-but-slow leaves get spuriously evicted, and
+			// FetchTimeout must exceed the worst RTT or fetch retries
+			// churn without ever being answerable.
+			Node: core.Config{
+				CycleInterval: 20 * time.Millisecond,
+				LeafTimeout:   2 * time.Second,
+				FetchTimeout:  600 * time.Millisecond,
+			},
+			Faults: netsim.FaultPlan{
+				Partitions: []netsim.PartitionFault{
+					netsim.LeafPartition(2*time.Second, 6*time.Second, dc4, rest),
+				},
+			},
+		},
+	}
+}
+
 // Scenarios returns the full catalog at one seed.
 func Scenarios(seed int64) []Scenario {
 	return []Scenario{
@@ -208,5 +353,23 @@ func Scenarios(seed int64) []Scenario {
 		ScenarioFlappingLink(seed),
 		ScenarioRollingRestarts(seed),
 		ScenarioPowerLoss(seed),
+		ScenarioLeafPartitionEvict(seed),
+		ScenarioLeafMajorityCrash(seed),
+		ScenarioLeafPowerLossDurable(seed),
+		ScenarioGeoLeafEvictReadmit(seed),
+	}
+}
+
+// QuickScenarios is the -short subset: one fast representative of each
+// fault family (a crash, a WAN partition, and a leaf eviction), chosen
+// for low virtual duration and small topologies. Tests that run the
+// catalog under -short take this slice instead of maintaining their own
+// hard-coded subsets, so new catalog entries get smoke coverage by
+// updating one place.
+func QuickScenarios(seed int64) []Scenario {
+	return []Scenario{
+		ScenarioMinorityCrash(seed),
+		ScenarioWANPartitionHeal(seed),
+		ScenarioLeafPartitionEvict(seed),
 	}
 }

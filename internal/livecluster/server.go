@@ -1613,10 +1613,14 @@ func StatusSource(runner *transport.Runner, node *core.Node, st *kvstore.Store, 
 			s.Ordered = node.Ordered()
 			s.Stalled = node.Stalled()
 			view := node.View()
-			tree := view.Tree()
-			for i := 0; i < tree.NumSuperLeaves(); i++ {
-				sl := admin.SuperLeaf{Index: i, Failed: view.SuperLeafFailed(i)}
-				for _, m := range view.Members(i) {
+			for _, h := range node.LeafHealth() {
+				sl := admin.SuperLeaf{
+					Index:     h.SL,
+					Failed:    h.Failed,
+					Evicted:   h.Evicted,
+					EvictedAt: h.EvictedAt,
+				}
+				for _, m := range view.Members(h.SL) {
 					sl.Members = append(sl.Members, int32(m))
 					if view.Alive(m) {
 						sl.Alive = append(sl.Alive, int32(m))

@@ -214,6 +214,27 @@ func (a *Availability) Fraction(start, end time.Duration) float64 {
 	return float64(up) / float64(n)
 }
 
+// WindowCounts returns the per-window event counts over the whole
+// windows in [start, end) — the availability timeline at Window
+// granularity. Chaos results carry it so a test can assert the exact
+// shape of an outage (service up, gap while a dead leaf times out,
+// service resumed) rather than just its aggregate fraction.
+func (a *Availability) WindowCounts(start, end time.Duration) []int {
+	w := a.window()
+	n := int((end - start) / w)
+	if n <= 0 {
+		return nil
+	}
+	counts := make([]int, n)
+	for _, t := range a.events {
+		if t < start || t >= start+time.Duration(n)*w {
+			continue
+		}
+		counts[int((t-start)/w)]++
+	}
+	return counts
+}
+
 // LongestGap returns the longest event-free span inside [start, end],
 // counting the lead-in before the first event and the tail after the
 // last one. With no events it returns end-start.

@@ -61,6 +61,37 @@ type DropFault struct {
 	Prob      float64
 }
 
+// LeafPartition cuts one super-leaf's members off from everyone else —
+// the whole-leaf network fault the eviction protocol (internal/core
+// leaf.go) is built for. Intra-leaf links stay up: the leaf keeps its
+// reliable broadcast and discovers the cut only through failed fetches.
+func LeafPartition(at, heal time.Duration, members, others []wire.NodeID) PartitionFault {
+	return PartitionFault{At: at, Heal: heal, A: members, B: others}
+}
+
+// LeafMajorityCrash crash-stops a majority (⌈n/2⌉, lowest IDs first) of
+// one super-leaf's members at `at`: the survivors lose their reliable
+// broadcast quorum and stall, while the rest of the cluster loses the
+// leaf's state. RestartAt (0 = never) applies to every crashed node.
+func LeafMajorityCrash(at time.Duration, members []wire.NodeID, restartAt time.Duration) []CrashFault {
+	n := (len(members) + 1) / 2
+	out := make([]CrashFault, 0, n)
+	for _, id := range members[:n] {
+		out = append(out, CrashFault{At: at, Node: id, RestartAt: restartAt})
+	}
+	return out
+}
+
+// LeafPowerLoss crash-stops every member of one super-leaf at `at` — the
+// rack lost power. RestartAt (0 = never) applies to all of them.
+func LeafPowerLoss(at time.Duration, members []wire.NodeID, restartAt time.Duration) []CrashFault {
+	out := make([]CrashFault, 0, len(members))
+	for _, id := range members {
+		out = append(out, CrashFault{At: at, Node: id, RestartAt: restartAt})
+	}
+	return out
+}
+
 // FaultPlan is a full fault schedule for one run.
 type FaultPlan struct {
 	Partitions []PartitionFault

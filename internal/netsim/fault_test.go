@@ -132,3 +132,109 @@ func TestEmpty(t *testing.T) {
 		t.Fatal("Empty misclassifies")
 	}
 }
+
+func TestLeafPartitionKeepsIntraLeafLinks(t *testing.T) {
+	sim := NewSim()
+	topo := SingleDC(2, 2, Params{}) // racks {0,1} and {2,3}
+	r := NewRunner(sim, topo, DefaultCosts(), 1)
+	ms := make([]*echoMachine, 4)
+	for i := range ms {
+		ms[i] = &echoMachine{}
+		r.Register(wire.NodeID(i), ms[i])
+	}
+	leaf, rest := []wire.NodeID{0, 1}, []wire.NodeID{2, 3}
+	r.InstallFaults(FaultPlan{Partitions: []PartitionFault{
+		LeafPartition(10*time.Millisecond, 30*time.Millisecond, leaf, rest),
+	}}, nil)
+
+	pingAt(sim, ms[0], 15*time.Millisecond, 1) // intra-leaf: stays up
+	pingAt(sim, ms[0], 15*time.Millisecond, 2) // cross: cut
+	pingAt(sim, ms[2], 15*time.Millisecond, 0) // cross, reverse: cut
+	pingAt(sim, ms[2], 15*time.Millisecond, 3) // other leaf's intra: up
+	pingAt(sim, ms[0], 35*time.Millisecond, 2) // post-heal: delivered
+
+	sim.RunUntil(50 * time.Millisecond)
+	if ms[1].got != 1 {
+		t.Fatalf("intra-leaf delivery during cut: got %d, want 1", ms[1].got)
+	}
+	if ms[3].got != 1 {
+		t.Fatalf("survivor-side intra delivery during cut: got %d, want 1", ms[3].got)
+	}
+	if ms[2].got != 1 {
+		t.Fatalf("cross-leaf deliveries: got %d, want 1 (post-heal only)", ms[2].got)
+	}
+	if ms[0].got != 0 {
+		t.Fatalf("reverse cross-leaf delivery during cut: got %d, want 0", ms[0].got)
+	}
+}
+
+func TestLeafMajorityCrashPlanShape(t *testing.T) {
+	members := []wire.NodeID{6, 7, 8}
+	got := LeafMajorityCrash(2*time.Second, members, 4*time.Second)
+	if len(got) != 2 {
+		t.Fatalf("crashed %d of 3, want 2 (majority)", len(got))
+	}
+	for i, cf := range got {
+		if cf.Node != members[i] {
+			t.Fatalf("crash %d targets %v, want lowest IDs first (%v)", i, cf.Node, members[i])
+		}
+		if cf.At != 2*time.Second || cf.RestartAt != 4*time.Second {
+			t.Fatalf("crash %d schedule (%v, %v), want (2s, 4s)", i, cf.At, cf.RestartAt)
+		}
+	}
+	if n := len(LeafMajorityCrash(0, []wire.NodeID{0, 1, 2, 3, 4}, 0)); n != 3 {
+		t.Fatalf("majority of 5 = %d, want 3", n)
+	}
+}
+
+func TestLeafPowerLossPlanShape(t *testing.T) {
+	members := []wire.NodeID{3, 4, 5}
+	got := LeafPowerLoss(time.Second, members, 0)
+	if len(got) != len(members) {
+		t.Fatalf("crashed %d of %d, want the whole leaf", len(got), len(members))
+	}
+	for i, cf := range got {
+		if cf.Node != members[i] || cf.At != time.Second || cf.RestartAt != 0 {
+			t.Fatalf("crash %d = %+v, want node %v at 1s, no restart", i, cf, members[i])
+		}
+	}
+}
+
+func TestUniformWANDelayMatrix(t *testing.T) {
+	m := UniformWANDelay(3, 10*time.Millisecond)
+	if len(m) != 3 {
+		t.Fatalf("%d rows, want 3", len(m))
+	}
+	for i := range m {
+		for j := range m[i] {
+			want := 10 * time.Millisecond
+			if i == j {
+				want = 0
+			}
+			if m[i][j] != want {
+				t.Fatalf("m[%d][%d] = %v, want %v", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func TestGeoWANDelayMatrix(t *testing.T) {
+	class := []time.Duration{MetroOneWay, RegionalOneWay, IntercontinentalOneWay}
+	m := GeoWANDelay(class)
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatalf("diagonal m[%d][%d] = %v, want 0", i, i, m[i][i])
+		}
+		for j := range m[i] {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("asymmetric: m[%d][%d]=%v m[%d][%d]=%v", i, j, m[i][j], j, i, m[j][i])
+			}
+		}
+	}
+	if m[0][1] != RegionalOneWay {
+		t.Fatalf("metro-regional = %v, want the larger class %v", m[0][1], RegionalOneWay)
+	}
+	if m[0][2] != IntercontinentalOneWay || m[1][2] != IntercontinentalOneWay {
+		t.Fatalf("pairs with the transoceanic DC must pay its span: got %v, %v", m[0][2], m[1][2])
+	}
+}

@@ -86,6 +86,59 @@ func (p *Params) fill() {
 	}
 }
 
+// Emulated WAN latency classes: nominal one-way delays for common
+// geographic spans, used to build WANDelay matrices without hand-picking
+// per-pair numbers. They bracket the paper's Table 1 measurements (EC2,
+// 7 regions): same-metro pairs at a few hundred microseconds up to
+// transoceanic pairs above 100ms RTT.
+const (
+	// MetroOneWay: datacenters in one metropolitan area (<100 km).
+	MetroOneWay = 500 * time.Microsecond
+	// RegionalOneWay: one geographic region (e.g. US-East to US-Central).
+	RegionalOneWay = 10 * time.Millisecond
+	// ContinentalOneWay: across a continent (e.g. coast to coast).
+	ContinentalOneWay = 35 * time.Millisecond
+	// IntercontinentalOneWay: transoceanic (e.g. US to Europe or Asia).
+	IntercontinentalOneWay = 75 * time.Millisecond
+)
+
+// UniformWANDelay builds a WANDelay matrix with the same one-way delay
+// between every distinct DC pair (zero diagonal).
+func UniformWANDelay(dcs int, oneWay time.Duration) [][]time.Duration {
+	m := make([][]time.Duration, dcs)
+	for i := range m {
+		m[i] = make([]time.Duration, dcs)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = oneWay
+			}
+		}
+	}
+	return m
+}
+
+// GeoWANDelay builds a WANDelay matrix from per-DC latency classes:
+// class[i] is DC i's distance tier, and the delay between two DCs is the
+// larger of their classes — a metro DC talking to an intercontinental
+// one pays the intercontinental span. A symmetric, deterministic stand-in
+// for a measured matrix when the test only needs "geo-scale" shape.
+func GeoWANDelay(class []time.Duration) [][]time.Duration {
+	m := make([][]time.Duration, len(class))
+	for i := range m {
+		m[i] = make([]time.Duration, len(class))
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			m[i][j] = class[i]
+			if class[j] > m[i][j] {
+				m[i][j] = class[j]
+			}
+		}
+	}
+	return m
+}
+
 // Topology is the physical network: nodes placed in racks and
 // datacenters, and the directed links between them.
 type Topology struct {

@@ -270,6 +270,20 @@ func readBatch(r *reader) *Batch {
 // the feature; LOT heights are single digits, far below the 7-bit limit.
 const proposalSessionsFlag = 0x80
 
+// proposalResolveFlag marks, in the encoded Round byte's next bit, a
+// Resolve-flagged proposal (a sealed vnode's held state or an eviction
+// tombstone). Like the sessions flag it costs the common proposal zero
+// bytes; both flags are stripped from Round on decode.
+const proposalResolveFlag = 0x40
+
+// MemberUpdate flag byte: bit 0 is Leave, bit 1 is Resurrect (a
+// cross-leaf sponsored join, void unless the leaf is still empty at
+// apply time). The decoder rejects unknown bits like a malformed bool.
+const (
+	memberLeaveFlag     = 0x01
+	memberResurrectFlag = 0x02
+)
+
 func (p *Proposal) WireSize() int {
 	n := 1 + 8 + 1 + 2 + len(p.VNode) + 4 + 8
 	n += 4 // batch count
@@ -291,6 +305,9 @@ func (p *Proposal) AppendTo(b []byte) []byte {
 	if len(p.Sessions) > 0 {
 		round |= proposalSessionsFlag
 	}
+	if p.Resolve {
+		round |= proposalResolveFlag
+	}
 	b = putU8(b, round)
 	b = putString(b, p.VNode)
 	b = putNode(b, p.Origin)
@@ -302,7 +319,14 @@ func (p *Proposal) AppendTo(b []byte) []byte {
 	b = putU32(b, uint32(len(p.Updates)))
 	for _, u := range p.Updates {
 		b = putNode(b, u.Node)
-		b = putBool(b, u.Leave)
+		var f uint8
+		if u.Leave {
+			f |= memberLeaveFlag
+		}
+		if u.Resurrect {
+			f |= memberResurrectFlag
+		}
+		b = putU8(b, f)
 	}
 	b = putU32(b, uint32(len(p.Leases)))
 	for _, l := range p.Leases {
@@ -325,7 +349,8 @@ func readProposal(r *reader) *Proposal {
 	p.Cycle = r.u64()
 	round := r.u8()
 	hasSessions := round&proposalSessionsFlag != 0
-	p.Round = round &^ uint8(proposalSessionsFlag)
+	p.Resolve = round&proposalResolveFlag != 0
+	p.Round = round &^ uint8(proposalSessionsFlag|proposalResolveFlag)
 	p.VNode = r.str()
 	p.Origin = r.node()
 	p.Num = r.u64()
@@ -339,7 +364,12 @@ func readProposal(r *reader) *Proposal {
 		p.Updates = make([]MemberUpdate, nu)
 		for i := 0; i < nu; i++ {
 			p.Updates[i].Node = r.node()
-			p.Updates[i].Leave = r.boolean()
+			f := r.u8()
+			if f&^(memberLeaveFlag|memberResurrectFlag) != 0 && r.err == nil {
+				r.err = ErrBadBool
+			}
+			p.Updates[i].Leave = f&memberLeaveFlag != 0
+			p.Updates[i].Resurrect = f&memberResurrectFlag != 0
 		}
 	}
 	nl := r.count(13)
@@ -813,6 +843,70 @@ func readJoinRequest(r *reader) *JoinRequest {
 	return &JoinRequest{From: r.node()}
 }
 
+// --- Leaf eviction ---
+
+func (m *LeafSeal) WireSize() int { return 1 + 8 + 2 + len(m.VNode) + 4 }
+
+func (m *LeafSeal) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindLeafSeal))
+	b = putU64(b, m.Cycle)
+	b = putString(b, m.VNode)
+	return putNode(b, m.Initiator)
+}
+
+func readLeafSeal(r *reader) *LeafSeal {
+	m := &LeafSeal{}
+	m.Cycle = r.u64()
+	m.VNode = r.str()
+	m.Initiator = r.node()
+	return m
+}
+
+func (m *EvictQuery) WireSize() int { return 1 + 8 + 2 + len(m.VNode) + 4 }
+
+func (m *EvictQuery) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindEvictQuery))
+	b = putU64(b, m.Cycle)
+	b = putString(b, m.VNode)
+	return putNode(b, m.From)
+}
+
+func readEvictQuery(r *reader) *EvictQuery {
+	m := &EvictQuery{}
+	m.Cycle = r.u64()
+	m.VNode = r.str()
+	m.From = r.node()
+	return m
+}
+
+func (m *EvictPromise) WireSize() int { return 1 + 8 + 2 + len(m.VNode) + 4 }
+
+func (m *EvictPromise) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindEvictPromise))
+	b = putU64(b, m.Cycle)
+	b = putString(b, m.VNode)
+	return putNode(b, m.From)
+}
+
+func readEvictPromise(r *reader) *EvictPromise {
+	m := &EvictPromise{}
+	m.Cycle = r.u64()
+	m.VNode = r.str()
+	m.From = r.node()
+	return m
+}
+
+func (m *Evicted) WireSize() int { return 1 + 4 }
+
+func (m *Evicted) AppendTo(b []byte) []byte {
+	b = putU8(b, uint8(KindEvicted))
+	return putNode(b, m.From)
+}
+
+func readEvicted(r *reader) *Evicted {
+	return &Evicted{From: r.node()}
+}
+
 func (m *JoinReply) WireSize() int {
 	n := 1 + 4 + 8 + 4 + 4*len(m.Alive) + 4 + 4*len(m.Incarnations) + 4 + 4
 	for i := range m.Snapshot {
@@ -1001,6 +1095,14 @@ func Decode(b []byte) (Message, int, error) {
 		m = readJoinReply(r)
 	case KindBroadcast:
 		m = readEnvelope(r)
+	case KindLeafSeal:
+		m = readLeafSeal(r)
+	case KindEvictQuery:
+		m = readEvictQuery(r)
+	case KindEvictPromise:
+		m = readEvictPromise(r)
+	case KindEvicted:
+		m = readEvicted(r)
 	default:
 		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownKind, b[0])
 	}

@@ -106,8 +106,9 @@ func TestQuickProposalRoundTrip(t *testing.T) {
 			vnode = vnode[:1000]
 		}
 		// Round's domain is 1..LOT height (single digits); the codec
-		// reserves the high bit for the optional sessions section.
-		round &= 0x7f
+		// reserves the top two bits for the optional sessions section
+		// and the eviction Resolve flag.
+		round &= 0x3f
 		p := &Proposal{Cycle: cycle, Round: round, VNode: vnode, Origin: NodeID(origin), Num: num}
 		b := &Batch{Origin: NodeID(origin)}
 		b.Reqs = []Request{}

@@ -45,6 +45,12 @@ func fuzzSeeds() []Message {
 		&JoinReply{From: 1, StartCycle: 9, Alive: []NodeID{0, 1, 2}, Incarnations: []uint32{0, 1, 0},
 			Snapshot: []Request{{Client: 1, Seq: 1, Op: OpWrite, Key: 2, Val: []byte("v")}}},
 		&Envelope{Origin: 2, Payload: &Ping{From: 2, Seq: 5}},
+		&Proposal{Cycle: 11, Round: 3, VNode: "1", Origin: NoNode, Num: 0, Resolve: true,
+			Updates: []MemberUpdate{{Node: 6, Leave: true}, {Node: 7, Leave: true}}},
+		&LeafSeal{Cycle: 11, VNode: "1.2", Initiator: 3},
+		&EvictQuery{Cycle: 11, VNode: "1.2", From: 4},
+		&EvictPromise{Cycle: 11, VNode: "1.2", From: 5},
+		&Evicted{From: 6},
 	}
 }
 

@@ -141,6 +141,14 @@ func (b *Batch) WireSize() int { return batchSize(b) }
 type MemberUpdate struct {
 	Node  NodeID
 	Leave bool // true: node left/crashed; false: node (re)joined
+	// Resurrect marks a join sponsored from OUTSIDE the joiner's
+	// super-leaf — valid only while that leaf is fully empty (evicted).
+	// The sponsor checks emptiness when it accepts the request, but the
+	// update commits a cycle later; if the leaf gained a member in
+	// between, every node voids the update at apply time (identically,
+	// from the committed pre-cycle view) instead of admitting a member
+	// whose sponsor could only hand it stale broadcast incarnations.
+	Resurrect bool
 }
 
 // LeaseRequest asks for or releases a write lease on a key (paper §7.2).
@@ -223,6 +231,12 @@ const (
 	KindJoinReply   // sponsor's snapshot + start cycle
 	KindBroadcast   // switch-assisted broadcast envelope
 
+	// Leaf-granular fault tolerance (RCanopus direction).
+	KindLeafSeal     // intra-leaf broadcast: stop accepting a vnode's state for a cycle
+	KindEvictQuery   // representative asks a remote leaf to seal-or-serve a vnode state
+	KindEvictPromise // remote leaf's promise that the vnode state is sealed out
+	KindEvicted      // notice to an evicted leaf's members: stop, rejoin fresh
+
 	kindMax
 )
 
@@ -249,6 +263,10 @@ var kindNames = [...]string{
 	KindJoinRequest:     "join-request",
 	KindJoinReply:       "join-reply",
 	KindBroadcast:       "broadcast",
+	KindLeafSeal:        "leaf-seal",
+	KindEvictQuery:      "evict-query",
+	KindEvictPromise:    "evict-promise",
+	KindEvicted:         "evicted",
 }
 
 func (k Kind) String() string {
@@ -292,6 +310,14 @@ type Proposal struct {
 	Updates  []MemberUpdate
 	Leases   []LeaseRequest
 	Sessions []SessionUpdate
+
+	// Resolve marks a proposal that is allowed past a leaf seal: either a
+	// sealed-out vnode's real state served by a node that already held it,
+	// or the eviction tombstone substituted for a dead leaf's subtree.
+	// Plain (non-Resolve) states for a sealed vnode are dropped, which is
+	// what makes an eviction round converge on one value per (cycle,
+	// vnode) cluster-wide.
+	Resolve bool
 }
 
 func (p *Proposal) Kind() Kind { return KindProposal }
@@ -528,6 +554,54 @@ type JoinReply struct {
 }
 
 func (m *JoinReply) Kind() Kind { return KindJoinReply }
+
+// LeafSeal is the intra-leaf broadcast that closes a (cycle, vnode) slot
+// during a leaf-eviction round. Because it is ordered by the same
+// reliable broadcast that delivers vnode states, every member of the
+// sealing leaf agrees on whether the real state arrived before the seal:
+// after delivery, plain proposals for the vnode are refused and only a
+// Resolve-flagged proposal (the held state or the tombstone) fills it.
+type LeafSeal struct {
+	Cycle     uint64
+	VNode     string
+	Initiator NodeID // who to answer with EvictPromise (or the held state)
+}
+
+func (m *LeafSeal) Kind() Kind { return KindLeafSeal }
+
+// EvictQuery asks a member of another super-leaf to resolve a (cycle,
+// vnode) slot for an eviction round: reply with the vnode's state
+// (Resolve-flagged) if the leaf holds it, otherwise seal the slot and
+// reply with an EvictPromise.
+type EvictQuery struct {
+	Cycle uint64
+	VNode string
+	From  NodeID
+}
+
+func (m *EvictQuery) Kind() Kind { return KindEvictQuery }
+
+// EvictPromise is a leaf's binding answer to an EvictQuery: the (cycle,
+// vnode) slot is sealed leaf-wide and no member will accept or serve a
+// plain state for it.
+type EvictPromise struct {
+	Cycle uint64
+	VNode string
+	From  NodeID
+}
+
+func (m *EvictPromise) Kind() Kind { return KindEvictPromise }
+
+// Evicted tells a node that the rest of the cluster has removed its
+// super-leaf from the membership view. The receiver must stop
+// participating with its current state and rejoin through the join
+// protocol; the sender also uses this reactively to refuse messages from
+// nodes its view says are dead.
+type Evicted struct {
+	From NodeID
+}
+
+func (m *Evicted) Kind() Kind { return KindEvicted }
 
 // Envelope wraps a payload multicast through the switch-assisted
 // broadcast path, so receivers can tell an atomic-broadcast delivery from

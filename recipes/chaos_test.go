@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -212,5 +214,175 @@ func TestElectionUniquenessUnderPartition(t *testing.T) {
 		t.Fatal("partitioned ex-leader resigned successfully")
 	} else if errors.Is(err, recipes.ErrNotHeld) {
 		// Acceptable too: a rejection that proves the txn did not apply.
+	}
+}
+
+// TestMutexContendedWholeLeafPartition is the leaf-granular mutex story:
+// the lock holder's entire rack is cut off mid-hold. The survivors evict
+// the dark super-leaf (LeafTimeout), consensus resumes without it, the
+// holder's replicated session idle-expires, and the contenders take the
+// lock over — each handoff exactly once, never two holders in the
+// critical section. After the heal one of the evicted rack's nodes
+// rejoins through the join protocol and must be able to take the same
+// lock: readmission restores full service, not just membership.
+func TestMutexContendedWholeLeafPartition(t *testing.T) {
+	c := canopus.MustSimCluster(canopus.SimOptions{
+		Racks: 3, NodesPerRack: 3,
+		Node: canopus.Config{
+			CycleInterval: 2 * time.Millisecond, TickInterval: time.Millisecond,
+			SessionIdleCycles: 64,
+			// Evictions armed: without LeafTimeout the cut rack wedges
+			// the merge forever and no session can expire at all.
+			LeafTimeout:  300 * time.Millisecond,
+			FetchTimeout: 50 * time.Millisecond,
+		},
+		Seed: 37,
+	})
+	c.Serve()
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const lockKey = 900
+	// Holder on the doomed rack; contenders spread over the survivors.
+	holderBackend := recipes.FromCluster(c, 6)
+	holder := recipes.NewMutex(holderBackend, lockKey)
+	if err := holder.Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep the holder's session refreshed until the cut: idle expiry is
+	// 64 cycles of *virtual* time, the serve-mode pump free-runs
+	// virtual time at CPU speed, and only session-bound mutations touch
+	// the activity clock (reads are sessionless). Back-to-back no-op
+	// writes through the holder's own session bound the refresh gap to
+	// one commit round-trip; the session must die because the rack goes
+	// dark, not because the holder sat quietly before the fault.
+	keepDone := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-keepDone:
+				return
+			default:
+			}
+			kctx, kcancel := context.WithTimeout(ctx, time.Second)
+			_, _ = holderBackend.Txn(kctx, nil,
+				[]recipes.TxnOp{{Op: canopus.OpWrite, Key: 998, Val: []byte("ka")}})
+			kcancel()
+		}
+	}()
+
+	// Background reads keep cycles (and the idle-expiry clock) running.
+	driveDone := make(chan struct{})
+	defer close(driveDone)
+	go func() {
+		driver := recipes.FromCluster(c, 4)
+		for {
+			select {
+			case <-driveDone:
+				return
+			default:
+			}
+			rctx, rcancel := context.WithTimeout(ctx, 5*time.Second)
+			_, _ = driver.Get(rctx, 999)
+			rcancel()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Three contenders; inCS asserts mutual exclusion at every handoff.
+	var inCS atomic.Int32
+	acquired := make(chan int, 3)
+	errs := make(chan error, 3)
+	for i, node := range []int{0, 1, 3} {
+		i, node := i, node
+		m := recipes.NewMutex(recipes.FromCluster(c, node), lockKey)
+		go func() {
+			if err := m.Lock(ctx); err != nil {
+				errs <- fmt.Errorf("contender %d: %w", i, err)
+				return
+			}
+			if n := inCS.Add(1); n != 1 {
+				errs <- fmt.Errorf("contender %d entered with %d holders in the critical section", i, n)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+			inCS.Add(-1)
+			acquired <- i
+			if err := m.Unlock(ctx); err != nil {
+				errs <- fmt.Errorf("contender %d unlock: %w", i, err)
+			}
+		}()
+	}
+
+	// Let the contenders lose their CAS and arm watches, then cut the
+	// holder's whole rack off. Heal well after the eviction settles.
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	case i := <-acquired:
+		t.Fatalf("contender %d acquired a held lock before the fault", i)
+	default:
+	}
+	if !c.Invoke(func() {
+		now := c.Sim.Now()
+		c.Runner.InstallFaults(netsim.FaultPlan{
+			Partitions: []netsim.PartitionFault{
+				netsim.LeafPartition(now, now+2*time.Second,
+					[]wire.NodeID{6, 7, 8},
+					[]wire.NodeID{0, 1, 2, 3, 4, 5}),
+			},
+		}, nil)
+	}) {
+		t.Fatal("fault injection dropped")
+	}
+	close(keepDone)
+
+	// All three contenders must eventually pass through the critical
+	// section: the first by session-expiry takeover, the rest by normal
+	// handoff. Any mutual-exclusion violation surfaces on errs.
+	got := map[int]bool{}
+	for len(got) < 3 {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case i := <-acquired:
+			if got[i] {
+				t.Fatalf("contender %d acquired twice", i)
+			}
+			got[i] = true
+		case <-time.After(90 * time.Second):
+			t.Fatalf("handoff stalled: %d of 3 contenders served", len(got))
+		}
+	}
+
+	// Post-heal: rejoin one evicted-rack node and take the lock from it.
+	// (Crash first — the healed node is a stalled zombie, and eviction
+	// restart semantics are crash + fresh joiner.)
+	if !c.Invoke(func() {
+		c.Crash(7)
+		c.RestartAsJoiner(7)
+	}) {
+		t.Fatal("rejoin injection dropped")
+	}
+	rejoined := recipes.NewMutex(recipes.FromCluster(c, 7), lockKey)
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		rctx, rcancel := context.WithTimeout(ctx, 2*time.Second)
+		err := rejoined.Lock(rctx)
+		rcancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoined node never acquired the lock: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := rejoined.Unlock(ctx); err != nil {
+		t.Fatalf("rejoined node's unlock: %v", err)
 	}
 }
