@@ -61,6 +61,12 @@ type Status struct {
 	Ordered uint64 `json:"ordered_cycle"`
 	Applied uint64 `json:"applied_cycle"`
 	Stalled bool   `json:"stalled"`
+	// Degraded carries the liveness detector's verdict: "stalled" while
+	// the node sees no commit progress past its configured StallThreshold
+	// (e.g. the minority side of a partition) or has hard-halted; empty
+	// when healthy or when detection is disabled. /healthz mirrors it as
+	// "degraded: stalled" with a 503.
+	Degraded string `json:"degraded,omitempty"`
 	// Watchers counts the live watch registrations on the node's event
 	// hub (0 when the event plane is disabled).
 	Watchers int `json:"watchers,omitempty"`

@@ -54,6 +54,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -164,6 +165,15 @@ type Config struct {
 	// caller's context carries no deadline (default 30s; 0 keeps the
 	// default, negative disables).
 	RequestTimeout time.Duration
+	// RetryBackoff is the base delay before re-dialing after a FULL
+	// endpoint scan failed (default 10ms). Consecutive failed scans
+	// double the delay up to RetryBackoffMax, with uniform jitter in
+	// [delay/2, delay) so a fleet of clients does not re-dial a
+	// recovering cluster in lockstep. A successful dial resets the
+	// streak; a failover that finds a live endpoint never waits.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential re-dial delay (default 1s).
+	RetryBackoffMax time.Duration
 }
 
 func (c *Config) fill() error {
@@ -177,6 +187,15 @@ func (c *Config) fill() error {
 		c.RequestTimeout = 30 * time.Second
 	} else if c.RequestTimeout < 0 {
 		c.RequestTimeout = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = time.Second
+	}
+	if c.RetryBackoffMax < c.RetryBackoff {
+		c.RetryBackoffMax = c.RetryBackoff
 	}
 	return nil
 }
@@ -195,13 +214,14 @@ type Stats struct {
 type Client struct {
 	cfg Config
 
-	mu       sync.Mutex
-	conn     *conn
-	next     int // endpoint cursor
-	closed   bool
-	dialing  bool          // a dial is in flight (single-flight)
-	dialDone chan struct{} // closed when the in-flight dial finishes
-	old      []*conn       // retired connections still draining replies
+	mu        sync.Mutex
+	conn      *conn
+	next      int // endpoint cursor
+	closed    bool
+	dialing   bool          // a dial is in flight (single-flight)
+	dialDone  chan struct{} // closed when the in-flight dial finishes
+	dialFails int           // consecutive full-scan dial failures (backoff exponent)
+	old       []*conn       // retired connections still draining replies
 
 	lastCycle atomic.Uint64 // highest commit cycle observed (session clock)
 	failovers atomic.Uint64
@@ -634,11 +654,18 @@ func (c *Client) sessionExpired(sess uint64) {
 }
 
 // dial tries every endpoint once, starting at the cursor, and returns a
-// running connection. Runs with no lock held.
+// running connection. Runs with no lock held. After a scan in which
+// EVERY endpoint refused, the next dial waits a capped, jittered
+// exponential backoff first (see Config.RetryBackoff) — a failover that
+// still finds a live endpoint pays nothing.
 func (c *Client) dial() (*conn, error) {
 	c.mu.Lock()
 	start := c.next
+	fails := c.dialFails
 	c.mu.Unlock()
+	if d := c.retryDelay(fails); d > 0 {
+		time.Sleep(d)
+	}
 	var lastErr error
 	for i := 0; i < len(c.cfg.Endpoints); i++ {
 		idx := (start + i) % len(c.cfg.Endpoints)
@@ -649,10 +676,32 @@ func (c *Client) dial() (*conn, error) {
 		}
 		c.mu.Lock()
 		c.next = idx
+		c.dialFails = 0
 		c.mu.Unlock()
 		return cn, nil
 	}
+	c.mu.Lock()
+	c.dialFails++
+	c.mu.Unlock()
 	return nil, fmt.Errorf("%w: %v", ErrClusterDown, lastErr)
+}
+
+// retryDelay maps a consecutive-failure count to the pre-scan wait:
+// base·2^(fails-1) capped at RetryBackoffMax, jittered uniformly into
+// [delay/2, delay).
+func (c *Client) retryDelay(fails int) time.Duration {
+	if fails <= 0 {
+		return 0
+	}
+	d := c.cfg.RetryBackoff
+	for i := 1; i < fails && d < c.cfg.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryBackoffMax {
+		d = c.cfg.RetryBackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // observeCycle folds a response's commit cycle into the session clock.

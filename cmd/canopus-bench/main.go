@@ -11,10 +11,13 @@
 //	canopus-bench -exp live -quick      # real-socket loopback cluster
 //
 // Experiments: table1, fig4a, fig4b, fig5, fig6, fig7, all (the
-// virtual-time set), plus live: a real loopback-TCP cluster driven
-// through the binary client protocol ("all" excludes it so figure
-// regeneration stays deterministic). With -json, live also writes its
-// metrics to the given path (used to regenerate BENCH_live.json).
+// virtual-time set), plus two real-socket modes "all" excludes so
+// figure regeneration stays deterministic: live, a loopback-TCP cluster
+// driven through the binary client protocol (with -json it also writes
+// its metrics to the given path, used to regenerate BENCH_live.json),
+// and live-chaos, the fault-injection campaign catalog run against the
+// chaosnet proxy fabric (exits non-zero on any violated budget — the CI
+// live-chaos-smoke gate).
 //
 // -cpuprofile / -memprofile capture pprof evidence for performance
 // work, e.g.:
@@ -35,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig4a|fig4b|fig5|fig6|fig7|all|live")
+	exp := flag.String("exp", "all", "experiment id: table1|fig4a|fig4b|fig5|fig6|fig7|all|live|live-chaos")
 	quick := flag.Bool("quick", false, "short windows and coarse search (CI mode)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	jsonOut := flag.String("json", "", "also write metrics as JSON to this path (live only)")
@@ -66,13 +69,14 @@ func main() {
 		harness.WithKeyDist(workload.KeyDist(*keyDist)),
 	)
 	runs := map[string]func(*harness.Options){
-		"table1": harness.Table1,
-		"fig4a":  harness.Fig4a,
-		"fig4b":  harness.Fig4b,
-		"fig5":   harness.Fig5,
-		"fig6":   harness.Fig6,
-		"fig7":   harness.Fig7,
-		"live":   harness.Live,
+		"table1":     harness.Table1,
+		"fig4a":      harness.Fig4a,
+		"fig4b":      harness.Fig4b,
+		"fig5":       harness.Fig5,
+		"fig6":       harness.Fig6,
+		"fig7":       harness.Fig7,
+		"live":       harness.Live,
+		"live-chaos": harness.LiveChaos,
 	}
 	order := []string{"table1", "fig4a", "fig4b", "fig5", "fig6", "fig7"}
 
@@ -87,7 +91,7 @@ func main() {
 	default:
 		run, ok := runs[*exp]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4a|fig4b|fig5|fig6|fig7|all|live)\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4a|fig4b|fig5|fig6|fig7|all|live|live-chaos)\n", *exp)
 			os.Exit(2)
 		}
 		run(o)

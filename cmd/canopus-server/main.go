@@ -50,6 +50,10 @@ func main() {
 	adminAddr := flag.String("admin-addr", "", "HTTP admin gateway listen address: /metrics, /healthz, /status, POST /snapshot (default: none)")
 	adminChaos := flag.Bool("admin-chaos", false, "enable the gateway's POST /chaos fault-injection verb (game-days only)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound for in-flight client requests")
+	join := flag.Bool("join", false, "enter through the join protocol (§4.6) instead of participating from cycle 1 — how an evicted node re-enters a live cluster")
+	leafTimeout := flag.Duration("leaf-timeout", 0, "arm super-leaf eviction: a leaf silent for this long is evicted so the rest keeps committing (0 = stall forever, §6; same value on every node)")
+	stallThreshold := flag.Duration("stall-threshold", 0, "arm the liveness detector: /healthz degrades after this much commit-free wedge with cycles outstanding (0 = off)")
+	exitOnEvict := flag.Bool("exit-on-evict", false, "exit with status 3 when told this node's super-leaf was evicted, so a supervisor can restart it with -join")
 	applyWorkers := flag.Int("apply-workers", 0, "commit-apply workers: 0 = auto (min(4, GOMAXPROCS), parallel pipeline), <0 = serial in-turn apply")
 	shards := flag.Int("shards", 8, "replica store shard count (rounded up to a power of two)")
 	dataDir := flag.String("data-dir", "", "durable storage directory: group-commit WAL + snapshots, recovered at boot (default: in-memory only)")
@@ -106,10 +110,18 @@ func main() {
 	st := kvstore.NewSharded(*shards)
 	nodeCfg := core.Config{
 		Tree: tree, Self: self,
-		ApplyWorkers: livecluster.ResolveApplyWorkers(*applyWorkers),
+		ApplyWorkers:   livecluster.ResolveApplyWorkers(*applyWorkers),
+		LeafTimeout:    *leafTimeout,
+		StallThreshold: *stallThreshold,
 	}
 	var mgr *wal.Manager
 	if *dataDir != "" {
+		if *join {
+			// An evicted node's Leave is committed; recovering its old
+			// disk would resurrect pre-eviction state the cluster has
+			// moved past. Joining is a state-less re-entry by design.
+			log.Fatal("canopus-server: -join and -data-dir are mutually exclusive (a joiner re-enters state-less)")
+		}
 		mgr, err = wal.Open(wal.Options{Dir: *dataDir, Store: st, SnapshotCycles: *snapshotCycles})
 		if err != nil {
 			log.Fatal("canopus-server: ", err)
@@ -123,7 +135,30 @@ func main() {
 		}()
 		nodeCfg.Durability = mgr
 	}
-	node := core.NewNode(nodeCfg, st, core.Callbacks{})
+	if os.Getenv("CANOPUS_DEBUG_JOIN") != "" {
+		core.DebugHook = func(who wire.NodeID, event string, cycle uint64, detail string) {
+			if strings.HasPrefix(event, "join") || strings.HasPrefix(event, "member") || strings.HasPrefix(event, "leaf") || strings.HasPrefix(event, "evict") {
+				log.Printf("debug %v: %s cycle=%d %s", who, event, cycle, detail)
+			}
+		}
+	}
+	cbs := core.Callbacks{}
+	if *exitOnEvict {
+		// Fires on the machine turn when an Evicted notice proves the
+		// rest of the cluster committed this node's Leave: this
+		// incarnation can never make progress again. The short delay
+		// lets the log line and any in-flight admin replies out first.
+		cbs.OnEvicted = func() {
+			log.Printf("node %v: super-leaf evicted by the cluster; exiting for a -join restart", self)
+			time.AfterFunc(100*time.Millisecond, func() { os.Exit(3) })
+		}
+	}
+	var node *core.Node
+	if *join {
+		node = core.NewJoiner(nodeCfg, st, cbs)
+	} else {
+		node = core.NewNode(nodeCfg, st, cbs)
+	}
 	defer node.Close()
 
 	// The event hub feeds protocol v3 watches from the committed apply
@@ -168,6 +203,12 @@ func main() {
 			Registry: reg,
 			Node:     int32(self),
 			Status:   livecluster.StatusSource(runner, node, st, mgr, hub),
+			Degraded: func() string {
+				if node.StallSuspected() {
+					return "stalled"
+				}
+				return ""
+			},
 		}
 		if mgr != nil {
 			walMgr := mgr

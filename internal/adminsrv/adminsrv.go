@@ -15,6 +15,7 @@ package adminsrv
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -43,9 +44,24 @@ type Config struct {
 	Node int32
 	// Snapshot backs POST /snapshot (wal.Manager.RequestSnapshot).
 	Snapshot func() error
-	// Chaos backs POST /chaos with the decoded action string.
+	// Chaos backs POST /chaos with the decoded action string. An action
+	// that needs a backend the deployment was not started with should
+	// return (a wrap of) ErrChaosUnavailable, which maps to 409 Conflict;
+	// every other error maps to 400.
 	Chaos func(action string) error
+	// Degraded, when set, is consulted on every /healthz and /status
+	// while the phase is "ok": a non-empty return (e.g. "stalled") makes
+	// /healthz answer 503 with status "degraded: <reason>" and fills
+	// Status.Degraded. It must be cheap and safe from any goroutine.
+	Degraded func() string
 }
+
+// ErrChaosUnavailable marks a chaos action whose backing fabric is not
+// enabled on this deployment (e.g. a partition verb without
+// livecluster's Config.Chaos). The gateway maps it to 409 Conflict —
+// the verb surface exists, the current configuration cannot honor it —
+// distinct from the 403 of a gateway started without -admin-chaos.
+var ErrChaosUnavailable = errors.New("chaos backend not enabled")
 
 // Handler is the gateway's http.Handler with its readiness state; tests
 // drive it through httptest without sockets.
@@ -89,8 +105,21 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	if phase != "ok" {
 		code = http.StatusServiceUnavailable
+	} else if reason := h.degraded(); reason != "" {
+		// Serving but not making progress (stall detector): distinct
+		// from recovery — the phase is ok, the protocol is wedged.
+		code = http.StatusServiceUnavailable
+		phase = "degraded: " + reason
 	}
 	writeJSON(w, code, admin.Health{Status: phase})
+}
+
+// degraded consults the optional liveness hook; "" when healthy.
+func (h *Handler) degraded() string {
+	if h.cfg.Degraded == nil {
+		return ""
+	}
+	return h.cfg.Degraded()
 }
 
 func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -103,6 +132,9 @@ func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s := h.cfg.Status()
 	s.Phase = phase
+	if s.Degraded == "" {
+		s.Degraded = h.degraded()
+	}
 	writeJSON(w, http.StatusOK, s)
 }
 
@@ -134,7 +166,14 @@ func (h *Handler) handleChaos(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := h.cfg.Chaos(req.Action); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		// Distinguish "this deployment has no fabric for that" (409) from
+		// "that action is malformed" (400): callers probing for capability
+		// should not read a conflict as their own mistake.
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrChaosUnavailable) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
 		return
 	}
 	fmt.Fprintf(w, "chaos action %q applied\n", req.Action)

@@ -1,7 +1,9 @@
 package adminsrv
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -144,5 +146,59 @@ func TestChaosVerb(t *testing.T) {
 	}
 	if rec := post(t, h, "/chaos", `{"action":"drop-replies"}`); rec.Code != http.StatusOK || got != "drop-replies" {
 		t.Fatalf("/chaos = %d got=%q", rec.Code, got)
+	}
+}
+
+// TestChaosVerbConflict pins the ErrChaosUnavailable mapping: an action
+// whose backing fabric is missing answers 409 Conflict (capability
+// problem), not 400 (caller problem) and not 500.
+func TestChaosVerbConflict(t *testing.T) {
+	h := NewHandler(Config{Chaos: func(a string) error {
+		return fmt.Errorf("%w: cluster started without Config.Chaos", ErrChaosUnavailable)
+	}})
+	rec := post(t, h, "/chaos", `{"action":"partition:0|1"}`)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("fabric-less /chaos = %d, want 409", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "not enabled") {
+		t.Fatalf("conflict body = %q", rec.Body.String())
+	}
+}
+
+// TestDegradedHook pins the liveness surface: while the phase is "ok", a
+// non-empty Degraded turns /healthz into 503 "degraded: <reason>" and
+// fills Status.Degraded; recovery flips both back with no restart.
+func TestDegradedHook(t *testing.T) {
+	reason := ""
+	h := NewHandler(Config{
+		Node:     1,
+		Status:   func() admin.Status { return admin.Status{Node: 1} },
+		Degraded: func() string { return reason },
+	})
+
+	// Pre-ready the hook is irrelevant: recovery already reports 503.
+	reason = "stalled"
+	if rec := get(t, h, "/healthz"); !strings.Contains(rec.Body.String(), `"recovering"`) {
+		t.Fatalf("recovering body = %q", rec.Body.String())
+	}
+
+	h.SetPhase("ok")
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rec.Body.String(), `"degraded: stalled"`) {
+		t.Fatalf("degraded /healthz = %d %q, want 503 degraded: stalled", rec.Code, rec.Body.String())
+	}
+	var s admin.Status
+	if err := json.Unmarshal(get(t, h, "/status").Body.Bytes(), &s); err != nil || s.Degraded != "stalled" {
+		t.Fatalf("degraded /status = %+v, %v", s, err)
+	}
+
+	reason = ""
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("recovered /healthz = %d, want 200", rec.Code)
+	}
+	var s2 admin.Status
+	if err := json.Unmarshal(get(t, h, "/status").Body.Bytes(), &s2); err != nil || s2.Degraded != "" {
+		t.Fatalf("recovered /status = %+v, %v", s2, err)
 	}
 }

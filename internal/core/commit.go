@@ -35,6 +35,12 @@ func (n *Node) commit(c *cycle) {
 	n.committed = c.id
 	n.orderedW.Store(c.id)
 	n.stats.cycleCommits.Add(1)
+	if n.cfg.StallThreshold > 0 {
+		n.lastCommitAt = n.env.Now()
+		if n.stallDetected.Load() {
+			n.stallDetected.Store(false)
+		}
+	}
 	if n.exec == nil {
 		// Serial mode: the whole commit happens inside this turn, so the
 		// applied watermark advances with the ordered one and observers

@@ -124,6 +124,18 @@ type Config struct {
 	// (both sides unreachable) — the fault model netsim injects.
 	LeafTimeout time.Duration
 
+	// StallThreshold, when positive, arms the liveness *detector*: a
+	// node holding started-but-uncommitted cycles with no commit
+	// progress for this long flags itself degraded (Node.StallSuspected,
+	// the canopus_core_stalled gauge, and "degraded: stalled" on the
+	// admin /healthz and /status). Detection is pure observation — no
+	// messages are sent, no timers armed, no protocol decision changes —
+	// so simulator replays stay bit-identical and nodes may configure it
+	// independently. The flag clears by itself when commits resume
+	// (e.g. after a partition heals). Zero (the default) keeps stock §6
+	// semantics: a minority side stalls silently.
+	StallThreshold time.Duration
+
 	// ApplyWorkers selects the commit pipeline mode (see exec.go).
 	//
 	// 0 (default): serial — a committed cycle's writes apply and its

@@ -101,7 +101,24 @@ func (n *Node) onJoinRequest(from wire.NodeID, m *wire.JoinRequest) {
 		// first, this one is voided at apply time everywhere instead of
 		// seating a member the sponsor cannot actually brief (see
 		// applyMembership).
-		if len(n.view.Members(joinerSL)) > 0 {
+		if members := n.view.Members(joinerSL); len(members) > 0 {
+			if len(members) == 1 && members[0] == m.From {
+				// The joiner's resurrection already committed, yet it is
+				// still asking: the one-shot JoinReply was lost (a live
+				// deployment drops frames at a process-restart boundary —
+				// the sponsor's first write after the restart can land on
+				// a stale connection). The joiner is its leaf's only
+				// seated member, so nobody else holds leaf state and the
+				// current committed state IS the original reply's
+				// content. Re-answer instead of deadlocking: without
+				// this, every retry is dropped here (the leaf is no
+				// longer empty) while the original sponsor's cleared
+				// sponsorship makes it mute too.
+				if DebugHook != nil {
+					DebugHook(n.cfg.Self, "join-rereply", n.committed, fmt.Sprintf("%d", m.From))
+				}
+				n.sendJoinReply(m.From, n.committed)
+			}
 			return
 		}
 		resurrect = true

@@ -490,6 +490,7 @@ func (n *Node) onEvictedNotice(m *wire.Evicted) {
 		return
 	}
 	n.evicted = true
+	n.halted.Store(true)
 	n.stats.evictedSelf.Add(1)
 	if !n.stalled {
 		n.stalled = true

@@ -285,3 +285,51 @@ func TestLeafEvictionDeterministicReplay(t *testing.T) {
 			d1, d2, e1, e2, s1, s2)
 	}
 }
+
+// TestRejoinAfterLostJoinReply: the sponsor-side retry for a lost
+// JoinReply. A single-member super-leaf's node restarts as a joiner
+// while it is still alive in the view — exactly the state a lost
+// one-shot JoinReply leaves behind on a live deployment, where the
+// sponsor's first write after a process restart can land on a stale
+// connection and the frame is dropped. The joiner's leaf is then
+// non-empty (the joiner itself is seated), so the cross-leaf resurrect
+// gate used to drop every retry while no own-leaf peer existed to
+// sponsor instead: a permanent deadlock. The sponsors must recognize
+// "sole seated member of its leaf, still asking" and re-answer with the
+// committed state.
+func TestRejoinAfterLostJoinReply(t *testing.T) {
+	// LeafTimeout stays unarmed: with eviction on, wedged post-rejoin
+	// writes would eventually re-evict the silent leaf and resurrect the
+	// joiner through the empty-leaf path, masking the deadlock this test
+	// pins down (on the live cluster it bit while the cluster was idle).
+	cfg := Config{FetchTimeout: 50 * time.Millisecond}
+	tc := newTestCluster(t, clusterOpts{racks: 3, perRack: 1, cfg: cfg})
+	for i := 0; i < 3; i++ {
+		tc.submitAt(time.Millisecond, wire.NodeID(i), wr(uint64(i+1), 1, uint64(i), uint64(i)))
+	}
+	// Quiescent crash+restart: no cycles in flight, node 2 still alive in
+	// every view, no own-leaf member to notice and re-sponsor it.
+	tc.sim.At(300*time.Millisecond, func() {
+		tc.restartAsJoiner(2, cfg, nil)
+	})
+	// Post-rejoin traffic cannot commit unless the joiner was re-briefed:
+	// node 2's leaf is alive in the view, so every later cycle needs it.
+	for s := 2; s <= 4; s++ {
+		tc.submitAt(time.Duration(s)*500*time.Millisecond, 0, wr(1, uint64(s), uint64(100+s), uint64(s)))
+	}
+	tc.run(4 * time.Second)
+
+	for i := 0; i < 3; i++ {
+		if got := tc.stores[i].LogLen(); got != 6 {
+			t.Fatalf("node %d applied %d writes, want 6 (3 pre-restart + 3 post-rejoin)", i, got)
+		}
+	}
+	// Full-state convergence (the joiner snapshots, so compare state
+	// digests, not log digests).
+	want := tc.stores[0].StateDigest()
+	for i := 1; i < 3; i++ {
+		if got := tc.stores[i].StateDigest(); got != want {
+			t.Fatalf("node %d state digest %x, want %x", i, got, want)
+		}
+	}
+}

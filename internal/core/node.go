@@ -202,7 +202,15 @@ type Node struct {
 	durErr         atomic.Value
 	lastTick       time.Duration
 	lastCycleStart time.Duration
-	nextCycleAt    time.Duration // phase-anchored cycle timer target
+	// Stall detector state (Config.StallThreshold): lastCommitAt is the
+	// machine time of the most recent commit; stallDetected and halted
+	// are atomic mirrors for off-turn observers (metrics, /healthz) —
+	// stallDetected tracks the no-commit-progress detector, halted the
+	// hard §6 stall/eviction states.
+	lastCommitAt  time.Duration
+	stallDetected atomic.Bool
+	halted        atomic.Bool
+	nextCycleAt   time.Duration // phase-anchored cycle timer target
 
 	// replyReqs/replyVals are the reusable completion-batch scratch for
 	// Callbacks.OnReplyBatch (valid only during the callback).
@@ -435,9 +443,40 @@ func (n *Node) tick() {
 		return
 	}
 	n.lastTick = n.env.Now()
+	n.checkStall()
 	n.bc.Tick()
 	n.retryFetches()
 	n.driveEvictions()
+}
+
+// checkStall is the Config.StallThreshold liveness detector: a node
+// with started-but-uncommitted cycles and no commit progress past the
+// threshold flags itself degraded. Pure observation — it sends nothing
+// and arms nothing, so it costs one branch when disabled and never
+// perturbs replay determinism.
+func (n *Node) checkStall() {
+	if n.cfg.StallThreshold <= 0 {
+		return
+	}
+	if n.started <= n.committed {
+		if n.stallDetected.Load() {
+			n.stallDetected.Store(false)
+		}
+		return
+	}
+	// Progress reference: the later of the last commit and the start of
+	// the oldest uncommitted cycle (so a node that just started its
+	// first-ever cycle is not instantly "stalled").
+	ref := n.lastCommitAt
+	if c, ok := n.cycles[n.committed+1]; ok && c.started && c.startedAt > ref {
+		ref = c.startedAt
+	}
+	if n.env.Now()-ref <= n.cfg.StallThreshold {
+		return
+	}
+	if !n.stallDetected.Swap(true) {
+		n.stats.stallsDetected.Add(1)
+	}
 }
 
 // onCycleTimer is the §7.1 pipelining trigger: an upper bound on the
@@ -788,6 +827,15 @@ func (n *Node) Started() uint64 { return n.started }
 
 // Stalled reports whether the node has halted (§6 stall semantics).
 func (n *Node) Stalled() bool { return n.stalled }
+
+// StallSuspected reports the liveness detector's verdict: true while
+// the node has made no commit progress past Config.StallThreshold (the
+// minority side of a partition), or has hard-halted (§6 stall or
+// eviction). It clears automatically when commits resume. Safe from any
+// goroutine, unlike Stalled.
+func (n *Node) StallSuspected() bool {
+	return n.stallDetected.Load() || n.halted.Load()
+}
 
 // ID returns the node's identity.
 func (n *Node) ID() wire.NodeID { return n.cfg.Self }

@@ -80,6 +80,7 @@ func (n *Node) onPeerFailed(peer wire.NodeID) {
 		// of the rack considers us dead. Crash-stop semantics forbid
 		// continuing; halt until restarted through the join protocol.
 		n.stalled = true
+		n.halted.Store(true)
 		n.stats.stalls.Add(1)
 		n.FailLocalReads() // their awaited cycles will not commit here
 		n.FailSessionWaiters()
@@ -105,6 +106,7 @@ func (n *Node) onPeerFailed(peer wire.NodeID) {
 	}
 	if live < len(n.tree.SuperLeaf(n.sl).Members)/2+1 {
 		n.stalled = true
+		n.halted.Store(true)
 		n.stats.stalls.Add(1)
 		n.FailLocalReads() // their awaited cycles will not commit here
 		n.FailSessionWaiters()

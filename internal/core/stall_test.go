@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"canopus/internal/netsim"
+	"canopus/internal/wire"
+)
+
+// Stall-detection tests (Config.StallThreshold): the liveness detector
+// must flag a partitioned minority as degraded, clear itself on heal,
+// and — crucially — change nothing about protocol behavior, so that a
+// threshold of 0 (stock §6 semantics) and any positive threshold
+// produce bit-identical histories.
+
+// runStallScenario drives a 2-leaf cluster through a partition window
+// [300ms, 2s) with traffic before, during and after, probing
+// StallSuspected at the interesting instants. With two super-leaves no
+// eviction quorum exists even when LeafTimeout is armed, so a partition
+// stalls everyone — the scenario the detector is for.
+func runStallScenario(t *testing.T, threshold time.Duration) *testCluster {
+	t.Helper()
+	tc := newTestCluster(t, clusterOpts{racks: 2, perRack: 2,
+		cfg: Config{FetchTimeout: 50 * time.Millisecond, StallThreshold: threshold}})
+	leafA := []wire.NodeID{0, 1}
+	leafB := []wire.NodeID{2, 3}
+
+	// Pre-partition traffic commits normally.
+	tc.submitAt(time.Millisecond, 0, wr(1, 1, 10, 1))
+	tc.submitAt(time.Millisecond, 2, wr(2, 1, 20, 1))
+	tc.runner.InstallFaults(netsim.FaultPlan{
+		Partitions: []netsim.PartitionFault{
+			netsim.LeafPartition(300*time.Millisecond, 2*time.Second, leafB, leafA),
+		},
+	}, nil)
+	// Traffic during the partition starts cycles that cannot commit.
+	tc.submitAt(400*time.Millisecond, 0, wr(1, 2, 11, 2))
+	tc.submitAt(400*time.Millisecond, 2, wr(2, 2, 21, 2))
+	// Post-heal traffic proves recovery.
+	tc.submitAt(2500*time.Millisecond, 0, wr(1, 3, 12, 3))
+
+	probe := func(at time.Duration, want bool, label string) {
+		tc.sim.At(at, func() {
+			for _, n := range tc.nodes {
+				if got := n.StallSuspected(); got != want {
+					t.Errorf("%s: node %v StallSuspected=%v, want %v (committed=%d started=%d)",
+						label, n.ID(), got, want, n.committed, n.started)
+				}
+			}
+		})
+	}
+	if threshold > 0 {
+		// 350ms: partitioned, but within threshold — not yet degraded.
+		probe(350*time.Millisecond, false, "pre-threshold")
+		// 1.5s: well past start(≈400ms)+threshold — every node degraded.
+		probe(1500*time.Millisecond, true, "mid-partition")
+		// 3.5s: healed and committing again — flag cleared everywhere.
+		probe(3500*time.Millisecond, false, "post-heal")
+	} else {
+		// Stock semantics: silently stalled, never flagged.
+		probe(1500*time.Millisecond, false, "mid-partition stock")
+		probe(3500*time.Millisecond, false, "post-heal stock")
+	}
+	tc.run(4 * time.Second)
+	tc.requireAgreement()
+	for _, n := range tc.nodes {
+		if n.Stalled() {
+			t.Fatalf("node %v hard-stalled; detector must never halt the protocol", n.ID())
+		}
+		if n.Committed() < 3 {
+			t.Fatalf("node %v committed only %d cycles after heal", n.ID(), n.Committed())
+		}
+	}
+	return tc
+}
+
+func TestStallThresholdDetectsPartitionAndClearsOnHeal(t *testing.T) {
+	tc := runStallScenario(t, 200*time.Millisecond)
+	for _, n := range tc.nodes {
+		if n.stats.stallsDetected.Load() == 0 {
+			t.Errorf("node %v never tripped the detector", n.ID())
+		}
+	}
+}
+
+func TestStallThresholdZeroKeepsStockSemantics(t *testing.T) {
+	stock := runStallScenario(t, 0)
+	armed := runStallScenario(t, 200*time.Millisecond)
+	// Zero behavior change: identical commit histories and stores, cycle
+	// for cycle, byte for byte, with the detector on or off.
+	for i := range stock.nodes {
+		id := wire.NodeID(i)
+		sc, ac := stock.commits[id], armed.commits[id]
+		if len(sc) != len(ac) {
+			t.Fatalf("node %d commit-count divergence: stock %d vs armed %d", i, len(sc), len(ac))
+		}
+		for k := range sc {
+			if sc[k] != ac[k] {
+				t.Fatalf("node %d commit order diverges at %d: %d vs %d", i, k, sc[k], ac[k])
+			}
+		}
+		if stock.stores[i].LogDigest() != armed.stores[i].LogDigest() ||
+			stock.stores[i].LogLen() != armed.stores[i].LogLen() {
+			t.Fatalf("node %d store divergence between stock and armed runs", i)
+		}
+		if got := stock.nodes[i].stats.stallsDetected.Load(); got != 0 {
+			t.Fatalf("node %d: detector tripped %d times with threshold 0", i, got)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLiveChaosCampaigns runs each live campaign once in quick mode —
+// real sockets, real clocks, the chaosnet fabric in the loop — and
+// requires the outcome summary every campaign contracts to produce.
+// The scenario funcs return errors instead of failing the process, so
+// the catalog is testable without forking canopus-bench.
+func TestLiveChaosCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live chaos campaigns")
+	}
+	o := NewOptions(WithQuick(true), WithOutput(&bytes.Buffer{}))
+	for _, tc := range []struct {
+		name string
+		run  func(o *Options) (string, error)
+		want string
+	}{
+		{"leaf-partition-evict-readmit", liveLeafEvictReadmit, "evicted in"},
+		{"geo-wan-evict-readmit", liveGeoWANEvictReadmit, "evicted in"},
+		{"asymmetric-partition-stall", liveAsymmetricStall, "stall detected in"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			line, err := tc.run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(line, tc.want) {
+				t.Fatalf("outcome %q, want it to mention %q", line, tc.want)
+			}
+			t.Log(line)
+		})
+	}
+}

@@ -11,9 +11,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
+	"canopus/admin"
 	"canopus/internal/adminsrv"
+	"canopus/internal/chaosnet"
 	"canopus/internal/core"
 	"canopus/internal/events"
 	"canopus/internal/kvstore"
@@ -75,6 +78,21 @@ type Config struct {
 	// ephemeral port (see AdminAddr), serving the shared Metrics registry
 	// (or a private one when Metrics is nil) plus /status and /healthz.
 	Admin bool
+	// Chaos routes every inter-node transport connection through a
+	// chaosnet fabric: one TCP proxy per directed peer pair, so
+	// partitions, WAN latency, resets and throttles can be injected at
+	// runtime on real sockets (Cluster.Chaos). Client ports are not
+	// proxied — chaos hits the replication path, not the client edge.
+	Chaos bool
+	// AdminChaos arms the gateways' POST /chaos verb (requires Admin)
+	// with the chaosnet action grammar. Without Chaos the verb exists
+	// but every action answers 409 Conflict.
+	AdminChaos bool
+	// OnEvicted, when set, fires from node i's machine turn when the
+	// rest of the cluster evicts it (core.Callbacks.OnEvicted). It must
+	// not block and must not call RestartNode inline — hand off to a
+	// goroutine (RestartNode re-enters the runner's serialization lock).
+	OnEvicted func(i int)
 }
 
 // ResolveApplyWorkers maps the user-facing apply-worker knob (a config
@@ -102,14 +120,22 @@ func ResolveApplyWorkers(n int) int {
 // Cluster is a running loopback deployment.
 type Cluster struct {
 	Tree    *lot.Tree
+	cfg     Config // normalized by Start (defaults resolved); RestartNode rebuilds from it
+	shards  int
 	runners []*transport.Runner
-	nodes   []*core.Node
-	stores  []*kvstore.Store
 	ports   []*ClientPort
-	hubs    []*events.Hub
-	mgrs    []*wal.Manager // nil entries when durability is off
 	reg     *metrics.Registry
 	admins  []*adminsrv.Server // nil (or nil entries) when Admin is off
+	chaos   *chaosnet.Net      // nil without Config.Chaos
+
+	// mu guards the per-node slices below: RestartNode swaps entries
+	// while the deployment is live (the runner, port, gateway and chaos
+	// links persist across a restart; the protocol node does not).
+	mu     sync.Mutex
+	nodes  []*core.Node
+	stores []*kvstore.Store
+	hubs   []*events.Hub
+	mgrs   []*wal.Manager // nil entries when durability is off
 }
 
 // Start boots the deployment: listeners first (so every node knows every
@@ -142,27 +168,51 @@ func Start(cfg Config) (*Cluster, error) {
 		logf = func(string, ...interface{}) {}
 	}
 
-	c := &Cluster{Tree: tree, reg: cfg.Metrics}
+	cfg.SuperLeaves = sls
+	cfg.Logf = logf
+	c := &Cluster{Tree: tree, cfg: cfg, reg: cfg.Metrics}
 	if c.reg == nil && cfg.Admin {
 		// Gateways without a caller-supplied registry still serve a
 		// fully-instrumented /metrics.
 		c.reg = metrics.NewRegistry()
 	}
-	peers := make(map[wire.NodeID]string, n)
+	if cfg.Chaos {
+		c.chaos = chaosnet.New(chaosnet.Config{Logf: logf, Seed: cfg.Seed})
+	}
+	// Each runner gets its OWN peer table: with chaos, node i's entry for
+	// j is the i→j proxy's address, which is necessarily different per
+	// direction. Tables are filled once every listener is bound (and
+	// before RegisterMetrics — the per-peer gauges enumerate the table at
+	// registration).
+	peersFor := make([]map[wire.NodeID]string, n)
 	for i := 0; i < n; i++ {
-		r, err := transport.NewRunner(wire.NodeID(i), "127.0.0.1:0", peers, cfg.Seed)
+		peersFor[i] = make(map[wire.NodeID]string, n)
+		r, err := transport.NewRunner(wire.NodeID(i), "127.0.0.1:0", peersFor[i], cfg.Seed)
 		if err != nil {
 			c.kill()
 			return nil, err
 		}
 		r.Logf = logf
-		peers[wire.NodeID(i)] = r.Addr().String()
 		c.runners = append(c.runners, r)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			addr := c.runners[j].Addr().String()
+			if c.chaos != nil && i != j {
+				var err error
+				if addr, err = c.chaos.AddLink(wire.NodeID(i), wire.NodeID(j), addr); err != nil {
+					c.kill()
+					return nil, fmt.Errorf("livecluster: %w", err)
+				}
+			}
+			peersFor[i][wire.NodeID(j)] = addr
+		}
 	}
 	shards := cfg.StoreShards
 	if shards <= 0 {
 		shards = 8
 	}
+	c.shards = shards
 	durable := cfg.DataDir != "" || cfg.DataFS != nil
 	for i := 0; i < n; i++ {
 		nodeCfg := cfg.Node
@@ -188,7 +238,7 @@ func Start(cfg Config) (*Cluster, error) {
 			}
 			nodeCfg.Durability = mgr
 		}
-		node := core.NewNode(nodeCfg, st, core.Callbacks{})
+		node := core.NewNode(nodeCfg, st, c.nodeCallbacks(i))
 		c.stores = append(c.stores, st)
 		c.nodes = append(c.nodes, node)
 		c.mgrs = append(c.mgrs, mgr)
@@ -209,7 +259,7 @@ func Start(cfg Config) (*Cluster, error) {
 			c.kill()
 			return nil, err
 		}
-		port.SetDigestFunc(DigestSource(c.runners[i], node, st))
+		port.SetDigestFunc(c.digestSource(i))
 		c.ports = append(c.ports, port)
 		// The event hub attaches at the node's recovered watermark:
 		// replayed cycles predate its view (their events never fired), so
@@ -233,8 +283,10 @@ func Start(cfg Config) (*Cluster, error) {
 			srv, err := adminsrv.Listen("127.0.0.1:0", adminsrv.Config{
 				Registry: c.reg,
 				Node:     int32(i),
-				Status:   StatusSource(c.runners[i], node, st, mgr, hub),
+				Status:   c.statusSource(i),
 				Snapshot: snapshotVerb(mgr),
+				Chaos:    c.chaosVerb(),
+				Degraded: c.degradedSource(i),
 			})
 			if err != nil {
 				c.kill()
@@ -271,19 +323,140 @@ func snapshotVerb(mgr *wal.Manager) func() error {
 	}
 }
 
+// nodeCallbacks builds node i's core callbacks from the cluster config.
+func (c *Cluster) nodeCallbacks(i int) core.Callbacks {
+	cbs := core.Callbacks{}
+	if c.cfg.OnEvicted != nil {
+		cbs.OnEvicted = func() { c.cfg.OnEvicted(i) }
+	}
+	return cbs
+}
+
+// digestSource builds node i's DIGEST-verb source, resolving the current
+// node and store on every call so an in-place restart (RestartNode) is
+// picked up without rewiring the client port.
+func (c *Cluster) digestSource(i int) func() (uint64, uint64, uint64) {
+	return func() (uint64, uint64, uint64) {
+		c.mu.Lock()
+		node, st := c.nodes[i], c.stores[i]
+		c.mu.Unlock()
+		return DigestSource(c.runners[i], node, st)()
+	}
+}
+
+// statusSource builds node i's /status source, resolving per call for
+// the same reason as digestSource.
+func (c *Cluster) statusSource(i int) func() admin.Status {
+	return func() admin.Status {
+		c.mu.Lock()
+		node, st, mgr, hub := c.nodes[i], c.stores[i], c.mgrs[i], c.hubs[i]
+		c.mu.Unlock()
+		return StatusSource(c.runners[i], node, st, mgr, hub)()
+	}
+}
+
+// degradedSource backs node i's gateway liveness hook: "stalled" while
+// the node's stall detector (core.Config.StallThreshold) or hard-halt
+// flag is raised, "" otherwise.
+func (c *Cluster) degradedSource(i int) func() string {
+	return func() string {
+		c.mu.Lock()
+		node := c.nodes[i]
+		c.mu.Unlock()
+		if node.StallSuspected() {
+			return "stalled"
+		}
+		return ""
+	}
+}
+
+// chaosVerb adapts the fabric to the gateways' POST /chaos. Nil (verb
+// answers 403) unless AdminChaos; with the verb armed but no fabric,
+// every action answers ErrChaosUnavailable (409) — the surface exists,
+// this deployment cannot honor it.
+func (c *Cluster) chaosVerb() func(string) error {
+	if !c.cfg.AdminChaos {
+		return nil
+	}
+	return func(action string) error {
+		if c.chaos == nil {
+			return fmt.Errorf("%w: cluster started without Config.Chaos", adminsrv.ErrChaosUnavailable)
+		}
+		return c.chaos.Apply(action)
+	}
+}
+
+// Chaos returns the fault-injection fabric, nil without Config.Chaos.
+func (c *Cluster) Chaos() *chaosnet.Net { return c.chaos }
+
+// RestartNode replaces protocol node i in place: the old node is
+// detached and closed, and a fresh joiner (core.NewJoiner) re-enters the
+// running cluster through the §4.6 join protocol — state fetch, view
+// adoption, readmission if the node was evicted. The transport runner,
+// client port, admin gateway and chaos links all persist; only the
+// protocol node, store and event hub are rebuilt, exactly as if the
+// process had restarted with an empty disk. Not supported with
+// durability (the WAL manager is bound to the original node's apply
+// pipeline); restart durable nodes as real processes instead.
+//
+// Must not be called from a node callback or machine turn (it re-enters
+// the runner's serialization lock via Attach).
+func (c *Cluster) RestartNode(i int) error {
+	c.mu.Lock()
+	if c.mgrs[i] != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("livecluster: RestartNode(%d): not supported with durability", i)
+	}
+	old := c.nodes[i]
+	c.mu.Unlock()
+
+	nodeCfg := c.cfg.Node
+	nodeCfg.Tree = c.Tree
+	nodeCfg.Self = wire.NodeID(i)
+	nodeCfg.ApplyWorkers = ResolveApplyWorkers(nodeCfg.ApplyWorkers)
+	st := kvstore.NewSharded(c.shards)
+	if c.cfg.LoggedStores {
+		st = kvstore.NewShardedLogged(c.shards)
+	}
+	node := core.NewJoiner(nodeCfg, st, c.nodeCallbacks(i))
+	hub := events.NewHub(events.Options{Floor: node.Committed()})
+	node.SetOnEvents(hub.Publish)
+
+	c.mu.Lock()
+	c.nodes[i], c.stores[i], c.hubs[i] = node, st, hub
+	c.mu.Unlock()
+	// Swap the client port first so no request reaches the dying node,
+	// then attach the joiner (Init sends its JoinRequest through the
+	// runner; the old node's armed timers die with it — transport drops
+	// timers whose arming machine was replaced).
+	c.ports[i].SetNode(node, hub)
+	c.runners[i].Attach(node)
+	old.Close()
+	return nil
+}
+
 // NumNodes returns the deployment size.
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
 // ClientAddr returns node i's client-port address.
 func (c *Cluster) ClientAddr(i int) string { return c.ports[i].Addr() }
 
-// Node returns protocol node i (for tests and tooling).
-func (c *Cluster) Node(i int) *core.Node { return c.nodes[i] }
+// Node returns protocol node i (for tests and tooling) — the current
+// one, after any RestartNode.
+func (c *Cluster) Node(i int) *core.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
 
 // Store returns node i's local replica state (for tests and tooling).
 // With the parallel commit pipeline the apply stage owns the store;
 // foreign reads are only coherent through InspectStore.
-func (c *Cluster) Store(i int) *kvstore.Store { return c.stores[i] }
+func (c *Cluster) Store(i int) *kvstore.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stores[i]
+}
 
 // InspectStore runs fn against node i's replica state with the apply
 // pipeline quiesced: every cycle ordered at the time of the call has
@@ -292,11 +465,14 @@ func (c *Cluster) Store(i int) *kvstore.Store { return c.stores[i] }
 // the commit-pipeline mode. fn must not submit operations or block on
 // cluster progress.
 func (c *Cluster) InspectStore(i int, fn func(st *kvstore.Store)) {
-	if c.nodes[i].ParallelApply() {
-		c.nodes[i].InspectApplied(func() { fn(c.stores[i]) })
+	c.mu.Lock()
+	node, st := c.nodes[i], c.stores[i]
+	c.mu.Unlock()
+	if node.ParallelApply() {
+		node.InspectApplied(func() { fn(st) })
 		return
 	}
-	c.runners[i].Invoke(func() { fn(c.stores[i]) })
+	c.runners[i].Invoke(func() { fn(st) })
 }
 
 // Port returns node i's client port.
@@ -304,7 +480,11 @@ func (c *Cluster) Port(i int) *ClientPort { return c.ports[i] }
 
 // Durability returns node i's storage engine (nil when the cluster runs
 // without DataDir/DataFS).
-func (c *Cluster) Durability(i int) *wal.Manager { return c.mgrs[i] }
+func (c *Cluster) Durability(i int) *wal.Manager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mgrs[i]
+}
 
 // Runner returns node i's transport runner.
 func (c *Cluster) Runner(i int) *transport.Runner { return c.runners[i] }
@@ -368,20 +548,25 @@ func (c *Cluster) SubmitTxn(node int, session, seq uint64, body []byte, done fun
 	c.ports[node].SubmitSessionLocal(session, seq, wire.OpTxn, 0, body, done)
 }
 
-// Hub returns node i's event hub.
-func (c *Cluster) Hub(i int) *events.Hub { return c.hubs[i] }
+// Hub returns node i's event hub (the current one, after any
+// RestartNode).
+func (c *Cluster) Hub(i int) *events.Hub {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hubs[i]
+}
 
 // Watch registers a watch on node's event hub, implementing the
 // canopus.EventCluster interface. The sink runs on the node's apply
 // executor and must not block; see events.Hub.Watch for the resume and
 // overflow contract.
 func (c *Cluster) Watch(node int, spec events.Spec, sink events.Sink) (uint64, error) {
-	return c.hubs[node].Watch(spec, sink)
+	return c.Hub(node).Watch(spec, sink)
 }
 
 // Unwatch cancels a watch registered through Watch.
 func (c *Cluster) Unwatch(node int, id uint64) {
-	c.hubs[node].Cancel(id)
+	c.Hub(node).Cancel(id)
 }
 
 // Close implements the canopus.Cluster lifecycle: a bounded graceful
@@ -402,7 +587,7 @@ func (c *Cluster) Crash(i int) {
 	// The transport is closed (no further machine turns); release the
 	// node's apply executor. Queued cycles finish applying first, so a
 	// post-mortem Store inspection still sees everything ordered here.
-	c.nodes[i].Close()
+	c.Node(i).Close()
 }
 
 // Stop shuts the deployment down gracefully: drain every client port
@@ -429,6 +614,11 @@ func (c *Cluster) kill() {
 	for _, r := range c.runners {
 		r.Close()
 	}
+	if c.chaos != nil {
+		c.chaos.Close()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, n := range c.nodes {
 		n.Close()
 	}

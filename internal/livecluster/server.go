@@ -62,13 +62,17 @@ const (
 // holds the node's machine lock.
 type ClientPort struct {
 	runner *transport.Runner
-	node   *core.Node
-	ln     net.Listener
+	// nodeP is the serving protocol node. It is an atomic pointer, not a
+	// plain field, because SetNode swaps in a replacement joiner when a
+	// node restarts in place (chaos eviction/readmission) while reader
+	// goroutines and the apply executor are still looking at it.
+	nodeP atomic.Pointer[core.Node]
+	ln    net.Listener
 
-	// hub is the node's event hub; nil disables the v3 watch surface
+	// hubP is the node's event hub; nil disables the v3 watch surface
 	// (WATCH frames are rejected, TXN frames still work). Set before
-	// AcceptClients.
-	hub *events.Hub
+	// AcceptClients; swapped together with the node by SetNode.
+	hubP atomic.Pointer[events.Hub]
 
 	draining    atomic.Bool
 	outstanding atomic.Int64 // accepted-but-unanswered requests
@@ -205,11 +209,11 @@ func NewClientPort(runner *transport.Runner, node *core.Node, addr string) (*Cli
 	}
 	p := &ClientPort{
 		runner:      runner,
-		node:        node,
 		ln:          ln,
 		conns:       make(map[uint64]*clientConn),
 		sessPending: make(map[sessKey]sessEntry),
 	}
+	p.nodeP.Store(node)
 	// The SubmitLocal pseudo-connection is created eagerly so Stop and
 	// Abort always see it — a lazily created one could slip past their
 	// shutdown snapshot and strand its done callbacks.
@@ -239,10 +243,31 @@ func (p *ClientPort) SetDigestFunc(fn func() (cycle, state, log uint64)) { p.dig
 
 // SetHub installs the node's event hub, enabling the v3 watch surface.
 // Set it before AcceptClients; without one, WATCH frames are rejected.
-func (p *ClientPort) SetHub(h *events.Hub) { p.hub = h }
+func (p *ClientPort) SetHub(h *events.Hub) { p.hubP.Store(h) }
 
 // Hub returns the installed event hub (nil when watches are disabled).
-func (p *ClientPort) Hub() *events.Hub { return p.hub }
+func (p *ClientPort) Hub() *events.Hub { return p.hubP.Load() }
+
+// node returns the currently-serving protocol node.
+func (p *ClientPort) node() *core.Node { return p.nodeP.Load() }
+
+// hub returns the currently-installed event hub (nil disables watches).
+func (p *ClientPort) hub() *events.Hub { return p.hubP.Load() }
+
+// SetNode rewires the port to a replacement protocol node and event hub
+// — the in-place restart path (Cluster.RestartNode): an evicted node
+// comes back as a protocol-level joiner on the same runner, ports and
+// addresses. The new node's replies route back through this port;
+// operations in flight against the old node complete through its
+// draining executor or are failed by the caller. Existing watches die
+// with the old hub (their cycles predate the joiner's state); clients
+// re-register and resume.
+func (p *ClientPort) SetNode(node *core.Node, hub *events.Hub) {
+	node.SetOnReplyBatch(p.onReplyBatch)
+	node.SetOnSessionReject(p.onSessionReject)
+	p.nodeP.Store(node)
+	p.hubP.Store(hub)
+}
 
 // Addr returns the bound client address.
 func (p *ClientPort) Addr() string { return p.ln.Addr().String() }
@@ -301,7 +326,7 @@ func (p *ClientPort) newConn(conn net.Conn) *clientConn {
 	defer p.mu.Unlock()
 	p.nextID++
 	cc := &clientConn{
-		id:      (uint64(int64(p.node.ID())+1) << 32) | p.nextID,
+		id:      (uint64(int64(p.node().ID())+1) << 32) | p.nextID,
 		conn:    conn,
 		pending: make(map[uint64]pendingEntry),
 		wake:    make(chan struct{}, 1),
@@ -479,7 +504,7 @@ func (cc *clientConn) pushBudget(render func(b []byte) []byte, budget int, termi
 // encoded (or handed to the done callback) before returning: it may
 // alias store state that the next cycle's apply overwrites.
 func (p *ClientPort) completeEntry(cc *clientConn, entry pendingEntry, op wire.Op, val []byte) {
-	cycle := p.node.Committed()
+	cycle := p.node().Committed()
 	switch {
 	case entry.done != nil:
 		entry.done(val, true)
@@ -602,10 +627,10 @@ func (p *ClientPort) onSessionReject(req *wire.Request) {
 		p.outstanding.Add(-1)
 	case se.e.agg != nil:
 		p.completeBatchOp(se.cc, se.e.agg, se.e.idx, wire.ClientStatusErr, wire.CodeSessionExpired,
-			[]byte("session expired"), p.node.Committed())
+			[]byte("session expired"), p.node().Committed())
 	default:
 		resp := wire.ClientResponseV2{ID: se.e.id, Status: wire.ClientStatusErr,
-			Code: wire.CodeSessionExpired, Cycle: p.node.Committed(), Val: []byte("session expired")}
+			Code: wire.CodeSessionExpired, Cycle: p.node().Committed(), Val: []byte("session expired")}
 		se.cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
 		p.outstanding.Add(-1)
 	}
@@ -703,7 +728,7 @@ func (p *ClientPort) submit(cc *clientConn, group []wire.ClientRequest, mode uin
 		return
 	}
 	p.runner.Invoke(func() {
-		stalled := p.node.Stalled()
+		stalled := p.node().Stalled()
 		for i := range group {
 			q := &group[i]
 			if stalled {
@@ -714,7 +739,7 @@ func (p *ClientPort) submit(cc *clientConn, group []wire.ClientRequest, mode uin
 			if !ok {
 				return // torn down concurrently
 			}
-			p.node.Submit(wire.Request{
+			p.node().Submit(wire.Request{
 				Client: cc.id, Seq: seq, Op: q.Op, Key: q.Key, Val: q.Val,
 			})
 		}
@@ -770,7 +795,7 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 				p.localRead(cc, q.ID, op.Key, q.MinCycle)
 				continue
 			}
-			if p.node.Stalled() {
+			if p.node().Stalled() {
 				p.reject(cc, modeV2, q.ID, wire.CodeStalled, "node stalled")
 				continue
 			}
@@ -781,7 +806,7 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 				p.mu.Lock()
 				p.putSessPendingLocked(sessKey{q.Session, q.Seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2}})
 				p.mu.Unlock()
-				p.node.Submit(wire.Request{
+				p.node().Submit(wire.Request{
 					Client: q.Session, Seq: q.Seq, Op: op.Op, Key: op.Key, Val: op.Val,
 				})
 				continue
@@ -790,7 +815,7 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 			if !ok {
 				return // torn down concurrently
 			}
-			p.node.Submit(wire.Request{
+			p.node().Submit(wire.Request{
 				Client: cc.id, Seq: seq, Op: op.Op, Key: op.Key, Val: op.Val,
 			})
 		}
@@ -802,7 +827,7 @@ func (p *ClientPort) submitV2(cc *clientConn, group []wire.ClientRequestV2) {
 // turn.
 func (p *ClientPort) registerSession(cc *clientConn, id uint64) {
 	p.admitRequest()
-	p.node.RegisterSession(func(session uint64, ok bool) {
+	p.node().RegisterSession(func(session uint64, ok bool) {
 		if !ok {
 			// Could not commit here (stall / shutdown): retryable
 			// elsewhere, exactly like a draining rejection.
@@ -813,7 +838,7 @@ func (p *ClientPort) registerSession(cc *clientConn, id uint64) {
 		val := make([]byte, 8)
 		binary.LittleEndian.PutUint64(val, session)
 		resp := wire.ClientResponseV2{ID: id, Status: wire.ClientStatusOK,
-			Cycle: p.node.Committed(), Val: val}
+			Cycle: p.node().Committed(), Val: val}
 		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
 		p.outstanding.Add(-1)
 	})
@@ -823,13 +848,13 @@ func (p *ClientPort) registerSession(cc *clientConn, id uint64) {
 // expiry commits. Runs inside the machine turn.
 func (p *ClientPort) expireSession(cc *clientConn, id, session uint64) {
 	p.admitRequest()
-	p.node.ExpireSession(session, func(ok bool) {
+	p.node().ExpireSession(session, func(ok bool) {
 		if !ok {
 			p.reject(cc, modeV2, id, wire.CodeDraining, "cannot expire session")
 			p.outstanding.Add(-1)
 			return
 		}
-		resp := wire.ClientResponseV2{ID: id, Status: wire.ClientStatusOK, Cycle: p.node.Committed()}
+		resp := wire.ClientResponseV2{ID: id, Status: wire.ClientStatusOK, Cycle: p.node().Committed()}
 		cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
 		p.outstanding.Add(-1)
 	})
@@ -845,7 +870,7 @@ const maxMinCycleAhead = 1 << 16
 // minCycleSane validates a deferred read's target cycle against the
 // bound.
 func (p *ClientPort) minCycleSane(minCycle uint64) bool {
-	return minCycle <= p.node.Committed()+maxMinCycleAhead
+	return minCycle <= p.node().Committed()+maxMinCycleAhead
 }
 
 // trackedReadLocal runs one committed-state read with the outstanding /
@@ -860,11 +885,11 @@ func (p *ClientPort) trackedReadLocal(key, minCycle uint64, complete func(status
 	// Whether this read will park is the executor's decision in parallel
 	// mode; the committed watermark is the best (conservative) estimate,
 	// and the completion settles the account using the same flag.
-	deferred := minCycle > p.node.Committed()
+	deferred := minCycle > p.node().Committed()
 	if deferred {
 		p.deferredLocal.Add(1)
 	}
-	p.node.ReadLocal(key, minCycle, func(val []byte, cycle uint64, ok bool) {
+	p.node().ReadLocal(key, minCycle, func(val []byte, cycle uint64, ok bool) {
 		status := wire.ClientStatusOK
 		switch {
 		case !ok:
@@ -901,7 +926,7 @@ func (p *ClientPort) localRead(cc *clientConn, id uint64, key, minCycle uint64) 
 // inside the machine turn.
 func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 	agg := newBatchAgg(q.ID, len(q.Ops))
-	stalled := p.node.Stalled()
+	stalled := p.node().Stalled()
 	sessSeq := q.Seq
 	for i := range q.Ops {
 		op := &q.Ops[i]
@@ -938,7 +963,7 @@ func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 			p.mu.Lock()
 			p.putSessPendingLocked(sessKey{q.Session, seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2, agg: agg, idx: i}})
 			p.mu.Unlock()
-			p.node.Submit(wire.Request{
+			p.node().Submit(wire.Request{
 				Client: q.Session, Seq: seq, Op: op.Op, Key: op.Key, Val: op.Val,
 			})
 			continue
@@ -947,7 +972,7 @@ func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 		if !ok {
 			return // torn down concurrently; teardown retired the accounting
 		}
-		p.node.Submit(wire.Request{
+		p.node().Submit(wire.Request{
 			Client: cc.id, Seq: seq, Op: op.Op, Key: op.Key, Val: op.Val,
 		})
 	}
@@ -961,7 +986,7 @@ func (p *ClientPort) submitV2Batch(cc *clientConn, q *wire.ClientRequestV2) {
 // session mutation; without one it submits at-most-once under the
 // connection identity. Runs inside the machine turn.
 func (p *ClientPort) submitTxn(cc *clientConn, q *wire.ClientRequestV2) {
-	if p.node.Stalled() {
+	if p.node().Stalled() {
 		p.reject(cc, modeV2, q.ID, wire.CodeStalled, "node stalled")
 		return
 	}
@@ -970,14 +995,14 @@ func (p *ClientPort) submitTxn(cc *clientConn, q *wire.ClientRequestV2) {
 		p.mu.Lock()
 		p.putSessPendingLocked(sessKey{q.Session, q.Seq}, sessEntry{cc: cc, e: pendingEntry{id: q.ID, mode: modeV2}})
 		p.mu.Unlock()
-		p.node.Submit(wire.Request{Client: q.Session, Seq: q.Seq, Op: wire.OpTxn, Val: body})
+		p.node().Submit(wire.Request{Client: q.Session, Seq: q.Seq, Op: wire.OpTxn, Val: body})
 		return
 	}
 	seq, ok := p.track(cc, pendingEntry{id: q.ID, mode: modeV2})
 	if !ok {
 		return // torn down concurrently
 	}
-	p.node.Submit(wire.Request{Client: cc.id, Seq: seq, Op: wire.OpTxn, Val: body})
+	p.node().Submit(wire.Request{Client: cc.id, Seq: seq, Op: wire.OpTxn, Val: body})
 }
 
 // handleWatch registers one watch on the node's event hub. It runs on
@@ -993,7 +1018,7 @@ func (p *ClientPort) submitTxn(cc *clientConn, q *wire.ClientRequestV2) {
 // (exclusive) on, which is exactly the resume point a client should
 // carry into a failover.
 func (p *ClientPort) handleWatch(cc *clientConn, q *wire.ClientRequestV2) {
-	if p.hub == nil {
+	if p.hub() == nil {
 		p.reject(cc, modeV2, q.ID, wire.CodeBadRequest, "watches not enabled")
 		return
 	}
@@ -1013,10 +1038,10 @@ func (p *ClientPort) handleWatch(cc *clientConn, q *wire.ClientRequestV2) {
 	delete(cc.watches, q.WatchID)
 	p.mu.Unlock()
 	if replaced {
-		p.hub.Cancel(old)
+		p.hub().Cancel(old)
 	}
 	spec := events.Spec{Key: q.WatchKey, PrefixBits: q.PrefixBits, SinceCycle: q.SinceCycle}
-	hubID, err := p.hub.Watch(spec, p.watchSink(cc, q.WatchID))
+	hubID, err := p.hub().Watch(spec, p.watchSink(cc, q.WatchID))
 	if err != nil {
 		// Resume point already evicted (or the replay itself overflowed):
 		// the feed cannot be gap-free. The client must re-read state.
@@ -1026,12 +1051,12 @@ func (p *ClientPort) handleWatch(cc *clientConn, q *wire.ClientRequestV2) {
 	p.mu.Lock()
 	if cc.pending == nil {
 		p.mu.Unlock()
-		p.hub.Cancel(hubID)
+		p.hub().Cancel(hubID)
 		return
 	}
 	cc.watches[q.WatchID] = hubID
 	p.mu.Unlock()
-	resp := wire.ClientResponseV2{ID: q.ID, Status: wire.ClientStatusOK, Cycle: p.hub.LastCycle()}
+	resp := wire.ClientResponseV2{ID: q.ID, Status: wire.ClientStatusOK, Cycle: p.hub().LastCycle()}
 	cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
 }
 
@@ -1043,8 +1068,8 @@ func (p *ClientPort) handleUnwatch(cc *clientConn, q *wire.ClientRequestV2) {
 	hubID, ok := cc.watches[q.WatchID]
 	delete(cc.watches, q.WatchID)
 	p.mu.Unlock()
-	if ok && p.hub != nil {
-		p.hub.Cancel(hubID)
+	if ok && p.hub() != nil {
+		p.hub().Cancel(hubID)
 	}
 	resp := wire.ClientResponseV2{ID: q.ID, Status: wire.ClientStatusOK}
 	cc.push(func(b []byte) []byte { return wire.AppendClientResponseV2(b, &resp) })
@@ -1071,7 +1096,7 @@ func (p *ClientPort) watchSink(cc *clientConn, watchID uint64) events.Sink {
 // collect under the port mutex, cancel outside it (port mutex → hub
 // mutex is the allowed order, but shorter critical sections win).
 func (p *ClientPort) dropWatches(cc *clientConn) {
-	if p.hub == nil {
+	if p.hub() == nil {
 		return
 	}
 	p.mu.Lock()
@@ -1082,7 +1107,7 @@ func (p *ClientPort) dropWatches(cc *clientConn) {
 	cc.watches = nil
 	p.mu.Unlock()
 	for _, id := range ids {
-		p.hub.Cancel(id)
+		p.hub().Cancel(id)
 	}
 }
 
@@ -1101,7 +1126,7 @@ func (p *ClientPort) SubmitLocal(op wire.Op, key uint64, val []byte, done func(v
 	}
 	cc := p.local()
 	p.runner.Invoke(func() {
-		if p.node.Stalled() {
+		if p.node().Stalled() {
 			done(nil, false)
 			return
 		}
@@ -1110,7 +1135,7 @@ func (p *ClientPort) SubmitLocal(op wire.Op, key uint64, val []byte, done func(v
 			done(nil, false)
 			return
 		}
-		p.node.Submit(wire.Request{Client: cc.id, Seq: seq, Op: op, Key: key, Val: val})
+		p.node().Submit(wire.Request{Client: cc.id, Seq: seq, Op: op, Key: key, Val: val})
 	})
 }
 
@@ -1125,7 +1150,7 @@ func (p *ClientPort) RegisterLocal(done func(id uint64, ok bool)) {
 	}
 	p.runner.Invoke(func() {
 		p.admitRequest()
-		p.node.RegisterSession(func(id uint64, ok bool) {
+		p.node().RegisterSession(func(id uint64, ok bool) {
 			done(id, ok)
 			p.outstanding.Add(-1)
 		})
@@ -1145,7 +1170,7 @@ func (p *ClientPort) SubmitSessionLocal(session, seq uint64, op wire.Op, key uin
 	}
 	cc := p.local()
 	p.runner.Invoke(func() {
-		if p.node.Stalled() {
+		if p.node().Stalled() {
 			done(nil, false)
 			return
 		}
@@ -1156,7 +1181,7 @@ func (p *ClientPort) SubmitSessionLocal(session, seq uint64, op wire.Op, key uin
 				done(nil, false)
 				return
 			}
-			p.node.Submit(wire.Request{Client: cc.id, Seq: seq, Op: op, Key: key, Val: val})
+			p.node().Submit(wire.Request{Client: cc.id, Seq: seq, Op: op, Key: key, Val: val})
 			return
 		}
 		p.mu.Lock()
@@ -1167,7 +1192,7 @@ func (p *ClientPort) SubmitSessionLocal(session, seq uint64, op wire.Op, key uin
 		}
 		p.putSessPendingLocked(sessKey{session, seq}, sessEntry{cc: cc, e: pendingEntry{done: done}})
 		p.mu.Unlock()
-		p.node.Submit(wire.Request{Client: session, Seq: seq, Op: op, Key: key, Val: val})
+		p.node().Submit(wire.Request{Client: session, Seq: seq, Op: op, Key: key, Val: val})
 	})
 }
 
@@ -1480,8 +1505,8 @@ func (p *ClientPort) Stop(drain time.Duration) bool {
 	}
 	if p.outstanding.Load() > 0 {
 		p.runner.Invoke(func() {
-			p.node.FailLocalReads()
-			p.node.FailSessionWaiters()
+			p.node().FailLocalReads()
+			p.node().FailSessionWaiters()
 		})
 		// Parked reads fail on the apply executor in parallel mode; give
 		// the failure a moment to propagate through the accounting.
@@ -1562,8 +1587,8 @@ func (p *ClientPort) Abort() {
 	// local (Cluster.Submit) callers are owed their done callback, with
 	// ok=false — and deferred local reads their abandonment.
 	p.runner.Invoke(func() {
-		p.node.FailLocalReads()
-		p.node.FailSessionWaiters()
+		p.node().FailLocalReads()
+		p.node().FailSessionWaiters()
 	})
 	for _, cc := range conns {
 		p.failPending(cc)
@@ -1612,6 +1637,11 @@ func StatusSource(runner *transport.Runner, node *core.Node, st *kvstore.Store, 
 			s.Started = node.Started()
 			s.Ordered = node.Ordered()
 			s.Stalled = node.Stalled()
+			if node.StallSuspected() {
+				s.Degraded = "stalled"
+			}
+			// A restarted joiner has no view until its join completes —
+			// report membership without per-leaf liveness until then.
 			view := node.View()
 			for _, h := range node.LeafHealth() {
 				sl := admin.SuperLeaf{
@@ -1620,9 +1650,9 @@ func StatusSource(runner *transport.Runner, node *core.Node, st *kvstore.Store, 
 					Evicted:   h.Evicted,
 					EvictedAt: h.EvictedAt,
 				}
-				for _, m := range view.Members(h.SL) {
+				for _, m := range h.Members {
 					sl.Members = append(sl.Members, int32(m))
-					if view.Alive(m) {
+					if view != nil && view.Alive(m) {
 						sl.Alive = append(sl.Alive, int32(m))
 					}
 				}

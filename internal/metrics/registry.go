@@ -36,8 +36,10 @@ type Registry struct {
 // admits at most this many label sets. Registrations beyond it return
 // detached instruments and count into droppedSeries — an unbounded label
 // (a client address, a key) can then never run the exporter out of
-// memory.
-const maxSeriesPerFamily = 64
+// memory. Sized for the per-peer families (canopus_transport_peer_up is
+// node×peer: a 9-node in-process cluster sharing one registry needs 72
+// series) with headroom, while still far below anything unbounded.
+const maxSeriesPerFamily = 128
 
 // Label is one constant name/value pair attached to an instrument at
 // registration time.

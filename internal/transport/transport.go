@@ -20,6 +20,7 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,18 @@ type Runner struct {
 	connMu sync.Mutex
 	conns  map[wire.NodeID]*peerConn
 
+	// inMu/inConns track accepted (inbound) connections so Close can
+	// sever them: a closed runner must look dead to its peers exactly
+	// like a killed process would, or senders never notice a restart.
+	inMu    sync.Mutex
+	inConns map[net.Conn]struct{}
+
+	// up tracks, per peer, whether an outbound connection is currently
+	// established; lazily populated because peer address maps may be
+	// filled in after construction.
+	upMu sync.Mutex
+	up   map[wire.NodeID]*atomic.Bool
+
 	listener net.Listener
 	done     chan struct{}
 	closed   bool
@@ -70,6 +83,14 @@ type Runner struct {
 
 	// Logf logs transport-level events; defaults to log.Printf.
 	Logf func(format string, args ...interface{})
+
+	// OnPeerState, when set before Serve/Attach, is called on every
+	// outbound connection-state transition: up=true when a dial to the
+	// peer succeeds, up=false when the connection is lost (write error)
+	// or a redial fails. It runs on the peer's writer goroutine and must
+	// not block; chaos harnesses use it to observe partitions healing in
+	// real time.
+	OnPeerState func(peer wire.NodeID, up bool)
 }
 
 // runnerStats counts transport work across all peers. Everything is
@@ -81,6 +102,8 @@ type runnerStats struct {
 	writes   atomic.Uint64 // vectored batch writes issued
 	bytesOut atomic.Uint64 // payload bytes written to peers
 	bytesIn  atomic.Uint64 // frame bytes (header+body) read from peers
+	connects atomic.Uint64 // outbound peer transitions to up (dial successes)
+	resets   atomic.Uint64 // outbound peer transitions to down (lost conns)
 }
 
 // RegisterMetrics exports the transport's counters into reg under the
@@ -102,6 +125,70 @@ func (r *Runner) RegisterMetrics(reg *metrics.Registry, labels ...metrics.Label)
 	reg.CounterFunc("canopus_transport_received_bytes_total",
 		"Frame bytes (header and body) read from peer connections.",
 		r.stats.bytesIn.Load, labels...)
+	reg.CounterFunc("canopus_transport_peer_connects_total",
+		"Outbound peer connection establishments (first dials and redials).",
+		r.stats.connects.Load, labels...)
+	reg.CounterFunc("canopus_transport_peer_resets_total",
+		"Outbound peer connections lost (write errors and failed redials).",
+		r.stats.resets.Load, labels...)
+	// Per-peer liveness gauges: peers are read at registration time, so
+	// callers must fill the address map first (livecluster does).
+	ids := make([]wire.NodeID, 0, len(r.peers))
+	for p := range r.peers {
+		if p != r.id {
+			ids = append(ids, p)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, p := range ids {
+		st := r.upState(p)
+		reg.GaugeFunc("canopus_transport_peer_up",
+			"1 while an outbound connection to the peer is established.",
+			func() float64 {
+				if st.Load() {
+					return 1
+				}
+				return 0
+			}, append(append([]metrics.Label{}, labels...), metrics.Label{Key: "peer", Value: p.String()})...)
+	}
+}
+
+// upState returns (creating if needed) the peer's outbound-liveness flag.
+func (r *Runner) upState(to wire.NodeID) *atomic.Bool {
+	r.upMu.Lock()
+	defer r.upMu.Unlock()
+	if r.up == nil {
+		r.up = make(map[wire.NodeID]*atomic.Bool)
+	}
+	st, ok := r.up[to]
+	if !ok {
+		st = new(atomic.Bool)
+		r.up[to] = st
+	}
+	return st
+}
+
+// PeerUp reports whether an outbound connection to the peer is currently
+// established. Safe from any goroutine.
+func (r *Runner) PeerUp(to wire.NodeID) bool { return r.upState(to).Load() }
+
+// markPeer records an outbound connection-state transition, firing
+// OnPeerState and the connect/reset counters only on actual changes
+// (redial churn against a dead peer stays one transition).
+func (r *Runner) markPeer(to wire.NodeID, up bool) {
+	st := r.upState(to)
+	if st.Swap(up) == up {
+		return
+	}
+	if up {
+		r.stats.connects.Add(1)
+	} else {
+		r.stats.resets.Add(1)
+		r.Logf("transport: peer %v down", to)
+	}
+	if cb := r.OnPeerState; cb != nil {
+		cb(to, up)
+	}
 }
 
 // peerConn is the outbound state for one peer: a queue of coalesced turn
@@ -193,6 +280,12 @@ func (r *Runner) Close() {
 	// consult r.closed, which is guarded by the unrelated machine mutex.
 	r.conns = nil
 	r.connMu.Unlock()
+	r.inMu.Lock()
+	for c := range r.inConns {
+		c.Close()
+	}
+	r.inConns = nil
+	r.inMu.Unlock()
 }
 
 // Drain blocks until every peer's outbound queue has been handed to the
@@ -244,12 +337,17 @@ func (r *Runner) Now() time.Duration { return time.Since(r.start) }
 // Rand implements engine.Env.
 func (r *Runner) Rand() *rand.Rand { return r.rng }
 
-// After implements engine.Env using wall-clock timers.
+// After implements engine.Env using wall-clock timers. The arming
+// machine is captured so a timer never fires into a successor installed
+// by a later Attach (livecluster.RestartNode replaces an evicted node
+// with a joiner on the same runner; the old node's tick chain must die
+// with it, not double the new node's).
 func (r *Runner) After(d time.Duration, tag engine.TimerTag) {
+	m := r.machine // called from the machine turn, under r.mu
 	time.AfterFunc(d, func() {
 		r.mu.Lock()
 		defer r.mu.Unlock()
-		if r.closed || r.machine == nil {
+		if r.closed || r.machine == nil || r.machine != m {
 			return
 		}
 		r.machine.Timer(tag)
@@ -428,9 +526,11 @@ func (r *Runner) writeBatch(conn net.Conn, to wire.NodeID, batch [][]byte, scrat
 		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 		if err != nil {
 			*lastDialFail = time.Now()
+			r.markPeer(to, false)
 			return nil // dropped; protocol-level retries re-send what matters
 		}
 		conn = c
+		r.markPeer(to, true)
 	}
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	bufs := append((*scratch)[:0], batch...)
@@ -439,6 +539,7 @@ func (r *Runner) writeBatch(conn net.Conn, to wire.NodeID, batch [][]byte, scrat
 	r.stats.bytesOut.Add(uint64(n))
 	if err != nil {
 		conn.Close()
+		r.markPeer(to, false)
 		return nil
 	}
 	r.stats.writes.Add(1)
@@ -447,6 +548,23 @@ func (r *Runner) writeBatch(conn net.Conn, to wire.NodeID, batch [][]byte, scrat
 
 func (r *Runner) readLoop(conn net.Conn) {
 	defer conn.Close()
+	r.inMu.Lock()
+	if r.inConns == nil {
+		select {
+		case <-r.done: // closed runner: reject late accepts
+			r.inMu.Unlock()
+			return
+		default:
+		}
+		r.inConns = make(map[net.Conn]struct{})
+	}
+	r.inConns[conn] = struct{}{}
+	r.inMu.Unlock()
+	defer func() {
+		r.inMu.Lock()
+		delete(r.inConns, conn)
+		r.inMu.Unlock()
+	}()
 	var hdr [8]byte
 	var body []byte // reused across frames; decoded messages never alias it
 	for {

@@ -272,3 +272,120 @@ func TestManyConcurrentFrames(t *testing.T) {
 }
 
 var _ = fmt.Sprintf // keep fmt for future debugging
+
+// TestRedialAfterListenerRestart kills and restarts a peer's listener
+// mid-stream: the sender must mark the peer down on the write error,
+// reconnect within the dial-backoff envelope once the listener is back,
+// and hand every turn buffer back to the encode pool (no leaks across
+// the connection churn).
+func TestRedialAfterListenerRestart(t *testing.T) {
+	base := wire.EncodePool.Outstanding()
+
+	peers := map[wire.NodeID]string{}
+	b1, err := NewRunner(1, "127.0.0.1:0", peers, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.Addr().String()
+	peers[1] = addr
+	a, err := NewRunner(0, "127.0.0.1:0", peers, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers[0] = a.Addr().String()
+	a.Logf = func(string, ...interface{}) {}
+	b1.Logf = func(string, ...interface{}) {}
+
+	var transMu sync.Mutex
+	var transitions []bool
+	a.OnPeerState = func(peer wire.NodeID, up bool) {
+		if peer != 1 {
+			t.Errorf("OnPeerState for unexpected peer %v", peer)
+		}
+		transMu.Lock()
+		transitions = append(transitions, up)
+		transMu.Unlock()
+	}
+
+	am, bm := &countMachine{}, &countMachine{}
+	a.Attach(am)
+	b1.Attach(bm)
+	go a.Serve(nil)
+	go b1.Serve(nil)
+	defer a.Close()
+
+	var seq uint64
+	send := func() {
+		seq++
+		s := seq
+		a.Invoke(func() { am.env.Send(1, &wire.Ping{From: 0, Seq: s}) })
+	}
+	received := func(r *Runner, m *countMachine) int {
+		var n int
+		r.Invoke(func() { n = len(m.got) })
+		return n
+	}
+	waitFor := func(what string, d time.Duration, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	send()
+	waitFor("first delivery", 3*time.Second, func() bool { return received(b1, bm) >= 1 })
+	if !a.PeerUp(1) {
+		t.Fatal("peer not marked up after successful delivery")
+	}
+
+	// Kill the listener mid-stream; keep sending until the write error
+	// surfaces and the peer is marked down.
+	b1.Close()
+	waitFor("peer down", 3*time.Second, func() bool { send(); return !a.PeerUp(1) })
+
+	// Restart on the same address and require reconnection within the
+	// backoff envelope (one dialBackoff window plus generous slack for
+	// the dial itself and CI scheduling).
+	var b2 *Runner
+	for {
+		b2, err = NewRunner(1, addr, peers, 6)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	b2.Logf = func(string, ...interface{}) {}
+	bm2 := &countMachine{}
+	b2.Attach(bm2)
+	go b2.Serve(nil)
+	defer b2.Close()
+
+	restart := time.Now()
+	waitFor("reconnect delivery", 5*time.Second, func() bool { send(); return received(b2, bm2) >= 1 })
+	if el := time.Since(restart); el > dialBackoff+2*time.Second {
+		t.Fatalf("reconnect took %v, beyond the backoff envelope (%v + slack)", el, dialBackoff)
+	}
+	if !a.PeerUp(1) {
+		t.Fatal("peer not marked up after reconnect")
+	}
+	if c, rs := a.stats.connects.Load(), a.stats.resets.Load(); c < 2 || rs < 1 {
+		t.Fatalf("transition counters: connects=%d resets=%d, want >=2/>=1", c, rs)
+	}
+	transMu.Lock()
+	got := append([]bool(nil), transitions...)
+	transMu.Unlock()
+	if len(got) < 3 || !got[0] || got[0] == got[1] {
+		t.Fatalf("OnPeerState transitions = %v, want up,down,up...", got)
+	}
+
+	// Pool balance: once the sender drains, every turn buffer taken for
+	// the whole up/down/up episode must be back in the pool.
+	if !a.Drain(3 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	waitFor("pool balance", 3*time.Second, func() bool { return wire.EncodePool.Outstanding() == base })
+}

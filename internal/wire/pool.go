@@ -1,6 +1,9 @@
 package wire
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Encode-buffer pooling. The live transport and the client protocol both
 // encode many small messages per event turn; a shared free list keeps the
@@ -27,10 +30,24 @@ type pbuf struct{ b []byte }
 type BufPool struct {
 	p     sync.Pool // *pbuf with a buffer
 	boxes sync.Pool // *pbuf carriers awaiting reuse
+
+	// gets/puts count calls, not hits: their difference is the number of
+	// buffers currently held by callers, which leak tests pin to zero
+	// across connection churn.
+	gets atomic.Uint64
+	puts atomic.Uint64
+}
+
+// Outstanding returns Get calls minus Put calls — buffers currently in
+// callers' hands. It is a balance check, not a memory gauge: a quiesced
+// component that took N buffers must have returned N.
+func (bp *BufPool) Outstanding() int64 {
+	return int64(bp.gets.Load()) - int64(bp.puts.Load())
 }
 
 // Get returns an empty buffer with at least n bytes of capacity.
 func (bp *BufPool) Get(n int) []byte {
+	bp.gets.Add(1)
 	if v, ok := bp.p.Get().(*pbuf); ok {
 		b := v.b
 		v.b = nil
@@ -48,6 +65,7 @@ func (bp *BufPool) Get(n int) []byte {
 // Put returns a buffer obtained from Get (possibly grown by appends) to
 // the pool. Oversized buffers are dropped to bound pooled memory.
 func (bp *BufPool) Put(b []byte) {
+	bp.puts.Add(1)
 	if cap(b) == 0 || cap(b) > poolBufMax {
 		return
 	}
